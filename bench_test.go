@@ -1,0 +1,211 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation section (§5). Each benchmark prints the corresponding table via
+// b.Log and reports headline numbers as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// reproduces the full evaluation on the simulated machine. benchScale
+// controls workload sizes; raise it (or use cmd/hare-bench) for larger runs.
+package hare_test
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// benchScale shrinks the paper's iteration counts so the whole suite runs in
+// a few minutes of real time; the relative shapes are what matter.
+const benchScale = 0.05
+
+// benchCores is the size of the simulated machine (the paper's testbed has
+// 40 cores on 4 sockets).
+const benchCores = 40
+
+func BenchmarkFigure4SLOC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Figure4(".", false)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.Render())
+		}
+	}
+}
+
+func BenchmarkFigure5OpBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Figure5(benchScale)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.Render())
+		}
+	}
+}
+
+func BenchmarkFigure6Scalability(b *testing.B) {
+	coreCounts := []int{1, 2, 5, 10, 20, benchCores}
+	for i := 0; i < b.N; i++ {
+		data, t, err := bench.Figure6(benchScale, coreCounts, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.Render())
+			// Report the paper's headline number: the mean speedup over
+			// all benchmarks at the full machine size (the paper reports
+			// an average of 14x at 40 cores).
+			var at40 []float64
+			for _, sp := range data.Speedup {
+				at40 = append(at40, sp[len(sp)-1])
+			}
+			b.ReportMetric(stats.Mean(at40), "avg-speedup-40c")
+			b.ReportMetric(stats.Max(at40), "max-speedup-40c")
+		}
+	}
+}
+
+func BenchmarkFigure7SplitConfiguration(b *testing.B) {
+	// A reduced candidate list keeps the sweep tractable; cmd/hare-bench
+	// uses the full list.
+	candidates := []int{8, 16, 20, 32}
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Figure7(benchScale, benchCores, candidates, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.Render())
+		}
+	}
+}
+
+func BenchmarkFigure8Sequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Figure8(benchScale, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.Render())
+		}
+	}
+}
+
+// The five technique ablations (Figures 10-14) and their summary (Figure 9)
+// share the same baseline measurements, so they are generated together; the
+// per-figure benchmarks below re-run only the affected technique to keep
+// each one independently invocable.
+
+func BenchmarkFigure9TechniqueSummary(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _, summary, err := bench.AblateTechniques(benchScale, benchCores, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + summary.Render())
+		}
+	}
+}
+
+// benchmarkTechnique regenerates one of Figures 10-14 by ablating a single
+// technique over the benchmark suite.
+func benchmarkTechnique(b *testing.B, technique string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		table, ratios, err := bench.AblateTechnique(benchScale, benchCores, nil, technique)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + table.Render())
+			var all []float64
+			for _, r := range ratios {
+				all = append(all, r)
+			}
+			b.ReportMetric(stats.Mean(all), "avg-gain")
+			b.ReportMetric(stats.Max(all), "max-gain")
+		}
+	}
+}
+
+func BenchmarkFigure10DirectoryDistribution(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		// Directory distribution is the paper's headline technique; use
+		// the microbenchmarks that exercise it most directly to keep the
+		// figure-specific run focused (Figure 10's biggest movers).
+		ws := []workload.Workload{
+			workload.Creates{},
+			workload.Renames{},
+			&workload.PFind{Sparse: false},
+			&workload.RM{Sparse: true},
+			workload.Mailbench{},
+		}
+		data, figs, _, err := bench.AblateTechniques(benchScale, benchCores, ws)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + figs[0].Render())
+			var ratios []float64
+			for _, r := range data.Ratio["Directory distribution"] {
+				ratios = append(ratios, r)
+			}
+			b.ReportMetric(stats.Max(ratios), "max-gain")
+		}
+	}
+}
+
+func BenchmarkFigure11DirectoryBroadcast(b *testing.B) {
+	benchmarkTechnique(b, "Directory broadcast")
+}
+
+func BenchmarkFigure12DirectAccess(b *testing.B) {
+	benchmarkTechnique(b, "Direct cache access")
+}
+
+func BenchmarkFigure13DirectoryCache(b *testing.B) {
+	benchmarkTechnique(b, "Directory cache")
+}
+
+func BenchmarkFigure14CreationAffinity(b *testing.B) {
+	benchmarkTechnique(b, "Creation affinity")
+}
+
+func BenchmarkFigure15HareVsLinux(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		t, err := bench.Figure15(benchScale, benchCores, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Log("\n" + t.Render())
+		}
+	}
+}
+
+// BenchmarkSingleOperationLatency measures the virtual cost of individual
+// metadata operations on one core (the paper's §5.3.3 discussion of the
+// messaging overhead of rename and friends).
+func BenchmarkSingleOperationLatency(b *testing.B) {
+	for _, name := range []string{"creates", "renames", "writes"} {
+		b.Run(name, func(b *testing.B) {
+			w, _ := workload.ByName(name)
+			for i := 0; i < b.N; i++ {
+				r, err := bench.RunWorkload(bench.HareFactory(bench.DefaultHare(1)), w, benchScale)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(r.Elapsed)/float64(r.Ops), "cycles/op")
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,106 @@
+// Command hare-bench regenerates the tables and figures of the paper's
+// evaluation section (§5) on the simulated machine.
+//
+// Usage:
+//
+//	hare-bench [-fig N] [-scale F] [-cores N] [-bench name]
+//
+// With no -fig flag every experiment is run in order. The -scale flag
+// shrinks the workload iteration counts (1.0 reproduces the default sizes;
+// smaller values finish faster), and -bench restricts the run to a single
+// benchmark where applicable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 0, "figure to regenerate (4-15); 0 means all")
+		scale     = flag.Float64("scale", 0.25, "workload scale factor (1.0 = full size)")
+		cores     = flag.Int("cores", 40, "size of the simulated machine")
+		benchName = flag.String("bench", "", "restrict to a single benchmark (e.g. \"creates\")")
+		repoRoot  = flag.String("root", ".", "repository root (for the Figure 4 SLOC count)")
+	)
+	flag.Parse()
+
+	ws := workload.All()
+	if *benchName != "" {
+		w, ok := workload.ByName(*benchName)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown benchmark %q; available: %v\n", *benchName, workload.Names())
+			os.Exit(2)
+		}
+		ws = []workload.Workload{w}
+	}
+
+	run := func(n int) bool { return *fig == 0 || *fig == n }
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "hare-bench:", err)
+		os.Exit(1)
+	}
+
+	if run(4) {
+		t, err := bench.Figure4(*repoRoot, false)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t.Render())
+	}
+	if run(5) {
+		t, err := bench.Figure5(*scale)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t.Render())
+	}
+	if run(6) {
+		coreCounts := []int{1, 2, 5, 10, 20, *cores}
+		_, t, err := bench.Figure6(*scale, coreCounts, ws)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t.Render())
+	}
+	if run(7) {
+		t, err := bench.Figure7(*scale, *cores, nil, ws)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t.Render())
+	}
+	if run(8) {
+		t, err := bench.Figure8(*scale, ws)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t.Render())
+	}
+	if run(9) || run(10) || run(11) || run(12) || run(13) || run(14) {
+		_, figs, summary, err := bench.AblateTechniques(*scale, *cores, ws)
+		if err != nil {
+			fail(err)
+		}
+		for i, ft := range figs {
+			if run(10 + i) {
+				fmt.Println(ft.Render())
+			}
+		}
+		if run(9) {
+			fmt.Println(summary.Render())
+		}
+	}
+	if run(15) {
+		t, err := bench.Figure15(*scale, *cores, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t.Render())
+	}
+}

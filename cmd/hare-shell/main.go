@@ -1,0 +1,235 @@
+// Command hare-shell is a small interactive shell over a Hare deployment,
+// useful for exploring the file system's behaviour by hand (distributed
+// directories, inode placement, server statistics).
+//
+// Usage:
+//
+//	hare-shell [-cores N] [-servers N] [-split]
+//
+// Commands: help, ls, tree, cat, write, append, mkdir, mkdir -d, rm, rmdir,
+// mv, stat, cd, pwd, core, servers, exit.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/fsapi"
+	"repro/internal/sched"
+)
+
+func main() {
+	var (
+		cores   = flag.Int("cores", 8, "number of cores in the simulated machine")
+		servers = flag.Int("servers", 0, "number of file servers (default: one per core)")
+		split   = flag.Bool("split", false, "dedicate cores to the file servers instead of timesharing")
+	)
+	flag.Parse()
+
+	cfg := core.Config{
+		Cores:      *cores,
+		Servers:    *servers,
+		Timeshare:  !*split,
+		Techniques: core.AllTechniques(),
+		Placement:  sched.PolicyRoundRobin,
+	}
+	sys, err := core.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hare-shell:", err)
+		os.Exit(1)
+	}
+	sys.Start()
+	defer sys.Stop()
+
+	sh := &shell{sys: sys, core: sys.AppCores()[0]}
+	sh.cli = sys.NewClient(sh.core)
+	fmt.Printf("hare-shell: %d cores, %d servers (%s). Type 'help'.\n",
+		sys.Config().Cores, sys.Config().Servers, mode(sys.Config().Timeshare))
+
+	sc := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Printf("hare:%s> ", sh.cli.Getcwd())
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if line == "exit" || line == "quit" {
+			return
+		}
+		if err := sh.exec(line); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}
+
+func mode(timeshare bool) string {
+	if timeshare {
+		return "timeshare"
+	}
+	return "split"
+}
+
+type shell struct {
+	sys  *core.System
+	cli  fsapi.Client
+	core int
+}
+
+func (s *shell) exec(line string) error {
+	fields := strings.Fields(line)
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "help":
+		fmt.Println("commands: ls [path] | tree [path] | cat file | write file text... | append file text... |")
+		fmt.Println("          mkdir [-d] dir | rm file | rmdir dir | mv old new | stat path | cd dir | pwd |")
+		fmt.Println("          core N | servers | exit")
+		return nil
+	case "pwd":
+		fmt.Println(s.cli.Getcwd())
+		return nil
+	case "cd":
+		return s.cli.Chdir(arg(args, 0, "/"))
+	case "ls":
+		return s.list(arg(args, 0, "."), false, "")
+	case "tree":
+		return s.list(arg(args, 0, "."), true, "")
+	case "cat":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: cat file")
+		}
+		return s.cat(args[0])
+	case "write", "append":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: %s file text...", cmd)
+		}
+		return s.write(args[0], strings.Join(args[1:], " "), cmd == "append")
+	case "mkdir":
+		dist := false
+		if len(args) > 0 && args[0] == "-d" {
+			dist = true
+			args = args[1:]
+		}
+		if len(args) < 1 {
+			return fmt.Errorf("usage: mkdir [-d] dir")
+		}
+		return s.cli.Mkdir(args[0], fsapi.MkdirOpt{Distributed: dist})
+	case "rm":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: rm file")
+		}
+		return s.cli.Unlink(args[0])
+	case "rmdir":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: rmdir dir")
+		}
+		return s.cli.Rmdir(args[0])
+	case "mv":
+		if len(args) < 2 {
+			return fmt.Errorf("usage: mv old new")
+		}
+		return s.cli.Rename(args[0], args[1])
+	case "stat":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: stat path")
+		}
+		st, err := s.cli.Stat(args[0])
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: %s, %d bytes, nlink %d, mode %o, server %d, inode %d\n",
+			args[0], st.Type, st.Size, st.Nlink, st.Mode, st.Server, st.Ino)
+		return nil
+	case "core":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: core N")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil || n < 0 || n >= s.sys.Config().Cores {
+			return fmt.Errorf("core must be in [0, %d)", s.sys.Config().Cores)
+		}
+		cwd := s.cli.Getcwd()
+		s.core = n
+		s.cli = s.sys.NewClient(n)
+		return s.cli.Chdir(cwd)
+	case "servers":
+		for i, st := range s.sys.ServerStats() {
+			var total uint64
+			for _, n := range st.Ops {
+				total += n
+			}
+			fmt.Printf("server %2d: %6d ops, %d invalidations sent\n", i, total, st.Invalidations)
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown command %q (try 'help')", cmd)
+	}
+}
+
+func arg(args []string, i int, def string) string {
+	if i < len(args) {
+		return args[i]
+	}
+	return def
+}
+
+func (s *shell) list(path string, recurse bool, indent string) error {
+	ents, err := s.cli.ReadDir(path)
+	if err != nil {
+		return err
+	}
+	for _, ent := range ents {
+		fmt.Printf("%s%-30s %s\n", indent, ent.Name, ent.Type)
+		if recurse && ent.Type == fsapi.TypeDir {
+			if err := s.list(path+"/"+ent.Name, true, indent+"  "); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (s *shell) cat(path string) error {
+	fd, err := s.cli.Open(path, fsapi.ORdOnly, 0)
+	if err != nil {
+		return err
+	}
+	defer s.cli.Close(fd)
+	buf := make([]byte, 4096)
+	for {
+		n, err := s.cli.Read(fd, buf)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+		os.Stdout.Write(buf[:n])
+	}
+	fmt.Println()
+	return nil
+}
+
+func (s *shell) write(path, text string, appendMode bool) error {
+	flags := fsapi.OCreate | fsapi.OWrOnly
+	if appendMode {
+		flags |= fsapi.OAppend
+	} else {
+		flags |= fsapi.OTrunc
+	}
+	fd, err := s.cli.Open(path, flags, fsapi.Mode644)
+	if err != nil {
+		return err
+	}
+	defer s.cli.Close(fd)
+	_, err = s.cli.Write(fd, []byte(text))
+	return err
+}

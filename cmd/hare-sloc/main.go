@@ -1,0 +1,30 @@
+// Command hare-sloc prints the source-line breakdown of this repository by
+// component, the analogue of the paper's Figure 4.
+//
+// Usage:
+//
+//	hare-sloc [-tests] [path]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	tests := flag.Bool("tests", false, "include _test.go files in the count")
+	flag.Parse()
+	root := "."
+	if flag.NArg() > 0 {
+		root = flag.Arg(0)
+	}
+	t, err := bench.Figure4(root, *tests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hare-sloc:", err)
+		os.Exit(1)
+	}
+	fmt.Println(t.Render())
+}

@@ -1,0 +1,258 @@
+package ramfs
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/fsapi"
+	"repro/internal/sim"
+)
+
+func newFS(t *testing.T) *FS {
+	t.Helper()
+	return New(sim.NewMachine(sim.TopologyForCores(4), sim.DefaultCostModel()))
+}
+
+func TestRamfsBasicFileLifecycle(t *testing.T) {
+	fs := newFS(t)
+	c := fs.NewClient(0)
+
+	fd, err := c.Open("/f", fsapi.OCreate|fsapi.ORdWr, fsapi.Mode644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(fd, []byte("hello ramfs")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Seek(fd, 0, fsapi.SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	n, err := c.Read(fd, buf)
+	if err != nil || string(buf[:n]) != "hello ramfs" {
+		t.Fatalf("read back %q, %v", buf[:n], err)
+	}
+	st, err := c.Fstat(fd)
+	if err != nil || st.Size != 11 || st.Type != fsapi.TypeRegular {
+		t.Fatalf("fstat %+v %v", st, err)
+	}
+	if err := c.Ftruncate(fd, 5); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := c.Fstat(fd); st.Size != 5 {
+		t.Fatalf("size after truncate = %d", st.Size)
+	}
+	if err := c.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unlink("/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/f"); !fsapi.IsErrno(err, fsapi.ENOENT) {
+		t.Fatalf("stat after unlink: %v", err)
+	}
+}
+
+func TestRamfsDirectories(t *testing.T) {
+	fs := newFS(t)
+	c := fs.NewClient(0)
+	if err := c.Mkdir("/d", fsapi.MkdirOpt{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Mkdir("/d", fsapi.MkdirOpt{}); !fsapi.IsErrno(err, fsapi.EEXIST) {
+		t.Fatalf("duplicate mkdir: %v", err)
+	}
+	for i := 0; i < 5; i++ {
+		fd, err := c.Open(fmt.Sprintf("/d/f%d", i), fsapi.OCreate, fsapi.Mode644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Close(fd)
+	}
+	ents, err := c.ReadDir("/d")
+	if err != nil || len(ents) != 5 {
+		t.Fatalf("readdir: %d %v", len(ents), err)
+	}
+	if err := c.Rmdir("/d"); !fsapi.IsErrno(err, fsapi.ENOTEMPTY) {
+		t.Fatalf("rmdir non-empty: %v", err)
+	}
+	if err := c.Rename("/d/f0", "/d/renamed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/d/renamed"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"renamed", "f1", "f2", "f3", "f4"} {
+		if err := c.Unlink("/d/" + name); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Rmdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRamfsSharedDescriptorsAcrossFork(t *testing.T) {
+	fs := newFS(t)
+	parent := fs.NewClient(0)
+	fd, _ := parent.Open("/shared", fsapi.OCreate|fsapi.ORdWr, fsapi.Mode644)
+	parent.Write(fd, []byte("0123456789"))
+	parent.Seek(fd, 0, fsapi.SeekSet)
+
+	childFS, err := parent.CloneForFork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := childFS.(*Client)
+	buf := make([]byte, 4)
+	parent.Read(fd, buf)
+	n, _ := child.Read(fd, buf)
+	if string(buf[:n]) != "4567" {
+		t.Fatalf("child read %q; offset not shared", buf[:n])
+	}
+	child.CloseAll()
+	if _, err := parent.Read(fd, buf); err != nil {
+		t.Fatalf("parent read after child exit: %v", err)
+	}
+	parent.CloseAll()
+}
+
+func TestRamfsPipeBetweenForkedProcesses(t *testing.T) {
+	fs := newFS(t)
+	parent := fs.NewClient(0)
+	r, w, err := parent.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	childFS, _ := parent.CloneForFork(2)
+	child := childFS.(*Client)
+
+	got := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, _ := child.Read(r, buf)
+		got <- string(buf[:n])
+	}()
+	if _, err := parent.Write(w, []byte("through the pipe")); err != nil {
+		t.Fatal(err)
+	}
+	if s := <-got; s != "through the pipe" {
+		t.Fatalf("child read %q", s)
+	}
+	// EOF once every write end (parent's and child's inherited copy) closes.
+	parent.Close(w)
+	child.Close(w)
+	buf := make([]byte, 4)
+	if n, err := child.Read(r, buf); err != nil || n != 0 {
+		t.Fatalf("EOF read: %d %v", n, err)
+	}
+	// EPIPE once all readers are gone.
+	r2, w2, _ := parent.Pipe()
+	parent.Close(r2)
+	if _, err := parent.Write(w2, []byte("x")); !fsapi.IsErrno(err, fsapi.EPIPE) {
+		t.Fatalf("write to readerless pipe: %v", err)
+	}
+}
+
+func TestRamfsPermissionAndErrorPaths(t *testing.T) {
+	fs := newFS(t)
+	c := fs.NewClient(0)
+	if _, err := c.Open("/ro", fsapi.OCreate, fsapi.Mode(0o400)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Open("/ro", fsapi.OWrOnly, 0); !fsapi.IsErrno(err, fsapi.EACCES) {
+		t.Fatalf("EACCES expected, got %v", err)
+	}
+	if _, err := c.Open("/missing", fsapi.ORdOnly, 0); !fsapi.IsErrno(err, fsapi.ENOENT) {
+		t.Fatalf("ENOENT expected, got %v", err)
+	}
+	if _, err := c.Read(fsapi.FD(55), nil); !fsapi.IsErrno(err, fsapi.EBADF) {
+		t.Fatalf("EBADF expected, got %v", err)
+	}
+	if err := c.Unlink("/"); !fsapi.IsErrno(err, fsapi.EINVAL) {
+		t.Fatalf("unlink root: %v", err)
+	}
+	if err := c.Chdir("/ro"); !fsapi.IsErrno(err, fsapi.ENOTDIR) {
+		t.Fatalf("chdir to file: %v", err)
+	}
+}
+
+func TestRamfsRelativePathsAndDup(t *testing.T) {
+	fs := newFS(t)
+	c := fs.NewClient(0)
+	c.Mkdir("/w", fsapi.MkdirOpt{})
+	if err := c.Chdir("/w"); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := c.Open("rel", fsapi.OCreate|fsapi.ORdWr, fsapi.Mode644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/w/rel"); err != nil {
+		t.Fatal(err)
+	}
+	c.Write(fd, []byte("abcdef"))
+	c.Seek(fd, 0, fsapi.SeekSet)
+	dup, err := c.Dup(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	c.Read(fd, buf)
+	n, _ := c.Read(dup, buf)
+	if string(buf[:n]) != "def" {
+		t.Fatalf("dup offset not shared: %q", buf[:n])
+	}
+	if c.Getcwd() != "/w" {
+		t.Fatalf("cwd = %q", c.Getcwd())
+	}
+}
+
+func TestRamfsDirCriticalSerializesInVirtualTime(t *testing.T) {
+	fs := newFS(t)
+	a := fs.NewClient(0)
+	b := fs.NewClient(1)
+	// Two clients create files in the same directory: the per-directory
+	// lock serializes them in virtual time even though they run
+	// concurrently.
+	a.Mkdir("/contend", fsapi.MkdirOpt{})
+	for i := 0; i < 50; i++ {
+		fd, err := a.Open(fmt.Sprintf("/contend/a%d", i), fsapi.OCreate, fsapi.Mode644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Close(fd)
+		fd, err = b.Open(fmt.Sprintf("/contend/b%d", i), fsapi.OCreate, fsapi.Mode644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Close(fd)
+	}
+	lockCost := fs.machine.Cost.RamfsLockOp
+	minSerial := sim.Cycles(100) * lockCost
+	if a.Clock() < minSerial/2 && b.Clock() < minSerial/2 {
+		t.Fatalf("directory lock contention not reflected in virtual time (a=%d b=%d)", a.Clock(), b.Clock())
+	}
+}
+
+func TestRamfsWriteExtendsAndPreadPwrite(t *testing.T) {
+	fs := newFS(t)
+	c := fs.NewClient(0)
+	fd, _ := c.Open("/data", fsapi.OCreate|fsapi.ORdWr, fsapi.Mode644)
+	if _, err := c.Pwrite(fd, []byte("tail"), 100); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := c.Fstat(fd)
+	if st.Size != 104 {
+		t.Fatalf("sparse write size = %d", st.Size)
+	}
+	buf := make([]byte, 4)
+	if n, err := c.Pread(fd, buf, 100); err != nil || !bytes.Equal(buf[:n], []byte("tail")) {
+		t.Fatalf("pread %q %v", buf[:n], err)
+	}
+	// The hole reads as zeros.
+	if n, _ := c.Pread(fd, buf, 50); n != 4 || !bytes.Equal(buf, []byte{0, 0, 0, 0}) {
+		t.Fatalf("hole read %v", buf)
+	}
+}

@@ -1,0 +1,177 @@
+package unfs
+
+import (
+	"testing"
+
+	"repro/internal/fsapi"
+	"repro/internal/sim"
+)
+
+func newSystem(t *testing.T) *System {
+	t.Helper()
+	return New(sim.NewMachine(sim.TopologyForCores(2), sim.DefaultCostModel()))
+}
+
+func TestUnfsBasicOperations(t *testing.T) {
+	sys := newSystem(t)
+	c := sys.NewClient(0)
+
+	if err := c.Mkdir("/d", fsapi.MkdirOpt{}); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := c.Open("/d/f", fsapi.OCreate|fsapi.ORdWr, fsapi.Mode644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Write(fd, []byte("over the loopback")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Seek(fd, 0, fsapi.SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	n, err := c.Read(fd, buf)
+	if err != nil || string(buf[:n]) != "over the loopback" {
+		t.Fatalf("read %q %v", buf[:n], err)
+	}
+	if err := c.Fsync(fd); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Ftruncate(fd, 4); err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := c.Fstat(fd); st.Size != 4 {
+		t.Fatalf("size %d", st.Size)
+	}
+	if err := c.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := c.ReadDir("/d")
+	if err != nil || len(ents) != 1 {
+		t.Fatalf("readdir %v %v", ents, err)
+	}
+	if err := c.Rename("/d/f", "/d/g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Unlink("/d/g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Rmdir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat("/d"); !fsapi.IsErrno(err, fsapi.ENOENT) {
+		t.Fatalf("stat removed dir: %v", err)
+	}
+}
+
+func TestUnfsChargesLoopbackCosts(t *testing.T) {
+	sys := newSystem(t)
+	c := sys.NewClient(0)
+	before := c.Clock()
+	fd, err := c.Open("/x", fsapi.OCreate, fsapi.Mode644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close(fd)
+	elapsed := c.Clock() - before
+	min := 2 * sys.machine.Cost.LoopbackRPC // open + close both cross the loopback
+	if elapsed < min {
+		t.Fatalf("two NFS RPCs cost %d cycles, expected at least %d", elapsed, min)
+	}
+}
+
+func TestUnfsServerSerializesClients(t *testing.T) {
+	sys := newSystem(t)
+	a := sys.NewClient(0)
+	b := sys.NewClient(1)
+	const ops = 20
+	for i := 0; i < ops; i++ {
+		fd, err := a.Open("/a", fsapi.OCreate, fsapi.Mode644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a.Close(fd)
+		fd, err = b.Open("/b", fsapi.OCreate, fsapi.Mode644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Close(fd)
+	}
+	// The single server's service time for all 4*ops RPCs must show up in
+	// at least one client's clock (they cannot both finish as if they had
+	// private servers).
+	serial := sim.Cycles(4*ops) * sys.machine.Cost.UnfsServeOp
+	if a.Clock()+b.Clock() < serial {
+		t.Fatalf("server serialization missing: a=%d b=%d serial=%d", a.Clock(), b.Clock(), serial)
+	}
+}
+
+func TestUnfsForkSharesLocalKernelState(t *testing.T) {
+	sys := newSystem(t)
+	parent := sys.NewClient(0)
+	// Processes forked on one machine share descriptors through the local
+	// kernel even when the file system is NFS; it is sharing between
+	// different NFS clients that is impossible (§2.2). Pipes created by
+	// the parent must therefore work in the forked child.
+	r, w, err := parent.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	childFS, err := parent.CloneForFork(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := childFS.(*Client)
+	if _, err := parent.Write(w, []byte("token")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	n, err := child.Read(r, buf)
+	if err != nil || string(buf[:n]) != "token" {
+		t.Fatalf("child pipe read %q %v", buf[:n], err)
+	}
+	child.CloseAll()
+	parent.CloseAll()
+}
+
+func TestUnfsPipesAreLocal(t *testing.T) {
+	sys := newSystem(t)
+	c := sys.NewClient(0)
+	r, w, err := c.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := c.Clock()
+	if _, err := c.Write(w, []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 8)
+	if n, _ := c.Read(r, buf); string(buf[:n]) != "ping" {
+		t.Fatalf("pipe read %q", buf[:n])
+	}
+	// Pipe traffic stays in the local kernel: far cheaper than a loopback
+	// RPC.
+	if c.Clock()-before >= sys.machine.Cost.LoopbackRPC {
+		t.Fatal("pipe I/O was charged NFS loopback costs")
+	}
+	c.CloseAll()
+}
+
+func TestUnfsClockHelpers(t *testing.T) {
+	sys := newSystem(t)
+	c := sys.NewClient(1)
+	if c.Core() != 1 {
+		t.Fatal("core accessor wrong")
+	}
+	c.AdvanceClock(1000)
+	if c.Clock() != 1000 {
+		t.Fatal("AdvanceClock failed")
+	}
+	c.Compute(500)
+	if c.Clock() != 1500 {
+		t.Fatalf("Compute: clock=%d", c.Clock())
+	}
+	if sys.Machine() == nil {
+		t.Fatal("Machine accessor nil")
+	}
+}

@@ -1,0 +1,147 @@
+// Package bench is the experiment harness: it builds file system backends
+// (Hare in its various configurations, the Linux ramfs baseline, and the
+// user-space NFS baseline), runs the paper's benchmark suite against them in
+// virtual time, and regenerates every table and figure of the evaluation
+// section (§5).
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/baseline/ramfs"
+	"repro/internal/baseline/unfs"
+	"repro/internal/core"
+	"repro/internal/fsapi"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Backend is one running file system deployment that workloads can run on.
+type Backend struct {
+	Name  string
+	Procs sched.System
+	Cores []int
+	// Now returns the deployment's completion-time watermark (the latest
+	// virtual time at which any process has exited).
+	Now func() sim.Cycles
+	// Seconds converts cycles to seconds under the deployment's cost model.
+	Seconds func(sim.Cycles) float64
+	// Close shuts the deployment down.
+	Close func()
+}
+
+// Factory builds a fresh backend for a single measurement, using the given
+// exec placement policy (the paper selects the policy per benchmark).
+type Factory func(placement sched.Policy) (*Backend, error)
+
+// HareOptions selects a Hare deployment shape.
+type HareOptions struct {
+	Cores      int
+	Servers    int  // 0 means one server per core
+	Timeshare  bool // servers share cores with applications
+	Techniques core.Techniques
+	Seed       uint64
+}
+
+// DefaultHare returns the standard Hare deployment used throughout the
+// evaluation: n cores, timesharing, every technique enabled.
+func DefaultHare(cores int) HareOptions {
+	return HareOptions{Cores: cores, Servers: cores, Timeshare: true, Techniques: core.AllTechniques()}
+}
+
+// HareFactory returns a Factory that builds Hare deployments with the given
+// options.
+func HareFactory(opts HareOptions) Factory {
+	return func(placement sched.Policy) (*Backend, error) {
+		cfg := core.Config{
+			Cores:           opts.Cores,
+			Servers:         opts.Servers,
+			Timeshare:       opts.Timeshare,
+			Techniques:      opts.Techniques,
+			Placement:       placement,
+			Seed:            opts.Seed,
+			RootDistributed: false,
+		}
+		if cfg.Servers == 0 {
+			cfg.Servers = cfg.Cores
+		}
+		sys, err := core.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: building hare backend: %w", err)
+		}
+		sys.Start()
+		name := fmt.Sprintf("hare(%dc/%ds", cfg.Cores, cfg.Servers)
+		if cfg.Timeshare {
+			name += ",timeshare)"
+		} else {
+			name += ",split)"
+		}
+		return &Backend{
+			Name:    name,
+			Procs:   sys.Procs(),
+			Cores:   sys.AppCores(),
+			Now:     sys.Procs().MaxEndTime,
+			Seconds: sys.Seconds,
+			Close:   sys.Stop,
+		}, nil
+	}
+}
+
+// RamfsFactory returns a Factory for the cache-coherent shared-memory
+// baseline ("linux ramfs" in Figure 8, "linux" in Figure 15).
+func RamfsFactory(cores int) Factory {
+	return func(placement sched.Policy) (*Backend, error) {
+		machine := sim.NewMachine(sim.TopologyForCores(cores), sim.DefaultCostModel())
+		fs := ramfs.New(machine)
+		appCores := make([]int, cores)
+		for i := range appCores {
+			appCores[i] = i
+		}
+		procs := sched.NewSMPSystem(sched.SMPConfig{
+			Machine:  machine,
+			AppCores: appCores,
+			Policy:   placement,
+			NewClient: func(c int) fsapi.Client {
+				return fs.NewClient(c)
+			},
+		})
+		return &Backend{
+			Name:    fmt.Sprintf("linux-ramfs(%dc)", cores),
+			Procs:   procs,
+			Cores:   appCores,
+			Now:     procs.MaxEndTime,
+			Seconds: machine.Cost.Seconds,
+			Close:   func() {},
+		}, nil
+	}
+}
+
+// UnfsFactory returns a Factory for the user-space NFS baseline (UNFS3 in
+// Figure 8). The server is a single user-space process; clients reach it
+// through the loopback interface and cannot share file descriptors.
+func UnfsFactory(cores int) Factory {
+	return func(placement sched.Policy) (*Backend, error) {
+		machine := sim.NewMachine(sim.TopologyForCores(cores), sim.DefaultCostModel())
+		sys := unfs.New(machine)
+		appCores := make([]int, cores)
+		for i := range appCores {
+			appCores[i] = i
+		}
+		procs := sched.NewSMPSystem(sched.SMPConfig{
+			Machine:  machine,
+			AppCores: appCores,
+			Policy:   placement,
+			NewClient: func(c int) fsapi.Client {
+				return sys.NewClient(c)
+			},
+		})
+		return &Backend{
+			Name:    fmt.Sprintf("linux-unfs(%dc)", cores),
+			Procs:   procs,
+			Cores:   appCores,
+			Now:     procs.MaxEndTime,
+			Seconds: machine.Cost.Seconds,
+			Close:   func() {},
+		}, nil
+	}
+}

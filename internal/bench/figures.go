@@ -1,0 +1,377 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// Default experiment parameters. The paper's machine has 40 cores; its
+// scalability figure samples a handful of core counts.
+var (
+	// DefaultCoreCounts are the core counts used for the scalability
+	// experiment (Figure 6).
+	DefaultCoreCounts = []int{1, 2, 5, 10, 20, 40}
+	// DefaultSplitCandidates are the server counts swept to find the best
+	// split configuration at 40 cores (Figure 7).
+	DefaultSplitCandidates = []int{4, 8, 12, 16, 20, 28, 32}
+	// MaxCores is the size of the evaluation machine.
+	MaxCores = 40
+)
+
+// Figure5 regenerates the operation-breakdown table (paper Figure 5): the
+// share of each POSIX operation class issued by every benchmark.
+func Figure5(scale float64) (*Table, error) {
+	f := HareFactory(DefaultHare(8))
+	classes := workload.OpClasses()
+	t := &Table{
+		Title:   "Figure 5: Operation breakdown per benchmark (share of POSIX calls)",
+		Columns: append([]string{"benchmark", "total ops"}, classNames(classes)...),
+		Note:    "Counted with the operation counter wrapped around every process's client; compare against the paper's Figure 5 stacked bars.",
+	}
+	for _, w := range workload.All() {
+		r, err := RunWorkload(f, w, scale)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{r.Benchmark, fmt.Sprintf("%d", r.OpTotal)}
+		for _, c := range classes {
+			row = append(row, pct(r.OpMix[c]))
+		}
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+func classNames(classes []workload.OpClass) []string {
+	out := make([]string, len(classes))
+	for i, c := range classes {
+		out[i] = c.String()
+	}
+	return out
+}
+
+// ScalabilityData holds the Figure 6 measurements: per-benchmark speedups
+// relative to a single core, at each core count.
+type ScalabilityData struct {
+	CoreCounts []int
+	// Speedup[benchmark][i] is the speedup at CoreCounts[i] over one core.
+	Speedup map[string][]float64
+	// Seconds[benchmark][i] is the absolute virtual runtime.
+	Seconds map[string][]float64
+}
+
+// Figure6 regenerates the Hare scalability figure (paper Figure 6): speedup
+// of every benchmark as cores (and servers) are added, relative to one core,
+// in the timesharing configuration.
+func Figure6(scale float64, coreCounts []int, ws []workload.Workload) (*ScalabilityData, *Table, error) {
+	if len(coreCounts) == 0 {
+		coreCounts = DefaultCoreCounts
+	}
+	if ws == nil {
+		ws = workload.All()
+	}
+	data := &ScalabilityData{
+		CoreCounts: coreCounts,
+		Speedup:    make(map[string][]float64),
+		Seconds:    make(map[string][]float64),
+	}
+	for _, w := range ws {
+		var base Result
+		for i, cores := range coreCounts {
+			r, err := RunWorkload(HareFactory(DefaultHare(cores)), w, scale)
+			if err != nil {
+				return nil, nil, err
+			}
+			if i == 0 {
+				base = r
+			}
+			data.Speedup[w.Name()] = append(data.Speedup[w.Name()], Speedup(base, r))
+			data.Seconds[w.Name()] = append(data.Seconds[w.Name()], r.Seconds)
+		}
+	}
+	t := &Table{
+		Title:   "Figure 6: Speedup on Hare (timeshare) relative to one core",
+		Columns: append([]string{"benchmark"}, coreLabels(coreCounts)...),
+		Note:    "Each column is throughput at that core count divided by single-core throughput.",
+	}
+	for _, w := range ws {
+		row := []string{w.Name()}
+		for _, s := range data.Speedup[w.Name()] {
+			row = append(row, f2(s))
+		}
+		t.AddRow(row...)
+	}
+	return data, t, nil
+}
+
+func coreLabels(coreCounts []int) []string {
+	out := make([]string, len(coreCounts))
+	for i, c := range coreCounts {
+		out[i] = fmt.Sprintf("%d cores", c)
+	}
+	return out
+}
+
+// Figure7 regenerates the split-vs-timeshare comparison (paper Figure 7):
+// throughput of the 20/20 split and of the best split, normalized to the
+// timesharing configuration on the full machine.
+func Figure7(scale float64, cores int, candidates []int, ws []workload.Workload) (*Table, error) {
+	if cores == 0 {
+		cores = MaxCores
+	}
+	if len(candidates) == 0 {
+		candidates = DefaultSplitCandidates
+	}
+	if ws == nil {
+		ws = workload.All()
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 7: Split vs timeshare configurations at %d cores (normalized to timeshare)", cores),
+		Columns: []string{"benchmark", "timeshare", fmt.Sprintf("%d/%d split", cores/2, cores/2), "best split", "best #servers"},
+		Note:    "The best split sweeps the number of dedicated file-server cores; the optimum is workload dependent (paper §5.3.2).",
+	}
+	for _, w := range ws {
+		ts, err := RunWorkload(HareFactory(DefaultHare(cores)), w, scale)
+		if err != nil {
+			return nil, err
+		}
+		half, err := RunWorkload(HareFactory(HareOptions{
+			Cores: cores, Servers: cores / 2, Timeshare: false, Techniques: core.AllTechniques(),
+		}), w, scale)
+		if err != nil {
+			return nil, err
+		}
+		bestRatio, bestServers := 0.0, 0
+		for _, nsrv := range candidates {
+			if nsrv >= cores {
+				continue
+			}
+			r, err := RunWorkload(HareFactory(HareOptions{
+				Cores: cores, Servers: nsrv, Timeshare: false, Techniques: core.AllTechniques(),
+			}), w, scale)
+			if err != nil {
+				return nil, err
+			}
+			ratio := Speedup(ts, r)
+			if ratio > bestRatio {
+				bestRatio, bestServers = ratio, nsrv
+			}
+		}
+		// Timesharing itself is also a candidate for "best".
+		if bestRatio < 1.0 {
+			bestRatio, bestServers = 1.0, cores
+		}
+		t.AddRow(w.Name(), f2(1.0), f2(Speedup(ts, half)), f2(bestRatio), fmt.Sprintf("%d", bestServers))
+	}
+	return t, nil
+}
+
+// Figure8 regenerates the single-core comparison (paper Figure 8):
+// throughput of Hare in a 2-core split configuration, Linux ramfs, and the
+// user-space NFS server, normalized to Hare's single-core timesharing
+// configuration.
+func Figure8(scale float64, ws []workload.Workload) (*Table, error) {
+	if ws == nil {
+		ws = workload.All()
+	}
+	t := &Table{
+		Title:   "Figure 8: Single-core throughput normalized to Hare (timeshare)",
+		Columns: []string{"benchmark", "hare timeshare", "hare 2-core", "linux ramfs", "linux unfs", "hare runtime (ms)"},
+		Note:    "hare 2-core dedicates one core to the file server; ramfs requires cache coherence and is shown for reference (paper §5.3.3).",
+	}
+	backends := []struct {
+		name string
+		f    Factory
+	}{
+		{"hare timeshare", HareFactory(DefaultHare(1))},
+		{"hare 2-core", HareFactory(HareOptions{Cores: 2, Servers: 1, Timeshare: false, Techniques: core.AllTechniques()})},
+		{"linux ramfs", RamfsFactory(1)},
+		{"linux unfs", UnfsFactory(1)},
+	}
+	for _, w := range ws {
+		var base Result
+		row := []string{w.Name()}
+		var runtimes []float64
+		for i, be := range backends {
+			r, err := RunWorkload(be.f, w, scale)
+			if err != nil {
+				return nil, err
+			}
+			if i == 0 {
+				base = r
+			}
+			row = append(row, f2(Speedup(base, r)))
+			runtimes = append(runtimes, r.Seconds)
+		}
+		row = append(row, f2(runtimes[0]*1000))
+		t.AddRow(row...)
+	}
+	return t, nil
+}
+
+// Technique identifies one of the five ablated techniques (Figures 9-14).
+type Technique struct {
+	Name    string
+	Figure  int
+	Disable func(*core.Techniques)
+}
+
+// Techniques lists the five ablations in paper order.
+func Techniques() []Technique {
+	return []Technique{
+		{"Directory distribution", 10, func(t *core.Techniques) { t.DirectoryDistribution = false }},
+		{"Directory broadcast", 11, func(t *core.Techniques) { t.DirectoryBroadcast = false }},
+		{"Direct cache access", 12, func(t *core.Techniques) { t.DirectAccess = false }},
+		{"Directory cache", 13, func(t *core.Techniques) { t.DirectoryCache = false }},
+		{"Creation affinity", 14, func(t *core.Techniques) { t.CreationAffinity = false }},
+	}
+}
+
+// TechniqueData holds the per-benchmark speedups attributable to each
+// technique: throughput with everything enabled divided by throughput with
+// that single technique disabled.
+type TechniqueData struct {
+	Cores int
+	// Ratio[technique][benchmark]
+	Ratio map[string]map[string]float64
+}
+
+// AblateTechniques measures every technique's contribution at the given core
+// count (the paper uses the full 40-core timesharing configuration). It
+// returns the raw data plus one table per technique (Figures 10-14) and the
+// summary table (Figure 9).
+func AblateTechniques(scale float64, cores int, ws []workload.Workload) (*TechniqueData, []*Table, *Table, error) {
+	if cores == 0 {
+		cores = MaxCores
+	}
+	if ws == nil {
+		ws = workload.All()
+	}
+	data := &TechniqueData{Cores: cores, Ratio: make(map[string]map[string]float64)}
+
+	// Baseline: every technique enabled.
+	baseline := make(map[string]Result)
+	for _, w := range ws {
+		r, err := RunWorkload(HareFactory(DefaultHare(cores)), w, scale)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		baseline[w.Name()] = r
+	}
+
+	var figures []*Table
+	summary := &Table{
+		Title:   fmt.Sprintf("Figure 9: Relative performance improvement from each technique (%d cores)", cores),
+		Columns: []string{"technique", "min", "avg", "median", "max"},
+		Note:    "Each cell is throughput with all techniques enabled divided by throughput with that technique disabled, over all benchmarks.",
+	}
+	for _, tech := range Techniques() {
+		data.Ratio[tech.Name] = make(map[string]float64)
+		opts := DefaultHare(cores)
+		tech.Disable(&opts.Techniques)
+		ft := &Table{
+			Title:   fmt.Sprintf("Figure %d: Throughput with %s (normalized to without)", tech.Figure, tech.Name),
+			Columns: []string{"benchmark", "speedup from technique"},
+		}
+		var ratios []float64
+		for _, w := range ws {
+			disabled, err := RunWorkload(HareFactory(opts), w, scale)
+			if err != nil {
+				return nil, nil, nil, err
+			}
+			ratio := Speedup(disabled, baseline[w.Name()])
+			data.Ratio[tech.Name][w.Name()] = ratio
+			ratios = append(ratios, ratio)
+			ft.AddRow(w.Name(), f2(ratio))
+		}
+		figures = append(figures, ft)
+		s := stats.Summarize(ratios)
+		summary.AddRow(tech.Name, f2(s.Min), f2(s.Avg), f2(s.Median), f2(s.Max))
+	}
+	return data, figures, summary, nil
+}
+
+// AblateTechnique measures a single technique's contribution (one of the
+// Figures 10-14) without re-running the other four ablations: it needs only
+// one baseline pass plus one pass with the named technique disabled.
+func AblateTechnique(scale float64, cores int, ws []workload.Workload, name string) (*Table, map[string]float64, error) {
+	if cores == 0 {
+		cores = MaxCores
+	}
+	if ws == nil {
+		ws = workload.All()
+	}
+	var tech *Technique
+	for _, t := range Techniques() {
+		if t.Name == name {
+			tt := t
+			tech = &tt
+			break
+		}
+	}
+	if tech == nil {
+		return nil, nil, fmt.Errorf("bench: unknown technique %q", name)
+	}
+	opts := DefaultHare(cores)
+	tech.Disable(&opts.Techniques)
+	table := &Table{
+		Title:   fmt.Sprintf("Figure %d: Throughput with %s (normalized to without)", tech.Figure, tech.Name),
+		Columns: []string{"benchmark", "speedup from technique"},
+	}
+	ratios := make(map[string]float64, len(ws))
+	for _, w := range ws {
+		baseline, err := RunWorkload(HareFactory(DefaultHare(cores)), w, scale)
+		if err != nil {
+			return nil, nil, err
+		}
+		disabled, err := RunWorkload(HareFactory(opts), w, scale)
+		if err != nil {
+			return nil, nil, err
+		}
+		ratio := Speedup(disabled, baseline)
+		ratios[w.Name()] = ratio
+		table.AddRow(w.Name(), f2(ratio))
+	}
+	return table, ratios, nil
+}
+
+// Figure15 regenerates the Hare-vs-Linux 40-core comparison (paper Figure
+// 15): for each parallel benchmark, the speedup of 40 cores over 1 core on
+// Hare (timesharing) and on the shared-memory Linux baseline, plus the
+// absolute 40-core runtime.
+func Figure15(scale float64, cores int, ws []workload.Workload) (*Table, error) {
+	if cores == 0 {
+		cores = MaxCores
+	}
+	if ws == nil {
+		ws = workload.ParallelBenchmarks()
+	}
+	t := &Table{
+		Title:   fmt.Sprintf("Figure 15: Speedup at %d cores (relative to 1 core on the same system)", cores),
+		Columns: []string{"benchmark", "hare speedup", "linux speedup", "hare time (s)", "linux time (s)"},
+		Note:    "Linux is the coherent shared-memory ramfs baseline, which cannot run on a non-cache-coherent machine.",
+	}
+	for _, w := range ws {
+		h1, err := RunWorkload(HareFactory(DefaultHare(1)), w, scale)
+		if err != nil {
+			return nil, err
+		}
+		hN, err := RunWorkload(HareFactory(DefaultHare(cores)), w, scale)
+		if err != nil {
+			return nil, err
+		}
+		l1, err := RunWorkload(RamfsFactory(1), w, scale)
+		if err != nil {
+			return nil, err
+		}
+		lN, err := RunWorkload(RamfsFactory(cores), w, scale)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(w.Name(), f1(Speedup(h1, hN)), f1(Speedup(l1, lN)), f2(hN.Seconds), f2(lN.Seconds))
+	}
+	return t, nil
+}

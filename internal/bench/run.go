@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Result is one benchmark measurement on one backend.
+type Result struct {
+	Benchmark string
+	Backend   string
+	Ops       int
+	Elapsed   sim.Cycles
+	Seconds   float64
+	// Throughput is operations per (virtual) second.
+	Throughput float64
+	// OpMix is the share of each operation class issued during the timed
+	// region (used for Figure 5).
+	OpMix map[workload.OpClass]float64
+	// OpTotal is the total number of POSIX calls observed by the counter.
+	OpTotal uint64
+}
+
+// RunWorkload builds a fresh backend from the factory, runs the workload's
+// setup phase, then measures the timed region in virtual time.
+func RunWorkload(f Factory, w workload.Workload, scale float64) (Result, error) {
+	b, err := f(w.Placement())
+	if err != nil {
+		return Result{}, err
+	}
+	defer b.Close()
+
+	counter := workload.NewOpCounter()
+	env := &workload.Env{Procs: b.Procs, Cores: b.Cores, Counter: counter, Scale: scale}
+	if err := w.Setup(env); err != nil {
+		return Result{}, fmt.Errorf("bench: %s setup on %s: %w", w.Name(), b.Name, err)
+	}
+	start := b.Now()
+	counter.Reset()
+	ops, err := w.Run(env)
+	if err != nil {
+		return Result{}, fmt.Errorf("bench: %s run on %s: %w", w.Name(), b.Name, err)
+	}
+	end := b.Now()
+	elapsed := end - start
+	if elapsed == 0 {
+		elapsed = 1
+	}
+	secs := b.Seconds(elapsed)
+	if ops <= 0 {
+		ops = int(counter.Total())
+	}
+	return Result{
+		Benchmark:  w.Name(),
+		Backend:    b.Name,
+		Ops:        ops,
+		Elapsed:    elapsed,
+		Seconds:    secs,
+		Throughput: float64(ops) / secs,
+		OpMix:      counter.Breakdown(),
+		OpTotal:    counter.Total(),
+	}, nil
+}
+
+// RunSuite runs every provided workload on backends built by the factory and
+// returns the results keyed by benchmark name.
+func RunSuite(f Factory, ws []workload.Workload, scale float64) (map[string]Result, error) {
+	out := make(map[string]Result, len(ws))
+	for _, w := range ws {
+		r, err := RunWorkload(f, w, scale)
+		if err != nil {
+			return nil, err
+		}
+		out[w.Name()] = r
+	}
+	return out, nil
+}
+
+// Speedup is a convenience: the ratio of two throughputs (or equivalently
+// inverse runtimes for the same amount of work).
+func Speedup(base, other Result) float64 {
+	if base.Throughput == 0 {
+		return 0
+	}
+	return other.Throughput / base.Throughput
+}

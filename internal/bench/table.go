@@ -1,0 +1,90 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a rendered experiment result: a titled grid of strings plus an
+// optional note. Every figure/table generator returns one (in addition to
+// its raw data), and cmd/hare-bench simply prints them.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Note    string
+}
+
+// AddRow appends a row of already-formatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render formats the table with aligned columns.
+func (t *Table) Render() string {
+	var b strings.Builder
+	b.WriteString(t.Title)
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("=", len(t.Title)))
+	b.WriteString("\n")
+
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			if i < len(widths) {
+				b.WriteString(pad(cell, widths[i], i != 0))
+			} else {
+				b.WriteString(cell)
+			}
+		}
+		b.WriteString("\n")
+	}
+	writeRow(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	if t.Note != "" {
+		b.WriteString("\n")
+		b.WriteString(t.Note)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// pad left- or right-aligns a cell to the given width.
+func pad(s string, width int, rightAlign bool) string {
+	if len(s) >= width {
+		return s
+	}
+	fill := strings.Repeat(" ", width-len(s))
+	if rightAlign {
+		return fill + s
+	}
+	return s + fill
+}
+
+// f2 formats a float with two decimals; f1 with one.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// pct formats a ratio as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.0f%%", v*100) }

@@ -1,0 +1,424 @@
+// Package client implements the Hare client library.
+//
+// Every simulated process owns a client library instance. The library
+// implements the POSIX-like fsapi.Client interface by combining direct
+// access to the shared buffer cache (through the core's non-coherent private
+// cache) with RPCs to the Hare file servers. It maintains the directory
+// lookup cache, tracks local vs shared file-descriptor state, coordinates
+// multi-server operations such as rename and the three-phase rmdir protocol,
+// and applies the paper's optimizations (directory broadcast, message
+// coalescing, creation affinity).
+package client
+
+import (
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/fsapi"
+	"repro/internal/msg"
+	"repro/internal/ncc"
+	"repro/internal/proto"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// Options toggles the individual techniques evaluated in §5.4. All default
+// to enabled in a standard Hare configuration.
+type Options struct {
+	DirDistribution  bool // honor the per-directory distribution flag (§3.3)
+	DirCache         bool // directory lookup cache with invalidations (§3.6.1)
+	DirBroadcast     bool // parallel fan-out for readdir/rmdir (§3.6.2)
+	DirectAccess     bool // client reads/writes the buffer cache directly (§3.2)
+	CreationAffinity bool // NUMA-aware inode placement (§3.6.4)
+}
+
+// DefaultOptions enables every technique.
+func DefaultOptions() Options {
+	return Options{DirDistribution: true, DirCache: true, DirBroadcast: true, DirectAccess: true, CreationAffinity: true}
+}
+
+// Config wires a client library into a Hare deployment.
+type Config struct {
+	ID   int32
+	Core int
+
+	Machine  *sim.Machine
+	Network  *msg.Network
+	DRAM     *ncc.DRAM
+	Cache    *ncc.PrivateCache
+	Registry *server.ClientRegistry
+
+	// Servers maps server index to network endpoint; ServerCores gives the
+	// core each server is pinned to (used by creation affinity).
+	Servers     []msg.EndpointID
+	ServerCores []int
+
+	Root     proto.InodeID
+	RootDist bool
+
+	Options Options
+
+	// IDs allocates client ids for forked/exec'd processes; CacheForCore
+	// returns the private cache of a given core (needed when a child lands
+	// on a different core than its parent).
+	IDs          *IDAllocator
+	CacheForCore func(core int) *ncc.PrivateCache
+}
+
+// Stats counts client-side activity.
+type Stats struct {
+	RPCs           uint64
+	DirCacheHits   uint64
+	DirCacheMisses uint64
+	Invalidations  uint64
+}
+
+// Client is one Hare client library instance. It is not safe for concurrent
+// use: each simulated process drives its own Client from a single goroutine.
+type Client struct {
+	cfg   Config
+	ep    *msg.Endpoint
+	clock sim.Clock
+
+	fds    map[fsapi.FD]*openFile
+	nextFD fsapi.FD
+	cwd    string
+
+	dcache map[dcacheKey]dcacheEnt
+
+	localServer int // designated nearby server for creation affinity
+
+	stats struct {
+		rpcs      atomic.Uint64
+		dcHits    atomic.Uint64
+		dcMisses  atomic.Uint64
+		invals    atomic.Uint64
+		syscalls  atomic.Uint64
+		wbBlocks  atomic.Uint64
+		invBlocks atomic.Uint64
+	}
+}
+
+// openFile is a process-local open file description. Several descriptors
+// (via dup) may reference the same description.
+type openFile struct {
+	ino   proto.InodeID
+	ftype fsapi.FileType
+	flags int
+
+	// Local state: used while the descriptor is not shared with another
+	// process. The offset, size and block list live here and reads/writes
+	// access the buffer cache directly.
+	offset int64
+	size   int64
+	blocks []ncc.BlockID
+	dirty  map[ncc.BlockID]struct{}
+	wrote  bool
+
+	// Shared state: the offset has migrated to the file server and every
+	// read/write/seek is an RPC (§3.4).
+	srvFd proto.FdID
+
+	// Pipe state.
+	pipe      bool
+	pipeWrite bool
+
+	localRefs int // dup'd descriptors in this process
+}
+
+// New creates a client library instance, registering its callback endpoint
+// with the servers' client registry.
+func New(cfg Config) *Client {
+	c := &Client{
+		cfg:    cfg,
+		ep:     cfg.Network.NewEndpoint(cfg.Core),
+		fds:    make(map[fsapi.FD]*openFile),
+		nextFD: 3, // 0-2 reserved for stdio by convention
+		cwd:    "/",
+		dcache: make(map[dcacheKey]dcacheEnt),
+	}
+	cfg.Registry.Register(cfg.ID, c.ep.ID)
+	c.localServer = c.pickLocalServer()
+	return c
+}
+
+// ID returns the client library id.
+func (c *Client) ID() int32 { return c.cfg.ID }
+
+// Core returns the core this client is pinned to.
+func (c *Client) Core() int { return c.cfg.Core }
+
+// Clock returns the client's current virtual time.
+func (c *Client) Clock() sim.Cycles { return c.clock.Now() }
+
+// AdvanceClock moves the client's virtual clock to at least t. The process
+// and scheduling layers use it to model time spent outside the file system
+// (CPU work, inherited start times).
+func (c *Client) AdvanceClock(t sim.Cycles) { c.clock.AdvanceTo(t) }
+
+// Compute charges d cycles of application CPU work on the client's core.
+func (c *Client) Compute(d sim.Cycles) {
+	end := c.cfg.Machine.Execute(c.cfg.Core, c.clock.Now(), d)
+	c.clock.AdvanceTo(end)
+}
+
+// Stats returns a snapshot of client counters.
+func (c *Client) Stats() Stats {
+	return Stats{
+		RPCs:           c.stats.rpcs.Load(),
+		DirCacheHits:   c.stats.dcHits.Load(),
+		DirCacheMisses: c.stats.dcMisses.Load(),
+		Invalidations:  c.stats.invals.Load(),
+	}
+}
+
+// Options returns the technique configuration this client runs with.
+func (c *Client) Options() Options { return c.cfg.Options }
+
+// pickLocalServer chooses the designated nearby server used by creation
+// affinity. Clients on the same socket spread across that socket's servers
+// so they do not all hammer one server.
+func (c *Client) pickLocalServer() int {
+	if len(c.cfg.Servers) == 0 {
+		return 0
+	}
+	topo := c.cfg.Machine.Topo
+	mySocket := topo.Socket(c.cfg.Core)
+	var near []int
+	for i, score := range c.cfg.ServerCores {
+		if topo.Socket(score) == mySocket {
+			near = append(near, i)
+		}
+	}
+	if len(near) == 0 {
+		return int(c.cfg.ID) % len(c.cfg.Servers)
+	}
+	return near[int(c.cfg.ID)%len(near)]
+}
+
+// charge accounts for client-library CPU time on this core.
+func (c *Client) charge(d sim.Cycles) {
+	end := c.cfg.Machine.Execute(c.cfg.Core, c.clock.Now(), d)
+	c.clock.AdvanceTo(end)
+}
+
+// syscall charges the fixed per-system-call client library overhead.
+func (c *Client) syscall() {
+	c.stats.syscalls.Add(1)
+	c.charge(c.cfg.Machine.Cost.ClientSyscall)
+}
+
+// rpc performs one synchronous RPC to the given server index and returns the
+// decoded response. Virtual time: marshal+send cost before, propagation
+// handled by the network, receive cost after.
+//
+// After each exchange the goroutine yields to the Go scheduler. The accuracy
+// of the virtual-time queueing model depends on the simulated processes
+// staying roughly in (virtual) lockstep; without the yield, the runtime
+// tends to run one client/server ping-pong chain far ahead of the others,
+// which shows up as artificial queueing delay (see DESIGN.md §4).
+func (c *Client) rpc(srv int, req *proto.Request) (*proto.Response, error) {
+	if srv < 0 || srv >= len(c.cfg.Servers) {
+		return nil, fsapi.EIO
+	}
+	req.ClientID = c.cfg.ID
+	payload := req.Marshal()
+	cost := c.cfg.Machine.Cost
+	c.charge(cost.MsgSend)
+	env, err := c.cfg.Network.RPC(c.ep, c.cfg.Servers[srv], proto.KindRequest, payload, c.clock.Now())
+	if err != nil {
+		return nil, fsapi.EIO
+	}
+	c.stats.rpcs.Add(1)
+	c.clock.AdvanceTo(env.ArriveAt)
+	c.charge(cost.MsgRecv)
+	resp, derr := proto.UnmarshalResponse(env.Payload)
+	if derr != nil {
+		return nil, fsapi.EIO
+	}
+	runtime.Gosched()
+	return resp, nil
+}
+
+// RPCTo performs a synchronous RPC to an arbitrary endpoint (used for
+// scheduling-server requests such as exec), with the same virtual-time
+// accounting as file-server RPCs.
+func (c *Client) RPCTo(dst msg.EndpointID, req *proto.Request) (*proto.Response, error) {
+	req.ClientID = c.cfg.ID
+	payload := req.Marshal()
+	cost := c.cfg.Machine.Cost
+	c.charge(cost.MsgSend)
+	env, err := c.cfg.Network.RPC(c.ep, dst, proto.KindRequest, payload, c.clock.Now())
+	if err != nil {
+		return nil, fsapi.EIO
+	}
+	c.stats.rpcs.Add(1)
+	c.clock.AdvanceTo(env.ArriveAt)
+	c.charge(cost.MsgRecv)
+	resp, derr := proto.UnmarshalResponse(env.Payload)
+	if derr != nil {
+		return nil, fsapi.EIO
+	}
+	if resp.Err != fsapi.OK {
+		return resp, resp.Err
+	}
+	return resp, nil
+}
+
+// rpcOK performs an RPC and converts a non-OK errno into a Go error.
+func (c *Client) rpcOK(srv int, req *proto.Request) (*proto.Response, error) {
+	resp, err := c.rpc(srv, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != fsapi.OK {
+		return resp, resp.Err
+	}
+	return resp, nil
+}
+
+// broadcast sends the same request to the given servers. With the directory
+// broadcast optimization the RPCs overlap; otherwise they run one at a time.
+func (c *Client) broadcast(servers []int, req *proto.Request) ([]*proto.Response, error) {
+	req.ClientID = c.cfg.ID
+	payload := req.Marshal()
+	cost := c.cfg.Machine.Cost
+	dsts := make([]msg.EndpointID, len(servers))
+	for i, s := range servers {
+		if s < 0 || s >= len(c.cfg.Servers) {
+			return nil, fsapi.EIO
+		}
+		dsts[i] = c.cfg.Servers[s]
+	}
+	parallel := c.cfg.Options.DirBroadcast
+	// Charge one send per destination (marshaling/enqueueing is per
+	// message even when the latencies overlap).
+	c.charge(cost.MsgSend * sim.Cycles(len(dsts)))
+	results := c.cfg.Network.Broadcast(c.ep, dsts, proto.KindRequest, payload, c.clock.Now(), parallel)
+	out := make([]*proto.Response, len(results))
+	var latest sim.Cycles
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fsapi.EIO
+		}
+		c.stats.rpcs.Add(1)
+		if r.Env.ArriveAt > latest {
+			latest = r.Env.ArriveAt
+		}
+		resp, derr := proto.UnmarshalResponse(r.Env.Payload)
+		if derr != nil {
+			return nil, fsapi.EIO
+		}
+		out[i] = resp
+	}
+	c.clock.AdvanceTo(latest)
+	c.charge(cost.MsgRecv * sim.Cycles(len(dsts)))
+	return out, nil
+}
+
+// allServers returns the list of all server indices.
+func (c *Client) allServers() []int {
+	out := make([]int, len(c.cfg.Servers))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// entryServer returns the server index storing the directory entry `name` of
+// directory `dir`: the hash server for distributed directories, the
+// directory's home server otherwise.
+func (c *Client) entryServer(dir proto.InodeID, dirDist bool, name string) int {
+	if dirDist && len(c.cfg.Servers) > 1 {
+		return int(proto.Hash(dir, name) % uint64(len(c.cfg.Servers)))
+	}
+	return int(dir.Server)
+}
+
+// chooseInodeServer applies creation affinity: if the entry server is on the
+// client's socket, coalesce by using it; otherwise use the designated nearby
+// server (§3.6.4). With affinity disabled the inode always goes to the entry
+// server, which maximizes message coalescing.
+func (c *Client) chooseInodeServer(entrySrv int) int {
+	if !c.cfg.Options.CreationAffinity {
+		return entrySrv
+	}
+	topo := c.cfg.Machine.Topo
+	if entrySrv < len(c.cfg.ServerCores) &&
+		topo.Socket(c.cfg.ServerCores[entrySrv]) == topo.Socket(c.cfg.Core) {
+		return entrySrv
+	}
+	return c.localServer
+}
+
+// allocFD assigns the next free descriptor number to the open file.
+func (c *Client) allocFD(of *openFile) fsapi.FD {
+	fd := c.nextFD
+	for {
+		if _, used := c.fds[fd]; !used {
+			break
+		}
+		fd++
+	}
+	c.nextFD = fd + 1
+	of.localRefs++
+	c.fds[fd] = of
+	return fd
+}
+
+// getFD looks up an open descriptor.
+func (c *Client) getFD(fd fsapi.FD) (*openFile, error) {
+	of, ok := c.fds[fd]
+	if !ok {
+		return nil, fsapi.EBADF
+	}
+	return of, nil
+}
+
+// Getcwd returns the process working directory.
+func (c *Client) Getcwd() string { return c.cwd }
+
+// Chdir changes the working directory after verifying it is a directory.
+func (c *Client) Chdir(path string) error {
+	c.syscall()
+	abs := c.absPath(path)
+	_, ftype, _, err := c.resolvePath(abs)
+	if err != nil {
+		return err
+	}
+	if ftype != fsapi.TypeDir {
+		return fsapi.ENOTDIR
+	}
+	c.cwd = abs
+	return nil
+}
+
+// Dup duplicates a descriptor; both numbers share the same description (and
+// therefore the same offset).
+func (c *Client) Dup(fd fsapi.FD) (fsapi.FD, error) {
+	c.syscall()
+	of, err := c.getFD(fd)
+	if err != nil {
+		return -1, err
+	}
+	return c.allocFD(of), nil
+}
+
+// OpenFDs returns the currently open descriptor numbers (sorted); used by
+// the process layer when building exec fd tables and by tests.
+func (c *Client) OpenFDs() []fsapi.FD {
+	out := make([]fsapi.FD, 0, len(c.fds))
+	for fd := range c.fds {
+		out = append(out, fd)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CloseAll closes every open descriptor (process exit).
+func (c *Client) CloseAll() {
+	for fd := range c.fds {
+		_ = c.Close(fd)
+	}
+}

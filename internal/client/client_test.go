@@ -1,0 +1,256 @@
+package client_test
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/fsapi"
+	"repro/internal/sched"
+)
+
+// newSystem builds a Hare deployment with the given technique set so the
+// client library's alternate code paths (no directory cache, no direct
+// access, no broadcast, no distribution, no affinity) are exercised for
+// functional correctness, not just performance.
+func newSystem(t *testing.T, techniques core.Techniques) *core.System {
+	t.Helper()
+	sys, err := core.New(core.Config{
+		Cores:            4,
+		Servers:          4,
+		Timeshare:        true,
+		Techniques:       techniques,
+		Placement:        sched.PolicyRoundRobin,
+		BufferCacheBytes: 8 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	t.Cleanup(sys.Stop)
+	return sys
+}
+
+// exerciseFS runs a representative POSIX sequence and checks the results; it
+// is run once per technique configuration.
+func exerciseFS(t *testing.T, sys *core.System) {
+	t.Helper()
+	cli := sys.NewClient(0)
+	other := sys.NewClient(2)
+
+	if err := cli.Mkdir("/app", fsapi.MkdirOpt{Distributed: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Mkdir("/app/logs", fsapi.MkdirOpt{}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Write a multi-block file, read it back from another core.
+	payload := bytes.Repeat([]byte("technique-test "), 600)
+	fd, err := cli.Open("/app/data.bin", fsapi.OCreate|fsapi.OWrOnly, fsapi.Mode644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Write(fd, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	rfd, err := other.Open("/app/data.bin", fsapi.ORdOnly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	if _, err := other.Read(rfd, got); err != nil {
+		t.Fatal(err)
+	}
+	other.Close(rfd)
+	if !bytes.Equal(got, payload) {
+		t.Fatal("cross-core read returned wrong data")
+	}
+
+	// Create several files, list, rename, remove.
+	for i := 0; i < 12; i++ {
+		fd, err := cli.Open(fmt.Sprintf("/app/f%02d", i), fsapi.OCreate, fsapi.Mode644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli.Close(fd)
+	}
+	ents, err := other.ReadDir("/app")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 14 { // 12 files + data.bin + logs
+		t.Fatalf("readdir found %d entries", len(ents))
+	}
+	if err := cli.Rename("/app/f00", "/app/logs/renamed"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.Stat("/app/logs/renamed"); err != nil {
+		t.Fatalf("renamed file not visible from other core: %v", err)
+	}
+	for i := 1; i < 12; i++ {
+		if err := other.Unlink(fmt.Sprintf("/app/f%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cli.Unlink("/app/logs/renamed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Unlink("/app/data.bin"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Rmdir("/app/logs"); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Rmdir("/app"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClientCorrectUnderEveryTechniqueConfiguration(t *testing.T) {
+	configs := map[string]func(*core.Techniques){
+		"all-enabled":     func(*core.Techniques) {},
+		"no-distribution": func(tq *core.Techniques) { tq.DirectoryDistribution = false },
+		"no-broadcast":    func(tq *core.Techniques) { tq.DirectoryBroadcast = false },
+		"no-direct":       func(tq *core.Techniques) { tq.DirectAccess = false },
+		"no-dircache":     func(tq *core.Techniques) { tq.DirectoryCache = false },
+		"no-affinity":     func(tq *core.Techniques) { tq.CreationAffinity = false },
+	}
+	for name, disable := range configs {
+		name, disable := name, disable
+		t.Run(name, func(t *testing.T) {
+			tq := core.AllTechniques()
+			disable(&tq)
+			exerciseFS(t, newSystem(t, tq))
+		})
+	}
+}
+
+func TestDirectoryCacheInvalidationAcrossClients(t *testing.T) {
+	sys := newSystem(t, core.AllTechniques())
+	a := sys.NewClient(0)
+	b := sys.NewClient(1)
+
+	if err := a.Mkdir("/shared", fsapi.MkdirOpt{Distributed: true}); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := a.Open("/shared/item", fsapi.OCreate, fsapi.Mode644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close(fd)
+
+	// b caches the lookup...
+	if _, err := b.Stat("/shared/item"); err != nil {
+		t.Fatal(err)
+	}
+	// ... a renames the entry away; the server sends b an invalidation.
+	if err := a.Rename("/shared/item", "/shared/moved"); err != nil {
+		t.Fatal(err)
+	}
+	// b must observe the change: the stale cached entry is dropped when the
+	// invalidation queue is drained on the next lookup.
+	if _, err := b.Stat("/shared/item"); !fsapi.IsErrno(err, fsapi.ENOENT) {
+		t.Fatalf("stale name still resolves on b: %v", err)
+	}
+	if _, err := b.Stat("/shared/moved"); err != nil {
+		t.Fatalf("new name not visible on b: %v", err)
+	}
+	if b.Stats().Invalidations == 0 {
+		t.Fatal("client b processed no invalidations")
+	}
+}
+
+func TestNoDirectAccessStillSeesServerSideSizes(t *testing.T) {
+	tq := core.AllTechniques()
+	tq.DirectAccess = false
+	sys := newSystem(t, tq)
+	cli := sys.NewClient(0)
+	fd, err := cli.Open("/f", fsapi.OCreate|fsapi.ORdWr, fsapi.Mode644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Write(fd, []byte("no direct access")); err != nil {
+		t.Fatal(err)
+	}
+	// Without direct access the write already went through the server, so
+	// another client sees the size immediately even before close.
+	other := sys.NewClient(1)
+	st, err := other.Stat("/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size != int64(len("no direct access")) {
+		t.Fatalf("size = %d", st.Size)
+	}
+	cli.Close(fd)
+}
+
+func TestClientStatsCounters(t *testing.T) {
+	sys := newSystem(t, core.AllTechniques())
+	cli := sys.NewClient(0)
+	if err := cli.Mkdir("/s", fsapi.MkdirOpt{}); err != nil {
+		t.Fatal(err)
+	}
+	// Two stats of the same path: the second lookup hits the client cache.
+	if _, err := cli.Stat("/s"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Stat("/s"); err != nil {
+		t.Fatal(err)
+	}
+	st := cli.Stats()
+	if st.RPCs == 0 {
+		t.Fatal("no RPCs counted")
+	}
+	if st.DirCacheHits == 0 {
+		t.Fatal("directory cache hit not counted")
+	}
+	if cli.Options() != (sys.NewClient(1)).Options() {
+		t.Fatal("options should be uniform across clients")
+	}
+	if cli.ID() == sys.NewClient(1).ID() {
+		t.Fatal("client ids must be unique")
+	}
+}
+
+func TestExecTransfersWorkingDirectory(t *testing.T) {
+	sys := newSystem(t, core.AllTechniques())
+	procs := sys.Procs()
+	h := procs.StartRoot(0, []string{"root"}, func(p *sched.Proc) int {
+		fs := p.FS
+		if err := fs.Mkdir("/wd", fsapi.MkdirOpt{}); err != nil {
+			return 1
+		}
+		if err := fs.Chdir("/wd"); err != nil {
+			return 1
+		}
+		child, err := p.Spawn([]string{"child"}, func(cp *sched.Proc) int {
+			// The exec'd process inherits the working directory, so a
+			// relative create lands under /wd.
+			fd, err := cp.FS.Open("made-here", fsapi.OCreate, fsapi.Mode644)
+			if err != nil {
+				return 1
+			}
+			cp.FS.Close(fd)
+			return 0
+		}, true)
+		if err != nil {
+			return 1
+		}
+		if child.Wait() != 0 {
+			return 1
+		}
+		if _, err := fs.Stat("/wd/made-here"); err != nil {
+			return 1
+		}
+		return 0
+	})
+	if h.Wait() != 0 {
+		t.Fatal("exec did not preserve the working directory")
+	}
+}

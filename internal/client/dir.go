@@ -1,0 +1,273 @@
+package client
+
+import (
+	"sort"
+
+	"repro/internal/fsapi"
+	"repro/internal/proto"
+)
+
+// Mkdir creates a directory. The MkdirOpt.Distributed flag selects whether
+// the new directory's entries are sharded across all file servers (§3.3).
+func (c *Client) Mkdir(path string, opt fsapi.MkdirOpt) error {
+	c.syscall()
+	abs := c.absPath(path)
+	parent, parentDist, name, err := c.resolveParent(abs)
+	if err != nil {
+		return err
+	}
+	mode := opt.Mode
+	if mode == 0 {
+		mode = fsapi.Mode755
+	}
+	// The application requests distribution per directory; the deployment
+	// may globally disable the technique (Figure 10 ablation).
+	opt.Distributed = opt.Distributed && c.cfg.Options.DirDistribution
+	entrySrv := c.entryServer(parent, parentDist, name)
+	inodeSrv := c.chooseInodeServer(entrySrv)
+
+	if inodeSrv == entrySrv {
+		resp, rerr := c.rpc(entrySrv, &proto.Request{
+			Op:          proto.OpCreateCoalesced,
+			Dir:         parent,
+			Name:        name,
+			Mode:        mode,
+			Ftype:       fsapi.TypeDir,
+			Distributed: opt.Distributed,
+			Exclusive:   true,
+		})
+		if rerr != nil {
+			return rerr
+		}
+		if resp.Err != fsapi.OK {
+			return resp.Err
+		}
+		c.cacheEntry(parent, name, dcacheEnt{ino: resp.Ino, ftype: fsapi.TypeDir, dist: opt.Distributed})
+		return nil
+	}
+
+	mkResp, err := c.rpcOK(inodeSrv, &proto.Request{
+		Op:          proto.OpMknod,
+		Ftype:       fsapi.TypeDir,
+		Mode:        mode,
+		Distributed: opt.Distributed,
+	})
+	if err != nil {
+		return err
+	}
+	addResp, aerr := c.rpc(entrySrv, &proto.Request{
+		Op:          proto.OpAddMap,
+		Dir:         parent,
+		Name:        name,
+		Target:      mkResp.Ino,
+		Ftype:       fsapi.TypeDir,
+		Distributed: opt.Distributed,
+	})
+	if aerr != nil {
+		return aerr
+	}
+	if addResp.Err != fsapi.OK {
+		_, _ = c.rpc(inodeSrv, &proto.Request{Op: proto.OpUnlinkInode, Target: mkResp.Ino})
+		return addResp.Err
+	}
+	c.cacheEntry(parent, name, dcacheEnt{ino: mkResp.Ino, ftype: fsapi.TypeDir, dist: opt.Distributed})
+	return nil
+}
+
+// Unlink removes a file's directory entry and drops a link on its inode.
+// The file data remains readable through already-open descriptors (§3.4).
+func (c *Client) Unlink(path string) error {
+	c.syscall()
+	abs := c.absPath(path)
+	parent, parentDist, name, err := c.resolveParent(abs)
+	if err != nil {
+		return err
+	}
+	entrySrv := c.entryServer(parent, parentDist, name)
+	resp, rerr := c.rpcOK(entrySrv, &proto.Request{
+		Op:    proto.OpRmMap,
+		Dir:   parent,
+		Name:  name,
+		Ftype: fsapi.TypeRegular,
+	})
+	c.uncacheEntry(parent, name)
+	if rerr != nil {
+		return rerr
+	}
+	if _, err := c.rpcOK(int(resp.Ino.Server), &proto.Request{Op: proto.OpUnlinkInode, Target: resp.Ino}); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Rename atomically renames oldPath to newPath: it first creates (or
+// replaces) the entry under the new name, then removes the old name
+// (§3.3). A replaced target loses one link.
+func (c *Client) Rename(oldPath, newPath string) error {
+	c.syscall()
+	oldAbs := c.absPath(oldPath)
+	newAbs := c.absPath(newPath)
+	if oldAbs == newAbs {
+		return nil
+	}
+	oldParent, oldDist, oldName, err := c.resolveParent(oldAbs)
+	if err != nil {
+		return err
+	}
+	newParent, newDist, newName, err := c.resolveParent(newAbs)
+	if err != nil {
+		return err
+	}
+	ent, err := c.lookupEntry(oldParent, oldDist, oldName)
+	if err != nil {
+		return err
+	}
+
+	newSrv := c.entryServer(newParent, newDist, newName)
+	addResp, aerr := c.rpcOK(newSrv, &proto.Request{
+		Op:          proto.OpAddMap,
+		Dir:         newParent,
+		Name:        newName,
+		Target:      ent.ino,
+		Ftype:       ent.ftype,
+		Distributed: ent.dist,
+		Replace:     true,
+	})
+	if aerr != nil {
+		return aerr
+	}
+
+	oldSrv := c.entryServer(oldParent, oldDist, oldName)
+	rmResp, rerr := c.rpcOK(oldSrv, &proto.Request{
+		Op:   proto.OpRmMap,
+		Dir:  oldParent,
+		Name: oldName,
+	})
+	c.uncacheEntry(oldParent, oldName)
+	c.cacheEntry(newParent, newName, ent)
+	if rerr != nil {
+		return rerr
+	}
+	_ = rmResp
+
+	// If the rename replaced an existing file, that file lost its link.
+	if addResp.N == 1 && !addResp.Ino.IsNil() && addResp.Ino != ent.ino {
+		if _, err := c.rpcOK(int(addResp.Ino.Server), &proto.Request{Op: proto.OpUnlinkInode, Target: addResp.Ino}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadDir lists a directory. Distributed directories require contacting all
+// servers; with the directory broadcast optimization those RPCs overlap
+// (§3.6.2). Entries are merged and sorted by name.
+func (c *Client) ReadDir(path string) ([]fsapi.Dirent, error) {
+	c.syscall()
+	abs := c.absPath(path)
+	ino, ftype, dist, err := c.resolvePath(abs)
+	if err != nil {
+		return nil, err
+	}
+	if ftype != fsapi.TypeDir {
+		return nil, fsapi.ENOTDIR
+	}
+	servers := []int{int(ino.Server)}
+	if dist {
+		servers = c.allServers()
+	}
+	resps, err := c.broadcast(servers, &proto.Request{Op: proto.OpReadDirShard, Dir: ino})
+	if err != nil {
+		return nil, err
+	}
+	var out []fsapi.Dirent
+	for _, resp := range resps {
+		if resp.Err != fsapi.OK {
+			if resp.Err == fsapi.ENOENT {
+				return nil, fsapi.ENOENT
+			}
+			return nil, resp.Err
+		}
+		for _, ent := range resp.Ents {
+			out = append(out, fsapi.Dirent{Name: ent.Name, Ino: ent.Ino.Local, Type: ent.Ftype})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+// Rmdir removes an empty directory using the three-phase protocol (§3.3):
+// serialize at the home server, prepare on every server holding a shard of
+// the directory, then commit (or abort), and finally remove the parent's
+// entry and the directory inode.
+func (c *Client) Rmdir(path string) error {
+	c.syscall()
+	abs := c.absPath(path)
+	parent, parentDist, name, err := c.resolveParent(abs)
+	if err != nil {
+		return err
+	}
+	ent, err := c.lookupEntry(parent, parentDist, name)
+	if err != nil {
+		return err
+	}
+	if ent.ftype != fsapi.TypeDir {
+		return fsapi.ENOTDIR
+	}
+	dir := ent.ino
+	home := int(dir.Server)
+
+	// Phase 0: serialize concurrent rmdirs of this directory.
+	lockResp, err := c.rpcOK(home, &proto.Request{Op: proto.OpRmdirLock, Target: dir})
+	if err != nil {
+		return err
+	}
+	dist := lockResp.Dist
+
+	servers := []int{home}
+	if dist {
+		servers = c.allServers()
+	}
+
+	// Phase 1: prepare — every shard must be empty.
+	prepResps, err := c.broadcast(servers, &proto.Request{Op: proto.OpRmdirPrepare, Dir: dir, Target: dir})
+	if err != nil {
+		_, _ = c.rpcOK(home, &proto.Request{Op: proto.OpRmdirUnlock, Target: dir})
+		return err
+	}
+	var failure error
+	for _, resp := range prepResps {
+		if resp.Err != fsapi.OK {
+			failure = resp.Err
+			break
+		}
+	}
+
+	if failure != nil {
+		// Phase 2b: abort — clear deletion marks and release the lock.
+		if _, err := c.broadcast(servers, &proto.Request{Op: proto.OpRmdirAbort, Dir: dir, Target: dir}); err != nil {
+			return err
+		}
+		if _, err := c.rpcOK(home, &proto.Request{Op: proto.OpRmdirUnlock, Target: dir}); err != nil {
+			return err
+		}
+		return failure
+	}
+
+	// Phase 2a: commit — shards are deleted.
+	if _, err := c.broadcast(servers, &proto.Request{Op: proto.OpRmdirCommit, Dir: dir, Target: dir}); err != nil {
+		return err
+	}
+	// Remove the parent's entry for the directory.
+	entrySrv := c.entryServer(parent, parentDist, name)
+	if _, err := c.rpcOK(entrySrv, &proto.Request{Op: proto.OpRmMap, Dir: parent, Name: name, Ftype: fsapi.TypeDir}); err != nil && err != fsapi.ENOENT {
+		return err
+	}
+	// Remove the directory inode and release the serialization lock.
+	if _, err := c.rpcOK(home, &proto.Request{Op: proto.OpRmdirFinish, Target: dir}); err != nil {
+		return err
+	}
+	c.uncacheEntry(parent, name)
+	c.uncacheDir(dir)
+	return nil
+}

@@ -1,0 +1,569 @@
+package client
+
+import (
+	"repro/internal/fsapi"
+	"repro/internal/ncc"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// Open opens (and optionally creates) a file and returns a descriptor.
+func (c *Client) Open(path string, flags int, mode fsapi.Mode) (fsapi.FD, error) {
+	c.syscall()
+	abs := c.absPath(path)
+
+	if flags&fsapi.OCreate != 0 {
+		return c.openCreate(abs, flags, mode)
+	}
+	ino, ftype, dist, err := c.resolvePath(abs)
+	if err != nil {
+		return -1, err
+	}
+	return c.openExisting(ino, ftype, dist, flags)
+}
+
+// openCreate implements open() with O_CREAT: it creates the inode and
+// directory entry (coalescing the two RPCs when they land on the same
+// server) or falls back to opening an existing file.
+func (c *Client) openCreate(abs string, flags int, mode fsapi.Mode) (fsapi.FD, error) {
+	parent, parentDist, name, err := c.resolveParent(abs)
+	if err != nil {
+		return -1, err
+	}
+	entrySrv := c.entryServer(parent, parentDist, name)
+	inodeSrv := c.chooseInodeServer(entrySrv)
+
+	if inodeSrv == entrySrv {
+		// Coalesced path: one message creates the inode, adds the
+		// directory entry, and opens a descriptor (§3.6.3).
+		resp, rerr := c.rpc(entrySrv, &proto.Request{
+			Op:        proto.OpCreateCoalesced,
+			Dir:       parent,
+			Name:      name,
+			Mode:      mode,
+			Ftype:     fsapi.TypeRegular,
+			Exclusive: flags&fsapi.OExcl != 0,
+			WantOpen:  true,
+		})
+		if rerr != nil {
+			return -1, rerr
+		}
+		switch resp.Err {
+		case fsapi.OK:
+			c.cacheEntry(parent, name, dcacheEnt{ino: resp.Ino, ftype: resp.Ftype, dist: resp.Dist})
+			of := &openFile{
+				ino:   resp.Ino,
+				ftype: resp.Ftype,
+				flags: flags,
+				size:  0,
+				dirty: make(map[ncc.BlockID]struct{}),
+			}
+			return c.allocFD(of), nil
+		case fsapi.EEXIST:
+			if flags&fsapi.OExcl != 0 {
+				return -1, fsapi.EEXIST
+			}
+			c.cacheEntry(parent, name, dcacheEnt{ino: resp.Ino, ftype: resp.Ftype, dist: resp.Dist})
+			return c.openExisting(resp.Ino, resp.Ftype, resp.Dist, flags)
+		default:
+			return -1, resp.Err
+		}
+	}
+
+	// Creation affinity placed the inode on a closer server than the entry
+	// server: create the inode first, then add the entry.
+	mkResp, err := c.rpcOK(inodeSrv, &proto.Request{
+		Op:    proto.OpMknod,
+		Ftype: fsapi.TypeRegular,
+		Mode:  mode,
+	})
+	if err != nil {
+		return -1, err
+	}
+	addResp, aerr := c.rpc(entrySrv, &proto.Request{
+		Op:     proto.OpAddMap,
+		Dir:    parent,
+		Name:   name,
+		Target: mkResp.Ino,
+		Ftype:  fsapi.TypeRegular,
+	})
+	if aerr != nil {
+		return -1, aerr
+	}
+	if addResp.Err == fsapi.EEXIST {
+		// Lost a race (or the file simply existed): discard the orphan
+		// inode and open the existing file.
+		_, _ = c.rpc(inodeSrv, &proto.Request{Op: proto.OpUnlinkInode, Target: mkResp.Ino})
+		if flags&fsapi.OExcl != 0 {
+			return -1, fsapi.EEXIST
+		}
+		c.cacheEntry(parent, name, dcacheEnt{ino: addResp.Ino, ftype: addResp.Ftype, dist: addResp.Dist})
+		return c.openExisting(addResp.Ino, addResp.Ftype, addResp.Dist, flags)
+	}
+	if addResp.Err != fsapi.OK {
+		_, _ = c.rpc(inodeSrv, &proto.Request{Op: proto.OpUnlinkInode, Target: mkResp.Ino})
+		return -1, addResp.Err
+	}
+	c.cacheEntry(parent, name, dcacheEnt{ino: mkResp.Ino, ftype: fsapi.TypeRegular, dist: false})
+	openResp, oerr := c.rpcOK(inodeSrv, &proto.Request{
+		Op:     proto.OpOpenInode,
+		Target: mkResp.Ino,
+		Flags:  int32(flags),
+	})
+	if oerr != nil {
+		return -1, oerr
+	}
+	return c.allocFD(c.fileFromOpen(openResp, flags)), nil
+}
+
+// openExisting opens an inode that already exists.
+func (c *Client) openExisting(ino proto.InodeID, ftype fsapi.FileType, dist bool, flags int) (fsapi.FD, error) {
+	if ftype == fsapi.TypeDir && flags&fsapi.OAccMode != fsapi.ORdOnly {
+		return -1, fsapi.EISDIR
+	}
+	resp, err := c.rpcOK(int(ino.Server), &proto.Request{
+		Op:     proto.OpOpenInode,
+		Target: ino,
+		Flags:  int32(flags),
+	})
+	if err != nil {
+		return -1, err
+	}
+	of := c.fileFromOpen(resp, flags)
+	of.ftype = ftype
+	// Close-to-open consistency: drop any stale private-cache copies of
+	// this file's blocks so reads observe data written back by other cores
+	// since the last close (§3.2).
+	if c.cfg.Options.DirectAccess && len(of.blocks) > 0 {
+		dropped := c.cfg.Cache.Invalidate(of.blocks)
+		c.stats.invBlocks.Add(uint64(dropped))
+		c.charge(sim.Cycles(dropped) * c.cfg.Machine.Cost.CachePerLine)
+	}
+	if flags&fsapi.OAppend != 0 {
+		of.offset = of.size
+	}
+	return c.allocFD(of), nil
+}
+
+// fileFromOpen builds an openFile from an OPEN/CREATE response.
+func (c *Client) fileFromOpen(resp *proto.Response, flags int) *openFile {
+	blocks := make([]ncc.BlockID, len(resp.Blocks))
+	for i, b := range resp.Blocks {
+		blocks[i] = ncc.BlockID(b)
+	}
+	return &openFile{
+		ino:    resp.Ino,
+		ftype:  resp.Ftype,
+		flags:  flags,
+		size:   resp.Size,
+		blocks: blocks,
+		dirty:  make(map[ncc.BlockID]struct{}),
+	}
+}
+
+// Close closes a descriptor, writing back dirty blocks and releasing the
+// server-side reference when this is the last descriptor for the
+// description.
+func (c *Client) Close(fd fsapi.FD) error {
+	c.syscall()
+	of, err := c.getFD(fd)
+	if err != nil {
+		return err
+	}
+	delete(c.fds, fd)
+	of.localRefs--
+	if of.localRefs > 0 {
+		return nil
+	}
+	switch {
+	case of.pipe:
+		op := proto.OpPipeCloseRead
+		if of.pipeWrite {
+			op = proto.OpPipeCloseWrite
+		}
+		_, err := c.rpcOK(int(of.ino.Server), &proto.Request{Op: op, Target: of.ino})
+		return err
+	case of.srvFd != proto.NilFd:
+		_, err := c.rpcOK(int(of.ino.Server), &proto.Request{Op: proto.OpFdDecRef, Fd: of.srvFd, Target: of.ino})
+		return err
+	default:
+		c.writebackFile(of)
+		req := &proto.Request{Op: proto.OpCloseInode, Target: of.ino}
+		if of.wrote {
+			// Coalesce the size update with the close (§3.6.3).
+			req.Size = of.size
+		}
+		_, err := c.rpcOK(int(of.ino.Server), req)
+		return err
+	}
+}
+
+// writebackFile flushes dirty private-cache blocks for the file to DRAM.
+func (c *Client) writebackFile(of *openFile) {
+	if !c.cfg.Options.DirectAccess || len(of.dirty) == 0 {
+		return
+	}
+	blocks := make([]ncc.BlockID, 0, len(of.dirty))
+	for b := range of.dirty {
+		blocks = append(blocks, b)
+	}
+	flushed := c.cfg.Cache.Writeback(blocks)
+	c.stats.wbBlocks.Add(uint64(flushed))
+	c.charge(sim.LineCost(c.cfg.Machine.Cost.DRAMPerLine, flushed*c.cfg.DRAM.BlockSize()))
+	of.dirty = make(map[ncc.BlockID]struct{})
+}
+
+// Fsync forces dirty data for the descriptor back to the shared DRAM and
+// updates the server's view of the file size.
+func (c *Client) Fsync(fd fsapi.FD) error {
+	c.syscall()
+	of, err := c.getFD(fd)
+	if err != nil {
+		return err
+	}
+	if of.pipe {
+		return fsapi.EINVAL
+	}
+	if of.srvFd != proto.NilFd {
+		return nil // all writes already went through the server
+	}
+	c.writebackFile(of)
+	if of.wrote {
+		if _, err := c.rpcOK(int(of.ino.Server), &proto.Request{Op: proto.OpSetSize, Target: of.ino, Size: of.size}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read reads from the descriptor at its current offset.
+func (c *Client) Read(fd fsapi.FD, p []byte) (int, error) {
+	c.syscall()
+	of, err := c.getFD(fd)
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case of.pipe:
+		return c.pipeRead(of, p)
+	case of.srvFd != proto.NilFd:
+		return c.sharedRead(of, p)
+	default:
+		if of.flags&fsapi.OAccMode == fsapi.OWrOnly {
+			return 0, fsapi.EBADF
+		}
+		n, err := c.readAt(of, of.offset, p)
+		of.offset += int64(n)
+		return n, err
+	}
+}
+
+// Pread reads at an explicit offset without moving the descriptor offset.
+func (c *Client) Pread(fd fsapi.FD, p []byte, off int64) (int, error) {
+	c.syscall()
+	of, err := c.getFD(fd)
+	if err != nil {
+		return 0, err
+	}
+	if of.pipe {
+		return 0, fsapi.ESPIPE
+	}
+	if of.srvFd != proto.NilFd {
+		// Shared descriptors read through the server; pread does not
+		// move the offset so a plain READ_AT suffices.
+		resp, rerr := c.rpcOK(int(of.ino.Server), &proto.Request{
+			Op: proto.OpReadAt, Target: of.ino, Offset: off, Count: int32(len(p)),
+		})
+		if rerr != nil {
+			return 0, rerr
+		}
+		return copy(p, resp.Data), nil
+	}
+	return c.readAt(of, off, p)
+}
+
+// Write writes at the descriptor's current offset.
+func (c *Client) Write(fd fsapi.FD, p []byte) (int, error) {
+	c.syscall()
+	of, err := c.getFD(fd)
+	if err != nil {
+		return 0, err
+	}
+	switch {
+	case of.pipe:
+		return c.pipeWriteAll(of, p)
+	case of.srvFd != proto.NilFd:
+		return c.sharedWrite(of, p)
+	default:
+		if of.flags&fsapi.OAccMode == fsapi.ORdOnly {
+			return 0, fsapi.EBADF
+		}
+		off := of.offset
+		if of.flags&fsapi.OAppend != 0 {
+			off = of.size
+		}
+		n, err := c.writeAt(of, off, p)
+		of.offset = off + int64(n)
+		return n, err
+	}
+}
+
+// Pwrite writes at an explicit offset without moving the descriptor offset.
+func (c *Client) Pwrite(fd fsapi.FD, p []byte, off int64) (int, error) {
+	c.syscall()
+	of, err := c.getFD(fd)
+	if err != nil {
+		return 0, err
+	}
+	if of.pipe {
+		return 0, fsapi.ESPIPE
+	}
+	if of.srvFd != proto.NilFd {
+		resp, rerr := c.rpcOK(int(of.ino.Server), &proto.Request{
+			Op: proto.OpWriteAt, Target: of.ino, Offset: off, Data: p,
+		})
+		if rerr != nil {
+			return 0, rerr
+		}
+		return int(resp.N), nil
+	}
+	return c.writeAt(of, off, p)
+}
+
+// readAt reads file data for a locally tracked descriptor. With direct
+// access the client reads the shared buffer cache through its private cache;
+// otherwise it asks the server to read on its behalf.
+func (c *Client) readAt(of *openFile, off int64, p []byte) (int, error) {
+	if off >= of.size {
+		return 0, nil
+	}
+	n := int64(len(p))
+	if off+n > of.size {
+		n = of.size - off
+	}
+	if !c.cfg.Options.DirectAccess {
+		resp, err := c.rpcOK(int(of.ino.Server), &proto.Request{
+			Op: proto.OpReadAt, Target: of.ino, Offset: off, Count: int32(n),
+		})
+		if err != nil {
+			return 0, err
+		}
+		return copy(p, resp.Data), nil
+	}
+	if err := c.ensureBlocks(of, off+n); err != nil {
+		return 0, err
+	}
+	return c.copyBlocks(of, off, p[:n], false), nil
+}
+
+// writeAt writes file data for a locally tracked descriptor.
+func (c *Client) writeAt(of *openFile, off int64, p []byte) (int, error) {
+	end := off + int64(len(p))
+	if !c.cfg.Options.DirectAccess {
+		resp, err := c.rpcOK(int(of.ino.Server), &proto.Request{
+			Op: proto.OpWriteAt, Target: of.ino, Offset: off, Data: p,
+		})
+		if err != nil {
+			return 0, err
+		}
+		if end > of.size {
+			of.size = end
+		}
+		of.wrote = true
+		return int(resp.N), nil
+	}
+	if err := c.extendTo(of, end); err != nil {
+		return 0, err
+	}
+	n := c.copyBlocks(of, off, p, true)
+	if off+int64(n) > of.size {
+		of.size = off + int64(n)
+	}
+	of.wrote = true
+	return n, nil
+}
+
+// ensureBlocks refreshes the block list if the requested range extends past
+// the blocks the client knows about (another process may have extended the
+// file before our open; normally open returned the full list already).
+func (c *Client) ensureBlocks(of *openFile, end int64) error {
+	bs := int64(c.cfg.DRAM.BlockSize())
+	if int64(len(of.blocks))*bs >= end {
+		return nil
+	}
+	resp, err := c.rpcOK(int(of.ino.Server), &proto.Request{Op: proto.OpGetBlocks, Target: of.ino})
+	if err != nil {
+		return err
+	}
+	of.blocks = of.blocks[:0]
+	for _, b := range resp.Blocks {
+		of.blocks = append(of.blocks, ncc.BlockID(b))
+	}
+	return nil
+}
+
+// extendTo asks the file server to allocate blocks so the file can hold end
+// bytes, updating the client's block list.
+func (c *Client) extendTo(of *openFile, end int64) error {
+	bs := int64(c.cfg.DRAM.BlockSize())
+	if int64(len(of.blocks))*bs >= end {
+		return nil
+	}
+	resp, err := c.rpcOK(int(of.ino.Server), &proto.Request{Op: proto.OpExtend, Target: of.ino, Size: end})
+	if err != nil {
+		return err
+	}
+	of.blocks = of.blocks[:0]
+	for _, b := range resp.Blocks {
+		of.blocks = append(of.blocks, ncc.BlockID(b))
+	}
+	return nil
+}
+
+// copyBlocks moves data between the caller's buffer and the buffer cache via
+// the core's private cache, charging per-line costs for hits and misses.
+func (c *Client) copyBlocks(of *openFile, off int64, p []byte, write bool) int {
+	bs := int64(c.cfg.DRAM.BlockSize())
+	cost := c.cfg.Machine.Cost
+	moved := 0
+	for moved < len(p) {
+		pos := off + int64(moved)
+		bi := int(pos / bs)
+		bo := int(pos % bs)
+		if bi >= len(of.blocks) {
+			break
+		}
+		block := of.blocks[bi]
+		var n int
+		var hit bool
+		if write {
+			n, hit = c.cfg.Cache.Write(block, bo, p[moved:])
+			of.dirty[block] = struct{}{}
+		} else {
+			n, hit = c.cfg.Cache.Read(block, bo, p[moved:])
+		}
+		if n == 0 {
+			break
+		}
+		per := cost.DRAMPerLine
+		if hit {
+			per = cost.CachePerLine
+		}
+		c.charge(sim.LineCost(per, n))
+		moved += n
+	}
+	return moved
+}
+
+// Seek repositions a descriptor offset.
+func (c *Client) Seek(fd fsapi.FD, off int64, whence int) (int64, error) {
+	c.syscall()
+	of, err := c.getFD(fd)
+	if err != nil {
+		return 0, err
+	}
+	if of.pipe {
+		return 0, fsapi.ESPIPE
+	}
+	if of.srvFd != proto.NilFd {
+		resp, rerr := c.rpcOK(int(of.ino.Server), &proto.Request{
+			Op: proto.OpFdSeek, Fd: of.srvFd, Target: of.ino, Offset: off, Whence: int32(whence),
+		})
+		if rerr != nil {
+			return 0, rerr
+		}
+		return resp.Offset, nil
+	}
+	var base int64
+	switch whence {
+	case fsapi.SeekSet:
+		base = 0
+	case fsapi.SeekCur:
+		base = of.offset
+	case fsapi.SeekEnd:
+		base = of.size
+	default:
+		return 0, fsapi.EINVAL
+	}
+	pos := base + off
+	if pos < 0 {
+		return 0, fsapi.EINVAL
+	}
+	of.offset = pos
+	return pos, nil
+}
+
+// Ftruncate truncates the open file to the given size.
+func (c *Client) Ftruncate(fd fsapi.FD, size int64) error {
+	c.syscall()
+	of, err := c.getFD(fd)
+	if err != nil {
+		return err
+	}
+	if of.pipe || of.ftype != fsapi.TypeRegular {
+		return fsapi.EINVAL
+	}
+	// Dirty blocks beyond the new size must not be written back later over
+	// reused blocks; flush state first.
+	c.writebackFile(of)
+	resp, rerr := c.rpcOK(int(of.ino.Server), &proto.Request{Op: proto.OpTruncate, Target: of.ino, Size: size})
+	if rerr != nil {
+		return rerr
+	}
+	of.size = resp.Size
+	of.blocks = of.blocks[:0]
+	for _, b := range resp.Blocks {
+		of.blocks = append(of.blocks, ncc.BlockID(b))
+	}
+	of.wrote = false
+	return nil
+}
+
+// Stat returns metadata for a path.
+func (c *Client) Stat(path string) (fsapi.Stat, error) {
+	c.syscall()
+	abs := c.absPath(path)
+	ino, _, _, err := c.resolvePath(abs)
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	resp, rerr := c.rpcOK(int(ino.Server), &proto.Request{Op: proto.OpStat, Target: ino})
+	if rerr != nil {
+		return fsapi.Stat{}, rerr
+	}
+	return statFromWire(resp.Stat), nil
+}
+
+// Fstat returns metadata for an open descriptor.
+func (c *Client) Fstat(fd fsapi.FD) (fsapi.Stat, error) {
+	c.syscall()
+	of, err := c.getFD(fd)
+	if err != nil {
+		return fsapi.Stat{}, err
+	}
+	if of.pipe {
+		return fsapi.Stat{Ino: of.ino.Local, Type: fsapi.TypePipe, Server: int(of.ino.Server)}, nil
+	}
+	resp, rerr := c.rpcOK(int(of.ino.Server), &proto.Request{Op: proto.OpStat, Target: of.ino})
+	if rerr != nil {
+		return fsapi.Stat{}, rerr
+	}
+	return statFromWire(resp.Stat), nil
+}
+
+// statFromWire converts a wire stat into the public form.
+func statFromWire(w proto.StatWire) fsapi.Stat {
+	return fsapi.Stat{
+		Ino:   w.Ino.Local,
+		Type:  w.Ftype,
+		Size:  w.Size,
+		Nlink: int(w.Nlink),
+		Mode:  w.Mode,
+		Server: func() int {
+			if w.Ino.IsNil() {
+				return 0
+			}
+			return int(w.Ino.Server)
+		}(),
+	}
+}

@@ -1,0 +1,321 @@
+// Package core assembles a complete Hare deployment: the simulated machine,
+// the shared buffer cache in DRAM, the message-passing network, the file
+// servers, the per-core scheduling servers, and factories for client
+// libraries.
+//
+// This is the paper's primary contribution wired together; the public `hare`
+// package at the module root re-exports it as the library's API.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/client"
+	"repro/internal/msg"
+	"repro/internal/ncc"
+	"repro/internal/proto"
+	"repro/internal/sched"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// Techniques toggles the design techniques evaluated in §5.4 of the paper.
+type Techniques struct {
+	DirectoryDistribution bool // shard a directory's entries across servers (§3.3)
+	DirectoryBroadcast    bool // contact all servers in parallel (§3.6.2)
+	DirectAccess          bool // clients access the buffer cache directly (§3.2)
+	DirectoryCache        bool // client-side lookup cache with invalidations (§3.6.1)
+	CreationAffinity      bool // NUMA-aware placement of new inodes (§3.6.4)
+}
+
+// AllTechniques enables everything (the standard Hare configuration).
+func AllTechniques() Techniques {
+	return Techniques{
+		DirectoryDistribution: true,
+		DirectoryBroadcast:    true,
+		DirectAccess:          true,
+		DirectoryCache:        true,
+		CreationAffinity:      true,
+	}
+}
+
+// Config describes a Hare deployment.
+type Config struct {
+	// Cores is the total number of cores in the machine.
+	Cores int
+	// Servers is the number of file servers.
+	Servers int
+	// Timeshare selects the paper's timesharing configuration: every core
+	// runs a file server alongside application processes. When false the
+	// servers get dedicated cores (the "split" configuration) and
+	// applications run on the remaining cores.
+	Timeshare bool
+
+	Techniques Techniques
+	Placement  sched.Policy
+	Seed       uint64
+
+	// CostModel overrides the default cycle cost model when non-nil.
+	CostModel *sim.CostModel
+
+	// BufferCacheBytes and BlockSize size the shared buffer cache; the
+	// defaults are 256 MiB of 4 KiB blocks.
+	BufferCacheBytes int64
+	BlockSize        int
+
+	// RootDistributed shards the root directory's entries across servers.
+	RootDistributed bool
+}
+
+// DefaultConfig mirrors the paper's standard setup: a 40-core machine in the
+// timesharing configuration with every technique enabled.
+func DefaultConfig() Config {
+	return Config{
+		Cores:      40,
+		Servers:    40,
+		Timeshare:  true,
+		Techniques: AllTechniques(),
+		Placement:  sched.PolicyRoundRobin,
+	}
+}
+
+// normalize fills defaults and validates the configuration.
+func (c *Config) normalize() error {
+	if c.Cores <= 0 {
+		return fmt.Errorf("core: config needs at least one core, got %d", c.Cores)
+	}
+	if c.Servers <= 0 {
+		c.Servers = c.Cores
+	}
+	if c.BufferCacheBytes <= 0 {
+		c.BufferCacheBytes = 256 << 20
+	}
+	if c.BlockSize <= 0 {
+		c.BlockSize = 4096
+	}
+	if !c.Timeshare {
+		if c.Servers >= c.Cores {
+			return fmt.Errorf("core: split configuration needs fewer servers (%d) than cores (%d)", c.Servers, c.Cores)
+		}
+	} else if c.Servers > c.Cores {
+		return fmt.Errorf("core: timeshare configuration cannot run more servers (%d) than cores (%d)", c.Servers, c.Cores)
+	}
+	return nil
+}
+
+// System is a running Hare deployment.
+type System struct {
+	cfg     Config
+	machine *sim.Machine
+	network *msg.Network
+	dram    *ncc.DRAM
+	caches  []*ncc.PrivateCache
+
+	registry    *server.ClientRegistry
+	servers     []*server.Server
+	serverEPs   []msg.EndpointID
+	serverCores []int
+
+	ids      *client.IDAllocator
+	procSys  *sched.HareSystem
+	appCores []int
+
+	started bool
+}
+
+// New builds (but does not start) a Hare deployment.
+func New(cfg Config) (*System, error) {
+	if err := cfg.normalize(); err != nil {
+		return nil, err
+	}
+	cost := sim.DefaultCostModel()
+	if cfg.CostModel != nil {
+		cost = *cfg.CostModel
+	}
+	topo := sim.TopologyForCores(cfg.Cores)
+	machine := sim.NewMachine(topo, cost)
+
+	numBlocks := int(cfg.BufferCacheBytes / int64(cfg.BlockSize))
+	if numBlocks < cfg.Servers {
+		numBlocks = cfg.Servers
+	}
+	dram := ncc.NewDRAM(numBlocks, cfg.BlockSize)
+	parts := ncc.PartitionDRAM(dram, cfg.Servers)
+
+	network := msg.NewNetwork(msg.WrapMachine(machine))
+	registry := server.NewClientRegistry()
+
+	sys := &System{
+		cfg:      cfg,
+		machine:  machine,
+		network:  network,
+		dram:     dram,
+		caches:   make([]*ncc.PrivateCache, cfg.Cores),
+		registry: registry,
+		ids:      client.NewIDAllocator(1),
+	}
+	for i := range sys.caches {
+		sys.caches[i] = ncc.NewPrivateCache(dram)
+	}
+
+	// Place servers and applications on cores.
+	serverCores := make([]int, cfg.Servers)
+	if cfg.Timeshare {
+		for i := range serverCores {
+			serverCores[i] = i % cfg.Cores
+		}
+		sys.appCores = allCores(cfg.Cores)
+	} else {
+		first := cfg.Cores - cfg.Servers
+		for i := range serverCores {
+			serverCores[i] = first + i
+		}
+		sys.appCores = allCores(first)
+	}
+	sys.serverCores = serverCores
+
+	rootDist := cfg.RootDistributed && cfg.Techniques.DirectoryDistribution
+	for i := 0; i < cfg.Servers; i++ {
+		srv := server.New(server.Config{
+			ID:              i,
+			Core:            serverCores[i],
+			NumServers:      cfg.Servers,
+			Machine:         machine,
+			Network:         network,
+			DRAM:            dram,
+			Partition:       parts[i],
+			Registry:        registry,
+			CoLocated:       cfg.Timeshare,
+			RootDistributed: rootDist,
+		})
+		sys.servers = append(sys.servers, srv)
+		sys.serverEPs = append(sys.serverEPs, srv.EndpointID())
+	}
+
+	sys.procSys = sched.NewHareSystem(sched.HareConfig{
+		Machine:   machine,
+		Network:   network,
+		AppCores:  sys.appCores,
+		Policy:    cfg.Placement,
+		Seed:      cfg.Seed,
+		NewClient: sys.NewClient,
+	})
+	return sys, nil
+}
+
+func allCores(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Start launches the file servers and scheduling servers.
+func (s *System) Start() {
+	if s.started {
+		return
+	}
+	for _, srv := range s.servers {
+		srv.Start()
+	}
+	s.procSys.Start()
+	s.started = true
+}
+
+// Stop shuts the deployment down. All application processes must have exited.
+func (s *System) Stop() {
+	if !s.started {
+		return
+	}
+	s.procSys.Stop()
+	for _, srv := range s.servers {
+		srv.Stop()
+	}
+	s.started = false
+}
+
+// Config returns the deployment's configuration (after normalization).
+func (s *System) Config() Config { return s.cfg }
+
+// Machine returns the simulated machine.
+func (s *System) Machine() *sim.Machine { return s.machine }
+
+// Network returns the message-passing network.
+func (s *System) Network() *msg.Network { return s.network }
+
+// Procs returns the Hare process system (scheduling servers).
+func (s *System) Procs() *sched.HareSystem { return s.procSys }
+
+// AppCores returns the cores available to application processes.
+func (s *System) AppCores() []int {
+	out := make([]int, len(s.appCores))
+	copy(out, s.appCores)
+	return out
+}
+
+// clientOptions translates the technique toggles into client options.
+func (s *System) clientOptions() client.Options {
+	t := s.cfg.Techniques
+	return client.Options{
+		DirDistribution:  t.DirectoryDistribution,
+		DirCache:         t.DirectoryCache,
+		DirBroadcast:     t.DirectoryBroadcast,
+		DirectAccess:     t.DirectAccess,
+		CreationAffinity: t.CreationAffinity,
+	}
+}
+
+// NewClient creates a client library pinned to the given core. Every
+// simulated process owns exactly one client.
+func (s *System) NewClient(core int) *client.Client {
+	if core < 0 || core >= s.cfg.Cores {
+		core = 0
+	}
+	return client.New(client.Config{
+		ID:           s.ids.Next(),
+		Core:         core,
+		Machine:      s.machine,
+		Network:      s.network,
+		DRAM:         s.dram,
+		Cache:        s.caches[core],
+		Registry:     s.registry,
+		Servers:      append([]msg.EndpointID(nil), s.serverEPs...),
+		ServerCores:  append([]int(nil), s.serverCores...),
+		Root:         proto.RootInode,
+		RootDist:     s.cfg.RootDistributed && s.cfg.Techniques.DirectoryDistribution,
+		Options:      s.clientOptions(),
+		IDs:          s.ids,
+		CacheForCore: s.cacheForCore,
+	})
+}
+
+func (s *System) cacheForCore(core int) *ncc.PrivateCache {
+	if core < 0 || core >= len(s.caches) {
+		core = 0
+	}
+	return s.caches[core]
+}
+
+// ServerStats returns per-server counters (op counts, invalidations sent).
+func (s *System) ServerStats() []server.Stats {
+	out := make([]server.Stats, len(s.servers))
+	for i, srv := range s.servers {
+		out[i] = srv.Stats()
+	}
+	return out
+}
+
+// MaxServerClock returns the latest virtual time reached by any file server.
+func (s *System) MaxServerClock() sim.Cycles {
+	var max sim.Cycles
+	for _, srv := range s.servers {
+		if c := srv.Clock(); c > max {
+			max = c
+		}
+	}
+	return max
+}
+
+// Seconds converts cycles to seconds under the deployment's cost model.
+func (s *System) Seconds(c sim.Cycles) float64 { return s.machine.Cost.Seconds(c) }

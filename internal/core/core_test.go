@@ -1,0 +1,588 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/fsapi"
+	"repro/internal/sched"
+)
+
+// newTestSystem builds and starts a small Hare deployment for tests.
+func newTestSystem(t *testing.T, cores, servers int) *System {
+	t.Helper()
+	cfg := Config{
+		Cores:            cores,
+		Servers:          servers,
+		Timeshare:        true,
+		Techniques:       AllTechniques(),
+		Placement:        sched.PolicyRoundRobin,
+		BufferCacheBytes: 8 << 20,
+		BlockSize:        4096,
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	t.Cleanup(sys.Stop)
+	return sys
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{Cores: 0}); err == nil {
+		t.Error("zero cores accepted")
+	}
+	if _, err := New(Config{Cores: 4, Servers: 4, Timeshare: false}); err == nil {
+		t.Error("split config with servers == cores accepted")
+	}
+	if _, err := New(Config{Cores: 4, Servers: 8, Timeshare: true}); err == nil {
+		t.Error("more servers than cores accepted")
+	}
+	sys, err := New(Config{Cores: 4, Timeshare: true, Techniques: AllTechniques()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Config().Servers != 4 {
+		t.Error("servers should default to cores")
+	}
+	if sys.Config().BlockSize != 4096 || sys.Config().BufferCacheBytes != 256<<20 {
+		t.Error("defaults not applied")
+	}
+}
+
+func TestSplitConfigurationCores(t *testing.T) {
+	sys, err := New(Config{Cores: 8, Servers: 3, Timeshare: false, Techniques: AllTechniques()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := sys.AppCores()
+	if len(app) != 5 {
+		t.Fatalf("split 3/8 should leave 5 app cores, got %d", len(app))
+	}
+	for _, c := range app {
+		if c >= 5 {
+			t.Errorf("app core %d overlaps server cores", c)
+		}
+	}
+}
+
+func TestCreateWriteReadAcrossCores(t *testing.T) {
+	sys := newTestSystem(t, 4, 4)
+	writer := sys.NewClient(0)
+	reader := sys.NewClient(2)
+
+	fd, err := writer.Open("/data.txt", fsapi.OCreate|fsapi.OWrOnly, fsapi.Mode644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("hare!"), 2000) // spans multiple blocks
+	if n, err := writer.Write(fd, payload); err != nil || n != len(payload) {
+		t.Fatalf("write = %d, %v", n, err)
+	}
+	if err := writer.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+
+	// Close-to-open consistency: a fresh open on another core sees the data.
+	rfd, err := reader.Open("/data.txt", fsapi.ORdOnly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, len(payload))
+	n, err := reader.Read(rfd, got)
+	if err != nil || n != len(payload) {
+		t.Fatalf("read = %d, %v", n, err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("data read back does not match data written")
+	}
+	if err := reader.Close(rfd); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := reader.Stat("/data.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size != int64(len(payload)) || st.Type != fsapi.TypeRegular {
+		t.Fatalf("stat = %+v", st)
+	}
+}
+
+func TestOpenErrors(t *testing.T) {
+	sys := newTestSystem(t, 2, 2)
+	cli := sys.NewClient(0)
+
+	if _, err := cli.Open("/missing", fsapi.ORdOnly, 0); !fsapi.IsErrno(err, fsapi.ENOENT) {
+		t.Errorf("open missing: %v", err)
+	}
+	if _, err := cli.Open("/a", fsapi.OCreate, fsapi.Mode644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Open("/a", fsapi.OCreate|fsapi.OExcl, fsapi.Mode644); !fsapi.IsErrno(err, fsapi.EEXIST) {
+		t.Errorf("O_EXCL on existing: %v", err)
+	}
+	if _, err := cli.Open("/a/b", fsapi.OCreate, fsapi.Mode644); !fsapi.IsErrno(err, fsapi.ENOTDIR) {
+		t.Errorf("create under file: %v", err)
+	}
+	if _, err := cli.Open("/", fsapi.OWrOnly, 0); !fsapi.IsErrno(err, fsapi.EISDIR) {
+		t.Errorf("write-open dir: %v", err)
+	}
+	if err := cli.Close(fsapi.FD(99)); !fsapi.IsErrno(err, fsapi.EBADF) {
+		t.Errorf("close bad fd: %v", err)
+	}
+}
+
+func TestPermissionChecks(t *testing.T) {
+	sys := newTestSystem(t, 2, 2)
+	cli := sys.NewClient(0)
+	if _, err := cli.Open("/ro", fsapi.OCreate|fsapi.ORdWr, fsapi.Mode(0o400)); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen for write must fail the permission check.
+	if _, err := cli.Open("/ro", fsapi.OWrOnly, 0); !fsapi.IsErrno(err, fsapi.EACCES) {
+		t.Errorf("expected EACCES, got %v", err)
+	}
+	if _, err := cli.Open("/ro", fsapi.ORdOnly, 0); err != nil {
+		t.Errorf("read open should pass: %v", err)
+	}
+}
+
+func TestMkdirReadDirUnlinkRmdir(t *testing.T) {
+	sys := newTestSystem(t, 4, 4)
+	cli := sys.NewClient(1)
+
+	if err := cli.Mkdir("/work", fsapi.MkdirOpt{Distributed: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Mkdir("/work", fsapi.MkdirOpt{}); !fsapi.IsErrno(err, fsapi.EEXIST) {
+		t.Errorf("duplicate mkdir: %v", err)
+	}
+	const n = 20
+	for i := 0; i < n; i++ {
+		fd, err := cli.Open(fmt.Sprintf("/work/f%02d", i), fsapi.OCreate|fsapi.OWrOnly, fsapi.Mode644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.Close(fd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err := cli.ReadDir("/work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != n {
+		t.Fatalf("readdir returned %d entries, want %d", len(ents), n)
+	}
+	for i := 1; i < len(ents); i++ {
+		if ents[i-1].Name >= ents[i].Name {
+			t.Fatal("entries not sorted")
+		}
+	}
+
+	// rmdir on a non-empty distributed directory must fail atomically.
+	if err := cli.Rmdir("/work"); !fsapi.IsErrno(err, fsapi.ENOTEMPTY) {
+		t.Fatalf("rmdir non-empty: %v", err)
+	}
+	// ... and the directory must still be usable afterwards (abort path).
+	if _, err := cli.Stat("/work/f00"); err != nil {
+		t.Fatalf("directory unusable after aborted rmdir: %v", err)
+	}
+
+	for i := 0; i < n; i++ {
+		if err := cli.Unlink(fmt.Sprintf("/work/f%02d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ents, err = cli.ReadDir("/work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("directory should be empty, has %d entries", len(ents))
+	}
+	if err := cli.Rmdir("/work"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Stat("/work"); !fsapi.IsErrno(err, fsapi.ENOENT) {
+		t.Fatalf("stat after rmdir: %v", err)
+	}
+	if err := cli.Rmdir("/work"); !fsapi.IsErrno(err, fsapi.ENOENT) {
+		t.Fatalf("double rmdir: %v", err)
+	}
+}
+
+func TestUnlinkVsRmdirTypeChecks(t *testing.T) {
+	sys := newTestSystem(t, 2, 2)
+	cli := sys.NewClient(0)
+	if err := cli.Mkdir("/d", fsapi.MkdirOpt{}); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := cli.Open("/f", fsapi.OCreate, fsapi.Mode644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Close(fd)
+	if err := cli.Unlink("/d"); !fsapi.IsErrno(err, fsapi.EISDIR) {
+		t.Errorf("unlink dir: %v", err)
+	}
+	if err := cli.Rmdir("/f"); !fsapi.IsErrno(err, fsapi.ENOTDIR) {
+		t.Errorf("rmdir file: %v", err)
+	}
+}
+
+func TestRenameWithinAndAcrossDirectories(t *testing.T) {
+	sys := newTestSystem(t, 4, 4)
+	cli := sys.NewClient(0)
+	if err := cli.Mkdir("/a", fsapi.MkdirOpt{Distributed: true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Mkdir("/b", fsapi.MkdirOpt{Distributed: true}); err != nil {
+		t.Fatal(err)
+	}
+	fd, err := cli.Open("/a/src", fsapi.OCreate|fsapi.OWrOnly, fsapi.Mode644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Write(fd, []byte("rename me"))
+	cli.Close(fd)
+
+	if err := cli.Rename("/a/src", "/b/dst"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Stat("/a/src"); !fsapi.IsErrno(err, fsapi.ENOENT) {
+		t.Fatalf("old name still visible: %v", err)
+	}
+	st, err := cli.Stat("/b/dst")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size != int64(len("rename me")) {
+		t.Fatalf("renamed file size %d", st.Size)
+	}
+
+	// Rename over an existing file replaces it.
+	fd, _ = cli.Open("/b/other", fsapi.OCreate|fsapi.OWrOnly, fsapi.Mode644)
+	cli.Write(fd, []byte("loser"))
+	cli.Close(fd)
+	if err := cli.Rename("/b/dst", "/b/other"); err != nil {
+		t.Fatal(err)
+	}
+	rfd, err := cli.Open("/b/other", fsapi.ORdOnly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	n, _ := cli.Read(rfd, buf)
+	cli.Close(rfd)
+	if string(buf[:n]) != "rename me" {
+		t.Fatalf("replacement content %q", buf[:n])
+	}
+}
+
+func TestUnlinkedFileRemainsReadable(t *testing.T) {
+	sys := newTestSystem(t, 2, 2)
+	writer := sys.NewClient(0)
+	remover := sys.NewClient(1)
+
+	fd, err := writer.Open("/victim", fsapi.OCreate|fsapi.ORdWr, fsapi.Mode644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writer.Write(fd, []byte("still here"))
+	writer.Fsync(fd)
+
+	// Another process unlinks the file while it is open (the paper's
+	// compilation scenario, §2.2).
+	if err := remover.Unlink("/victim"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := remover.Stat("/victim"); !fsapi.IsErrno(err, fsapi.ENOENT) {
+		t.Fatalf("unlinked file still visible: %v", err)
+	}
+
+	// The original descriptor still reads valid data.
+	if _, err := writer.Seek(fd, 0, fsapi.SeekSet); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 32)
+	n, err := writer.Read(fd, buf)
+	if err != nil || string(buf[:n]) != "still here" {
+		t.Fatalf("read after unlink: %q, %v", buf[:n], err)
+	}
+	if err := writer.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSeekPreadPwriteFtruncate(t *testing.T) {
+	sys := newTestSystem(t, 2, 2)
+	cli := sys.NewClient(0)
+	fd, err := cli.Open("/f", fsapi.OCreate|fsapi.ORdWr, fsapi.Mode644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Write(fd, []byte("0123456789"))
+	if pos, err := cli.Seek(fd, 2, fsapi.SeekSet); err != nil || pos != 2 {
+		t.Fatalf("seek: %d %v", pos, err)
+	}
+	buf := make([]byte, 3)
+	if n, _ := cli.Read(fd, buf); n != 3 || string(buf) != "234" {
+		t.Fatalf("read after seek: %q", buf[:n])
+	}
+	if n, err := cli.Pread(fd, buf, 7); err != nil || n != 3 || string(buf) != "789" {
+		t.Fatalf("pread: %q %v", buf[:n], err)
+	}
+	if _, err := cli.Pwrite(fd, []byte("AB"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := cli.Pread(fd, buf, 0); string(buf[:n]) != "AB2" {
+		t.Fatalf("pwrite not visible: %q", buf[:n])
+	}
+	if pos, _ := cli.Seek(fd, -1, fsapi.SeekEnd); pos != 9 {
+		t.Fatalf("seek end: %d", pos)
+	}
+	if err := cli.Ftruncate(fd, 4); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := cli.Fstat(fd)
+	if st.Size != 4 {
+		t.Fatalf("size after truncate = %d", st.Size)
+	}
+	if n, _ := cli.Pread(fd, buf, 2); n != 2 {
+		t.Fatalf("read past truncation returned %d bytes", n)
+	}
+	cli.Close(fd)
+}
+
+func TestOTruncAndAppend(t *testing.T) {
+	sys := newTestSystem(t, 2, 2)
+	cli := sys.NewClient(0)
+	fd, _ := cli.Open("/log", fsapi.OCreate|fsapi.OWrOnly, fsapi.Mode644)
+	cli.Write(fd, []byte("aaaa"))
+	cli.Close(fd)
+
+	fd, err := cli.Open("/log", fsapi.OWrOnly|fsapi.OTrunc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Write(fd, []byte("bb"))
+	cli.Close(fd)
+	st, _ := cli.Stat("/log")
+	if st.Size != 2 {
+		t.Fatalf("size after O_TRUNC rewrite = %d", st.Size)
+	}
+
+	fd, err = cli.Open("/log", fsapi.OWrOnly|fsapi.OAppend, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Write(fd, []byte("cc"))
+	cli.Close(fd)
+	rfd, _ := cli.Open("/log", fsapi.ORdOnly, 0)
+	buf := make([]byte, 16)
+	n, _ := cli.Read(rfd, buf)
+	cli.Close(rfd)
+	if string(buf[:n]) != "bbcc" {
+		t.Fatalf("append result %q", buf[:n])
+	}
+}
+
+func TestDupSharesOffset(t *testing.T) {
+	sys := newTestSystem(t, 2, 2)
+	cli := sys.NewClient(0)
+	fd, _ := cli.Open("/f", fsapi.OCreate|fsapi.ORdWr, fsapi.Mode644)
+	cli.Write(fd, []byte("abcdef"))
+	cli.Seek(fd, 0, fsapi.SeekSet)
+	dup, err := cli.Dup(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	cli.Read(fd, buf)
+	// The dup'd descriptor continues where the original left off.
+	n, _ := cli.Read(dup, buf)
+	if string(buf[:n]) != "def" {
+		t.Fatalf("dup offset not shared: %q", buf[:n])
+	}
+	cli.Close(fd)
+	// Description still open through dup.
+	if _, err := cli.Read(dup, buf); err != nil {
+		t.Fatalf("read after closing one dup: %v", err)
+	}
+	cli.Close(dup)
+}
+
+func TestChdirRelativePaths(t *testing.T) {
+	sys := newTestSystem(t, 2, 2)
+	cli := sys.NewClient(0)
+	cli.Mkdir("/top", fsapi.MkdirOpt{})
+	cli.Mkdir("/top/sub", fsapi.MkdirOpt{})
+	if err := cli.Chdir("/top/sub"); err != nil {
+		t.Fatal(err)
+	}
+	if cli.Getcwd() != "/top/sub" {
+		t.Fatalf("cwd = %q", cli.Getcwd())
+	}
+	fd, err := cli.Open("rel.txt", fsapi.OCreate, fsapi.Mode644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli.Close(fd)
+	if _, err := cli.Stat("/top/sub/rel.txt"); err != nil {
+		t.Fatalf("relative create landed elsewhere: %v", err)
+	}
+	if _, err := cli.Stat("../sub/rel.txt"); err != nil {
+		t.Fatalf("dot-dot resolution failed: %v", err)
+	}
+	if err := cli.Chdir("/missing"); !fsapi.IsErrno(err, fsapi.ENOENT) {
+		t.Errorf("chdir missing: %v", err)
+	}
+	if err := cli.Chdir("/top/sub/rel.txt"); !fsapi.IsErrno(err, fsapi.ENOTDIR) {
+		t.Errorf("chdir to file: %v", err)
+	}
+}
+
+func TestPipeWithinProcess(t *testing.T) {
+	sys := newTestSystem(t, 2, 2)
+	cli := sys.NewClient(0)
+	r, w, err := cli.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := cli.Write(w, []byte("ping")); err != nil || n != 4 {
+		t.Fatalf("pipe write: %d %v", n, err)
+	}
+	buf := make([]byte, 8)
+	if n, err := cli.Read(r, buf); err != nil || string(buf[:n]) != "ping" {
+		t.Fatalf("pipe read: %q %v", buf[:n], err)
+	}
+	// EOF after the write end closes.
+	cli.Close(w)
+	if n, err := cli.Read(r, buf); err != nil || n != 0 {
+		t.Fatalf("pipe EOF: %d %v", n, err)
+	}
+	cli.Close(r)
+}
+
+func TestForkSharedFileDescriptorOffset(t *testing.T) {
+	sys := newTestSystem(t, 4, 4)
+	parent := sys.NewClient(0)
+	fd, err := parent.Open("/shared", fsapi.OCreate|fsapi.ORdWr, fsapi.Mode644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent.Write(fd, []byte("0123456789"))
+	parent.Seek(fd, 0, fsapi.SeekSet)
+
+	childFS, err := parent.CloneForFork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := childFS.(fsapi.Client)
+
+	buf := make([]byte, 4)
+	if n, err := parent.Read(fd, buf); err != nil || string(buf[:n]) != "0123" {
+		t.Fatalf("parent read: %q %v", buf[:n], err)
+	}
+	// The child shares the offset (POSIX fork semantics, §3.4): its read
+	// continues where the parent stopped.
+	if n, err := child.Read(fd, buf); err != nil || string(buf[:n]) != "4567" {
+		t.Fatalf("child read: %q %v", buf[:n], err)
+	}
+	// And the parent observes the child's progress.
+	if n, err := parent.Read(fd, buf); err != nil || string(buf[:n]) != "89" {
+		t.Fatalf("parent second read: %q %v", buf[:n], err)
+	}
+	if err := child.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	if err := parent.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForkPipeBetweenCores(t *testing.T) {
+	sys := newTestSystem(t, 4, 4)
+	parent := sys.NewClient(0)
+	r, w, err := parent.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	childFS, err := parent.CloneForFork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := childFS.(fsapi.Client)
+
+	done := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 16)
+		// Blocking read on the child until the parent writes.
+		n, _ := child.Read(r, buf)
+		done <- string(buf[:n])
+	}()
+	if _, err := parent.Write(w, []byte("jobserver")); err != nil {
+		t.Fatal(err)
+	}
+	if got := <-done; got != "jobserver" {
+		t.Fatalf("child read %q", got)
+	}
+	child.Close(r)
+	child.Close(w)
+	parent.Close(r)
+	parent.Close(w)
+}
+
+func TestStatReportsServerPlacement(t *testing.T) {
+	sys := newTestSystem(t, 4, 4)
+	cli := sys.NewClient(0)
+	cli.Mkdir("/spread", fsapi.MkdirOpt{Distributed: true})
+	servers := make(map[int]bool)
+	for i := 0; i < 32; i++ {
+		name := fmt.Sprintf("/spread/f%02d", i)
+		fd, err := cli.Open(name, fsapi.OCreate, fsapi.Mode644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli.Close(fd)
+		st, err := cli.Stat(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[st.Server] = true
+	}
+	if len(servers) < 2 {
+		t.Fatalf("distributed directory placed all inodes on %d server(s)", len(servers))
+	}
+}
+
+func TestServerStatsAndClocks(t *testing.T) {
+	sys := newTestSystem(t, 2, 2)
+	cli := sys.NewClient(0)
+	fd, _ := cli.Open("/x", fsapi.OCreate|fsapi.OWrOnly, fsapi.Mode644)
+	cli.Write(fd, []byte("y"))
+	cli.Close(fd)
+	stats := sys.ServerStats()
+	var totalOps uint64
+	for _, s := range stats {
+		for _, n := range s.Ops {
+			totalOps += n
+		}
+	}
+	if totalOps == 0 {
+		t.Fatal("servers report no operations")
+	}
+	if sys.MaxServerClock() == 0 {
+		t.Fatal("server clocks did not advance")
+	}
+	if sys.Seconds(2_400_000_000) < 0.9 {
+		t.Fatal("Seconds conversion wrong")
+	}
+	if cli.Clock() == 0 {
+		t.Fatal("client clock did not advance")
+	}
+}

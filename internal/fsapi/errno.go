@@ -1,0 +1,79 @@
+// Package fsapi defines the POSIX-like file system interface shared by the
+// Hare file system and the baseline file systems (ramfs, unfs).
+//
+// Benchmarks and example applications are written against this interface so
+// that the same workload can be replayed on any backend.
+package fsapi
+
+import "fmt"
+
+// Errno is a POSIX-style error number. The zero value (OK) means no error,
+// but functions return nil rather than OK on success.
+type Errno int
+
+// Errno values used throughout the file system implementations.
+const (
+	OK Errno = iota
+	EPERM
+	ENOENT
+	EIO
+	EBADF
+	EAGAIN
+	ENOMEM
+	EACCES
+	EBUSY
+	EEXIST
+	EXDEV
+	ENOTDIR
+	EISDIR
+	EINVAL
+	EMFILE
+	ENOSPC
+	ESPIPE
+	EROFS
+	EPIPE
+	ENAMETOOLONG
+	ENOTEMPTY
+	ENOSYS
+	ESTALE
+)
+
+var errnoNames = map[Errno]string{
+	OK:           "OK",
+	EPERM:        "EPERM: operation not permitted",
+	ENOENT:       "ENOENT: no such file or directory",
+	EIO:          "EIO: input/output error",
+	EBADF:        "EBADF: bad file descriptor",
+	EAGAIN:       "EAGAIN: resource temporarily unavailable",
+	ENOMEM:       "ENOMEM: cannot allocate memory",
+	EACCES:       "EACCES: permission denied",
+	EBUSY:        "EBUSY: device or resource busy",
+	EEXIST:       "EEXIST: file exists",
+	EXDEV:        "EXDEV: invalid cross-device link",
+	ENOTDIR:      "ENOTDIR: not a directory",
+	EISDIR:       "EISDIR: is a directory",
+	EINVAL:       "EINVAL: invalid argument",
+	EMFILE:       "EMFILE: too many open files",
+	ENOSPC:       "ENOSPC: no space left on device",
+	ESPIPE:       "ESPIPE: illegal seek",
+	EROFS:        "EROFS: read-only file system",
+	EPIPE:        "EPIPE: broken pipe",
+	ENAMETOOLONG: "ENAMETOOLONG: file name too long",
+	ENOTEMPTY:    "ENOTEMPTY: directory not empty",
+	ENOSYS:       "ENOSYS: function not implemented",
+	ESTALE:       "ESTALE: stale file handle",
+}
+
+// Error implements the error interface.
+func (e Errno) Error() string {
+	if s, ok := errnoNames[e]; ok {
+		return s
+	}
+	return fmt.Sprintf("errno(%d)", int(e))
+}
+
+// IsErrno reports whether err is the given errno value.
+func IsErrno(err error, want Errno) bool {
+	e, ok := err.(Errno)
+	return ok && e == want
+}

@@ -1,0 +1,84 @@
+package fsapi
+
+import "strings"
+
+// SplitPath splits a slash-separated path into its components, dropping empty
+// components and single dots. It does not resolve "..": callers that need it
+// use ResolveDots first. The returned slice is never nil.
+func SplitPath(path string) []string {
+	parts := strings.Split(path, "/")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p == "" || p == "." {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// IsAbs reports whether the path is absolute.
+func IsAbs(path string) bool {
+	return strings.HasPrefix(path, "/")
+}
+
+// Join joins path elements with slashes, collapsing duplicate separators.
+func Join(elems ...string) string {
+	joined := strings.Join(elems, "/")
+	comps := SplitPath(joined)
+	if IsAbs(joined) {
+		return "/" + strings.Join(comps, "/")
+	}
+	return strings.Join(comps, "/")
+}
+
+// ResolveDots removes "." and resolves ".." components lexically against an
+// absolute path. The input must be absolute; the output is absolute.
+func ResolveDots(path string) string {
+	comps := SplitPath(path)
+	out := make([]string, 0, len(comps))
+	for _, c := range comps {
+		if c == ".." {
+			if len(out) > 0 {
+				out = out[:len(out)-1]
+			}
+			continue
+		}
+		out = append(out, c)
+	}
+	return "/" + strings.Join(out, "/")
+}
+
+// SplitDirBase splits a path into its directory portion and final component.
+// SplitDirBase("/a/b/c") returns ("/a/b", "c"); SplitDirBase("/a") returns
+// ("/", "a"); SplitDirBase("/") returns ("/", ".").
+func SplitDirBase(path string) (dir, base string) {
+	comps := SplitPath(path)
+	if len(comps) == 0 {
+		return "/", "."
+	}
+	base = comps[len(comps)-1]
+	prefix := comps[:len(comps)-1]
+	if IsAbs(path) {
+		return "/" + strings.Join(prefix, "/"), base
+	}
+	if len(prefix) == 0 {
+		return ".", base
+	}
+	return strings.Join(prefix, "/"), base
+}
+
+// ValidName reports whether name is a legal directory entry name: non-empty,
+// no slash, not "." or "..", and at most NameMax bytes.
+func ValidName(name string) bool {
+	if name == "" || name == "." || name == ".." {
+		return false
+	}
+	if len(name) > NameMax {
+		return false
+	}
+	return !strings.Contains(name, "/")
+}
+
+// NameMax is the maximum length of a single path component.
+const NameMax = 255

@@ -1,0 +1,171 @@
+package fsapi
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitPath(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"/", nil},
+		{"", nil},
+		{"/a/b/c", []string{"a", "b", "c"}},
+		{"a/b", []string{"a", "b"}},
+		{"//a///b/", []string{"a", "b"}},
+		{"/a/./b", []string{"a", "b"}},
+		{".", nil},
+	}
+	for _, c := range cases {
+		got := SplitPath(c.in)
+		if len(got) != len(c.want) {
+			t.Errorf("SplitPath(%q) = %v, want %v", c.in, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("SplitPath(%q)[%d] = %q, want %q", c.in, i, got[i], c.want[i])
+			}
+		}
+	}
+}
+
+func TestIsAbs(t *testing.T) {
+	if !IsAbs("/a") {
+		t.Error("IsAbs(/a) = false")
+	}
+	if IsAbs("a/b") {
+		t.Error("IsAbs(a/b) = true")
+	}
+	if IsAbs("") {
+		t.Error("IsAbs(\"\") = true")
+	}
+}
+
+func TestJoin(t *testing.T) {
+	cases := []struct {
+		elems []string
+		want  string
+	}{
+		{[]string{"/a", "b"}, "/a/b"},
+		{[]string{"a", "b", "c"}, "a/b/c"},
+		{[]string{"/", "x"}, "/x"},
+		{[]string{"/a/", "/b/"}, "/a/b"},
+	}
+	for _, c := range cases {
+		if got := Join(c.elems...); got != c.want {
+			t.Errorf("Join(%v) = %q, want %q", c.elems, got, c.want)
+		}
+	}
+}
+
+func TestResolveDots(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"/a/b/../c", "/a/c"},
+		{"/a/../../b", "/b"},
+		{"/..", "/"},
+		{"/a/./b/.", "/a/b"},
+		{"/", "/"},
+	}
+	for _, c := range cases {
+		if got := ResolveDots(c.in); got != c.want {
+			t.Errorf("ResolveDots(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSplitDirBase(t *testing.T) {
+	cases := []struct{ in, dir, base string }{
+		{"/a/b/c", "/a/b", "c"},
+		{"/a", "/", "a"},
+		{"/", "/", "."},
+		{"a/b", "a", "b"},
+		{"name", ".", "name"},
+	}
+	for _, c := range cases {
+		dir, base := SplitDirBase(c.in)
+		if dir != c.dir || base != c.base {
+			t.Errorf("SplitDirBase(%q) = (%q, %q), want (%q, %q)", c.in, dir, base, c.dir, c.base)
+		}
+	}
+}
+
+func TestValidName(t *testing.T) {
+	if ValidName("") || ValidName(".") || ValidName("..") || ValidName("a/b") {
+		t.Error("invalid names accepted")
+	}
+	if !ValidName("hello.txt") {
+		t.Error("valid name rejected")
+	}
+	if ValidName(strings.Repeat("x", NameMax+1)) {
+		t.Error("overlong name accepted")
+	}
+	if !ValidName(strings.Repeat("x", NameMax)) {
+		t.Error("max-length name rejected")
+	}
+}
+
+// Property: ResolveDots output is always absolute and contains no dot
+// components.
+func TestResolveDotsProperty(t *testing.T) {
+	f := func(parts []string) bool {
+		path := "/" + strings.Join(parts, "/")
+		out := ResolveDots(path)
+		if !IsAbs(out) {
+			return false
+		}
+		for _, c := range SplitPath(out) {
+			if c == "." || c == ".." {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Join of a dir and base from SplitDirBase round-trips for clean
+// absolute paths.
+func TestSplitJoinRoundTrip(t *testing.T) {
+	paths := []string{"/a", "/a/b", "/x/y/z", "/dir/file.txt"}
+	for _, p := range paths {
+		dir, base := SplitDirBase(p)
+		if got := Join(dir, base); got != p {
+			t.Errorf("Join(SplitDirBase(%q)) = %q", p, got)
+		}
+	}
+}
+
+func TestErrnoError(t *testing.T) {
+	if ENOENT.Error() == "" || Errno(9999).Error() == "" {
+		t.Error("Errno.Error returned empty string")
+	}
+	if !IsErrno(ENOENT, ENOENT) {
+		t.Error("IsErrno(ENOENT, ENOENT) = false")
+	}
+	if IsErrno(nil, ENOENT) || IsErrno(EEXIST, ENOENT) {
+		t.Error("IsErrno matched wrong error")
+	}
+}
+
+func TestModeOwnerBits(t *testing.T) {
+	if Mode644.OwnerBits() != ModeRead|ModeWrite {
+		t.Errorf("Mode644 owner bits = %o", Mode644.OwnerBits())
+	}
+	if Mode755.OwnerBits() != ModeAll {
+		t.Errorf("Mode755 owner bits = %o", Mode755.OwnerBits())
+	}
+}
+
+func TestFileTypeString(t *testing.T) {
+	for ft, want := range map[FileType]string{TypeRegular: "file", TypeDir: "dir", TypePipe: "pipe", FileType(99): "unknown"} {
+		if ft.String() != want {
+			t.Errorf("FileType(%d).String() = %q, want %q", ft, ft.String(), want)
+		}
+	}
+}

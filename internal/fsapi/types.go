@@ -1,0 +1,149 @@
+package fsapi
+
+// Open flags, modelled after POSIX. Only the flags the Hare prototype (and
+// the workloads in this repository) use are defined.
+const (
+	ORdOnly  = 0x0
+	OWrOnly  = 0x1
+	ORdWr    = 0x2
+	OCreate  = 0x40
+	OExcl    = 0x80
+	OTrunc   = 0x200
+	OAppend  = 0x400
+	ODir     = 0x10000
+	OAccMode = 0x3
+)
+
+// Whence values for Seek.
+const (
+	SeekSet = 0
+	SeekCur = 1
+	SeekEnd = 2
+)
+
+// FileType describes the type of an inode.
+type FileType uint8
+
+// Inode types.
+const (
+	TypeRegular FileType = iota + 1
+	TypeDir
+	TypePipe
+)
+
+// String returns a short human-readable name for the file type.
+func (t FileType) String() string {
+	switch t {
+	case TypeRegular:
+		return "file"
+	case TypeDir:
+		return "dir"
+	case TypePipe:
+		return "pipe"
+	default:
+		return "unknown"
+	}
+}
+
+// FD is a per-process file descriptor number.
+type FD int
+
+// Mode captures permission bits. The prototype performs standard POSIX
+// permission checks on the owner bits only (all processes share one uid).
+type Mode uint16
+
+// Common mode constants.
+const (
+	ModeRead  Mode = 0o4
+	ModeWrite Mode = 0o2
+	ModeExec  Mode = 0o1
+	ModeAll   Mode = 0o7
+	Mode644   Mode = 0o644
+	Mode755   Mode = 0o755
+)
+
+// OwnerBits extracts the owner permission bits of the mode.
+func (m Mode) OwnerBits() Mode { return (m >> 6) & ModeAll }
+
+// Stat describes an inode, as returned by Stat/Fstat.
+type Stat struct {
+	Ino   uint64
+	Type  FileType
+	Size  int64
+	Nlink int
+	Mode  Mode
+	// Server is the id of the file server storing the inode. It is
+	// informational (used by tests and tooling); baselines report 0.
+	Server int
+}
+
+// Dirent is one directory entry as returned by ReadDir.
+type Dirent struct {
+	Name string
+	Ino  uint64
+	Type FileType
+}
+
+// MkdirOpt controls directory creation.
+type MkdirOpt struct {
+	// Distributed requests that the directory's entries be sharded across
+	// all file servers (Hare's directory distribution). Baselines ignore it.
+	Distributed bool
+	Mode        Mode
+}
+
+// Client is the per-process POSIX-like interface offered by every file system
+// backend in this repository. A Client is not safe for concurrent use by
+// multiple goroutines; each simulated process owns its own Client.
+type Client interface {
+	// Open opens path with the given flags, creating it with mode if
+	// OCreate is set. It returns a process-local file descriptor.
+	Open(path string, flags int, mode Mode) (FD, error)
+	// Close closes a file descriptor.
+	Close(fd FD) error
+	// Read reads up to len(p) bytes from the current offset.
+	Read(fd FD, p []byte) (int, error)
+	// Write writes len(p) bytes at the current offset.
+	Write(fd FD, p []byte) (int, error)
+	// Pread reads at an explicit offset without moving the fd offset.
+	Pread(fd FD, p []byte, off int64) (int, error)
+	// Pwrite writes at an explicit offset without moving the fd offset.
+	Pwrite(fd FD, p []byte, off int64) (int, error)
+	// Seek repositions the fd offset.
+	Seek(fd FD, off int64, whence int) (int64, error)
+	// Fsync forces dirty data for fd back to shared memory (or "disk").
+	Fsync(fd FD) error
+	// Ftruncate truncates the open file to the given size.
+	Ftruncate(fd FD, size int64) error
+	// Unlink removes a directory entry (and the file once unreferenced).
+	Unlink(path string) error
+	// Mkdir creates a directory.
+	Mkdir(path string, opt MkdirOpt) error
+	// Rmdir removes an empty directory.
+	Rmdir(path string) error
+	// Rename atomically renames oldPath to newPath.
+	Rename(oldPath, newPath string) error
+	// ReadDir lists the entries of a directory.
+	ReadDir(path string) ([]Dirent, error)
+	// Stat returns metadata for a path.
+	Stat(path string) (Stat, error)
+	// Fstat returns metadata for an open descriptor.
+	Fstat(fd FD) (Stat, error)
+	// Pipe creates a pipe and returns the read and write descriptors.
+	Pipe() (FD, FD, error)
+	// Dup duplicates a descriptor within the process.
+	Dup(fd FD) (FD, error)
+	// Chdir changes the process working directory.
+	Chdir(path string) error
+	// Getcwd returns the process working directory.
+	Getcwd() string
+}
+
+// Forker is implemented by backends whose descriptors can be shared across
+// processes (Hare and ramfs). CloneForFork duplicates the descriptor table
+// for a child process, sharing offsets per POSIX fork semantics.
+type Forker interface {
+	// CloneForFork returns a new Client for the child process running on
+	// the given core, with all descriptors shared with the parent.
+	CloneForFork(childCore int) (Client, error)
+}

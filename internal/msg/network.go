@@ -1,0 +1,206 @@
+package msg
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// EndpointID identifies a message endpoint (a file server, a scheduling
+// server, or a client library instance).
+type EndpointID int
+
+// Envelope is one message in flight.
+type Envelope struct {
+	Src     EndpointID
+	Dst     EndpointID
+	Kind    uint16
+	Payload []byte
+	// SentAt is the sender's virtual time when the message was sent;
+	// ArriveAt is when it becomes visible at the receiver (SentAt plus
+	// propagation latency).
+	SentAt   sim.Cycles
+	ArriveAt sim.Cycles
+	// Reply, when non-nil, is where the receiver should push its response.
+	// It models a reply capability carried in the request.
+	Reply *Queue
+}
+
+// Endpoint is one attachment point on the network. Each endpoint has a
+// request inbox and a callback queue (used by Hare for directory-cache
+// invalidations, which must not be interleaved with RPC replies).
+type Endpoint struct {
+	ID        EndpointID
+	Core      int
+	Inbox     *Queue
+	Callbacks *Queue
+	net       *Network
+}
+
+// Network routes envelopes between endpoints, applying topology-dependent
+// latency and recording statistics.
+type Network struct {
+	machine Machine
+
+	mu        sync.Mutex
+	endpoints map[EndpointID]*Endpoint
+	nextID    EndpointID
+
+	stats Stats
+}
+
+// Machine is the subset of sim.Machine the network needs; it is satisfied by
+// *sim.Machine and allows tests to substitute simpler fakes.
+type Machine interface {
+	CostModel() sim.CostModel
+	DistanceBetween(a, b int) sim.Distance
+}
+
+// simMachine adapts *sim.Machine to the Machine interface.
+type simMachine struct{ m *sim.Machine }
+
+func (s simMachine) CostModel() sim.CostModel { return s.m.Cost }
+func (s simMachine) DistanceBetween(a, b int) sim.Distance {
+	return s.m.Topo.Distance(a, b)
+}
+
+// WrapMachine adapts a *sim.Machine for use with NewNetwork.
+func WrapMachine(m *sim.Machine) Machine { return simMachine{m} }
+
+// Stats aggregates message counts.
+type Stats struct {
+	Messages  atomic.Uint64
+	Bytes     atomic.Uint64
+	Callbacks atomic.Uint64
+}
+
+// NewNetwork creates an empty network over the given machine model.
+func NewNetwork(m Machine) *Network {
+	return &Network{
+		machine:   m,
+		endpoints: make(map[EndpointID]*Endpoint),
+	}
+}
+
+// NewEndpoint registers a new endpoint pinned to the given core.
+func (n *Network) NewEndpoint(core int) *Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	id := n.nextID
+	n.nextID++
+	ep := &Endpoint{
+		ID:        id,
+		Core:      core,
+		Inbox:     NewQueue(),
+		Callbacks: NewQueue(),
+		net:       n,
+	}
+	n.endpoints[id] = ep
+	return ep
+}
+
+// Endpoint returns a registered endpoint by id.
+func (n *Network) Endpoint(id EndpointID) (*Endpoint, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep, ok := n.endpoints[id]
+	return ep, ok
+}
+
+// MessageCount returns the total number of messages sent so far.
+func (n *Network) MessageCount() uint64 { return n.stats.Messages.Load() }
+
+// ByteCount returns the total payload bytes sent so far.
+func (n *Network) ByteCount() uint64 { return n.stats.Bytes.Load() }
+
+// CallbackCount returns the number of callback (invalidation) messages sent.
+func (n *Network) CallbackCount() uint64 { return n.stats.Callbacks.Load() }
+
+// route computes the arrival time of an envelope sent at sentAt from srcCore
+// to dstCore with the given payload size.
+func (n *Network) route(srcCore, dstCore int, sentAt sim.Cycles, payload int) sim.Cycles {
+	cost := n.machine.CostModel()
+	d := n.machine.DistanceBetween(srcCore, dstCore)
+	return sentAt + cost.MsgLatency(d, payload)
+}
+
+// Send delivers an envelope to dst's request inbox. When Send returns the
+// envelope is already in the destination queue (atomic delivery). It returns
+// the arrival time at the destination.
+func (n *Network) Send(src *Endpoint, dst EndpointID, kind uint16, payload []byte, sentAt sim.Cycles, reply *Queue) (sim.Cycles, error) {
+	n.mu.Lock()
+	dep, ok := n.endpoints[dst]
+	n.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("msg: send to unknown endpoint %d", dst)
+	}
+	arrive := n.route(src.Core, dep.Core, sentAt, len(payload))
+	env := Envelope{
+		Src:      src.ID,
+		Dst:      dst,
+		Kind:     kind,
+		Payload:  payload,
+		SentAt:   sentAt,
+		ArriveAt: arrive,
+		Reply:    reply,
+	}
+	dep.Inbox.Push(env)
+	n.stats.Messages.Add(1)
+	n.stats.Bytes.Add(uint64(len(payload)))
+	return arrive, nil
+}
+
+// SendCallback delivers an envelope to dst's callback queue (used for
+// directory-cache invalidations). Like Send, delivery is atomic.
+func (n *Network) SendCallback(src *Endpoint, dst EndpointID, kind uint16, payload []byte, sentAt sim.Cycles) (sim.Cycles, error) {
+	n.mu.Lock()
+	dep, ok := n.endpoints[dst]
+	n.mu.Unlock()
+	if !ok {
+		return 0, fmt.Errorf("msg: callback to unknown endpoint %d", dst)
+	}
+	arrive := n.route(src.Core, dep.Core, sentAt, len(payload))
+	env := Envelope{
+		Src:      src.ID,
+		Dst:      dst,
+		Kind:     kind,
+		Payload:  payload,
+		SentAt:   sentAt,
+		ArriveAt: arrive,
+	}
+	dep.Callbacks.Push(env)
+	n.stats.Messages.Add(1)
+	n.stats.Callbacks.Add(1)
+	n.stats.Bytes.Add(uint64(len(payload)))
+	return arrive, nil
+}
+
+// Reply pushes a response envelope onto the reply queue carried by a request.
+// The caller supplies its own endpoint (for core/latency accounting).
+func (n *Network) Reply(from *Endpoint, req Envelope, kind uint16, payload []byte, sentAt sim.Cycles) sim.Cycles {
+	if req.Reply == nil {
+		return sentAt
+	}
+	// The requester's core is needed for latency; look it up.
+	n.mu.Lock()
+	sep, ok := n.endpoints[req.Src]
+	n.mu.Unlock()
+	dstCore := from.Core
+	if ok {
+		dstCore = sep.Core
+	}
+	arrive := n.route(from.Core, dstCore, sentAt, len(payload))
+	req.Reply.Push(Envelope{
+		Src:      from.ID,
+		Dst:      req.Src,
+		Kind:     kind,
+		Payload:  payload,
+		SentAt:   sentAt,
+		ArriveAt: arrive,
+	})
+	n.stats.Messages.Add(1)
+	n.stats.Bytes.Add(uint64(len(payload)))
+	return arrive
+}

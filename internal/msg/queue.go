@@ -1,0 +1,117 @@
+// Package msg implements Hare's message-passing layer.
+//
+// The layer provides the property the paper calls *atomic message delivery*:
+// when Send returns, the message is already present in the receiver's queue.
+// Hare's directory-cache invalidation protocol depends on this property —
+// a server can proceed as soon as it has sent invalidations, and a client
+// that drains its invalidation queue before using its cache is guaranteed to
+// observe any invalidation that was sent before its lookup began.
+//
+// Queues are unbounded so that a sender never blocks; this mirrors the
+// paper's shared-memory message queues and avoids any possibility of
+// distributed deadlock between servers and clients.
+package msg
+
+import "sync"
+
+// Queue is an unbounded multi-producer queue of Envelopes. Pop order is FIFO.
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []Envelope
+	closed bool
+}
+
+// NewQueue returns an empty queue.
+func NewQueue() *Queue {
+	q := &Queue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Push appends an envelope to the queue. Push never blocks; by the time it
+// returns the envelope is visible to Pop/PopWait (atomic delivery).
+func (q *Queue) Push(e Envelope) {
+	q.mu.Lock()
+	q.items = append(q.items, e)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+// TryPop removes and returns the oldest envelope, if any.
+func (q *Queue) TryPop() (Envelope, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return Envelope{}, false
+	}
+	e := q.items[0]
+	q.items = q.items[1:]
+	return e, true
+}
+
+// PopWait blocks until an envelope is available or the queue is closed. The
+// second return value is false only when the queue has been closed and
+// drained.
+func (q *Queue) PopWait() (Envelope, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return Envelope{}, false
+	}
+	e := q.items[0]
+	q.items = q.items[1:]
+	return e, true
+}
+
+// PopWaitEarliest blocks until an envelope is available and returns the one
+// with the smallest virtual arrival time among those currently queued. File
+// servers drain their inbox with it so that requests queued concurrently are
+// served in virtual-time order, which keeps the queueing model accurate even
+// when goroutine scheduling delivers them out of order.
+func (q *Queue) PopWaitEarliest() (Envelope, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 && !q.closed {
+		q.cond.Wait()
+	}
+	if len(q.items) == 0 {
+		return Envelope{}, false
+	}
+	best := 0
+	for i, e := range q.items {
+		if e.ArriveAt < q.items[best].ArriveAt {
+			best = i
+		}
+		_ = e
+	}
+	e := q.items[best]
+	q.items = append(q.items[:best], q.items[best+1:]...)
+	return e, true
+}
+
+// Len returns the number of queued envelopes.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+// Close wakes all waiters; subsequent PopWait calls return false once the
+// queue is drained.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}

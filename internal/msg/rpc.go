@@ -1,0 +1,77 @@
+package msg
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// RPC performs a synchronous request/response exchange: it sends a request
+// from src to dst, blocks until the reply arrives, and returns the reply
+// envelope. The returned arrival time is the virtual time at which the reply
+// is available at the caller; the caller is responsible for advancing its
+// clock to that time and charging receive-side costs.
+func (n *Network) RPC(src *Endpoint, dst EndpointID, kind uint16, payload []byte, sentAt sim.Cycles) (Envelope, error) {
+	reply := NewQueue()
+	if _, err := n.Send(src, dst, kind, payload, sentAt, reply); err != nil {
+		return Envelope{}, err
+	}
+	env, ok := reply.PopWait()
+	if !ok {
+		return Envelope{}, fmt.Errorf("msg: rpc to endpoint %d: reply queue closed", dst)
+	}
+	return env, nil
+}
+
+// BroadcastResult is one reply from a broadcast RPC.
+type BroadcastResult struct {
+	Dst EndpointID
+	Env Envelope
+	Err error
+}
+
+// Broadcast sends the same request to every destination and waits for all
+// replies. When parallel is true, the requests are sent back-to-back so the
+// RPC latencies overlap (the paper's Directory Broadcast optimization); when
+// false the exchanges are performed strictly one after another, each new
+// request being sent only after the previous reply arrived at sentAt' =
+// previous reply arrival. The per-destination results are returned in the
+// order of dsts.
+func (n *Network) Broadcast(src *Endpoint, dsts []EndpointID, kind uint16, payload []byte, sentAt sim.Cycles, parallel bool) []BroadcastResult {
+	results := make([]BroadcastResult, len(dsts))
+	if parallel {
+		queues := make([]*Queue, len(dsts))
+		for i, d := range dsts {
+			queues[i] = NewQueue()
+			if _, err := n.Send(src, d, kind, payload, sentAt, queues[i]); err != nil {
+				results[i] = BroadcastResult{Dst: d, Err: err}
+				queues[i] = nil
+			}
+		}
+		for i, q := range queues {
+			if q == nil {
+				continue
+			}
+			env, ok := q.PopWait()
+			if !ok {
+				results[i] = BroadcastResult{Dst: dsts[i], Err: fmt.Errorf("msg: broadcast reply queue closed")}
+				continue
+			}
+			results[i] = BroadcastResult{Dst: dsts[i], Env: env}
+		}
+		return results
+	}
+	now := sentAt
+	for i, d := range dsts {
+		env, err := n.RPC(src, d, kind, payload, now)
+		if err != nil {
+			results[i] = BroadcastResult{Dst: d, Err: err}
+			continue
+		}
+		results[i] = BroadcastResult{Dst: d, Env: env}
+		if env.ArriveAt > now {
+			now = env.ArriveAt
+		}
+	}
+	return results
+}

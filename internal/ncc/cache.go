@@ -1,0 +1,190 @@
+package ncc
+
+import "sync"
+
+// PrivateCache models one core's private (L1/L2) cache over the shared DRAM.
+// It is a write-back cache with no hardware coherence: a cached copy can be
+// stale with respect to DRAM, and dirty data is invisible to other cores
+// until written back.
+//
+// A PrivateCache may be used by several simulated entities pinned to the same
+// core, so it is internally synchronized; it is still "private" in the sense
+// that no other core's cache observes its contents.
+type PrivateCache struct {
+	dram *DRAM
+
+	mu    sync.Mutex
+	lines map[BlockID]*cachedBlock
+
+	// statistics
+	hits       uint64
+	misses     uint64
+	writebacks uint64
+	invalidns  uint64
+}
+
+type cachedBlock struct {
+	data  []byte
+	dirty bool
+}
+
+// NewPrivateCache creates an empty private cache over the given DRAM.
+func NewPrivateCache(d *DRAM) *PrivateCache {
+	return &PrivateCache{
+		dram:  d,
+		lines: make(map[BlockID]*cachedBlock),
+	}
+}
+
+// DRAM returns the shared memory behind this cache.
+func (c *PrivateCache) DRAM() *DRAM { return c.dram }
+
+// fetch returns the cached copy of b, loading it from DRAM on a miss.
+// The caller must hold c.mu.
+func (c *PrivateCache) fetch(b BlockID) *cachedBlock {
+	if cb, ok := c.lines[b]; ok {
+		c.hits++
+		return cb
+	}
+	c.misses++
+	cb := &cachedBlock{data: make([]byte, c.dram.BlockSize())}
+	c.dram.read(b, 0, cb.data)
+	c.lines[b] = cb
+	return cb
+}
+
+// Read copies data from the (possibly stale) cached copy of block b starting
+// at off into dst. It returns the number of bytes copied and whether the
+// access hit in the private cache (misses are charged DRAM latency by the
+// caller).
+func (c *PrivateCache) Read(b BlockID, off int, dst []byte) (n int, hit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, hit = c.lines[b]
+	cb := c.fetch(b)
+	if off >= len(cb.data) {
+		return 0, hit
+	}
+	return copy(dst, cb.data[off:]), hit
+}
+
+// Write copies src into the cached copy of block b at off and marks the block
+// dirty. The data is NOT visible in DRAM until Writeback. Returns bytes
+// written and whether the block was already cached.
+func (c *PrivateCache) Write(b BlockID, off int, src []byte) (n int, hit bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, hit = c.lines[b]
+	cb := c.fetch(b)
+	if off >= len(cb.data) {
+		return 0, hit
+	}
+	n = copy(cb.data[off:], src)
+	if n > 0 {
+		cb.dirty = true
+	}
+	return n, hit
+}
+
+// Invalidate drops any cached copies of the given blocks, discarding dirty
+// data. Hare calls this on open() so subsequent reads observe the latest
+// data written back by other cores. It returns the number of blocks that
+// were actually cached (for cost accounting).
+func (c *PrivateCache) Invalidate(blocks []BlockID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	for _, b := range blocks {
+		if _, ok := c.lines[b]; ok {
+			delete(c.lines, b)
+			dropped++
+		}
+	}
+	c.invalidns += uint64(dropped)
+	return dropped
+}
+
+// Writeback flushes dirty cached copies of the given blocks to DRAM, leaving
+// clean copies in the cache. Hare calls this on close() and fsync(). It
+// returns the number of blocks flushed.
+func (c *PrivateCache) Writeback(blocks []BlockID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	flushed := 0
+	for _, b := range blocks {
+		cb, ok := c.lines[b]
+		if !ok || !cb.dirty {
+			continue
+		}
+		c.dram.write(b, 0, cb.data)
+		cb.dirty = false
+		flushed++
+	}
+	c.writebacks += uint64(flushed)
+	return flushed
+}
+
+// InvalidateAll drops the entire cache contents (used when a simulated
+// process migrates or when resetting between experiments).
+func (c *PrivateCache) InvalidateAll() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := len(c.lines)
+	c.lines = make(map[BlockID]*cachedBlock)
+	c.invalidns += uint64(n)
+	return n
+}
+
+// WritebackAll flushes every dirty block to DRAM.
+func (c *PrivateCache) WritebackAll() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	flushed := 0
+	for b, cb := range c.lines {
+		if cb.dirty {
+			c.dram.write(b, 0, cb.data)
+			cb.dirty = false
+			flushed++
+		}
+	}
+	c.writebacks += uint64(flushed)
+	return flushed
+}
+
+// Dirty reports whether block b has dirty (not yet written back) data.
+func (c *PrivateCache) Dirty(b BlockID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cb, ok := c.lines[b]
+	return ok && cb.dirty
+}
+
+// Cached reports whether block b currently has a cached copy.
+func (c *PrivateCache) Cached(b BlockID) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	_, ok := c.lines[b]
+	return ok
+}
+
+// CacheStats is a snapshot of a private cache's counters.
+type CacheStats struct {
+	Hits        uint64
+	Misses      uint64
+	Writebacks  uint64
+	Invalidated uint64
+	Resident    int
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *PrivateCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Writebacks:  c.writebacks,
+		Invalidated: c.invalidns,
+		Resident:    len(c.lines),
+	}
+}

@@ -1,0 +1,118 @@
+// Package ncc models the non-cache-coherent memory system that Hare targets:
+// a shared DRAM holding the buffer cache, and per-core private write-back
+// caches that are NOT kept coherent by hardware.
+//
+// Reads through a private cache may return stale data unless software has
+// explicitly invalidated the cached copies; writes are not visible to other
+// cores until software explicitly writes them back to DRAM. Hare's client
+// library builds close-to-open consistency on top of these two primitives
+// (invalidate on open, write back on close/fsync).
+package ncc
+
+import (
+	"fmt"
+	"sync"
+)
+
+// BlockID names one block of the shared buffer cache. Block 0 is a valid
+// block; InvalidBlock is used as a sentinel.
+type BlockID uint64
+
+// InvalidBlock is the sentinel "no block" value.
+const InvalidBlock BlockID = ^BlockID(0)
+
+// DRAM is the shared memory visible to all cores. It is divided into
+// fixed-size blocks; Hare's file servers hand out blocks to files and client
+// libraries read and write them directly (through their private caches).
+type DRAM struct {
+	blockSize int
+	blocks    []dramBlock
+}
+
+type dramBlock struct {
+	mu   sync.Mutex
+	data []byte
+}
+
+// NewDRAM creates a shared memory with numBlocks blocks of blockSize bytes.
+func NewDRAM(numBlocks int, blockSize int) *DRAM {
+	if numBlocks <= 0 || blockSize <= 0 {
+		panic(fmt.Sprintf("ncc: invalid DRAM geometry %d x %d", numBlocks, blockSize))
+	}
+	return &DRAM{
+		blockSize: blockSize,
+		blocks:    make([]dramBlock, numBlocks),
+	}
+}
+
+// BlockSize returns the size of each block in bytes.
+func (d *DRAM) BlockSize() int { return d.blockSize }
+
+// NumBlocks returns the number of blocks in the shared memory.
+func (d *DRAM) NumBlocks() int { return len(d.blocks) }
+
+// validate panics on out-of-range block ids: this indicates a file system
+// bug, equivalent to a wild pointer on the real hardware.
+func (d *DRAM) validate(b BlockID) {
+	if int(b) >= len(d.blocks) {
+		panic(fmt.Sprintf("ncc: access to invalid block %d (of %d)", b, len(d.blocks)))
+	}
+}
+
+// read copies block contents into dst starting at off; returns bytes copied.
+func (d *DRAM) read(b BlockID, off int, dst []byte) int {
+	d.validate(b)
+	blk := &d.blocks[b]
+	blk.mu.Lock()
+	defer blk.mu.Unlock()
+	if blk.data == nil || off >= len(blk.data) {
+		// Unwritten DRAM reads as zeros.
+		n := d.blockSize - off
+		if n > len(dst) {
+			n = len(dst)
+		}
+		if n < 0 {
+			n = 0
+		}
+		for i := 0; i < n; i++ {
+			dst[i] = 0
+		}
+		return n
+	}
+	return copy(dst, blk.data[off:])
+}
+
+// write copies src into the block at off; returns bytes copied.
+func (d *DRAM) write(b BlockID, off int, src []byte) int {
+	d.validate(b)
+	blk := &d.blocks[b]
+	blk.mu.Lock()
+	defer blk.mu.Unlock()
+	if blk.data == nil {
+		blk.data = make([]byte, d.blockSize)
+	}
+	if off >= d.blockSize {
+		return 0
+	}
+	return copy(blk.data[off:], src)
+}
+
+// zero clears a block's contents (used when a freed block is reallocated).
+func (d *DRAM) zero(b BlockID) {
+	d.validate(b)
+	blk := &d.blocks[b]
+	blk.mu.Lock()
+	defer blk.mu.Unlock()
+	blk.data = nil
+}
+
+// ReadDirect reads directly from DRAM, bypassing any private cache. It is
+// used by tests and by the unfs baseline's single server.
+func (d *DRAM) ReadDirect(b BlockID, off int, dst []byte) int { return d.read(b, off, dst) }
+
+// WriteDirect writes directly to DRAM, bypassing any private cache.
+func (d *DRAM) WriteDirect(b BlockID, off int, src []byte) int { return d.write(b, off, src) }
+
+// ZeroBlock clears the block; file servers call this when a block moves from
+// one file to another so freed data never leaks.
+func (d *DRAM) ZeroBlock(b BlockID) { d.zero(b) }

@@ -1,0 +1,72 @@
+package ncc
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/fsapi"
+)
+
+// Partition is the slice of the shared buffer cache owned by one file server.
+// Each server allocates blocks for its files from its own partition's free
+// list (the paper notes that stealing from other servers' partitions is
+// possible but not implemented; this reproduction matches that).
+type Partition struct {
+	mu    sync.Mutex
+	free  []BlockID
+	total int
+	dram  *DRAM
+}
+
+// PartitionDRAM splits the DRAM's blocks evenly into n partitions.
+func PartitionDRAM(d *DRAM, n int) []*Partition {
+	if n <= 0 {
+		panic(fmt.Sprintf("ncc: cannot partition DRAM into %d parts", n))
+	}
+	parts := make([]*Partition, n)
+	per := d.NumBlocks() / n
+	for i := 0; i < n; i++ {
+		start := i * per
+		end := start + per
+		if i == n-1 {
+			end = d.NumBlocks()
+		}
+		p := &Partition{dram: d, total: end - start}
+		for b := start; b < end; b++ {
+			p.free = append(p.free, BlockID(b))
+		}
+		parts[i] = p
+	}
+	return parts
+}
+
+// Alloc removes and returns one free block, zeroed. It returns ENOSPC when
+// the partition is exhausted.
+func (p *Partition) Alloc() (BlockID, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.free) == 0 {
+		return InvalidBlock, fsapi.ENOSPC
+	}
+	b := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	p.dram.ZeroBlock(b)
+	return b, nil
+}
+
+// Free returns blocks to the partition's free list.
+func (p *Partition) Free(blocks []BlockID) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = append(p.free, blocks...)
+}
+
+// FreeCount returns the number of free blocks remaining.
+func (p *Partition) FreeCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.free)
+}
+
+// Total returns the total number of blocks in the partition.
+func (p *Partition) Total() int { return p.total }

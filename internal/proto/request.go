@@ -1,0 +1,162 @@
+package proto
+
+import "repro/internal/fsapi"
+
+// DirEntWire is a directory entry as carried on the wire.
+type DirEntWire struct {
+	Name  string
+	Ino   InodeID
+	Ftype fsapi.FileType
+}
+
+// StatWire is inode metadata as carried on the wire.
+type StatWire struct {
+	Ino   InodeID
+	Ftype fsapi.FileType
+	Size  int64
+	Nlink int32
+	Mode  fsapi.Mode
+}
+
+// FdSpec describes one inherited file descriptor in an exec request, so the
+// new process on the remote core can reconstruct its descriptor table.
+type FdSpec struct {
+	Fd     int32   // descriptor number in the new process
+	Ino    InodeID // backing inode
+	SrvFd  FdID    // server-side shared descriptor (offset lives at server)
+	Flags  int32   // open flags
+	Offset int64   // offset (only meaningful when SrvFd == NilFd)
+	Local  bool    // core-local descriptor (console); accesses proxied back
+	Pipe   bool    // descriptor refers to a pipe endpoint
+	Write  bool    // pipe write end (vs read end)
+}
+
+// Request is the single request message shape used for every operation.
+// Only the fields relevant to the given Op are meaningful; the rest are
+// zero. Using one fixed shape mirrors message-passing kernels that exchange
+// fixed-format message structs, and keeps marshaling simple and uniform.
+type Request struct {
+	Op       Op
+	ClientID int32 // registered client-library id (for invalidation tracking)
+
+	Dir    InodeID // parent directory inode
+	Name   string  // directory entry name
+	Target InodeID // inode operated on / linked to
+	Ftype  fsapi.FileType
+	Mode   fsapi.Mode
+	Flags  int32
+	Size   int64
+	Offset int64
+	Whence int32
+	Count  int32
+	Fd     FdID
+	Data   []byte
+
+	Distributed bool // for mkdir: shard the new directory's entries
+	Exclusive   bool // O_EXCL semantics for create
+	Replace     bool // AddMap may replace an existing entry (rename)
+	WantOpen    bool // coalesced create should also open a descriptor
+
+	// Scheduling-server fields.
+	Program string
+	Args    []string
+	Env     []string
+	Dirname string // working directory for the new process
+	Fds     []FdSpec
+	PID     int64
+	Sig     int32
+	Policy  int32 // placement policy state (round-robin counter)
+}
+
+// Marshal encodes the request into a fresh byte slice.
+func (r *Request) Marshal() []byte {
+	e := newEncoder(64 + len(r.Name) + len(r.Data) + 16*len(r.Fds))
+	e.u16(uint16(r.Op))
+	e.i32(r.ClientID)
+	e.inode(r.Dir)
+	e.str(r.Name)
+	e.inode(r.Target)
+	e.u8(uint8(r.Ftype))
+	e.u16(uint16(r.Mode))
+	e.i32(r.Flags)
+	e.i64(r.Size)
+	e.i64(r.Offset)
+	e.i32(r.Whence)
+	e.i32(r.Count)
+	e.u64(uint64(r.Fd))
+	e.blob(r.Data)
+	e.boolean(r.Distributed)
+	e.boolean(r.Exclusive)
+	e.boolean(r.Replace)
+	e.boolean(r.WantOpen)
+	e.str(r.Program)
+	e.strSlice(r.Args)
+	e.strSlice(r.Env)
+	e.str(r.Dirname)
+	e.u32(uint32(len(r.Fds)))
+	for _, f := range r.Fds {
+		e.i32(f.Fd)
+		e.inode(f.Ino)
+		e.u64(uint64(f.SrvFd))
+		e.i32(f.Flags)
+		e.i64(f.Offset)
+		e.boolean(f.Local)
+		e.boolean(f.Pipe)
+		e.boolean(f.Write)
+	}
+	e.i64(r.PID)
+	e.i32(r.Sig)
+	e.i32(r.Policy)
+	return e.bytes()
+}
+
+// UnmarshalRequest decodes a request from a wire payload.
+func UnmarshalRequest(b []byte) (*Request, error) {
+	d := newDecoder(b)
+	r := &Request{}
+	r.Op = Op(d.u16())
+	r.ClientID = d.i32()
+	r.Dir = d.inode()
+	r.Name = d.str()
+	r.Target = d.inode()
+	r.Ftype = fsapi.FileType(d.u8())
+	r.Mode = fsapi.Mode(d.u16())
+	r.Flags = d.i32()
+	r.Size = d.i64()
+	r.Offset = d.i64()
+	r.Whence = d.i32()
+	r.Count = d.i32()
+	r.Fd = FdID(d.u64())
+	r.Data = d.blob()
+	r.Distributed = d.boolean()
+	r.Exclusive = d.boolean()
+	r.Replace = d.boolean()
+	r.WantOpen = d.boolean()
+	r.Program = d.str()
+	r.Args = d.strSlice()
+	r.Env = d.strSlice()
+	r.Dirname = d.str()
+	nfds := int(d.u32())
+	if nfds > 0 {
+		r.Fds = make([]FdSpec, 0, nfds)
+		for i := 0; i < nfds; i++ {
+			var f FdSpec
+			f.Fd = d.i32()
+			f.Ino = d.inode()
+			f.SrvFd = FdID(d.u64())
+			f.Flags = d.i32()
+			f.Offset = d.i64()
+			f.Local = d.boolean()
+			f.Pipe = d.boolean()
+			f.Write = d.boolean()
+			r.Fds = append(r.Fds, f)
+		}
+	}
+	r.PID = d.i64()
+	r.Sig = d.i32()
+	r.Policy = d.i32()
+	if err := d.finish("request"); err != nil {
+		return nil, err
+	}
+	return r, nil
+}

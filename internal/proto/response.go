@@ -1,0 +1,155 @@
+package proto
+
+import "repro/internal/fsapi"
+
+// Response is the single response message shape used for every operation.
+// Err is fsapi.OK on success. Only the fields relevant to the request's Op
+// are meaningful.
+type Response struct {
+	Err fsapi.Errno
+
+	Ino    InodeID // resulting / looked-up inode
+	Server int32   // server storing the inode named by a directory entry
+	Ftype  fsapi.FileType
+	Size   int64
+	Offset int64
+	N      int64 // generic count (bytes read/written, entries removed, ...)
+	Fd     FdID
+	Blocks []uint64 // buffer-cache block list for direct access
+	Data   []byte
+	Stat   StatWire
+	Ents   []DirEntWire
+	Dist   bool  // looked-up/created directory has distributed entries
+	Refs   int32 // remaining reference count (shared fd ops)
+
+	ExitStatus int32 // exec: exit status of the remote process
+	PID        int64 // exec: pid assigned to the remote process
+}
+
+// Marshal encodes the response into a fresh byte slice.
+func (r *Response) Marshal() []byte {
+	e := newEncoder(64 + len(r.Data) + 24*len(r.Ents) + 8*len(r.Blocks))
+	e.i32(int32(r.Err))
+	e.inode(r.Ino)
+	e.i32(r.Server)
+	e.u8(uint8(r.Ftype))
+	e.i64(r.Size)
+	e.i64(r.Offset)
+	e.i64(r.N)
+	e.u64(uint64(r.Fd))
+	e.u64Slice(r.Blocks)
+	e.blob(r.Data)
+	e.inode(r.Stat.Ino)
+	e.u8(uint8(r.Stat.Ftype))
+	e.i64(r.Stat.Size)
+	e.i32(r.Stat.Nlink)
+	e.u16(uint16(r.Stat.Mode))
+	e.u32(uint32(len(r.Ents)))
+	for _, ent := range r.Ents {
+		e.str(ent.Name)
+		e.inode(ent.Ino)
+		e.u8(uint8(ent.Ftype))
+	}
+	e.boolean(r.Dist)
+	e.i32(r.Refs)
+	e.i32(r.ExitStatus)
+	e.i64(r.PID)
+	return e.bytes()
+}
+
+// UnmarshalResponse decodes a response from a wire payload.
+func UnmarshalResponse(b []byte) (*Response, error) {
+	d := newDecoder(b)
+	r := &Response{}
+	r.Err = fsapi.Errno(d.i32())
+	r.Ino = d.inode()
+	r.Server = d.i32()
+	r.Ftype = fsapi.FileType(d.u8())
+	r.Size = d.i64()
+	r.Offset = d.i64()
+	r.N = d.i64()
+	r.Fd = FdID(d.u64())
+	r.Blocks = d.u64Slice()
+	r.Data = d.blob()
+	r.Stat.Ino = d.inode()
+	r.Stat.Ftype = fsapi.FileType(d.u8())
+	r.Stat.Size = d.i64()
+	r.Stat.Nlink = d.i32()
+	r.Stat.Mode = fsapi.Mode(d.u16())
+	nents := int(d.u32())
+	if nents > 0 {
+		r.Ents = make([]DirEntWire, 0, nents)
+		for i := 0; i < nents; i++ {
+			var ent DirEntWire
+			ent.Name = d.str()
+			ent.Ino = d.inode()
+			ent.Ftype = fsapi.FileType(d.u8())
+			r.Ents = append(r.Ents, ent)
+		}
+	}
+	r.Dist = d.boolean()
+	r.Refs = d.i32()
+	r.ExitStatus = d.i32()
+	r.PID = d.i64()
+	if err := d.finish("response"); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// ErrResponse builds a response carrying only an error.
+func ErrResponse(err fsapi.Errno) *Response { return &Response{Err: err} }
+
+// Invalidation is the payload of a directory-cache invalidation callback
+// (server -> client), identifying the cached name to drop.
+type Invalidation struct {
+	Dir  InodeID
+	Name string
+}
+
+// Marshal encodes the invalidation.
+func (iv *Invalidation) Marshal() []byte {
+	e := newEncoder(24 + len(iv.Name))
+	e.inode(iv.Dir)
+	e.str(iv.Name)
+	return e.bytes()
+}
+
+// UnmarshalInvalidation decodes an invalidation callback payload.
+func UnmarshalInvalidation(b []byte) (*Invalidation, error) {
+	d := newDecoder(b)
+	iv := &Invalidation{}
+	iv.Dir = d.inode()
+	iv.Name = d.str()
+	if err := d.finish("invalidation"); err != nil {
+		return nil, err
+	}
+	return iv, nil
+}
+
+// Hash computes the directory-entry placement hash from the paper:
+// hash(dirInode, name) % NSERVERS selects the server that stores the entry
+// for `name` in the (distributed) directory `dir`. The dir is identified by
+// its inode number so renaming the parent does not re-hash its entries.
+func Hash(dir InodeID, name string) uint64 {
+	// FNV-1a over the inode id and the name.
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime64
+	}
+	for i := 0; i < 8; i++ {
+		mix(byte(dir.Local >> (8 * i)))
+	}
+	for i := 0; i < 4; i++ {
+		mix(byte(uint32(dir.Server) >> (8 * i)))
+	}
+	for i := 0; i < len(name); i++ {
+		mix(name[i])
+	}
+	return h
+}

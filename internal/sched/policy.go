@@ -1,0 +1,75 @@
+package sched
+
+import "sync/atomic"
+
+// Policy selects the core on which an exec'd process runs (§3.5). The paper
+// evaluates a random policy and a round-robin policy; round-robin state is
+// propagated so successive execs spread across cores.
+type Policy int
+
+// Placement policies.
+const (
+	// PolicyRoundRobin cycles through the application cores.
+	PolicyRoundRobin Policy = iota
+	// PolicyRandom picks a core pseudo-randomly.
+	PolicyRandom
+	// PolicyLocal always stays on the caller's core.
+	PolicyLocal
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyRoundRobin:
+		return "round-robin"
+	case PolicyRandom:
+		return "random"
+	case PolicyLocal:
+		return "local"
+	default:
+		return "unknown"
+	}
+}
+
+// placer implements placement over a fixed set of eligible cores.
+type placer struct {
+	policy Policy
+	cores  []int
+	next   atomic.Uint64
+	seed   atomic.Uint64
+}
+
+func newPlacer(policy Policy, cores []int, seed uint64) *placer {
+	p := &placer{policy: policy, cores: cores}
+	if seed == 0 {
+		seed = 0x9e3779b97f4a7c15
+	}
+	p.seed.Store(seed)
+	return p
+}
+
+// pick returns the core for the next exec originating from the given core.
+func (p *placer) pick(from int) int {
+	if len(p.cores) == 0 {
+		return from
+	}
+	switch p.policy {
+	case PolicyLocal:
+		return from
+	case PolicyRandom:
+		// xorshift* pseudo-random sequence; deterministic per run.
+		for {
+			old := p.seed.Load()
+			x := old
+			x ^= x >> 12
+			x ^= x << 25
+			x ^= x >> 27
+			if p.seed.CompareAndSwap(old, x) {
+				return p.cores[(x*0x2545F4914F6CDD1D)>>33%uint64(len(p.cores))]
+			}
+		}
+	default: // round robin
+		n := p.next.Add(1) - 1
+		return p.cores[n%uint64(len(p.cores))]
+	}
+}

@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/fsapi"
+	"repro/internal/sim"
+)
+
+// SMPConfig configures the shared-memory process system used by the baseline
+// file systems (Linux ramfs/tmpfs and the user-space NFS server). A
+// traditional cache-coherent kernel creates and migrates processes cheaply;
+// the only cost modelled is a small fork/exec overhead.
+type SMPConfig struct {
+	Machine  *sim.Machine
+	AppCores []int
+	Policy   Policy
+	Seed     uint64
+
+	// NewClient builds a process's file system client pinned to a core
+	// (used for root processes and for backends without shared
+	// descriptors).
+	NewClient func(core int) fsapi.Client
+
+	// SpawnCost is the virtual cost of fork+exec on the shared-memory OS.
+	SpawnCost sim.Cycles
+}
+
+// SMPSystem implements System for cache-coherent shared-memory baselines.
+type SMPSystem struct {
+	cfg    SMPConfig
+	placer *placer
+	pids   pidAllocator
+	ends   endTracker
+}
+
+// NewSMPSystem creates the baseline process system.
+func NewSMPSystem(cfg SMPConfig) *SMPSystem {
+	if cfg.SpawnCost == 0 {
+		cfg.SpawnCost = 20000 // ~8µs for fork+exec+scheduling
+	}
+	return &SMPSystem{cfg: cfg, placer: newPlacer(cfg.Policy, cfg.AppCores, cfg.Seed)}
+}
+
+// MaxEndTime returns the latest process completion time seen so far.
+func (sys *SMPSystem) MaxEndTime() sim.Cycles { return sys.ends.maxEnd() }
+
+// StartRoot launches an initial process on the given core. Its virtual clock
+// starts at the latest completion time observed so far so that consecutive
+// root processes compose in virtual time.
+func (sys *SMPSystem) StartRoot(core int, args []string, fn ProcFunc) *Handle {
+	cli := sys.cfg.NewClient(core)
+	if ck, ok := cli.(Clocked); ok {
+		ck.AdvanceClock(sys.ends.maxEnd())
+	}
+	proc := &Proc{PID: sys.pids.alloc(), Args: args, FS: cli, core: core, sys: sys}
+	handle := newHandle(proc.PID)
+	go func() {
+		status := fn(proc)
+		end := sys.finishProc(proc)
+		handle.finish(status, end)
+	}()
+	return handle
+}
+
+// Spawn forks a child. With remote placement the child lands on a core
+// chosen by the policy; descriptor sharing uses the backend's fork support
+// when available (ramfs), and falls back to a fresh client otherwise (the
+// NFS baseline, which cannot share descriptors across clients).
+func (sys *SMPSystem) Spawn(parent *Proc, args []string, fn ProcFunc, remote bool) (*Handle, error) {
+	core := parent.core
+	if remote {
+		core = sys.placer.pick(parent.core)
+	}
+	var childFS fsapi.Client
+	if forker, ok := parent.FS.(fsapi.Forker); ok {
+		child, err := forker.CloneForFork(core)
+		if err != nil {
+			return nil, fmt.Errorf("sched: fork failed: %w", err)
+		}
+		childFS = child
+	} else {
+		childFS = sys.cfg.NewClient(core)
+	}
+	if ck, ok := childFS.(Clocked); ok {
+		start := parent.Now() + sys.cfg.SpawnCost
+		ck.AdvanceClock(start)
+	}
+	proc := &Proc{PID: sys.pids.alloc(), Args: args, FS: childFS, core: core, sys: sys}
+	handle := newHandle(proc.PID)
+	go func() {
+		status := fn(proc)
+		end := sys.finishProc(proc)
+		handle.finish(status, end)
+	}()
+	return handle, nil
+}
+
+// finishProc closes the process's descriptors and records its end time.
+func (sys *SMPSystem) finishProc(p *Proc) sim.Cycles {
+	type closer interface{ CloseAll() }
+	if c, ok := p.FS.(closer); ok {
+		c.CloseAll()
+	}
+	end := p.Now()
+	sys.ends.record(end)
+	return end
+}

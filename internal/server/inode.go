@@ -1,0 +1,372 @@
+package server
+
+import (
+	"repro/internal/fsapi"
+	"repro/internal/ncc"
+	"repro/internal/proto"
+)
+
+// inode is the server-side representation of a file, directory or pipe.
+// Inodes live on the server that created them and never migrate.
+type inode struct {
+	local uint64
+	ftype fsapi.FileType
+	mode  fsapi.Mode
+	size  int64
+	nlink int
+
+	// blocks is the ordered buffer-cache block list holding file data.
+	blocks []ncc.BlockID
+	// fdRefs counts open file descriptors (across all client libraries)
+	// referring to this inode. Data blocks are reclaimed only when the
+	// count drops to zero (supports reading unlinked files, and defers
+	// block reuse after truncate, §3.2/§3.4).
+	fdRefs int
+	// deferred holds blocks removed by truncate that cannot be reused
+	// until all file descriptors are closed.
+	deferred []ncc.BlockID
+
+	// Directory state.
+	distributed bool
+	rmdirLocked bool
+	rmdirQueue  []parkedReq
+
+	// Pipe state.
+	pipe *pipeState
+}
+
+// id returns the global InodeID of this inode on server s.
+func (s *Server) id(ino *inode) proto.InodeID {
+	return proto.InodeID{Server: int32(s.cfg.ID), Local: ino.local}
+}
+
+// getInode looks up a local inode addressed by a request Target.
+func (s *Server) getInode(target proto.InodeID) (*inode, fsapi.Errno) {
+	if target.Server != int32(s.cfg.ID) {
+		return nil, fsapi.ESTALE
+	}
+	ino, ok := s.inodes[target.Local]
+	if !ok {
+		return nil, fsapi.ENOENT
+	}
+	return ino, fsapi.OK
+}
+
+// allocInode creates a new inode of the given type on this server.
+func (s *Server) allocInode(ftype fsapi.FileType, mode fsapi.Mode, distributed bool) *inode {
+	ino := &inode{
+		local:       s.nextIno,
+		ftype:       ftype,
+		mode:        mode,
+		nlink:       1,
+		distributed: distributed,
+	}
+	s.nextIno++
+	s.inodes[ino.local] = ino
+	return ino
+}
+
+// blockList converts the inode's block list to wire form.
+func blockList(ino *inode) []uint64 {
+	out := make([]uint64, len(ino.blocks))
+	for i, b := range ino.blocks {
+		out[i] = uint64(b)
+	}
+	return out
+}
+
+// ensureCapacity allocates blocks so the file can hold size bytes.
+func (s *Server) ensureCapacity(ino *inode, size int64) fsapi.Errno {
+	bs := int64(s.cfg.DRAM.BlockSize())
+	need := int((size + bs - 1) / bs)
+	for len(ino.blocks) < need {
+		b, err := s.cfg.Partition.Alloc()
+		if err != nil {
+			return fsapi.ENOSPC
+		}
+		ino.blocks = append(ino.blocks, b)
+	}
+	return fsapi.OK
+}
+
+// releaseData frees the inode's data blocks (and any deferred blocks) back
+// to this server's buffer-cache partition.
+func (s *Server) releaseData(ino *inode) {
+	if len(ino.blocks) > 0 {
+		s.cfg.Partition.Free(ino.blocks)
+		ino.blocks = nil
+	}
+	if len(ino.deferred) > 0 {
+		s.cfg.Partition.Free(ino.deferred)
+		ino.deferred = nil
+	}
+}
+
+// maybeReap frees the inode's storage if it is no longer referenced: no
+// links and no open file descriptors.
+func (s *Server) maybeReap(ino *inode) {
+	if ino.fdRefs > 0 {
+		return
+	}
+	// No open descriptors: deferred (truncated) blocks can be reused now.
+	if len(ino.deferred) > 0 {
+		s.cfg.Partition.Free(ino.deferred)
+		ino.deferred = nil
+	}
+	if ino.nlink <= 0 {
+		s.releaseData(ino)
+		delete(s.inodes, ino.local)
+	}
+}
+
+// statOf builds the wire Stat for an inode.
+func (s *Server) statOf(ino *inode) proto.StatWire {
+	return proto.StatWire{
+		Ino:   s.id(ino),
+		Ftype: ino.ftype,
+		Size:  ino.size,
+		Nlink: int32(ino.nlink),
+		Mode:  ino.mode,
+	}
+}
+
+// checkPerm verifies the open flags against the inode's owner permission
+// bits (the prototype runs everything as one user, like the paper's).
+func checkPerm(ino *inode, flags int32) fsapi.Errno {
+	owner := ino.mode.OwnerBits()
+	acc := flags & fsapi.OAccMode
+	if (acc == fsapi.ORdOnly || acc == fsapi.ORdWr) && owner&fsapi.ModeRead == 0 {
+		return fsapi.EACCES
+	}
+	if (acc == fsapi.OWrOnly || acc == fsapi.ORdWr) && owner&fsapi.ModeWrite == 0 {
+		return fsapi.EACCES
+	}
+	return fsapi.OK
+}
+
+// --- inode operation handlers ---
+
+func (s *Server) handleMknod(req *proto.Request) *proto.Response {
+	ftype := req.Ftype
+	if ftype == 0 {
+		ftype = fsapi.TypeRegular
+	}
+	ino := s.allocInode(ftype, req.Mode, req.Distributed)
+	return &proto.Response{Ino: s.id(ino), Ftype: ino.ftype, Dist: ino.distributed}
+}
+
+func (s *Server) handleLinkInode(req *proto.Request) *proto.Response {
+	ino, errno := s.getInode(req.Target)
+	if errno != fsapi.OK {
+		return proto.ErrResponse(errno)
+	}
+	ino.nlink++
+	return &proto.Response{N: int64(ino.nlink)}
+}
+
+func (s *Server) handleUnlinkInode(req *proto.Request) *proto.Response {
+	ino, errno := s.getInode(req.Target)
+	if errno != fsapi.OK {
+		return proto.ErrResponse(errno)
+	}
+	if ino.nlink > 0 {
+		ino.nlink--
+	}
+	s.maybeReap(ino)
+	return &proto.Response{N: int64(ino.nlink)}
+}
+
+func (s *Server) handleOpenInode(req *proto.Request) *proto.Response {
+	ino, errno := s.getInode(req.Target)
+	if errno != fsapi.OK {
+		return proto.ErrResponse(errno)
+	}
+	if ino.ftype == fsapi.TypeDir && (req.Flags&fsapi.OAccMode) != fsapi.ORdOnly {
+		return proto.ErrResponse(fsapi.EISDIR)
+	}
+	if errno := checkPerm(ino, req.Flags); errno != fsapi.OK {
+		return proto.ErrResponse(errno)
+	}
+	if req.Flags&fsapi.OTrunc != 0 && ino.ftype == fsapi.TypeRegular {
+		s.truncateTo(ino, 0)
+	}
+	ino.fdRefs++
+	return &proto.Response{
+		Ino:    s.id(ino),
+		Ftype:  ino.ftype,
+		Size:   ino.size,
+		Blocks: blockList(ino),
+		Stat:   s.statOf(ino),
+		Dist:   ino.distributed,
+	}
+}
+
+func (s *Server) handleCloseInode(req *proto.Request) *proto.Response {
+	ino, errno := s.getInode(req.Target)
+	if errno != fsapi.OK {
+		return proto.ErrResponse(errno)
+	}
+	// A close may carry the client's final view of the size (coalesced
+	// SET_SIZE + CLOSE, §3.6.3). Sizes only grow here; truncation uses
+	// OpTruncate explicitly.
+	if req.Size > ino.size {
+		ino.size = req.Size
+	}
+	if ino.fdRefs > 0 {
+		ino.fdRefs--
+	}
+	s.maybeReap(ino)
+	return &proto.Response{Size: ino.size}
+}
+
+func (s *Server) handleGetBlocks(req *proto.Request) *proto.Response {
+	ino, errno := s.getInode(req.Target)
+	if errno != fsapi.OK {
+		return proto.ErrResponse(errno)
+	}
+	return &proto.Response{Size: ino.size, Blocks: blockList(ino)}
+}
+
+func (s *Server) handleExtend(req *proto.Request) *proto.Response {
+	ino, errno := s.getInode(req.Target)
+	if errno != fsapi.OK {
+		return proto.ErrResponse(errno)
+	}
+	if errno := s.ensureCapacity(ino, req.Size); errno != fsapi.OK {
+		return proto.ErrResponse(errno)
+	}
+	return &proto.Response{Size: ino.size, Blocks: blockList(ino)}
+}
+
+func (s *Server) handleSetSize(req *proto.Request) *proto.Response {
+	ino, errno := s.getInode(req.Target)
+	if errno != fsapi.OK {
+		return proto.ErrResponse(errno)
+	}
+	if req.Size > ino.size {
+		ino.size = req.Size
+	}
+	return &proto.Response{Size: ino.size}
+}
+
+// truncateTo shrinks the file to size, deferring block reuse while file
+// descriptors remain open (another core's client library may still be
+// writing those blocks directly, §3.2).
+func (s *Server) truncateTo(ino *inode, size int64) {
+	if size < 0 {
+		size = 0
+	}
+	bs := int64(s.cfg.DRAM.BlockSize())
+	keep := int((size + bs - 1) / bs)
+	if keep < len(ino.blocks) {
+		removed := ino.blocks[keep:]
+		ino.blocks = ino.blocks[:keep:keep]
+		if ino.fdRefs > 0 {
+			ino.deferred = append(ino.deferred, removed...)
+		} else {
+			s.cfg.Partition.Free(removed)
+		}
+	}
+	ino.size = size
+}
+
+func (s *Server) handleTruncate(req *proto.Request) *proto.Response {
+	ino, errno := s.getInode(req.Target)
+	if errno != fsapi.OK {
+		return proto.ErrResponse(errno)
+	}
+	if ino.ftype != fsapi.TypeRegular {
+		return proto.ErrResponse(fsapi.EINVAL)
+	}
+	// truncateTo both trims capacity beyond the new size (deferring reuse
+	// while descriptors remain open) and sets the logical size, growing or
+	// shrinking as needed.
+	s.truncateTo(ino, req.Size)
+	return &proto.Response{Size: ino.size, Blocks: blockList(ino)}
+}
+
+func (s *Server) handleStat(req *proto.Request) *proto.Response {
+	ino, errno := s.getInode(req.Target)
+	if errno != fsapi.OK {
+		return proto.ErrResponse(errno)
+	}
+	return &proto.Response{Stat: s.statOf(ino), Ftype: ino.ftype, Size: ino.size, Dist: ino.distributed}
+}
+
+// handleReadAt serves file reads through the server. It is used when direct
+// buffer-cache access is disabled (the Figure 12 ablation); the server reads
+// the shared DRAM on the client's behalf.
+func (s *Server) handleReadAt(req *proto.Request) *proto.Response {
+	ino, errno := s.getInode(req.Target)
+	if errno != fsapi.OK {
+		return proto.ErrResponse(errno)
+	}
+	n := int64(req.Count)
+	if req.Offset >= ino.size {
+		return &proto.Response{N: 0}
+	}
+	if req.Offset+n > ino.size {
+		n = ino.size - req.Offset
+	}
+	data := make([]byte, n)
+	s.readData(ino, req.Offset, data)
+	return &proto.Response{Data: data, N: n}
+}
+
+// handleWriteAt serves file writes through the server (direct access
+// disabled). It extends the file as needed and updates the size eagerly.
+func (s *Server) handleWriteAt(req *proto.Request) *proto.Response {
+	ino, errno := s.getInode(req.Target)
+	if errno != fsapi.OK {
+		return proto.ErrResponse(errno)
+	}
+	end := req.Offset + int64(len(req.Data))
+	if errno := s.ensureCapacity(ino, end); errno != fsapi.OK {
+		return proto.ErrResponse(errno)
+	}
+	s.writeData(ino, req.Offset, req.Data)
+	if end > ino.size {
+		ino.size = end
+	}
+	return &proto.Response{N: int64(len(req.Data)), Size: ino.size}
+}
+
+// readData copies file contents [off, off+len(dst)) from the shared DRAM.
+// Servers access DRAM directly (they own the authoritative copy and their
+// private-cache coherence is managed trivially by never caching file data).
+func (s *Server) readData(ino *inode, off int64, dst []byte) {
+	bs := int64(s.cfg.DRAM.BlockSize())
+	read := 0
+	for read < len(dst) {
+		pos := off + int64(read)
+		bi := int(pos / bs)
+		bo := int(pos % bs)
+		if bi >= len(ino.blocks) {
+			break
+		}
+		n := s.cfg.DRAM.ReadDirect(ino.blocks[bi], bo, dst[read:])
+		if n == 0 {
+			break
+		}
+		read += n
+	}
+}
+
+// writeData copies src into the file at off; capacity must already exist.
+func (s *Server) writeData(ino *inode, off int64, src []byte) {
+	bs := int64(s.cfg.DRAM.BlockSize())
+	written := 0
+	for written < len(src) {
+		pos := off + int64(written)
+		bi := int(pos / bs)
+		bo := int(pos % bs)
+		if bi >= len(ino.blocks) {
+			break
+		}
+		n := s.cfg.DRAM.WriteDirect(ino.blocks[bi], bo, src[written:])
+		if n == 0 {
+			break
+		}
+		written += n
+	}
+}

@@ -1,0 +1,404 @@
+// Package server implements a Hare file server.
+//
+// A Hare deployment runs NSERVERS file servers, each pinned to a core. The
+// file system state is split among them: every server owns the inodes it
+// created (named by server id + per-server inode number), a shard of every
+// distributed directory's entries (selected by hashing the parent directory
+// inode and entry name), a partition of the shared buffer cache, the
+// server-side half of shared file descriptors, and the pipes it created.
+//
+// Servers never talk to each other; the client library coordinates any
+// operation that spans servers (the three-phase rmdir protocol, rename,
+// readdir broadcasts). Servers push directory-cache invalidation callbacks
+// to client libraries, relying on the messaging layer's atomic delivery.
+package server
+
+import (
+	"sync"
+
+	"repro/internal/fsapi"
+	"repro/internal/msg"
+	"repro/internal/ncc"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// ClientRegistry maps client-library ids to their callback endpoints so file
+// servers can send directory-cache invalidations.
+type ClientRegistry struct {
+	mu  sync.RWMutex
+	eps map[int32]msg.EndpointID
+}
+
+// NewClientRegistry returns an empty registry.
+func NewClientRegistry() *ClientRegistry {
+	return &ClientRegistry{eps: make(map[int32]msg.EndpointID)}
+}
+
+// Register records the callback endpoint for a client id.
+func (r *ClientRegistry) Register(id int32, ep msg.EndpointID) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.eps[id] = ep
+}
+
+// Lookup returns the callback endpoint for a client id.
+func (r *ClientRegistry) Lookup(id int32) (msg.EndpointID, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	ep, ok := r.eps[id]
+	return ep, ok
+}
+
+// Config describes one file server instance.
+type Config struct {
+	ID         int // server index in [0, NumServers)
+	Core       int // core the server is pinned to
+	NumServers int
+
+	Machine   *sim.Machine
+	Network   *msg.Network
+	DRAM      *ncc.DRAM
+	Partition *ncc.Partition
+	Registry  *ClientRegistry
+
+	// CoLocated is true in the timeshare configuration, where the server
+	// shares its core with application processes; every RPC then pays
+	// context-switch and cache-pollution overhead (§5.3.3).
+	CoLocated bool
+
+	// RootDistributed configures whether the root directory's entries are
+	// sharded across servers. Only meaningful for server 0, which stores
+	// the root inode.
+	RootDistributed bool
+}
+
+// Stats counts the work a server has performed.
+type Stats struct {
+	Ops           map[proto.Op]uint64
+	Invalidations uint64
+	Parked        uint64
+	BusyCycles    sim.Cycles
+}
+
+// Server is one Hare file server. Its Run loop processes one request at a
+// time from its inbox; all mutable state is confined to that goroutine.
+type Server struct {
+	cfg   Config
+	ep    *msg.Endpoint
+	clock sim.Clock
+
+	inodes  map[uint64]*inode
+	nextIno uint64
+
+	dirs     map[proto.InodeID]*dirShard
+	deadDirs map[proto.InodeID]bool
+
+	sharedFds map[proto.FdID]*sharedFd
+	nextFd    proto.FdID
+
+	// tracking records, per directory entry stored here, which client
+	// libraries have the lookup cached (for invalidation callbacks).
+	tracking map[direntKey]map[int32]struct{}
+
+	statsMu sync.Mutex
+	stats   Stats
+
+	done chan struct{}
+}
+
+// New creates a file server and registers its endpoint on the network. If
+// this is server 0 it creates the root directory inode.
+func New(cfg Config) *Server {
+	s := &Server{
+		cfg:       cfg,
+		ep:        cfg.Network.NewEndpoint(cfg.Core),
+		inodes:    make(map[uint64]*inode),
+		nextIno:   2, // local inode 1 is reserved for the root directory
+		dirs:      make(map[proto.InodeID]*dirShard),
+		deadDirs:  make(map[proto.InodeID]bool),
+		sharedFds: make(map[proto.FdID]*sharedFd),
+		nextFd:    1,
+		tracking:  make(map[direntKey]map[int32]struct{}),
+		done:      make(chan struct{}),
+	}
+	s.stats.Ops = make(map[proto.Op]uint64)
+	if int32(cfg.ID) == proto.RootInode.Server {
+		root := &inode{
+			local:       proto.RootInode.Local,
+			ftype:       fsapi.TypeDir,
+			mode:        fsapi.Mode755,
+			nlink:       1,
+			distributed: cfg.RootDistributed,
+		}
+		s.inodes[root.local] = root
+	}
+	return s
+}
+
+// EndpointID returns the server's network endpoint id; clients address their
+// RPCs to it.
+func (s *Server) EndpointID() msg.EndpointID { return s.ep.ID }
+
+// ID returns the server index.
+func (s *Server) ID() int { return s.cfg.ID }
+
+// Core returns the core the server is pinned to.
+func (s *Server) Core() int { return s.cfg.Core }
+
+// Clock returns the server's current virtual time.
+func (s *Server) Clock() sim.Cycles { return s.clock.Now() }
+
+// Stats returns a snapshot of the server's counters.
+func (s *Server) Stats() Stats {
+	s.statsMu.Lock()
+	defer s.statsMu.Unlock()
+	out := Stats{
+		Ops:           make(map[proto.Op]uint64, len(s.stats.Ops)),
+		Invalidations: s.stats.Invalidations,
+		Parked:        s.stats.Parked,
+		BusyCycles:    s.clock.Now(),
+	}
+	for k, v := range s.stats.Ops {
+		out.Ops[k] = v
+	}
+	return out
+}
+
+// Start launches the server's request loop.
+func (s *Server) Start() {
+	go s.run()
+}
+
+// Stop shuts the server down. In-flight parked requests (blocked pipe reads,
+// rmdir waiters) never receive replies after Stop; callers stop servers only
+// after all application processes have finished.
+func (s *Server) Stop() {
+	s.ep.Inbox.Close()
+	<-s.done
+}
+
+func (s *Server) run() {
+	defer close(s.done)
+	for {
+		env, ok := s.ep.Inbox.PopWaitEarliest()
+		if !ok {
+			return
+		}
+		s.handle(env)
+	}
+}
+
+// handle processes one inbound request envelope. The server processes one
+// request at a time; in virtual time a request starts at the later of its
+// arrival and the completion of the previously served request, which is what
+// produces queueing delay at a busy server (the single-server bottlenecks of
+// §5.3.1 and §5.4).
+func (s *Server) handle(env msg.Envelope) {
+	req, err := proto.UnmarshalRequest(env.Payload)
+	if err != nil {
+		s.replyAt(env, proto.ErrResponse(fsapi.EINVAL), env.ArriveAt)
+		return
+	}
+	cost := s.cfg.Machine.Cost
+	overhead := cost.MsgRecv
+	if s.cfg.CoLocated {
+		overhead += cost.ContextSwitch + cost.CachePollution
+	}
+	total := overhead + s.serviceCost(req)
+	start := env.ArriveAt
+	if now := s.clock.Now(); now > start {
+		start = now
+	}
+	end := s.cfg.Machine.Execute(s.cfg.Core, start, total)
+	s.clock.AdvanceTo(end)
+
+	s.statsMu.Lock()
+	s.stats.Ops[req.Op]++
+	s.statsMu.Unlock()
+
+	resp, parked := s.dispatch(req, env)
+	if parked {
+		s.statsMu.Lock()
+		s.stats.Parked++
+		s.statsMu.Unlock()
+		return
+	}
+	s.replyAt(env, resp, end)
+}
+
+// reply sends a response at the server's current high-water time; it is used
+// when answering requests that had been parked (pipe wake-ups, rmdir lock
+// hand-offs), whose completion is driven by a later event.
+func (s *Server) reply(env msg.Envelope, resp *proto.Response) {
+	s.replyAt(env, resp, s.clock.Now())
+}
+
+// replyAt sends a response whose service completed at the given time.
+func (s *Server) replyAt(env msg.Envelope, resp *proto.Response, at sim.Cycles) {
+	if resp == nil {
+		resp = proto.ErrResponse(fsapi.EIO)
+	}
+	cost := s.cfg.Machine.Cost
+	end := s.cfg.Machine.Execute(s.cfg.Core, at, cost.MsgSend)
+	s.clock.AdvanceTo(end)
+	s.cfg.Network.Reply(s.ep, env, proto.KindResponse, resp.Marshal(), end)
+}
+
+// dispatch routes the request to the appropriate handler. The bool result is
+// true if the request was parked (no reply should be sent yet).
+func (s *Server) dispatch(req *proto.Request, env msg.Envelope) (*proto.Response, bool) {
+	switch req.Op {
+	// Directory entries.
+	case proto.OpLookup:
+		return s.handleLookup(req, env)
+	case proto.OpAddMap:
+		return s.handleAddMap(req, env)
+	case proto.OpRmMap:
+		return s.handleRmMap(req, env)
+	case proto.OpReadDirShard:
+		return s.handleReadDirShard(req, env)
+	case proto.OpCreateCoalesced:
+		return s.handleCreateCoalesced(req, env)
+
+	// Inodes.
+	case proto.OpMknod:
+		return s.handleMknod(req), false
+	case proto.OpLinkInode:
+		return s.handleLinkInode(req), false
+	case proto.OpUnlinkInode:
+		return s.handleUnlinkInode(req), false
+	case proto.OpOpenInode:
+		return s.handleOpenInode(req), false
+	case proto.OpCloseInode:
+		return s.handleCloseInode(req), false
+	case proto.OpGetBlocks:
+		return s.handleGetBlocks(req), false
+	case proto.OpExtend:
+		return s.handleExtend(req), false
+	case proto.OpSetSize:
+		return s.handleSetSize(req), false
+	case proto.OpTruncate:
+		return s.handleTruncate(req), false
+	case proto.OpStat:
+		return s.handleStat(req), false
+	case proto.OpReadAt:
+		return s.handleReadAt(req), false
+	case proto.OpWriteAt:
+		return s.handleWriteAt(req), false
+
+	// rmdir three-phase protocol.
+	case proto.OpRmdirLock:
+		return s.handleRmdirLock(req, env)
+	case proto.OpRmdirPrepare:
+		return s.handleRmdirPrepare(req), false
+	case proto.OpRmdirCommit:
+		return s.handleRmdirCommit(req), false
+	case proto.OpRmdirAbort:
+		return s.handleRmdirAbort(req), false
+	case proto.OpRmdirUnlock:
+		return s.handleRmdirUnlock(req), false
+	case proto.OpRmdirFinish:
+		return s.handleRmdirFinish(req), false
+
+	// Shared file descriptors.
+	case proto.OpFdShare:
+		return s.handleFdShare(req), false
+	case proto.OpFdIncRef:
+		return s.handleFdIncRef(req), false
+	case proto.OpFdDecRef:
+		return s.handleFdDecRef(req), false
+	case proto.OpFdUnshare:
+		return s.handleFdUnshare(req), false
+	case proto.OpFdRead:
+		return s.handleFdRead(req), false
+	case proto.OpFdWrite:
+		return s.handleFdWrite(req), false
+	case proto.OpFdSeek:
+		return s.handleFdSeek(req), false
+	case proto.OpFdGetInfo:
+		return s.handleFdGetInfo(req), false
+
+	// Pipes.
+	case proto.OpPipeCreate:
+		return s.handlePipeCreate(req), false
+	case proto.OpPipeRead:
+		return s.handlePipeRead(req, env)
+	case proto.OpPipeWrite:
+		return s.handlePipeWrite(req, env)
+	case proto.OpPipeIncReader:
+		return s.handlePipeIncRef(req, false), false
+	case proto.OpPipeIncWriter:
+		return s.handlePipeIncRef(req, true), false
+	case proto.OpPipeCloseRead:
+		return s.handlePipeClose(req, false), false
+	case proto.OpPipeCloseWrite:
+		return s.handlePipeClose(req, true), false
+
+	case proto.OpPing:
+		return &proto.Response{}, false
+
+	default:
+		return proto.ErrResponse(fsapi.ENOSYS), false
+	}
+}
+
+// serviceCost returns the virtual service time for a request.
+func (s *Server) serviceCost(req *proto.Request) sim.Cycles {
+	c := s.cfg.Machine.Cost
+	switch req.Op {
+	case proto.OpLookup:
+		return c.ServeLookup
+	case proto.OpAddMap, proto.OpMknod:
+		return c.ServeCreate
+	case proto.OpCreateCoalesced:
+		return c.ServeCreate + c.ServeOpen/2
+	case proto.OpRmMap, proto.OpUnlinkInode, proto.OpLinkInode:
+		return c.ServeUnlink
+	case proto.OpReadDirShard:
+		// Per-entry cost is added after dispatch would be more precise;
+		// approximate with the current shard size.
+		n := 0
+		if shard, ok := s.dirs[req.Dir]; ok {
+			n = len(shard.ents)
+		}
+		return c.ServeReadDir + sim.Cycles(n)*c.ServePerEnt
+	case proto.OpOpenInode:
+		return c.ServeOpen
+	case proto.OpCloseInode:
+		return c.ServeClose
+	case proto.OpGetBlocks, proto.OpExtend, proto.OpSetSize, proto.OpTruncate:
+		return c.ServeBlockOp
+	case proto.OpStat:
+		return c.ServeStat
+	case proto.OpReadAt, proto.OpWriteAt:
+		n := int(req.Count)
+		if len(req.Data) > n {
+			n = len(req.Data)
+		}
+		return c.ServeFdOp + sim.LineCost(c.DRAMPerLine, n)
+	case proto.OpRmdirLock, proto.OpRmdirPrepare, proto.OpRmdirCommit,
+		proto.OpRmdirAbort, proto.OpRmdirUnlock, proto.OpRmdirFinish:
+		return c.ServeRmdir
+	case proto.OpFdShare, proto.OpFdIncRef, proto.OpFdDecRef, proto.OpFdUnshare,
+		proto.OpFdSeek, proto.OpFdGetInfo:
+		return c.ServeFdOp
+	case proto.OpFdRead, proto.OpFdWrite:
+		n := int(req.Count)
+		if len(req.Data) > n {
+			n = len(req.Data)
+		}
+		return c.ServeFdOp + sim.LineCost(c.DRAMPerLine, n)
+	case proto.OpPipeCreate, proto.OpPipeCloseRead, proto.OpPipeCloseWrite,
+		proto.OpPipeIncReader, proto.OpPipeIncWriter:
+		return c.ServePipeOp
+	case proto.OpPipeRead, proto.OpPipeWrite:
+		n := int(req.Count)
+		if len(req.Data) > n {
+			n = len(req.Data)
+		}
+		return c.ServePipeOp + sim.LineCost(c.CopyPerLine, n)
+	default:
+		return c.ServeStat
+	}
+}

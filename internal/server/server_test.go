@@ -1,0 +1,356 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/fsapi"
+	"repro/internal/msg"
+	"repro/internal/ncc"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// harness drives one file server directly at the protocol level, playing the
+// role of a client library.
+type harness struct {
+	t       *testing.T
+	srv     *Server
+	net     *msg.Network
+	ep      *msg.Endpoint
+	machine *sim.Machine
+}
+
+func newHarness(t *testing.T) *harness {
+	t.Helper()
+	machine := sim.NewMachine(sim.TopologyForCores(2), sim.DefaultCostModel())
+	network := msg.NewNetwork(msg.WrapMachine(machine))
+	dram := ncc.NewDRAM(64, 512)
+	parts := ncc.PartitionDRAM(dram, 1)
+	registry := NewClientRegistry()
+	srv := New(Config{
+		ID:         0,
+		Core:       0,
+		NumServers: 1,
+		Machine:    machine,
+		Network:    network,
+		DRAM:       dram,
+		Partition:  parts[0],
+		Registry:   registry,
+		CoLocated:  true,
+	})
+	srv.Start()
+	t.Cleanup(srv.Stop)
+	ep := network.NewEndpoint(1)
+	registry.Register(7, ep.ID)
+	return &harness{t: t, srv: srv, net: network, ep: ep, machine: machine}
+}
+
+// call sends a request and waits for the response.
+func (h *harness) call(req *proto.Request) *proto.Response {
+	h.t.Helper()
+	req.ClientID = 7
+	env, err := h.net.RPC(h.ep, h.srv.EndpointID(), proto.KindRequest, req.Marshal(), 0)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	resp, err := proto.UnmarshalResponse(env.Payload)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	return resp
+}
+
+// callOK sends a request and fails the test on a protocol error.
+func (h *harness) callOK(req *proto.Request) *proto.Response {
+	h.t.Helper()
+	resp := h.call(req)
+	if resp.Err != fsapi.OK {
+		h.t.Fatalf("%s failed: %v", req.Op, resp.Err)
+	}
+	return resp
+}
+
+func TestServerRootInodeExists(t *testing.T) {
+	h := newHarness(t)
+	resp := h.callOK(&proto.Request{Op: proto.OpStat, Target: proto.RootInode})
+	if resp.Stat.Ftype != fsapi.TypeDir {
+		t.Fatalf("root is %v, want directory", resp.Stat.Ftype)
+	}
+	// Only server 0 stores the root; a stale reference elsewhere fails.
+	bad := h.call(&proto.Request{Op: proto.OpStat, Target: proto.InodeID{Server: 3, Local: 1}})
+	if bad.Err != fsapi.ESTALE {
+		t.Fatalf("foreign inode: %v", bad.Err)
+	}
+}
+
+func TestServerCreateLookupUnlink(t *testing.T) {
+	h := newHarness(t)
+	created := h.callOK(&proto.Request{
+		Op: proto.OpCreateCoalesced, Dir: proto.RootInode, Name: "f", Mode: fsapi.Mode644,
+		Ftype: fsapi.TypeRegular, WantOpen: true,
+	})
+	if created.Ino.IsNil() {
+		t.Fatal("create returned nil inode")
+	}
+	look := h.callOK(&proto.Request{Op: proto.OpLookup, Dir: proto.RootInode, Name: "f"})
+	if look.Ino != created.Ino {
+		t.Fatal("lookup returned a different inode")
+	}
+	// A second exclusive create reports EEXIST with the existing location.
+	dup := h.call(&proto.Request{
+		Op: proto.OpCreateCoalesced, Dir: proto.RootInode, Name: "f", Exclusive: true, Ftype: fsapi.TypeRegular,
+	})
+	if dup.Err != fsapi.EEXIST || dup.Ino != created.Ino {
+		t.Fatalf("duplicate create: err=%v ino=%v", dup.Err, dup.Ino)
+	}
+	// Remove the entry, then the inode.
+	rm := h.callOK(&proto.Request{Op: proto.OpRmMap, Dir: proto.RootInode, Name: "f", Ftype: fsapi.TypeRegular})
+	if rm.Ino != created.Ino {
+		t.Fatal("rm_map returned wrong inode")
+	}
+	h.callOK(&proto.Request{Op: proto.OpUnlinkInode, Target: created.Ino})
+	if resp := h.call(&proto.Request{Op: proto.OpLookup, Dir: proto.RootInode, Name: "f"}); resp.Err != fsapi.ENOENT {
+		t.Fatalf("lookup after unlink: %v", resp.Err)
+	}
+}
+
+func TestServerUnlinkedInodeSurvivesOpenDescriptors(t *testing.T) {
+	h := newHarness(t)
+	created := h.callOK(&proto.Request{
+		Op: proto.OpCreateCoalesced, Dir: proto.RootInode, Name: "victim",
+		Mode: fsapi.Mode644, Ftype: fsapi.TypeRegular, WantOpen: true,
+	})
+	// Write some data through the server path so blocks get allocated.
+	h.callOK(&proto.Request{Op: proto.OpWriteAt, Target: created.Ino, Offset: 0, Data: []byte("keep me")})
+	// Unlink while the descriptor (WantOpen) is still registered.
+	h.callOK(&proto.Request{Op: proto.OpRmMap, Dir: proto.RootInode, Name: "victim", Ftype: fsapi.TypeRegular})
+	h.callOK(&proto.Request{Op: proto.OpUnlinkInode, Target: created.Ino})
+	read := h.callOK(&proto.Request{Op: proto.OpReadAt, Target: created.Ino, Count: 16})
+	if string(read.Data) != "keep me" {
+		t.Fatalf("unlinked file data lost: %q", read.Data)
+	}
+	// After the last close the inode is reaped.
+	h.callOK(&proto.Request{Op: proto.OpCloseInode, Target: created.Ino})
+	if resp := h.call(&proto.Request{Op: proto.OpStat, Target: created.Ino}); resp.Err != fsapi.ENOENT {
+		t.Fatalf("inode should be gone after last close, got %v", resp.Err)
+	}
+}
+
+func TestServerTruncateDefersBlockReuse(t *testing.T) {
+	h := newHarness(t)
+	free := h.srv.cfg.Partition.FreeCount()
+	created := h.callOK(&proto.Request{
+		Op: proto.OpCreateCoalesced, Dir: proto.RootInode, Name: "big",
+		Mode: fsapi.Mode644, Ftype: fsapi.TypeRegular, WantOpen: true,
+	})
+	h.callOK(&proto.Request{Op: proto.OpExtend, Target: created.Ino, Size: 2048})
+	if got := h.srv.cfg.Partition.FreeCount(); got != free-4 {
+		t.Fatalf("expected 4 blocks allocated, free went %d -> %d", free, got)
+	}
+	// Truncate while a descriptor is open: blocks must NOT return to the
+	// free list yet (§3.2).
+	h.callOK(&proto.Request{Op: proto.OpTruncate, Target: created.Ino, Size: 0})
+	if got := h.srv.cfg.Partition.FreeCount(); got != free-4 {
+		t.Fatalf("blocks reused while file still open: free=%d", got)
+	}
+	// After the last descriptor closes they are reclaimed.
+	h.callOK(&proto.Request{Op: proto.OpCloseInode, Target: created.Ino})
+	if got := h.srv.cfg.Partition.FreeCount(); got != free {
+		t.Fatalf("blocks not reclaimed after close: free=%d want %d", got, free)
+	}
+}
+
+func TestServerRmdirPrepareCommitAbort(t *testing.T) {
+	h := newHarness(t)
+	dir := h.callOK(&proto.Request{
+		Op: proto.OpCreateCoalesced, Dir: proto.RootInode, Name: "d",
+		Mode: fsapi.Mode755, Ftype: fsapi.TypeDir,
+	})
+	// Put an entry in the directory: prepare must refuse.
+	h.callOK(&proto.Request{Op: proto.OpAddMap, Dir: dir.Ino, Name: "child", Target: proto.InodeID{Server: 0, Local: 99}, Ftype: fsapi.TypeRegular})
+	h.callOK(&proto.Request{Op: proto.OpRmdirLock, Target: dir.Ino})
+	if resp := h.call(&proto.Request{Op: proto.OpRmdirPrepare, Dir: dir.Ino, Target: dir.Ino}); resp.Err != fsapi.ENOTEMPTY {
+		t.Fatalf("prepare on non-empty shard: %v", resp.Err)
+	}
+	h.callOK(&proto.Request{Op: proto.OpRmdirAbort, Dir: dir.Ino, Target: dir.Ino})
+	h.callOK(&proto.Request{Op: proto.OpRmdirUnlock, Target: dir.Ino})
+
+	// Empty the directory and run the full protocol.
+	h.callOK(&proto.Request{Op: proto.OpRmMap, Dir: dir.Ino, Name: "child"})
+	h.callOK(&proto.Request{Op: proto.OpRmdirLock, Target: dir.Ino})
+	h.callOK(&proto.Request{Op: proto.OpRmdirPrepare, Dir: dir.Ino, Target: dir.Ino})
+	h.callOK(&proto.Request{Op: proto.OpRmdirCommit, Dir: dir.Ino, Target: dir.Ino})
+	h.callOK(&proto.Request{Op: proto.OpRmMap, Dir: proto.RootInode, Name: "d", Ftype: fsapi.TypeDir})
+	h.callOK(&proto.Request{Op: proto.OpRmdirFinish, Target: dir.Ino})
+
+	// The directory is gone: new entries cannot be created in it.
+	if resp := h.call(&proto.Request{Op: proto.OpAddMap, Dir: dir.Ino, Name: "late", Target: proto.NilInode, Ftype: fsapi.TypeRegular}); resp.Err != fsapi.ENOENT {
+		t.Fatalf("create in removed dir: %v", resp.Err)
+	}
+}
+
+func TestServerRmdirMarkParksCreates(t *testing.T) {
+	h := newHarness(t)
+	dir := h.callOK(&proto.Request{
+		Op: proto.OpCreateCoalesced, Dir: proto.RootInode, Name: "racing",
+		Mode: fsapi.Mode755, Ftype: fsapi.TypeDir,
+	})
+	h.callOK(&proto.Request{Op: proto.OpRmdirLock, Target: dir.Ino})
+	h.callOK(&proto.Request{Op: proto.OpRmdirPrepare, Dir: dir.Ino, Target: dir.Ino})
+
+	// A create that races with the marked directory is parked: issue it
+	// asynchronously, then abort the rmdir and observe the create succeed.
+	req := &proto.Request{Op: proto.OpCreateCoalesced, Dir: dir.Ino, Name: "racer", Ftype: fsapi.TypeRegular, ClientID: 7}
+	reply := msg.NewQueue()
+	if _, err := h.net.Send(h.ep, h.srv.EndpointID(), proto.KindRequest, req.Marshal(), 0, reply); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reply.TryPop(); ok {
+		t.Fatal("create should have been parked while the directory is marked")
+	}
+	h.callOK(&proto.Request{Op: proto.OpRmdirAbort, Dir: dir.Ino, Target: dir.Ino})
+	h.callOK(&proto.Request{Op: proto.OpRmdirUnlock, Target: dir.Ino})
+	env, ok := reply.PopWait()
+	if !ok {
+		t.Fatal("parked create never answered")
+	}
+	resp, err := proto.UnmarshalResponse(env.Payload)
+	if err != nil || resp.Err != fsapi.OK {
+		t.Fatalf("parked create failed: %v %v", err, resp.Err)
+	}
+}
+
+func TestServerSharedFdOffsetAndRefcounts(t *testing.T) {
+	h := newHarness(t)
+	created := h.callOK(&proto.Request{
+		Op: proto.OpCreateCoalesced, Dir: proto.RootInode, Name: "shared",
+		Mode: fsapi.Mode644, Ftype: fsapi.TypeRegular, WantOpen: true,
+	})
+	h.callOK(&proto.Request{Op: proto.OpWriteAt, Target: created.Ino, Data: []byte("0123456789")})
+
+	share := h.callOK(&proto.Request{Op: proto.OpFdShare, Target: created.Ino, Offset: 0})
+	if share.Refs != 1 {
+		t.Fatalf("share refs = %d, want 1", share.Refs)
+	}
+	h.callOK(&proto.Request{Op: proto.OpFdIncRef, Fd: share.Fd, Target: created.Ino})
+
+	r1 := h.callOK(&proto.Request{Op: proto.OpFdRead, Fd: share.Fd, Target: created.Ino, Count: 4})
+	r2 := h.callOK(&proto.Request{Op: proto.OpFdRead, Fd: share.Fd, Target: created.Ino, Count: 4})
+	if string(r1.Data) != "0123" || string(r2.Data) != "4567" {
+		t.Fatalf("shared reads %q %q", r1.Data, r2.Data)
+	}
+	// One holder closes; the remaining holder sees refs drop to 1 and can
+	// pull the offset back.
+	dec := h.callOK(&proto.Request{Op: proto.OpFdDecRef, Fd: share.Fd, Target: created.Ino})
+	if dec.Refs != 1 {
+		t.Fatalf("refs after decref = %d", dec.Refs)
+	}
+	un := h.callOK(&proto.Request{Op: proto.OpFdUnshare, Fd: share.Fd, Target: created.Ino})
+	if un.Offset != 8 {
+		t.Fatalf("unshare offset = %d, want 8", un.Offset)
+	}
+	if resp := h.call(&proto.Request{Op: proto.OpFdRead, Fd: share.Fd, Target: created.Ino, Count: 1}); resp.Err != fsapi.EBADF {
+		t.Fatalf("read after unshare: %v", resp.Err)
+	}
+}
+
+func TestServerPipeBlockingAndEOF(t *testing.T) {
+	h := newHarness(t)
+	pipe := h.callOK(&proto.Request{Op: proto.OpPipeCreate})
+
+	// A read on an empty pipe parks until data arrives.
+	readReq := &proto.Request{Op: proto.OpPipeRead, Target: pipe.Ino, Count: 16, ClientID: 7}
+	reply := msg.NewQueue()
+	if _, err := h.net.Send(h.ep, h.srv.EndpointID(), proto.KindRequest, readReq.Marshal(), 0, reply); err != nil {
+		t.Fatal(err)
+	}
+	h.callOK(&proto.Request{Op: proto.OpPipeWrite, Target: pipe.Ino, Data: []byte("wake")})
+	env, ok := reply.PopWait()
+	if !ok {
+		t.Fatal("parked pipe read never answered")
+	}
+	resp, _ := proto.UnmarshalResponse(env.Payload)
+	if string(resp.Data) != "wake" {
+		t.Fatalf("pipe read %q", resp.Data)
+	}
+
+	// Closing the last writer delivers EOF to readers.
+	h.callOK(&proto.Request{Op: proto.OpPipeCloseWrite, Target: pipe.Ino})
+	eof := h.callOK(&proto.Request{Op: proto.OpPipeRead, Target: pipe.Ino, Count: 4})
+	if eof.N != 0 {
+		t.Fatalf("expected EOF, got %d bytes", eof.N)
+	}
+	// Writing with no readers yields EPIPE.
+	h.callOK(&proto.Request{Op: proto.OpPipeCloseRead, Target: pipe.Ino})
+	pipe2 := h.callOK(&proto.Request{Op: proto.OpPipeCreate})
+	h.callOK(&proto.Request{Op: proto.OpPipeCloseRead, Target: pipe2.Ino})
+	if resp := h.call(&proto.Request{Op: proto.OpPipeWrite, Target: pipe2.Ino, Data: []byte("x")}); resp.Err != fsapi.EPIPE {
+		t.Fatalf("write to readerless pipe: %v", resp.Err)
+	}
+}
+
+func TestServerInvalidationCallbacks(t *testing.T) {
+	h := newHarness(t)
+	// Client 7 looks up an entry (gets tracked), then another client (id 8,
+	// registered on a second endpoint) removes it; client 7 must receive an
+	// invalidation callback.
+	other := h.net.NewEndpoint(1)
+	h.srv.cfg.Registry.Register(8, other.ID)
+
+	h.callOK(&proto.Request{Op: proto.OpAddMap, Dir: proto.RootInode, Name: "watched", Target: proto.InodeID{Server: 0, Local: 50}, Ftype: fsapi.TypeRegular})
+	h.callOK(&proto.Request{Op: proto.OpLookup, Dir: proto.RootInode, Name: "watched"})
+
+	// The removal is issued by client 8.
+	req := &proto.Request{Op: proto.OpRmMap, Dir: proto.RootInode, Name: "watched", ClientID: 8}
+	if _, err := h.net.RPC(other, h.srv.EndpointID(), proto.KindRequest, req.Marshal(), 0); err != nil {
+		t.Fatal(err)
+	}
+	env, ok := h.ep.Callbacks.TryPop()
+	if !ok {
+		t.Fatal("no invalidation callback delivered to the caching client")
+	}
+	iv, err := proto.UnmarshalInvalidation(env.Payload)
+	if err != nil || iv.Name != "watched" {
+		t.Fatalf("bad invalidation: %v %v", iv, err)
+	}
+	if h.srv.Stats().Invalidations == 0 {
+		t.Fatal("server did not count the invalidation")
+	}
+}
+
+func TestServerRejectsMalformedAndUnknown(t *testing.T) {
+	h := newHarness(t)
+	// Unknown op.
+	if resp := h.call(&proto.Request{Op: proto.Op(999)}); resp.Err != fsapi.ENOSYS {
+		t.Fatalf("unknown op: %v", resp.Err)
+	}
+	// Malformed payload.
+	env, err := h.net.RPC(h.ep, h.srv.EndpointID(), proto.KindRequest, []byte{1, 2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ := proto.UnmarshalResponse(env.Payload)
+	if resp.Err != fsapi.EINVAL {
+		t.Fatalf("malformed request: %v", resp.Err)
+	}
+	// Invalid names.
+	if resp := h.call(&proto.Request{Op: proto.OpAddMap, Dir: proto.RootInode, Name: "a/b", Target: proto.NilInode}); resp.Err != fsapi.EINVAL {
+		t.Fatalf("slash in name: %v", resp.Err)
+	}
+}
+
+func TestServerStatsTracksOps(t *testing.T) {
+	h := newHarness(t)
+	h.callOK(&proto.Request{Op: proto.OpStat, Target: proto.RootInode})
+	h.callOK(&proto.Request{Op: proto.OpStat, Target: proto.RootInode})
+	st := h.srv.Stats()
+	if st.Ops[proto.OpStat] != 2 {
+		t.Fatalf("stat count = %d", st.Ops[proto.OpStat])
+	}
+	if h.srv.Clock() == 0 {
+		t.Fatal("server clock did not advance")
+	}
+	if h.srv.ID() != 0 || h.srv.Core() != 0 {
+		t.Fatal("identity accessors wrong")
+	}
+}

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Clock is the virtual clock of one simulated entity (process or server).
+// A Clock is owned by a single goroutine; reads from other goroutines (for
+// reporting) use Now which is safe.
+type Clock struct {
+	now atomic.Uint64
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Cycles { return Cycles(c.now.Load()) }
+
+// Advance moves the clock forward by d cycles and returns the new time.
+func (c *Clock) Advance(d Cycles) Cycles {
+	return Cycles(c.now.Add(uint64(d)))
+}
+
+// AdvanceTo moves the clock to at least t (it never moves backwards) and
+// returns the resulting time.
+func (c *Clock) AdvanceTo(t Cycles) Cycles {
+	for {
+		cur := c.now.Load()
+		if uint64(t) <= cur {
+			return Cycles(cur)
+		}
+		if c.now.CompareAndSwap(cur, uint64(t)) {
+			return t
+		}
+	}
+}
+
+// Reset sets the clock back to zero.
+func (c *Clock) Reset() { c.now.Store(0) }
+
+// capacityWindow is the granularity of per-core capacity accounting. Smaller
+// windows track contention more precisely at the cost of more bookkeeping;
+// 16 Ki cycles (~7 µs at 2.4 GHz) is far below the duration of any benchmark
+// phase while being much larger than a single operation.
+const capacityWindow Cycles = 16384
+
+// CoreTime models the execution capacity of one core. When several entities
+// are pinned to the same core (the paper's "timeshare" configuration runs a
+// file server alongside the application on every core), their combined
+// demand cannot exceed one cycle of work per cycle of wall-clock time.
+//
+// Capacity is accounted in fixed windows of virtual time: work of length d
+// that becomes ready at time r claims free capacity starting in r's window
+// and spills into later windows when the core is oversubscribed. Accounting
+// per window (rather than as a single running total) keeps the model
+// independent of the real-time order in which concurrent goroutines happen
+// to call Execute — work that logically happens later never delays work that
+// logically happened earlier.
+type CoreTime struct {
+	mu     sync.Mutex
+	used   map[Cycles]Cycles // window index -> consumed cycles
+	total  Cycles
+	maxEnd Cycles
+}
+
+// Execute consumes d cycles of core capacity for work ready at `ready` and
+// returns the virtual completion time.
+func (c *CoreTime) Execute(ready, d Cycles) Cycles {
+	if d == 0 {
+		return ready
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.used == nil {
+		c.used = make(map[Cycles]Cycles)
+	}
+	c.total += d
+	remaining := d
+	w := ready / capacityWindow
+	end := ready
+	for {
+		base := w * capacityWindow
+		floor := c.used[w]
+		if base < ready && ready-base > floor {
+			// Capacity earlier than `ready` within this window cannot be
+			// used by this request.
+			floor = ready - base
+		}
+		if avail := capacityWindow - floor; avail > 0 {
+			take := remaining
+			if take > avail {
+				take = avail
+			}
+			c.used[w] = floor + take
+			remaining -= take
+			end = base + floor + take
+			if remaining == 0 {
+				break
+			}
+		}
+		w++
+	}
+	if end > c.maxEnd {
+		c.maxEnd = end
+	}
+	return end
+}
+
+// Account records d cycles of work on the core without computing a
+// completion time (used for utilization bookkeeping).
+func (c *CoreTime) Account(d Cycles) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.total += d
+}
+
+// Busy returns the total number of cycles executed on this core so far.
+func (c *CoreTime) Busy() Cycles {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.total
+}
+
+// Free returns the latest completion time observed on this core.
+func (c *CoreTime) Free() Cycles {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.maxEnd
+}
+
+// Reset clears the core's accounting.
+func (c *CoreTime) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.used = nil
+	c.total = 0
+	c.maxEnd = 0
+}
+
+// Machine bundles a topology, cost model, and per-core bookkeeping.
+//
+// Performance accounting follows a queueing approximation (DESIGN.md §4):
+// every entity (application process, file server, scheduling server) owns a
+// virtual clock, servers serialize the requests they process, and messages
+// pay topology-dependent latency. Execute charges work to an entity without
+// modelling preemption between co-located entities; the cost of sharing a
+// core with a file server (the timeshare configuration) is charged
+// explicitly per RPC as context-switch and cache-pollution cycles, following
+// the paper's own measurement of that overhead (§5.3.3). The per-core Busy
+// counters record how much work each core performed, which the harness can
+// use to report utilization.
+type Machine struct {
+	Topo  Topology
+	Cost  CostModel
+	cores []*CoreTime
+}
+
+// NewMachine builds a Machine with the given topology and cost model.
+func NewMachine(topo Topology, cost CostModel) *Machine {
+	m := &Machine{Topo: topo, Cost: cost}
+	m.cores = make([]*CoreTime, topo.NumCores)
+	for i := range m.cores {
+		m.cores[i] = &CoreTime{}
+	}
+	return m
+}
+
+// Core returns the execution bookkeeping for the given core id.
+func (m *Machine) Core(id int) *CoreTime {
+	return m.cores[id]
+}
+
+// Execute charges d cycles of work that became ready at `ready` on the given
+// core and returns the completion time. Work on the same core by different
+// entities does not delay each other here (see the type comment); the
+// per-core busy counter is still updated for utilization reporting.
+func (m *Machine) Execute(core int, ready, d Cycles) Cycles {
+	if core >= 0 && core < len(m.cores) {
+		m.cores[core].Account(d)
+	}
+	return ready + d
+}
+
+// MaxCoreFree returns the latest "free" time across all cores; used by the
+// benchmark harness as a lower bound on total machine time.
+func (m *Machine) MaxCoreFree() Cycles {
+	var max Cycles
+	for _, c := range m.cores {
+		if f := c.Free(); f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// Reset clears all core accounting, preparing the machine for another run.
+func (m *Machine) Reset() {
+	for _, c := range m.cores {
+		c.Reset()
+	}
+}

@@ -1,0 +1,112 @@
+// Package sim models the target machine: cores grouped into NUMA sockets,
+// a cycle-based cost model, and virtual clocks used for performance
+// accounting.
+//
+// The functional behaviour of the Hare reproduction uses ordinary goroutines
+// and channels; sim only accounts for *time*. Every simulated entity (an
+// application process, a file server, a scheduling server) owns a Clock and
+// is pinned to a Core. Message latencies depend on the Distance between the
+// sender's and receiver's cores.
+package sim
+
+import "fmt"
+
+// Distance classifies how far apart two cores are in the machine topology.
+type Distance int
+
+// Distance values, from closest to farthest.
+const (
+	DistSameCore Distance = iota
+	DistSameSocket
+	DistCrossSocket
+)
+
+// String returns a human-readable name for the distance class.
+func (d Distance) String() string {
+	switch d {
+	case DistSameCore:
+		return "same-core"
+	case DistSameSocket:
+		return "same-socket"
+	case DistCrossSocket:
+		return "cross-socket"
+	default:
+		return "unknown"
+	}
+}
+
+// Topology describes the simulated machine: NumCores cores spread evenly
+// across NumSockets sockets. The paper's evaluation machine has 40 cores on
+// 4 sockets (10 cores per socket).
+type Topology struct {
+	NumCores   int
+	NumSockets int
+}
+
+// DefaultTopology mirrors the paper's 40-core, 4-socket Xeon E7-4850 machine.
+func DefaultTopology() Topology {
+	return Topology{NumCores: 40, NumSockets: 4}
+}
+
+// TopologyForCores builds a topology with n cores, keeping the paper's 10
+// cores per socket where possible.
+func TopologyForCores(n int) Topology {
+	if n <= 0 {
+		n = 1
+	}
+	sockets := (n + 9) / 10
+	if sockets < 1 {
+		sockets = 1
+	}
+	return Topology{NumCores: n, NumSockets: sockets}
+}
+
+// Validate checks that the topology is usable.
+func (t Topology) Validate() error {
+	if t.NumCores <= 0 {
+		return fmt.Errorf("sim: topology must have at least one core, got %d", t.NumCores)
+	}
+	if t.NumSockets <= 0 {
+		return fmt.Errorf("sim: topology must have at least one socket, got %d", t.NumSockets)
+	}
+	if t.NumSockets > t.NumCores {
+		return fmt.Errorf("sim: more sockets (%d) than cores (%d)", t.NumSockets, t.NumCores)
+	}
+	return nil
+}
+
+// CoresPerSocket returns the number of cores on each socket (the last socket
+// may hold fewer when NumCores is not divisible by NumSockets).
+func (t Topology) CoresPerSocket() int {
+	return (t.NumCores + t.NumSockets - 1) / t.NumSockets
+}
+
+// Socket returns the socket id of the given core.
+func (t Topology) Socket(core int) int {
+	if core < 0 || core >= t.NumCores {
+		return -1
+	}
+	return core / t.CoresPerSocket()
+}
+
+// Distance classifies the distance between two cores.
+func (t Topology) Distance(a, b int) Distance {
+	if a == b {
+		return DistSameCore
+	}
+	if t.Socket(a) == t.Socket(b) {
+		return DistSameSocket
+	}
+	return DistCrossSocket
+}
+
+// CoresOnSocket returns the core ids that belong to the given socket.
+func (t Topology) CoresOnSocket(socket int) []int {
+	var out []int
+	for c := 0; c < t.NumCores; c++ {
+		if t.Socket(c) == socket {
+			out = append(out, c)
+		}
+	}
+	return out
+}

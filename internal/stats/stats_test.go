@@ -1,0 +1,75 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestBasicStats(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if !almost(Mean(xs), 2.5) {
+		t.Errorf("mean = %f", Mean(xs))
+	}
+	if !almost(Median(xs), 2.5) {
+		t.Errorf("median = %f", Median(xs))
+	}
+	if !almost(Median([]float64{5, 1, 3}), 3) {
+		t.Errorf("odd median = %f", Median([]float64{5, 1, 3}))
+	}
+	if Min(xs) != 1 || Max(xs) != 4 {
+		t.Errorf("min/max = %f/%f", Min(xs), Max(xs))
+	}
+	if !almost(GeoMean([]float64{1, 4}), 2) {
+		t.Errorf("geomean = %f", GeoMean([]float64{1, 4}))
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if Mean(nil) != 0 || Median(nil) != 0 || Min(nil) != 0 || Max(nil) != 0 || GeoMean(nil) != 0 {
+		t.Error("empty inputs should yield 0")
+	}
+	if GeoMean([]float64{-1, 0}) != 0 {
+		t.Error("geomean of non-positive values should be 0")
+	}
+}
+
+func TestMedianDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Error("Median sorted the caller's slice")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{0.9, 1.5, 2.0, 5.5})
+	if !almost(s.Min, 0.9) || !almost(s.Max, 5.5) || !almost(s.Median, 1.75) || !almost(s.Avg, 2.475) {
+		t.Errorf("summary %+v", s)
+	}
+}
+
+// Property: Min <= Median <= Max and Min <= Mean <= Max for any non-empty
+// input (values are folded into a range that cannot overflow the sum).
+func TestOrderingProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				continue
+			}
+			xs = append(xs, math.Mod(x, 1e6))
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Min <= s.Median+1e-9 && s.Median <= s.Max+1e-9 &&
+			s.Min <= s.Avg+1e-9 && s.Avg <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,312 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/fsapi"
+	"repro/internal/sched"
+)
+
+// Creates is the creates microbenchmark: every worker creates many files in
+// one shared (distributed) directory (§5.2). It stresses concurrent
+// directory-entry insertion.
+type Creates struct{ PerWorker int }
+
+// Name implements Workload.
+func (Creates) Name() string { return "creates" }
+
+// Placement implements Workload.
+func (Creates) Placement() sched.Policy { return sched.PolicyRoundRobin }
+
+// Setup creates the shared directory.
+func (Creates) Setup(env *Env) error {
+	return runRoot(env, "creates-setup", func(p *sched.Proc) int {
+		if err := env.fs(p).Mkdir("/creates", fsapi.MkdirOpt{Distributed: true}); err != nil {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Run implements Workload.
+func (w Creates) Run(env *Env) (int, error) {
+	per := w.PerWorker
+	if per == 0 {
+		per = env.iters(400)
+	}
+	n := env.workers()
+	err := runRoot(env, "creates", func(p *sched.Proc) int {
+		return fanOut(p, n, func(wp *sched.Proc, idx int) int {
+			fs := env.fs(wp)
+			for i := 0; i < per; i++ {
+				name := fmt.Sprintf("/creates/w%02d-f%05d", idx, i)
+				fd, err := fs.Open(name, fsapi.OCreate|fsapi.OWrOnly, fsapi.Mode644)
+				if err != nil {
+					return 1
+				}
+				if err := fs.Close(fd); err != nil {
+					return 1
+				}
+			}
+			return 0
+		})
+	})
+	return per * n * 2, err
+}
+
+// Writes is the writes microbenchmark: every worker repeatedly writes to its
+// own file (stressing data-path throughput and direct buffer-cache access).
+type Writes struct {
+	PerWorker int
+	ChunkSize int
+}
+
+// Name implements Workload.
+func (Writes) Name() string { return "writes" }
+
+// Placement implements Workload.
+func (Writes) Placement() sched.Policy { return sched.PolicyRoundRobin }
+
+// Setup creates the shared directory holding the per-worker files.
+func (Writes) Setup(env *Env) error {
+	return runRoot(env, "writes-setup", func(p *sched.Proc) int {
+		if err := env.fs(p).Mkdir("/writes", fsapi.MkdirOpt{Distributed: true}); err != nil {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Run implements Workload.
+func (w Writes) Run(env *Env) (int, error) {
+	per := w.PerWorker
+	if per == 0 {
+		per = env.iters(600)
+	}
+	chunk := w.ChunkSize
+	if chunk == 0 {
+		chunk = 1024
+	}
+	n := env.workers()
+	err := runRoot(env, "writes", func(p *sched.Proc) int {
+		return fanOut(p, n, func(wp *sched.Proc, idx int) int {
+			fs := env.fs(wp)
+			name := fmt.Sprintf("/writes/w%02d.dat", idx)
+			fd, err := fs.Open(name, fsapi.OCreate|fsapi.OWrOnly, fsapi.Mode644)
+			if err != nil {
+				return 1
+			}
+			buf := make([]byte, chunk)
+			fillPattern(buf, uint64(idx)+1)
+			for i := 0; i < per; i++ {
+				if _, err := fs.Write(fd, buf); err != nil {
+					return 1
+				}
+				// Periodically rewind so the file does not grow without
+				// bound; the benchmark measures write throughput, not
+				// file size.
+				if (i+1)%64 == 0 {
+					if _, err := fs.Seek(fd, 0, fsapi.SeekSet); err != nil {
+						return 1
+					}
+				}
+			}
+			if err := fs.Close(fd); err != nil {
+				return 1
+			}
+			return 0
+		})
+	})
+	return per * n, err
+}
+
+// Renames is the renames microbenchmark: every worker repeatedly renames its
+// file within a shared distributed directory, exercising the two-server
+// ADD_MAP / RM_MAP protocol.
+type Renames struct{ PerWorker int }
+
+// Name implements Workload.
+func (Renames) Name() string { return "renames" }
+
+// Placement implements Workload.
+func (Renames) Placement() sched.Policy { return sched.PolicyRoundRobin }
+
+// Setup creates the shared directory and one file per worker.
+func (Renames) Setup(env *Env) error {
+	n := env.workers()
+	return runRoot(env, "renames-setup", func(p *sched.Proc) int {
+		fs := env.fs(p)
+		if err := fs.Mkdir("/renames", fsapi.MkdirOpt{Distributed: true}); err != nil {
+			return 1
+		}
+		for i := 0; i < n; i++ {
+			fd, err := fs.Open(fmt.Sprintf("/renames/w%02d-a", i), fsapi.OCreate, fsapi.Mode644)
+			if err != nil {
+				return 1
+			}
+			if err := fs.Close(fd); err != nil {
+				return 1
+			}
+		}
+		return 0
+	})
+}
+
+// Run implements Workload.
+func (w Renames) Run(env *Env) (int, error) {
+	per := w.PerWorker
+	if per == 0 {
+		per = env.iters(400)
+	}
+	n := env.workers()
+	err := runRoot(env, "renames", func(p *sched.Proc) int {
+		return fanOut(p, n, func(wp *sched.Proc, idx int) int {
+			fs := env.fs(wp)
+			a := fmt.Sprintf("/renames/w%02d-a", idx)
+			b := fmt.Sprintf("/renames/w%02d-b", idx)
+			for i := 0; i < per; i++ {
+				from, to := a, b
+				if i%2 == 1 {
+					from, to = b, a
+				}
+				if err := fs.Rename(from, to); err != nil {
+					return 1
+				}
+			}
+			return 0
+		})
+	})
+	return per * n, err
+}
+
+// Directories is the directories microbenchmark: every worker repeatedly
+// creates and removes its own subdirectories under a shared parent.
+type Directories struct{ PerWorker int }
+
+// Name implements Workload.
+func (Directories) Name() string { return "directories" }
+
+// Placement implements Workload.
+func (Directories) Placement() sched.Policy { return sched.PolicyRoundRobin }
+
+// Setup creates the shared parent directory.
+func (Directories) Setup(env *Env) error {
+	return runRoot(env, "directories-setup", func(p *sched.Proc) int {
+		if err := env.fs(p).Mkdir("/dirs", fsapi.MkdirOpt{Distributed: true}); err != nil {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Run implements Workload.
+func (w Directories) Run(env *Env) (int, error) {
+	per := w.PerWorker
+	if per == 0 {
+		per = env.iters(200)
+	}
+	n := env.workers()
+	err := runRoot(env, "directories", func(p *sched.Proc) int {
+		return fanOut(p, n, func(wp *sched.Proc, idx int) int {
+			fs := env.fs(wp)
+			for i := 0; i < per; i++ {
+				dir := fmt.Sprintf("/dirs/w%02d-d%04d", idx, i)
+				if err := fs.Mkdir(dir, fsapi.MkdirOpt{}); err != nil {
+					return 1
+				}
+				if err := fs.Rmdir(dir); err != nil {
+					return 1
+				}
+			}
+			return 0
+		})
+	})
+	return per * n * 2, err
+}
+
+// RM removes a previously built directory tree in parallel (the rm dense and
+// rm sparse benchmarks). The sparse variant disables directory distribution,
+// matching the paper's per-benchmark choice (rmdir on near-empty distributed
+// directories pays a broadcast for nothing).
+type RM struct {
+	Sparse bool
+	tree   treeSpec
+}
+
+// Name implements Workload.
+func (w RM) Name() string {
+	if w.Sparse {
+		return "rm sparse"
+	}
+	return "rm dense"
+}
+
+// Placement implements Workload.
+func (RM) Placement() sched.Policy { return sched.PolicyRoundRobin }
+
+// Setup builds the tree that Run removes.
+func (w *RM) Setup(env *Env) error {
+	if w.Sparse {
+		w.tree = sparseTree(env)
+	} else {
+		w.tree = denseTree(env)
+	}
+	return w.tree.build(env)
+}
+
+// Run implements Workload.
+func (w *RM) Run(env *Env) (int, error) {
+	return w.tree.removeParallel(env)
+}
+
+// PFind recursively lists a directory tree from every worker in parallel
+// (the pfind dense / pfind sparse benchmarks). Every worker walks the whole
+// tree; with few directories (sparse) all workers hit the same servers in
+// the same order, which is the scalability bottleneck discussed in §5.3.1.
+type PFind struct {
+	Sparse bool
+	tree   treeSpec
+}
+
+// Name implements Workload.
+func (w PFind) Name() string {
+	if w.Sparse {
+		return "pfind sparse"
+	}
+	return "pfind dense"
+}
+
+// Placement implements Workload.
+func (PFind) Placement() sched.Policy { return sched.PolicyRoundRobin }
+
+// Setup builds the tree that Run traverses.
+func (w *PFind) Setup(env *Env) error {
+	if w.Sparse {
+		w.tree = sparseTree(env)
+	} else {
+		w.tree = denseTree(env)
+	}
+	return w.tree.build(env)
+}
+
+// Run implements Workload.
+func (w *PFind) Run(env *Env) (int, error) {
+	n := env.workers()
+	var total int
+	root := w.tree.root
+	err := runRoot(env, w.Name(), func(p *sched.Proc) int {
+		return fanOut(p, n, func(wp *sched.Proc, idx int) int {
+			if _, err := traverse(env.fs(wp), root); err != nil {
+				return 1
+			}
+			return 0
+		})
+	})
+	if err != nil {
+		return 0, err
+	}
+	// Every worker performs the same traversal; count it once and multiply.
+	perWorker := len(w.tree.allDirs()) + len(w.tree.allFiles())
+	total = perWorker * n
+	return total, nil
+}

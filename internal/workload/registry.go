@@ -1,0 +1,73 @@
+package workload
+
+// All returns a fresh instance of every benchmark in the paper's suite, in
+// the order the figures list them.
+func All() []Workload {
+	return []Workload{
+		Creates{},
+		Writes{},
+		Renames{},
+		Directories{},
+		&RM{Sparse: false},
+		&RM{Sparse: true},
+		&PFind{Sparse: false},
+		&PFind{Sparse: true},
+		Extract{},
+		Punzip{},
+		Mailbench{},
+		FSStress{},
+		BuildLinux{},
+	}
+}
+
+// Names returns the benchmark names in figure order.
+func Names() []string {
+	ws := All()
+	out := make([]string, len(ws))
+	for i, w := range ws {
+		out[i] = w.Name()
+	}
+	return out
+}
+
+// ByName returns a fresh instance of the named benchmark.
+func ByName(name string) (Workload, bool) {
+	for _, w := range All() {
+		if w.Name() == name {
+			return w, true
+		}
+	}
+	return nil, false
+}
+
+// Microbenchmarks returns only the microbenchmarks (used by a few ablation
+// figures that focus on them).
+func Microbenchmarks() []Workload {
+	return []Workload{
+		Creates{},
+		Writes{},
+		Renames{},
+		Directories{},
+		&RM{Sparse: false},
+		&RM{Sparse: true},
+		&PFind{Sparse: false},
+		&PFind{Sparse: true},
+	}
+}
+
+// ParallelBenchmarks returns the benchmarks used in the 40-core Hare vs
+// Linux comparison (Figure 15), which omits the rm variants.
+func ParallelBenchmarks() []Workload {
+	return []Workload{
+		Creates{},
+		Writes{},
+		Renames{},
+		Directories{},
+		&PFind{Sparse: false},
+		&PFind{Sparse: true},
+		Punzip{},
+		Mailbench{},
+		FSStress{},
+		BuildLinux{},
+	}
+}

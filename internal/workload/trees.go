@@ -1,0 +1,205 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/fsapi"
+	"repro/internal/sched"
+)
+
+// treeSpec describes a directory tree used by the rm and pfind benchmarks.
+// The paper's dense tree has 2 top-level directories, 3 sub-levels with 10
+// directories and 2000 files per sub-level; the sparse tree has 1 top-level
+// directory and 14 levels with 2 subdirectories per level. The defaults here
+// are scaled-down versions with the same shape (wide-and-shallow with many
+// files vs narrow-and-deep with none), which is what the benchmarks stress.
+type treeSpec struct {
+	root        string
+	topDirs     int
+	depth       int  // sub-levels below each top-level directory
+	fanout      int  // directories per level
+	filesPerDir int  // files in every directory
+	distributed bool // request distributed directories
+}
+
+// denseTree returns the scaled dense tree specification.
+func denseTree(env *Env) treeSpec {
+	return treeSpec{
+		root:        "/dense",
+		topDirs:     2,
+		depth:       2,
+		fanout:      3,
+		filesPerDir: env.iters(24),
+		distributed: true,
+	}
+}
+
+// sparseTree returns the scaled sparse tree specification.
+func sparseTree(env *Env) treeSpec {
+	depth := 7
+	if env.Scale > 0 && env.Scale < 0.2 {
+		depth = 5
+	}
+	return treeSpec{
+		root:        "/sparse",
+		topDirs:     1,
+		depth:       depth,
+		fanout:      2,
+		filesPerDir: 0,
+		distributed: false,
+	}
+}
+
+// dirsAtLevel returns the directory paths at the given level (0 = the
+// top-level directories themselves).
+func (t treeSpec) dirsAtLevel(level int) []string {
+	if level == 0 {
+		out := make([]string, 0, t.topDirs)
+		for i := 0; i < t.topDirs; i++ {
+			out = append(out, fmt.Sprintf("%s/top%d", t.root, i))
+		}
+		return out
+	}
+	var out []string
+	for _, parent := range t.dirsAtLevel(level - 1) {
+		for i := 0; i < t.fanout; i++ {
+			out = append(out, fmt.Sprintf("%s/d%d", parent, i))
+		}
+	}
+	return out
+}
+
+// allDirs returns every directory in the tree, shallowest first (excluding
+// the root itself).
+func (t treeSpec) allDirs() []string {
+	out := []string{t.root}
+	for level := 0; level <= t.depth; level++ {
+		out = append(out, t.dirsAtLevel(level)...)
+	}
+	return out
+}
+
+// allFiles returns every file path in the tree.
+func (t treeSpec) allFiles() []string {
+	if t.filesPerDir == 0 {
+		return nil
+	}
+	var out []string
+	for level := 0; level <= t.depth; level++ {
+		for _, dir := range t.dirsAtLevel(level) {
+			for i := 0; i < t.filesPerDir; i++ {
+				out = append(out, fmt.Sprintf("%s/f%04d", dir, i))
+			}
+		}
+	}
+	return out
+}
+
+// build creates the tree. It runs in a root process (setup phase).
+func (t treeSpec) build(env *Env) error {
+	return runRoot(env, "tree-setup", func(p *sched.Proc) int {
+		fs := env.fs(p)
+		opt := fsapi.MkdirOpt{Distributed: t.distributed}
+		for _, dir := range t.allDirs() {
+			if err := fs.Mkdir(dir, opt); err != nil && !fsapi.IsErrno(err, fsapi.EEXIST) {
+				return 1
+			}
+		}
+		for _, file := range t.allFiles() {
+			fd, err := fs.Open(file, fsapi.OCreate|fsapi.OWrOnly, fsapi.Mode644)
+			if err != nil {
+				return 1
+			}
+			if _, err := fs.Write(fd, []byte("x")); err != nil {
+				return 1
+			}
+			if err := fs.Close(fd); err != nil {
+				return 1
+			}
+		}
+		return 0
+	})
+}
+
+// removeParallel removes the tree: files are unlinked by parallel workers
+// (partitioned round-robin), then directories are removed bottom-up, one
+// parallel worker pass per level.
+func (t treeSpec) removeParallel(env *Env) (int, error) {
+	files := t.allFiles()
+	nworkers := env.workers()
+	ops := 0
+
+	if len(files) > 0 {
+		err := runRoot(env, "rm-files", func(p *sched.Proc) int {
+			return fanOut(p, nworkers, func(wp *sched.Proc, idx int) int {
+				fs := env.fs(wp)
+				for i := idx; i < len(files); i += nworkers {
+					if err := fs.Unlink(files[i]); err != nil {
+						return 1
+					}
+				}
+				return 0
+			})
+		})
+		if err != nil {
+			return ops, err
+		}
+		ops += len(files)
+	}
+
+	for level := t.depth; level >= 0; level-- {
+		dirs := t.dirsAtLevel(level)
+		err := runRoot(env, "rm-dirs", func(p *sched.Proc) int {
+			return fanOut(p, nworkers, func(wp *sched.Proc, idx int) int {
+				fs := env.fs(wp)
+				for i := idx; i < len(dirs); i += nworkers {
+					if err := fs.Rmdir(dirs[i]); err != nil {
+						return 1
+					}
+				}
+				return 0
+			})
+		})
+		if err != nil {
+			return ops, err
+		}
+		ops += len(dirs)
+	}
+
+	err := runRoot(env, "rm-root", func(p *sched.Proc) int {
+		if err := env.fs(p).Rmdir(t.root); err != nil {
+			return 1
+		}
+		return 0
+	})
+	if err != nil {
+		return ops, err
+	}
+	return ops + 1, nil
+}
+
+// traverse recursively lists dir, stats every entry, and recurses into
+// subdirectories (the pfind benchmark's per-worker traversal). It returns
+// the number of operations performed.
+func traverse(fs fsapi.Client, dir string) (int, error) {
+	ents, err := fs.ReadDir(dir)
+	if err != nil {
+		return 0, err
+	}
+	ops := 1
+	for _, ent := range ents {
+		path := dir + "/" + ent.Name
+		if _, err := fs.Stat(path); err != nil {
+			return ops, err
+		}
+		ops++
+		if ent.Type == fsapi.TypeDir {
+			sub, err := traverse(fs, path)
+			ops += sub
+			if err != nil {
+				return ops, err
+			}
+		}
+	}
+	return ops, nil
+}

@@ -1,0 +1,237 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/baseline/ramfs"
+	"repro/internal/core"
+	"repro/internal/fsapi"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// hareEnv builds a small Hare deployment and returns a workload Env over it.
+func hareEnv(t *testing.T, cores int) (*Env, func()) {
+	t.Helper()
+	sys, err := core.New(core.Config{
+		Cores:            cores,
+		Servers:          cores,
+		Timeshare:        true,
+		Techniques:       core.AllTechniques(),
+		Placement:        sched.PolicyRoundRobin,
+		BufferCacheBytes: 32 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	env := &Env{
+		Procs:   sys.Procs(),
+		Cores:   sys.AppCores(),
+		Counter: NewOpCounter(),
+		Scale:   0.05,
+	}
+	return env, sys.Stop
+}
+
+// ramfsEnv builds the shared-memory baseline and returns an Env over it.
+func ramfsEnv(t *testing.T, cores int) *Env {
+	t.Helper()
+	machine := sim.NewMachine(sim.TopologyForCores(cores), sim.DefaultCostModel())
+	fs := ramfs.New(machine)
+	appCores := make([]int, cores)
+	for i := range appCores {
+		appCores[i] = i
+	}
+	procs := sched.NewSMPSystem(sched.SMPConfig{
+		Machine:  machine,
+		AppCores: appCores,
+		Policy:   sched.PolicyRoundRobin,
+		NewClient: func(c int) fsapi.Client {
+			return fs.NewClient(c)
+		},
+	})
+	return &Env{Procs: procs, Cores: appCores, Counter: NewOpCounter(), Scale: 0.05}
+}
+
+// runOne runs a workload's setup and timed phases and checks basic
+// invariants: no error, a positive op count, and virtual time advanced.
+func runOne(t *testing.T, env *Env, w Workload) {
+	t.Helper()
+	if err := w.Setup(env); err != nil {
+		t.Fatalf("%s setup: %v", w.Name(), err)
+	}
+	before := env.Procs.MaxEndTime()
+	ops, err := w.Run(env)
+	if err != nil {
+		t.Fatalf("%s run: %v", w.Name(), err)
+	}
+	if ops <= 0 {
+		t.Fatalf("%s reported %d ops", w.Name(), ops)
+	}
+	if env.Procs.MaxEndTime() <= before {
+		t.Fatalf("%s did not advance virtual time", w.Name())
+	}
+	if env.Counter.Total() == 0 {
+		t.Fatalf("%s issued no POSIX calls", w.Name())
+	}
+}
+
+func TestAllWorkloadsOnHare(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			env, stop := hareEnv(t, 4)
+			defer stop()
+			runOne(t, env, w)
+		})
+	}
+}
+
+func TestAllWorkloadsOnRamfs(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			runOne(t, ramfsEnv(t, 4), w)
+		})
+	}
+}
+
+func TestWorkloadsSingleCore(t *testing.T) {
+	// Every benchmark must also run on a single core (the scalability
+	// baseline configuration).
+	for _, w := range []Workload{Creates{}, &PFind{Sparse: true}, Mailbench{}, BuildLinux{}} {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			env, stop := hareEnv(t, 1)
+			defer stop()
+			runOne(t, env, w)
+		})
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	if len(names) != 13 {
+		t.Fatalf("expected the paper's 13 benchmarks, got %d", len(names))
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			t.Fatalf("duplicate benchmark name %q", n)
+		}
+		seen[n] = true
+		if _, ok := ByName(n); !ok {
+			t.Fatalf("ByName(%q) failed", n)
+		}
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("ByName accepted an unknown benchmark")
+	}
+	for _, n := range []string{"build linux", "mailbench", "pfind sparse", "rm dense"} {
+		if !seen[n] {
+			t.Fatalf("missing benchmark %q", n)
+		}
+	}
+	if len(Microbenchmarks()) == 0 || len(ParallelBenchmarks()) == 0 {
+		t.Fatal("benchmark subsets empty")
+	}
+}
+
+func TestPlacementPolicies(t *testing.T) {
+	// The paper uses random placement for build linux and punzip, and
+	// round-robin for the rest.
+	for _, w := range All() {
+		want := sched.PolicyRoundRobin
+		if w.Name() == "build linux" || w.Name() == "punzip" {
+			want = sched.PolicyRandom
+		}
+		if w.Placement() != want {
+			t.Errorf("%s placement = %v, want %v", w.Name(), w.Placement(), want)
+		}
+	}
+}
+
+func TestOpCounter(t *testing.T) {
+	c := NewOpCounter()
+	env, stop := hareEnv(t, 2)
+	defer stop()
+	env.Counter = c
+	w := Creates{PerWorker: 10}
+	if err := w.Setup(env); err != nil {
+		t.Fatal(err)
+	}
+	c.Reset()
+	if _, err := w.Run(env); err != nil {
+		t.Fatal(err)
+	}
+	if c.Count(ClassCreate) == 0 || c.Count(ClassClose) == 0 {
+		t.Fatalf("creates benchmark should count creates and closes: %v %v",
+			c.Count(ClassCreate), c.Count(ClassClose))
+	}
+	bd := c.Breakdown()
+	var sum float64
+	for _, share := range bd {
+		sum += share
+	}
+	if sum < 0.99 || sum > 1.01 {
+		t.Fatalf("breakdown shares sum to %f", sum)
+	}
+}
+
+func TestOpClassNames(t *testing.T) {
+	for _, c := range OpClasses() {
+		if c.String() == "" {
+			t.Fatal("empty class name")
+		}
+	}
+	if OpClass(200).String() != "other" {
+		t.Fatal("out-of-range class should be 'other'")
+	}
+}
+
+func TestXorshiftDeterministic(t *testing.T) {
+	a, b := newRand(7), newRand(7)
+	for i := 0; i < 100; i++ {
+		if a.next() != b.next() {
+			t.Fatal("xorshift not deterministic")
+		}
+	}
+	r := newRand(0)
+	counts := map[int]int{}
+	for i := 0; i < 1000; i++ {
+		v := r.intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	if len(counts) < 8 {
+		t.Fatal("intn poorly distributed")
+	}
+	if r.intn(0) != 0 {
+		t.Fatal("intn(0) should be 0")
+	}
+}
+
+func TestTreeSpecShapes(t *testing.T) {
+	env := &Env{Scale: 1.0}
+	dense := denseTree(env)
+	sparse := sparseTree(env)
+	if len(dense.allFiles()) == 0 {
+		t.Fatal("dense tree has no files")
+	}
+	if len(sparse.allFiles()) != 0 {
+		t.Fatal("sparse tree should have no files")
+	}
+	if len(sparse.allDirs()) <= len(dense.allDirs()) {
+		t.Fatal("sparse tree should have more directories than dense")
+	}
+	// Directory listings at each level have the expected fanout.
+	if got := len(dense.dirsAtLevel(0)); got != dense.topDirs {
+		t.Fatalf("level 0 has %d dirs", got)
+	}
+	if got := len(dense.dirsAtLevel(1)); got != dense.topDirs*dense.fanout {
+		t.Fatalf("level 1 has %d dirs", got)
+	}
+}
