@@ -3,12 +3,19 @@
 //
 // Usage:
 //
-//	hare-bench [-fig N] [-scale F] [-cores N] [-bench name]
+//	hare-bench [-fig N] [-scale F] [-cores N] [-bench name] [-durability]
 //
 // With no -fig flag every experiment is run in order. The -scale flag
 // shrinks the workload iteration counts (1.0 reproduces the default sizes;
 // smaller values finish faster), and -bench restricts the run to a single
 // benchmark where applicable.
+//
+// The -durability flag runs the write-ahead-log figures instead of the
+// paper's (the paper scopes durability out; DESIGN.md §6 describes the
+// subsystem): a group-commit interval sweep showing logging overhead and
+// flush amortization, a recovery-time comparison of pure log replay versus
+// checkpoint + tail, and the self-verifying crash-injection workload that
+// kills and recovers every file server mid-run.
 package main
 
 import (
@@ -22,13 +29,41 @@ import (
 
 func main() {
 	var (
-		fig       = flag.Int("fig", 0, "figure to regenerate (4-15); 0 means all")
-		scale     = flag.Float64("scale", 0.25, "workload scale factor (1.0 = full size)")
-		cores     = flag.Int("cores", 40, "size of the simulated machine")
-		benchName = flag.String("bench", "", "restrict to a single benchmark (e.g. \"creates\")")
-		repoRoot  = flag.String("root", ".", "repository root (for the Figure 4 SLOC count)")
+		fig        = flag.Int("fig", 0, "figure to regenerate (4-15); 0 means all")
+		scale      = flag.Float64("scale", 0.25, "workload scale factor (1.0 = full size)")
+		cores      = flag.Int("cores", 40, "size of the simulated machine")
+		benchName  = flag.String("bench", "", "restrict to a single benchmark (e.g. \"creates\")")
+		repoRoot   = flag.String("root", ".", "repository root (for the Figure 4 SLOC count)")
+		durability = flag.Bool("durability", false, "run the durability figures (group-commit sweep, recovery time, crash-injection check) instead of the paper's")
 	)
 	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "hare-bench:", err)
+		os.Exit(1)
+	}
+
+	if *durability {
+		if *benchName != "" || *fig != 0 {
+			fail(fmt.Errorf("-durability runs its own figure set and cannot be combined with -bench or -fig"))
+		}
+		t, err := bench.DurabilityOverhead(*scale, *cores, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t.Render())
+		t, err = bench.RecoveryTime(*scale, *cores)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t.Render())
+		t, err = bench.CrashWorkloadCheck(*scale, *cores)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t.Render())
+		return
+	}
 
 	ws := workload.All()
 	if *benchName != "" {
@@ -37,14 +72,15 @@ func main() {
 			fmt.Fprintf(os.Stderr, "unknown benchmark %q; available: %v\n", *benchName, workload.Names())
 			os.Exit(2)
 		}
+		for _, fw := range workload.FaultBenchmarks() {
+			if fw.Name() == w.Name() {
+				fail(fmt.Errorf("benchmark %q needs a fault-injecting backend; run it via -durability", w.Name()))
+			}
+		}
 		ws = []workload.Workload{w}
 	}
 
 	run := func(n int) bool { return *fig == 0 || *fig == n }
-	fail := func(err error) {
-		fmt.Fprintln(os.Stderr, "hare-bench:", err)
-		os.Exit(1)
-	}
 
 	if run(4) {
 		t, err := bench.Figure4(*repoRoot, false)

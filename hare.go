@@ -22,6 +22,7 @@ import (
 	"repro/internal/fsapi"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/wal"
 )
 
 // Re-exported configuration types.
@@ -55,6 +56,17 @@ type (
 	MkdirOpt = fsapi.MkdirOpt
 	// Errno is a POSIX-style error number.
 	Errno = fsapi.Errno
+
+	// Durability configures the write-ahead-log subsystem (per-server
+	// logging, group commit, checkpoints, and the Crash/Recover API);
+	// the zero value disables it, matching the paper's in-memory-only
+	// design. See DESIGN.md §6.
+	Durability = core.Durability
+	// RecoveryStats describes one server's crash recovery (checkpoint
+	// bytes loaded, records replayed, virtual time charged).
+	RecoveryStats = wal.RecoveryStats
+	// WalStats counts one server's write-ahead-log activity.
+	WalStats = wal.Stats
 
 	// Proc is a simulated process bound to a core and a client library.
 	Proc = sched.Proc

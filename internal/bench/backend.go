@@ -14,6 +14,8 @@ import (
 	"repro/internal/fsapi"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/wal"
+	"repro/internal/workload"
 )
 
 // Backend is one running file system deployment that workloads can run on.
@@ -28,6 +30,23 @@ type Backend struct {
 	Seconds func(sim.Cycles) float64
 	// Close shuts the deployment down.
 	Close func()
+	// Faults exposes crash/recover/checkpoint on backends that support
+	// fault injection (Hare with durability enabled); nil otherwise.
+	Faults workload.FaultInjector
+	// WalStats reports per-server write-ahead-log counters; nil when the
+	// backend has no durability subsystem.
+	WalStats func() []wal.Stats
+}
+
+// sysFaults adapts core.System to the workload fault-injection interface.
+type sysFaults struct{ sys *core.System }
+
+func (f sysFaults) NumServers() int             { return f.sys.NumServers() }
+func (f sysFaults) Checkpoint(server int) error { return f.sys.Checkpoint(server) }
+func (f sysFaults) Crash(server int) error      { return f.sys.Crash(server) }
+func (f sysFaults) Recover(server int) error {
+	_, err := f.sys.Recover(server)
+	return err
 }
 
 // Factory builds a fresh backend for a single measurement, using the given
@@ -41,6 +60,7 @@ type HareOptions struct {
 	Timeshare  bool // servers share cores with applications
 	Techniques core.Techniques
 	Seed       uint64
+	Durability core.Durability
 }
 
 // DefaultHare returns the standard Hare deployment used throughout the
@@ -61,6 +81,7 @@ func HareFactory(opts HareOptions) Factory {
 			Placement:       placement,
 			Seed:            opts.Seed,
 			RootDistributed: false,
+			Durability:      opts.Durability,
 		}
 		if cfg.Servers == 0 {
 			cfg.Servers = cfg.Cores
@@ -76,14 +97,20 @@ func HareFactory(opts HareOptions) Factory {
 		} else {
 			name += ",split)"
 		}
-		return &Backend{
+		b := &Backend{
 			Name:    name,
 			Procs:   sys.Procs(),
 			Cores:   sys.AppCores(),
 			Now:     sys.Procs().MaxEndTime,
 			Seconds: sys.Seconds,
 			Close:   sys.Stop,
-		}, nil
+		}
+		if cfg.Durability.Enabled {
+			b.Name += "+wal"
+			b.Faults = sysFaults{sys}
+			b.WalStats = sys.WalStats
+		}
+		return b, nil
 	}
 }
 

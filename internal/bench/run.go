@@ -33,7 +33,7 @@ func RunWorkload(f Factory, w workload.Workload, scale float64) (Result, error) 
 	defer b.Close()
 
 	counter := workload.NewOpCounter()
-	env := &workload.Env{Procs: b.Procs, Cores: b.Cores, Counter: counter, Scale: scale}
+	env := &workload.Env{Procs: b.Procs, Cores: b.Cores, Counter: counter, Scale: scale, Faults: b.Faults}
 	if err := w.Setup(env); err != nil {
 		return Result{}, fmt.Errorf("bench: %s setup on %s: %w", w.Name(), b.Name, err)
 	}

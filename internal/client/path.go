@@ -47,6 +47,12 @@ func (c *Client) drainInvalidations() {
 			continue
 		}
 		c.stats.invals.Add(1)
+		if iv.Name == "" {
+			// Wildcard from a recovered server: its invalidation-tracking
+			// sets died with it, so every cached entry is suspect.
+			c.dcache = make(map[dcacheKey]dcacheEnt)
+			continue
+		}
 		delete(c.dcache, dcacheKey{iv.Dir, iv.Name})
 	}
 }

@@ -9,6 +9,7 @@ package core
 
 import (
 	"fmt"
+	"path/filepath"
 
 	"repro/internal/client"
 	"repro/internal/msg"
@@ -17,6 +18,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/wal"
 )
 
 // Techniques toggles the design techniques evaluated in §5.4 of the paper.
@@ -65,6 +67,44 @@ type Config struct {
 
 	// RootDistributed shards the root directory's entries across servers.
 	RootDistributed bool
+
+	// Durability configures the per-server write-ahead log (DESIGN.md §6).
+	Durability Durability
+}
+
+// Durability configures the write-ahead-log subsystem. The zero value
+// disables it, matching the paper's in-memory-only design.
+type Durability struct {
+	// Enabled turns on per-server write-ahead logging, checkpoints, and
+	// the Crash/Recover API.
+	Enabled bool
+
+	// GroupCommitInterval is the log flush cadence in virtual cycles.
+	// Zero flushes synchronously on every mutation (slowest, safest);
+	// larger intervals batch more mutations per flush.
+	GroupCommitInterval sim.Cycles
+	// GroupCommitBytes flushes a batch early once it holds this many
+	// bytes (default 64 KiB).
+	GroupCommitBytes int
+
+	// CheckpointEvery automatically snapshots a server's state and
+	// truncates its log after this many records. Zero means checkpoints
+	// happen only via the Checkpoint API.
+	CheckpointEvery int
+
+	// SegmentBytes is the log segment rotation size (default 1 MiB).
+	SegmentBytes int
+
+	// Dir, when non-empty, stores each server's log and checkpoint as
+	// real files under Dir/server-NN. Empty keeps them in memory (the
+	// store then plays the role of a battery-backed log device: it
+	// survives the simulated server crash, not the host process).
+	//
+	// To remount on-disk state after a host-process restart, use
+	// CrashLosingMemory + Recover on every server: the simulated DRAM
+	// did not survive the restart, so recovery must restore block
+	// contents from the checkpoint, not assume they are still in memory.
+	Dir string
 }
 
 // DefaultConfig mirrors the paper's standard setup: a 40-core machine in the
@@ -115,6 +155,9 @@ type System struct {
 	servers     []*server.Server
 	serverEPs   []msg.EndpointID
 	serverCores []int
+
+	// ctl is the control-plane endpoint used for checkpoint requests.
+	ctl *msg.Endpoint
 
 	ids      *client.IDAllocator
 	procSys  *sched.HareSystem
@@ -176,6 +219,10 @@ func New(cfg Config) (*System, error) {
 
 	rootDist := cfg.RootDistributed && cfg.Techniques.DirectoryDistribution
 	for i := 0; i < cfg.Servers; i++ {
+		log, err := newServerLog(cfg, cost, i)
+		if err != nil {
+			return nil, err
+		}
 		srv := server.New(server.Config{
 			ID:              i,
 			Core:            serverCores[i],
@@ -187,10 +234,12 @@ func New(cfg Config) (*System, error) {
 			Registry:        registry,
 			CoLocated:       cfg.Timeshare,
 			RootDistributed: rootDist,
+			Log:             log,
 		})
 		sys.servers = append(sys.servers, srv)
 		sys.serverEPs = append(sys.serverEPs, srv.EndpointID())
 	}
+	sys.ctl = network.NewEndpoint(0)
 
 	sys.procSys = sched.NewHareSystem(sched.HareConfig{
 		Machine:   machine,
@@ -319,3 +368,151 @@ func (s *System) MaxServerClock() sim.Cycles {
 
 // Seconds converts cycles to seconds under the deployment's cost model.
 func (s *System) Seconds(c sim.Cycles) float64 { return s.machine.Cost.Seconds(c) }
+
+// newServerLog builds one server's write-ahead log, or returns nil when
+// durability is disabled.
+func newServerLog(cfg Config, cost sim.CostModel, id int) (*wal.Log, error) {
+	d := cfg.Durability
+	if !d.Enabled {
+		return nil, nil
+	}
+	var store wal.Store = wal.NewMemStore()
+	if d.Dir != "" {
+		fs, err := wal.NewFileStore(filepath.Join(d.Dir, fmt.Sprintf("server-%02d", id)))
+		if err != nil {
+			return nil, fmt.Errorf("core: server %d log store: %w", id, err)
+		}
+		store = fs
+	}
+	log, err := wal.Open(wal.Config{
+		Store:               store,
+		SegmentBytes:        d.SegmentBytes,
+		GroupCommitInterval: d.GroupCommitInterval,
+		GroupCommitBytes:    d.GroupCommitBytes,
+		CheckpointEvery:     d.CheckpointEvery,
+		FlushCycles:         cost.WalFlush,
+		AppendPerLine:       cost.WalPerLine,
+		ReplayPerRecord:     cost.WalReplayPerRec,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: server %d log: %w", id, err)
+	}
+	return log, nil
+}
+
+// NumServers returns the number of file servers in the deployment.
+func (s *System) NumServers() int { return len(s.servers) }
+
+// checkServer validates a fault-injection target.
+func (s *System) checkServer(id int) error {
+	if !s.cfg.Durability.Enabled {
+		return fmt.Errorf("core: durability is disabled; enable Config.Durability to use Crash/Recover/Checkpoint")
+	}
+	if !s.started {
+		// Crashing a never-started server would wait forever for a
+		// request loop that does not exist.
+		return fmt.Errorf("core: system not started")
+	}
+	if id < 0 || id >= len(s.servers) {
+		return fmt.Errorf("core: no server %d (have %d)", id, len(s.servers))
+	}
+	return nil
+}
+
+// Crash kills file server id as if its process died: its in-memory state is
+// dropped and its request loop stops. Requests sent to a crashed server
+// (and any already queued) wait in its inbox and are served after Recover;
+// requests parked inside the server (blocked pipe reads, rmdir waiters) are
+// lost, so callers should quiesce pipe users before injecting faults.
+//
+// The shared DRAM — including the crashed server's buffer-cache partition —
+// survives, the way memory owned by no process survives a process crash.
+// Use CrashLosingMemory to take the partition down with the server.
+func (s *System) Crash(id int) error {
+	if err := s.checkServer(id); err != nil {
+		return err
+	}
+	s.servers[id].Crash(false)
+	return nil
+}
+
+// CrashLosingMemory crashes server id and wipes its DRAM partition,
+// modelling the loss of the server's whole memory domain (a NUMA node
+// losing power). Recovery then restores file contents from the checkpoint's
+// block snapshots plus replayed write records; data written by clients
+// directly to the buffer cache after the last checkpoint is lost, which is
+// the documented durability contract for direct-access writes.
+func (s *System) CrashLosingMemory(id int) error {
+	if err := s.checkServer(id); err != nil {
+		return err
+	}
+	s.servers[id].Crash(true)
+	return nil
+}
+
+// Recover rebuilds a crashed server from its checkpoint and log and
+// restarts it. Recovery is idempotent: a crash/recover cycle with no
+// intervening mutations reproduces the same state.
+func (s *System) Recover(id int) (wal.RecoveryStats, error) {
+	if err := s.checkServer(id); err != nil {
+		return wal.RecoveryStats{}, err
+	}
+	return s.servers[id].Recover()
+}
+
+// Crashed reports whether server id is currently down.
+func (s *System) Crashed(id int) bool {
+	if id < 0 || id >= len(s.servers) {
+		return false
+	}
+	return s.servers[id].Crashed()
+}
+
+// Checkpoint asks a running server to snapshot its state and truncate its
+// log. The request travels the normal control path (an RPC into the
+// server's request loop), so it serializes with in-flight operations.
+func (s *System) Checkpoint(id int) error {
+	if err := s.checkServer(id); err != nil {
+		return err
+	}
+	srv := s.servers[id]
+	if srv.Crashed() {
+		return fmt.Errorf("core: server %d is crashed; recover it before checkpointing", id)
+	}
+	req := &proto.Request{Op: proto.OpCheckpoint}
+	env, err := s.network.RPC(s.ctl, s.serverEPs[id], proto.KindRequest, req.Marshal(), srv.Clock())
+	if err != nil {
+		return fmt.Errorf("core: checkpoint rpc to server %d: %w", id, err)
+	}
+	resp, err := proto.UnmarshalResponse(env.Payload)
+	if err != nil {
+		return fmt.Errorf("core: checkpoint reply from server %d: %w", id, err)
+	}
+	if resp.Err != 0 {
+		return fmt.Errorf("core: checkpoint on server %d: %v", id, resp.Err)
+	}
+	return nil
+}
+
+// CheckpointAll checkpoints every running server.
+func (s *System) CheckpointAll() error {
+	for i := range s.servers {
+		if s.servers[i].Crashed() {
+			continue
+		}
+		if err := s.Checkpoint(i); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WalStats returns each server's write-ahead-log counters (zero-valued when
+// durability is disabled).
+func (s *System) WalStats() []wal.Stats {
+	out := make([]wal.Stats, len(s.servers))
+	for i, srv := range s.servers {
+		out[i] = srv.WalStats()
+	}
+	return out
+}

@@ -115,3 +115,13 @@ func (q *Queue) Closed() bool {
 	defer q.mu.Unlock()
 	return q.closed
 }
+
+// Reopen clears the closed state so PopWait blocks again. A recovered file
+// server reopens its inbox: envelopes pushed while it was down (Push never
+// blocks or fails) are still queued and get served after recovery, so
+// clients of a crashed server stall rather than error.
+func (q *Queue) Reopen() {
+	q.mu.Lock()
+	q.closed = false
+	q.mu.Unlock()
+}

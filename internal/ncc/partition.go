@@ -15,7 +15,9 @@ type Partition struct {
 	mu    sync.Mutex
 	free  []BlockID
 	total int
-	dram  *DRAM
+	// lo and hi bound the block range this partition owns: [lo, hi).
+	lo, hi BlockID
+	dram   *DRAM
 }
 
 // PartitionDRAM splits the DRAM's blocks evenly into n partitions.
@@ -31,7 +33,7 @@ func PartitionDRAM(d *DRAM, n int) []*Partition {
 		if i == n-1 {
 			end = d.NumBlocks()
 		}
-		p := &Partition{dram: d, total: end - start}
+		p := &Partition{dram: d, total: end - start, lo: BlockID(start), hi: BlockID(end)}
 		for b := start; b < end; b++ {
 			p.free = append(p.free, BlockID(b))
 		}
@@ -70,3 +72,21 @@ func (p *Partition) FreeCount() int {
 
 // Total returns the total number of blocks in the partition.
 func (p *Partition) Total() int { return p.total }
+
+// Range returns the half-open block range [lo, hi) the partition owns.
+func (p *Partition) Range() (lo, hi BlockID) { return p.lo, p.hi }
+
+// Reclaim rebuilds the free list after crash recovery: every block in the
+// partition's range that is not in use becomes free again, without zeroing
+// anything (recovered files still own their contents). The in-use set is
+// reconstructed by the recovering server from its replayed inode table.
+func (p *Partition) Reclaim(inUse map[BlockID]bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.free = p.free[:0]
+	for b := p.lo; b < p.hi; b++ {
+		if !inUse[b] {
+			p.free = append(p.free, b)
+		}
+	}
+}

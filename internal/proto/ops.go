@@ -58,6 +58,9 @@ const (
 	OpPipeCloseRead
 	OpPipeCloseWrite
 
+	// Durability (write-ahead log, DESIGN.md §6).
+	OpCheckpoint // snapshot server state and truncate the log
+
 	// Directory-cache invalidation callback (server -> client).
 	OpInvalidate
 
@@ -106,6 +109,7 @@ var opNames = map[Op]string{
 	OpPipeIncWriter:   "PIPE_INC_W",
 	OpPipeCloseRead:   "PIPE_CLOSE_R",
 	OpPipeCloseWrite:  "PIPE_CLOSE_W",
+	OpCheckpoint:      "CHECKPOINT",
 	OpInvalidate:      "INVALIDATE",
 	OpExec:            "EXEC",
 	OpSignal:          "SIGNAL",

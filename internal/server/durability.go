@@ -1,0 +1,467 @@
+package server
+
+import (
+	"fmt"
+
+	"repro/internal/fsapi"
+	"repro/internal/ncc"
+	"repro/internal/proto"
+	"repro/internal/sim"
+	"repro/internal/wal"
+)
+
+// Durability hooks (DESIGN.md §6).
+//
+// When the server is built with a write-ahead log, every handler that
+// mutates durable state stages a record describing the mutation's *result*.
+// The staged records are appended to the log when the request's reply is
+// sent, and the reply time is pushed out to the batch's group-commit point,
+// so clients observe durable-write latency in virtual time.
+//
+// Durable state is the namespace and file contents: inodes (type, mode,
+// link count, size, block list), directory shards, dead-directory
+// tombstones, and file data. Open-descriptor counts, server-side shared
+// descriptors, pipes, rmdir marks, parked requests, and invalidation
+// tracking are volatile — they describe sessions with client processes,
+// and a server crash severs those sessions just as a machine crash severs
+// open file descriptors.
+
+// stage queues a record for the request currently being served. It is a
+// no-op when durability is disabled, so handlers call it unconditionally.
+func (s *Server) stage(r wal.Record) {
+	if s.wal == nil {
+		return
+	}
+	s.pending = append(s.pending, r)
+}
+
+func (s *Server) stageInode(ino *inode) {
+	s.stage(wal.Record{
+		Type:  wal.RecInode,
+		Ino:   ino.local,
+		Ftype: ino.ftype,
+		Mode:  ino.mode,
+		Dist:  ino.distributed,
+		Nlink: int32(ino.nlink),
+	})
+}
+
+func (s *Server) stageNlink(ino *inode) {
+	s.stage(wal.Record{Type: wal.RecNlink, Ino: ino.local, Nlink: int32(ino.nlink)})
+}
+
+func (s *Server) stageSize(ino *inode) {
+	s.stage(wal.Record{Type: wal.RecSize, Ino: ino.local, Size: ino.size})
+}
+
+func (s *Server) stageBlocks(ino *inode) {
+	if s.wal == nil {
+		return
+	}
+	s.stage(wal.Record{
+		Type:   wal.RecBlocks,
+		Ino:    ino.local,
+		Size:   ino.size,
+		Blocks: blockList(ino),
+	})
+}
+
+func (s *Server) stageWrite(ino *inode, off int64, data []byte) {
+	if s.wal == nil {
+		return
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	s.stage(wal.Record{Type: wal.RecWrite, Ino: ino.local, Off: off, Data: cp})
+}
+
+func (s *Server) stageAddMap(dir proto.InodeID, name string, ent dirEnt) {
+	s.stage(wal.Record{
+		Type:   wal.RecAddMap,
+		Dir:    dir,
+		Name:   name,
+		Target: ent.target,
+		Ftype:  ent.ftype,
+		Dist:   ent.dist,
+	})
+}
+
+func (s *Server) stageRmMap(dir proto.InodeID, name string) {
+	s.stage(wal.Record{Type: wal.RecRmMap, Dir: dir, Name: name})
+}
+
+func (s *Server) stageDirKill(dir proto.InodeID) {
+	s.stage(wal.Record{Type: wal.RecDirKill, Dir: dir})
+}
+
+// commitPending appends the staged records and returns the virtual time at
+// which the reply may be sent: no earlier than the records' group-commit
+// point. The append CPU work is charged to the server's core.
+func (s *Server) commitPending(at sim.Cycles) sim.Cycles {
+	if s.wal == nil || len(s.pending) == 0 {
+		return at
+	}
+	recs := s.pending
+	s.pending = nil
+	ack, cpu, err := s.wal.Append(recs, at)
+	if err != nil {
+		// Losing the log voids the durability contract; treat it like the
+		// DRAM model treats a wild pointer.
+		panic(fmt.Sprintf("server %d: wal append: %v", s.cfg.ID, err))
+	}
+	end := s.cfg.Machine.Execute(s.cfg.Core, at, cpu)
+	s.clock.AdvanceTo(end)
+	if ack > end {
+		end = ack
+	}
+	return end
+}
+
+// handleCheckpoint serves the CHECKPOINT control request (sent by the core
+// layer's Checkpoint API, and usable by operators through it).
+func (s *Server) handleCheckpoint(req *proto.Request) *proto.Response {
+	if s.wal == nil {
+		return proto.ErrResponse(fsapi.EINVAL)
+	}
+	if err := s.writeCheckpoint(); err != nil {
+		return proto.ErrResponse(fsapi.EIO)
+	}
+	return &proto.Response{}
+}
+
+// writeCheckpoint snapshots the server's durable state, saves it, and
+// truncates the log. Runs on the server goroutine (directly from the
+// request loop, or from auto-checkpointing between requests).
+func (s *Server) writeCheckpoint() error {
+	c := s.buildCheckpoint()
+	if err := s.wal.WriteCheckpoint(c); err != nil {
+		return err
+	}
+	// Charge the snapshot work: every byte of state written.
+	bytes := int(s.wal.Stats().CheckpointBytes)
+	cost := sim.LineCost(s.cfg.Machine.Cost.WalPerLine, bytes) + s.cfg.Machine.Cost.WalFlush
+	end := s.cfg.Machine.Execute(s.cfg.Core, s.clock.Now(), cost)
+	s.clock.AdvanceTo(end)
+	s.statsMu.Lock()
+	s.stats.Checkpoints++
+	s.statsMu.Unlock()
+	return nil
+}
+
+// buildCheckpoint serializes durable state into a wal.Checkpoint, including
+// the contents of every buffer-cache block the server's files own (so the
+// checkpoint functions as a full backup of its DRAM partition).
+func (s *Server) buildCheckpoint() *wal.Checkpoint {
+	c := &wal.Checkpoint{NextIno: s.nextIno}
+	bs := s.cfg.DRAM.BlockSize()
+	for _, ino := range s.inodes {
+		if ino.ftype == fsapi.TypePipe || ino.nlink <= 0 {
+			// Pipes are volatile; unlinked-but-open inodes do not survive
+			// the crash that severs the descriptors keeping them alive.
+			continue
+		}
+		snap := wal.InodeSnap{
+			Local:  ino.local,
+			Ftype:  ino.ftype,
+			Mode:   ino.mode,
+			Size:   ino.size,
+			Nlink:  int32(ino.nlink),
+			Dist:   ino.distributed,
+			Blocks: blockList(ino),
+		}
+		for _, b := range ino.blocks {
+			buf := make([]byte, bs)
+			s.cfg.DRAM.ReadDirect(b, 0, buf)
+			snap.Data = append(snap.Data, buf)
+		}
+		c.Inodes = append(c.Inodes, snap)
+	}
+	for dir, sh := range s.dirs {
+		ds := wal.DirSnap{Dir: dir}
+		for name, ent := range sh.ents {
+			ds.Ents = append(ds.Ents, wal.DirEntSnap{
+				Name:   name,
+				Target: ent.target,
+				Ftype:  ent.ftype,
+				Dist:   ent.dist,
+			})
+		}
+		c.Dirs = append(c.Dirs, ds)
+	}
+	for dir := range s.deadDirs {
+		c.DeadDirs = append(c.DeadDirs, dir)
+	}
+	return c
+}
+
+// Crash terminates the server abruptly, as if its process died: the request
+// loop stops (requests already queued, and any sent later, wait in the
+// inbox for recovery), all in-memory state is dropped, and — when
+// loseMemory is set — the server's DRAM partition is wiped too, modelling
+// the loss of its memory domain rather than just the process.
+//
+// Parked requests (blocked pipe reads, rmdir waiters) die with the server:
+// their clients never receive replies, like processes blocked on a dead
+// machine.
+func (s *Server) Crash(loseMemory bool) {
+	s.crashMu.Lock()
+	defer s.crashMu.Unlock()
+	if s.crashed.Load() {
+		// Already down. Escalating a process crash to a memory-domain
+		// loss still wipes the partition so the next Recover takes the
+		// lost-memory path.
+		if loseMemory && !s.lostMemory {
+			s.wipePartition()
+			s.lostMemory = true
+		}
+		return
+	}
+	s.crashed.Store(true)
+	s.ep.Inbox.Close()
+	<-s.done
+	// The loop has exited; its state is now safe to touch from here.
+	if loseMemory {
+		s.wipePartition()
+	}
+	s.lostMemory = loseMemory
+	s.resetState()
+}
+
+// wipePartition zeroes every block of the server's DRAM partition.
+func (s *Server) wipePartition() {
+	lo, hi := s.cfg.Partition.Range()
+	for b := lo; b < hi; b++ {
+		s.cfg.DRAM.ZeroBlock(b)
+	}
+}
+
+// Crashed reports whether the server is currently down.
+func (s *Server) Crashed() bool { return s.crashed.Load() }
+
+// resetState reinitializes the server to its boot state (as New does).
+// Shared-descriptor ids restart in a fresh incarnation's id space, so a
+// stale FdID held by a client that outlived a crash can never alias a
+// descriptor issued after recovery — it just fails with EBADF.
+func (s *Server) resetState() {
+	s.inodes = make(map[uint64]*inode)
+	s.nextIno = 2
+	s.dirs = make(map[proto.InodeID]*dirShard)
+	s.deadDirs = make(map[proto.InodeID]bool)
+	s.sharedFds = make(map[proto.FdID]*sharedFd)
+	s.nextFd = proto.FdID(uint64(s.incarnation)<<32) + 1
+	s.tracking = make(map[direntKey]map[int32]struct{})
+	s.pending = nil
+	if int32(s.cfg.ID) == proto.RootInode.Server {
+		root := &inode{
+			local:       proto.RootInode.Local,
+			ftype:       fsapi.TypeDir,
+			mode:        fsapi.Mode755,
+			nlink:       1,
+			distributed: s.cfg.RootDistributed,
+		}
+		s.inodes[root.local] = root
+	}
+}
+
+// Recover rebuilds the server's state from its checkpoint and log, restarts
+// the request loop, and serves everything queued while it was down. It
+// returns statistics about the recovery, including the virtual time the
+// replay work was charged.
+//
+// Recovery is idempotent: records are state assignments, so rebuilding the
+// same checkpoint+log prefix always produces the same state, and a second
+// crash/recover cycle without intervening mutations is a no-op.
+func (s *Server) Recover() (wal.RecoveryStats, error) {
+	s.crashMu.Lock()
+	defer s.crashMu.Unlock()
+	st := wal.RecoveryStats{Server: s.cfg.ID}
+	if s.wal == nil {
+		return st, fmt.Errorf("server %d: durability disabled", s.cfg.ID)
+	}
+	if !s.crashed.Load() {
+		return st, fmt.Errorf("server %d: not crashed", s.cfg.ID)
+	}
+	ckpt, ckptBytes, recs, err := s.wal.Recover()
+	if err != nil {
+		return st, err
+	}
+	s.incarnation++
+	s.resetState()
+	if ckpt != nil {
+		st.UsedCheckpoint = true
+		st.CheckpointInodes = len(ckpt.Inodes)
+		st.CheckpointBytes = ckptBytes
+		s.loadCheckpoint(ckpt)
+	}
+	for _, r := range recs {
+		st.Bytes += int64(len(r.Data) + len(r.Name) + 64)
+		s.applyRecord(r)
+	}
+	st.Records = len(recs)
+
+	// Rebuild the partition's free list around the blocks recovered files
+	// own; everything else (including blocks of inodes whose unlink
+	// replayed) becomes allocatable again.
+	inUse := make(map[ncc.BlockID]bool)
+	for _, ino := range s.inodes {
+		for _, b := range ino.blocks {
+			inUse[b] = true
+		}
+	}
+	s.cfg.Partition.Reclaim(inUse)
+
+	// Charge the recovery work in virtual time.
+	st.Cycles = s.wal.ReplayCost(st.Records, st.Bytes, st.CheckpointBytes)
+	end := s.cfg.Machine.Execute(s.cfg.Core, s.clock.Now(), st.Cycles)
+	s.clock.AdvanceTo(end)
+
+	// The crash lost the invalidation-tracking sets, so this server can no
+	// longer invalidate entries that surviving clients cached before the
+	// crash. Tell every registered client to flush its directory cache —
+	// sent before the inbox reopens, so atomic delivery guarantees the
+	// flush is seen before any post-recovery lookup reply.
+	s.broadcastCacheFlush()
+
+	s.lostMemory = false
+	s.done = make(chan struct{})
+	s.ep.Inbox.Reopen()
+	s.crashed.Store(false)
+	go s.run()
+	return st, nil
+}
+
+// broadcastCacheFlush sends a wildcard invalidation (empty name) to every
+// registered client library.
+func (s *Server) broadcastCacheFlush() {
+	payload := (&proto.Invalidation{Dir: proto.NilInode, Name: ""}).Marshal()
+	cost := s.cfg.Machine.Cost
+	for _, ep := range s.cfg.Registry.Endpoints() {
+		end := s.cfg.Machine.Execute(s.cfg.Core, s.clock.Now(), cost.MsgSend)
+		s.clock.AdvanceTo(end)
+		if _, err := s.cfg.Network.SendCallback(s.ep, ep, proto.KindCallback, payload, s.clock.Now()); err == nil {
+			s.statsMu.Lock()
+			s.stats.Invalidations++
+			s.statsMu.Unlock()
+		}
+	}
+}
+
+// loadCheckpoint installs a snapshot. Block contents are written back to
+// DRAM only when the crash lost the memory domain; after a plain process
+// crash the shared DRAM still holds the live data (possibly newer than the
+// snapshot, from clients writing the buffer cache directly) and must not be
+// rolled back.
+func (s *Server) loadCheckpoint(c *wal.Checkpoint) {
+	if c.NextIno > s.nextIno {
+		s.nextIno = c.NextIno
+	}
+	for i := range c.Inodes {
+		snap := &c.Inodes[i]
+		ino := &inode{
+			local:       snap.Local,
+			ftype:       snap.Ftype,
+			mode:        snap.Mode,
+			size:        snap.Size,
+			nlink:       int(snap.Nlink),
+			distributed: snap.Dist,
+		}
+		for _, b := range snap.Blocks {
+			ino.blocks = append(ino.blocks, ncc.BlockID(b))
+		}
+		if s.lostMemory {
+			for j, b := range ino.blocks {
+				if j < len(snap.Data) && snap.Data[j] != nil {
+					s.cfg.DRAM.WriteDirect(b, 0, snap.Data[j])
+				}
+			}
+		}
+		s.inodes[ino.local] = ino
+		if ino.local >= s.nextIno {
+			s.nextIno = ino.local + 1
+		}
+	}
+	for i := range c.Dirs {
+		ds := &c.Dirs[i]
+		sh := s.shard(ds.Dir)
+		for _, ent := range ds.Ents {
+			sh.ents[ent.Name] = dirEnt{target: ent.Target, ftype: ent.Ftype, dist: ent.Dist}
+		}
+	}
+	for _, dir := range c.DeadDirs {
+		s.deadDirs[dir] = true
+	}
+}
+
+// applyRecord replays one log record. Records carry resulting state, so
+// replay is idempotent; records referring to inodes that a later-replayed
+// (or checkpoint-reflected) unlink removed are skipped.
+func (s *Server) applyRecord(r wal.Record) {
+	switch r.Type {
+	case wal.RecInode:
+		if r.Ino >= s.nextIno {
+			s.nextIno = r.Ino + 1
+		}
+		if r.Ftype == fsapi.TypePipe {
+			// Pipe state is volatile; the record only reserves the inode
+			// number so it is not reissued to a new file.
+			return
+		}
+		s.inodes[r.Ino] = &inode{
+			local:       r.Ino,
+			ftype:       r.Ftype,
+			mode:        r.Mode,
+			nlink:       int(r.Nlink),
+			distributed: r.Dist,
+		}
+	case wal.RecNlink:
+		ino, ok := s.inodes[r.Ino]
+		if !ok {
+			return
+		}
+		ino.nlink = int(r.Nlink)
+		if ino.nlink <= 0 {
+			// No descriptors survive a crash, so the inode reaps
+			// immediately; Reclaim frees its blocks afterwards.
+			delete(s.inodes, r.Ino)
+		}
+	case wal.RecSize:
+		if ino, ok := s.inodes[r.Ino]; ok && r.Size > ino.size {
+			ino.size = r.Size
+		}
+	case wal.RecBlocks:
+		ino, ok := s.inodes[r.Ino]
+		if !ok {
+			return
+		}
+		ino.blocks = ino.blocks[:0]
+		for _, b := range r.Blocks {
+			ino.blocks = append(ino.blocks, ncc.BlockID(b))
+		}
+		ino.size = r.Size
+	case wal.RecWrite:
+		ino, ok := s.inodes[r.Ino]
+		if !ok {
+			return
+		}
+		// Like loadCheckpoint, only rewrite DRAM when the memory domain
+		// was lost: after a plain process crash the surviving buffer
+		// cache may hold direct-access writes newer than this record,
+		// which must not be rolled back.
+		if s.lostMemory {
+			s.writeData(ino, r.Off, r.Data)
+		}
+		if end := r.Off + int64(len(r.Data)); end > ino.size {
+			ino.size = end
+		}
+	case wal.RecAddMap:
+		sh := s.shard(r.Dir)
+		sh.ents[r.Name] = dirEnt{target: r.Target, ftype: r.Ftype, dist: r.Dist}
+	case wal.RecRmMap:
+		if sh, ok := s.dirs[r.Dir]; ok {
+			delete(sh.ents, r.Name)
+		}
+	case wal.RecDirKill:
+		delete(s.dirs, r.Dir)
+		s.deadDirs[r.Dir] = true
+	}
+}

@@ -122,6 +122,7 @@ func (s *Server) handleFdWrite(req *proto.Request) *proto.Response {
 		off = ino.size
 	}
 	end := off + int64(len(req.Data))
+	before := len(ino.blocks)
 	if errno := s.ensureCapacity(ino, end); errno != fsapi.OK {
 		return proto.ErrResponse(errno)
 	}
@@ -129,6 +130,12 @@ func (s *Server) handleFdWrite(req *proto.Request) *proto.Response {
 	if end > ino.size {
 		ino.size = end
 	}
+	if len(ino.blocks) != before {
+		s.stageBlocks(ino)
+	}
+	// The offset is resolved before logging so append-mode replay writes
+	// the same bytes to the same place.
+	s.stageWrite(ino, off, req.Data)
 	fd.offset = end
 	return &proto.Response{N: int64(len(req.Data)), Offset: fd.offset, Size: ino.size, Refs: int32(fd.refs)}
 }

@@ -152,6 +152,7 @@ func (s *Server) handleMknod(req *proto.Request) *proto.Response {
 		ftype = fsapi.TypeRegular
 	}
 	ino := s.allocInode(ftype, req.Mode, req.Distributed)
+	s.stageInode(ino)
 	return &proto.Response{Ino: s.id(ino), Ftype: ino.ftype, Dist: ino.distributed}
 }
 
@@ -161,6 +162,7 @@ func (s *Server) handleLinkInode(req *proto.Request) *proto.Response {
 		return proto.ErrResponse(errno)
 	}
 	ino.nlink++
+	s.stageNlink(ino)
 	return &proto.Response{N: int64(ino.nlink)}
 }
 
@@ -172,6 +174,7 @@ func (s *Server) handleUnlinkInode(req *proto.Request) *proto.Response {
 	if ino.nlink > 0 {
 		ino.nlink--
 	}
+	s.stageNlink(ino)
 	s.maybeReap(ino)
 	return &proto.Response{N: int64(ino.nlink)}
 }
@@ -189,6 +192,7 @@ func (s *Server) handleOpenInode(req *proto.Request) *proto.Response {
 	}
 	if req.Flags&fsapi.OTrunc != 0 && ino.ftype == fsapi.TypeRegular {
 		s.truncateTo(ino, 0)
+		s.stageBlocks(ino)
 	}
 	ino.fdRefs++
 	return &proto.Response{
@@ -211,6 +215,7 @@ func (s *Server) handleCloseInode(req *proto.Request) *proto.Response {
 	// OpTruncate explicitly.
 	if req.Size > ino.size {
 		ino.size = req.Size
+		s.stageSize(ino)
 	}
 	if ino.fdRefs > 0 {
 		ino.fdRefs--
@@ -232,8 +237,12 @@ func (s *Server) handleExtend(req *proto.Request) *proto.Response {
 	if errno != fsapi.OK {
 		return proto.ErrResponse(errno)
 	}
+	before := len(ino.blocks)
 	if errno := s.ensureCapacity(ino, req.Size); errno != fsapi.OK {
 		return proto.ErrResponse(errno)
+	}
+	if len(ino.blocks) != before {
+		s.stageBlocks(ino)
 	}
 	return &proto.Response{Size: ino.size, Blocks: blockList(ino)}
 }
@@ -245,6 +254,7 @@ func (s *Server) handleSetSize(req *proto.Request) *proto.Response {
 	}
 	if req.Size > ino.size {
 		ino.size = req.Size
+		s.stageSize(ino)
 	}
 	return &proto.Response{Size: ino.size}
 }
@@ -282,6 +292,7 @@ func (s *Server) handleTruncate(req *proto.Request) *proto.Response {
 	// while descriptors remain open) and sets the logical size, growing or
 	// shrinking as needed.
 	s.truncateTo(ino, req.Size)
+	s.stageBlocks(ino)
 	return &proto.Response{Size: ino.size, Blocks: blockList(ino)}
 }
 
@@ -321,6 +332,7 @@ func (s *Server) handleWriteAt(req *proto.Request) *proto.Response {
 		return proto.ErrResponse(errno)
 	}
 	end := req.Offset + int64(len(req.Data))
+	before := len(ino.blocks)
 	if errno := s.ensureCapacity(ino, end); errno != fsapi.OK {
 		return proto.ErrResponse(errno)
 	}
@@ -328,6 +340,10 @@ func (s *Server) handleWriteAt(req *proto.Request) *proto.Response {
 	if end > ino.size {
 		ino.size = end
 	}
+	if len(ino.blocks) != before {
+		s.stageBlocks(ino)
+	}
+	s.stageWrite(ino, req.Offset, req.Data)
 	return &proto.Response{N: int64(len(req.Data)), Size: ino.size}
 }
 

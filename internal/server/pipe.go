@@ -37,6 +37,10 @@ func (s *Server) getPipe(target proto.InodeID) (*inode, *pipeState, fsapi.Errno)
 func (s *Server) handlePipeCreate(req *proto.Request) *proto.Response {
 	ino := s.allocInode(fsapi.TypePipe, fsapi.Mode(0o600), false)
 	ino.pipe = &pipeState{readers: 1, writers: 1}
+	// The pipe itself is volatile, but its inode *number* must never be
+	// reissued after recovery while clients may still hold it; replay
+	// uses the record only to advance the allocator.
+	s.stageInode(ino)
 	return &proto.Response{Ino: s.id(ino)}
 }
 

@@ -58,6 +58,7 @@ func (s *Server) handleRmdirCommit(req *proto.Request) *proto.Response {
 	sh, ok := s.dirs[req.Dir]
 	if !ok {
 		s.deadDirs[req.Dir] = true
+		s.stageDirKill(req.Dir)
 		return &proto.Response{}
 	}
 	sh.marked = false
@@ -65,8 +66,11 @@ func (s *Server) handleRmdirCommit(req *proto.Request) *proto.Response {
 	s.deadDirs[req.Dir] = true
 	// Parked operations now observe the dead directory and fail with
 	// ENOENT, which is the correct outcome for a create that raced with a
-	// committed rmdir.
+	// committed rmdir. Their replies go out before this commit's record is
+	// staged, so a parked reply cannot drain the record and absorb the
+	// rmdir's own group-commit latency.
 	s.unparkShard(sh)
+	s.stageDirKill(req.Dir)
 	return &proto.Response{}
 }
 
@@ -102,6 +106,8 @@ func (s *Server) handleRmdirFinish(req *proto.Request) *proto.Response {
 	}
 	s.releaseRmdirLock(ino, true)
 	ino.nlink = 0
+	s.stageNlink(ino)
+	s.stageDirKill(s.id(ino))
 	s.maybeReap(ino)
 	delete(s.inodes, ino.local)
 	s.deadDirs[s.id(ino)] = true

@@ -14,13 +14,16 @@
 package server
 
 import (
+	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fsapi"
 	"repro/internal/msg"
 	"repro/internal/ncc"
 	"repro/internal/proto"
 	"repro/internal/sim"
+	"repro/internal/wal"
 )
 
 // ClientRegistry maps client-library ids to their callback endpoints so file
@@ -50,6 +53,18 @@ func (r *ClientRegistry) Lookup(id int32) (msg.EndpointID, bool) {
 	return ep, ok
 }
 
+// Endpoints returns every registered callback endpoint (used by recovery to
+// broadcast a directory-cache flush).
+func (r *ClientRegistry) Endpoints() []msg.EndpointID {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]msg.EndpointID, 0, len(r.eps))
+	for _, ep := range r.eps {
+		out = append(out, ep)
+	}
+	return out
+}
+
 // Config describes one file server instance.
 type Config struct {
 	ID         int // server index in [0, NumServers)
@@ -71,6 +86,11 @@ type Config struct {
 	// sharded across servers. Only meaningful for server 0, which stores
 	// the root inode.
 	RootDistributed bool
+
+	// Log, when non-nil, enables durability: mutations are written ahead
+	// to this log, acknowledged at their group-commit point, periodically
+	// folded into checkpoints, and replayed by Recover after a Crash.
+	Log *wal.Log
 }
 
 // Stats counts the work a server has performed.
@@ -78,6 +98,7 @@ type Stats struct {
 	Ops           map[proto.Op]uint64
 	Invalidations uint64
 	Parked        uint64
+	Checkpoints   uint64
 	BusyCycles    sim.Cycles
 }
 
@@ -104,6 +125,16 @@ type Server struct {
 	statsMu sync.Mutex
 	stats   Stats
 
+	// Durability state (nil / zero when the deployment runs without it).
+	wal        *wal.Log
+	pending    []wal.Record // records staged by the current request
+	crashed    atomic.Bool
+	crashMu    sync.Mutex // serializes Crash/Recover with each other
+	lostMemory bool
+	// incarnation counts recoveries; shared-descriptor ids embed it so
+	// descriptors from before a crash cannot alias ones issued after.
+	incarnation uint32
+
 	done chan struct{}
 }
 
@@ -120,6 +151,7 @@ func New(cfg Config) *Server {
 		sharedFds: make(map[proto.FdID]*sharedFd),
 		nextFd:    1,
 		tracking:  make(map[direntKey]map[int32]struct{}),
+		wal:       cfg.Log,
 		done:      make(chan struct{}),
 	}
 	s.stats.Ops = make(map[proto.Op]uint64)
@@ -149,6 +181,15 @@ func (s *Server) Core() int { return s.cfg.Core }
 // Clock returns the server's current virtual time.
 func (s *Server) Clock() sim.Cycles { return s.clock.Now() }
 
+// WalStats returns the write-ahead log's counters; the zero Stats when
+// durability is disabled.
+func (s *Server) WalStats() wal.Stats {
+	if s.wal == nil {
+		return wal.Stats{}
+	}
+	return s.wal.Stats()
+}
+
 // Stats returns a snapshot of the server's counters.
 func (s *Server) Stats() Stats {
 	s.statsMu.Lock()
@@ -157,6 +198,7 @@ func (s *Server) Stats() Stats {
 		Ops:           make(map[proto.Op]uint64, len(s.stats.Ops)),
 		Invalidations: s.stats.Invalidations,
 		Parked:        s.stats.Parked,
+		Checkpoints:   s.stats.Checkpoints,
 		BusyCycles:    s.clock.Now(),
 	}
 	for k, v := range s.stats.Ops {
@@ -183,6 +225,13 @@ func (s *Server) run() {
 	for {
 		env, ok := s.ep.Inbox.PopWaitEarliest()
 		if !ok {
+			return
+		}
+		if s.crashed.Load() {
+			// A crash is in progress: abandon the loop without serving.
+			// The envelope goes back to the inbox so it is served after
+			// recovery rather than silently dropped.
+			s.ep.Inbox.Push(env)
 			return
 		}
 		s.handle(env)
@@ -225,6 +274,16 @@ func (s *Server) handle(env msg.Envelope) {
 		return
 	}
 	s.replyAt(env, resp, end)
+
+	// Fold accumulated log records into a checkpoint between requests. A
+	// failed checkpoint means the log can no longer be truncated (and the
+	// store is likely failing); fail loudly rather than silently retrying
+	// the full snapshot after every request.
+	if s.wal != nil && s.wal.CheckpointDue() {
+		if err := s.writeCheckpoint(); err != nil {
+			panic(fmt.Sprintf("server %d: checkpoint: %v", s.cfg.ID, err))
+		}
+	}
 }
 
 // reply sends a response at the server's current high-water time; it is used
@@ -234,11 +293,15 @@ func (s *Server) reply(env msg.Envelope, resp *proto.Response) {
 	s.replyAt(env, resp, s.clock.Now())
 }
 
-// replyAt sends a response whose service completed at the given time.
+// replyAt sends a response whose service completed at the given time. When
+// the request staged durability records, the reply is held back to their
+// group-commit point: clients observe mutations as acknowledged only once
+// logged (DESIGN.md §6).
 func (s *Server) replyAt(env msg.Envelope, resp *proto.Response, at sim.Cycles) {
 	if resp == nil {
 		resp = proto.ErrResponse(fsapi.EIO)
 	}
+	at = s.commitPending(at)
 	cost := s.cfg.Machine.Cost
 	end := s.cfg.Machine.Execute(s.cfg.Core, at, cost.MsgSend)
 	s.clock.AdvanceTo(end)
@@ -334,6 +397,9 @@ func (s *Server) dispatch(req *proto.Request, env msg.Envelope) (*proto.Response
 		return s.handlePipeClose(req, false), false
 	case proto.OpPipeCloseWrite:
 		return s.handlePipeClose(req, true), false
+
+	case proto.OpCheckpoint:
+		return s.handleCheckpoint(req), false
 
 	case proto.OpPing:
 		return &proto.Response{}, false

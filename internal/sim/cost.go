@@ -52,6 +52,11 @@ type CostModel struct {
 	CachePerLine Cycles // private cache hit
 	CopyPerLine  Cycles // memcpy within a core
 
+	// Durability (write-ahead logging, when enabled).
+	WalFlush        Cycles // base cost of flushing a log batch
+	WalPerLine      Cycles // cost per 64 bytes appended to / replayed from the log
+	WalReplayPerRec Cycles // per-record bookkeeping cost during recovery
+
 	// Baseline: coherent shared-memory file system (Linux ramfs/tmpfs).
 	RamfsOp      Cycles // typical metadata operation (no messaging)
 	RamfsLockOp  Cycles // critical-section length for a directory operation
@@ -99,6 +104,10 @@ func DefaultCostModel() CostModel {
 		DRAMPerLine:  28,
 		CachePerLine: 4,
 		CopyPerLine:  8,
+
+		WalFlush:        9000, // a battery-backed DRAM log region: cheaper than an SSD fsync, far dearer than a store
+		WalPerLine:      10,
+		WalReplayPerRec: 400,
 
 		RamfsOp:      1900,
 		RamfsLockOp:  950,

@@ -1,0 +1,199 @@
+// Package wal is Hare's durability subsystem: a per-file-server write-ahead
+// log with group commit, checkpoints, and crash recovery.
+//
+// The paper scopes durability out — the file system lives entirely in
+// non-cache-coherent DRAM and a server crash loses its shard of the
+// namespace. This package closes that gap. Every file server appends a
+// CRC-framed record to its own segmented log for each namespace or file
+// mutation it performs (creates, links, unlinks, directory-entry changes,
+// block-list changes, server-path data writes). Periodically the server
+// snapshots its entire state — inode table, directory shards, and the
+// contents of the buffer-cache blocks its files own — into a checkpoint and
+// truncates the log. Recovery rebuilds the server's state from the latest
+// checkpoint plus an idempotent replay of the log's tail.
+//
+// Group commit: mutations are acknowledged only once their log batch is
+// flushed. The flush interval and byte threshold are configuration knobs,
+// and the flush work is charged to the simulator's cost model, so durability
+// shows up as latency and throughput in virtual-time benchmarks exactly the
+// way an fsync cadence would on real hardware.
+//
+// See DESIGN.md §6 for how this subsystem composes with the paper's design.
+package wal
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"repro/internal/fsapi"
+	"repro/internal/proto"
+)
+
+// RecType identifies the kind of mutation a log record describes.
+type RecType uint8
+
+// Record types. Each record is a *state assignment* (it carries the
+// resulting value, not a delta) so that replaying a record twice, or
+// replaying records already reflected in a checkpoint, is harmless.
+const (
+	recInvalid RecType = iota
+	// RecInode creates an inode (mknod, the create half of the coalesced
+	// create, mkdir's directory inode).
+	RecInode
+	// RecNlink assigns an inode's link count; replay reaps the inode when
+	// the count reaches zero (link, unlink, rename's unlink phase, the
+	// FINISH phase of the three-phase rmdir).
+	RecNlink
+	// RecSize assigns an inode's logical size (SET_SIZE, and the coalesced
+	// size carried on CLOSE after direct-access writes).
+	RecSize
+	// RecBlocks assigns an inode's block list and size (extend, truncate,
+	// O_TRUNC on open). The record stores the actual block ids so replay
+	// re-reserves the same DRAM blocks that surviving client libraries and
+	// buffer-cache contents still refer to.
+	RecBlocks
+	// RecWrite carries file data written through the server (WRITE_AT and
+	// FD_WRITE when direct access is off, or any server-path write). The
+	// offset is pre-resolved: append-mode writes record the offset actually
+	// used.
+	RecWrite
+	// RecAddMap upserts one directory entry (create, mkdir, link, and the
+	// ADD_MAP phase of rename — Replace semantics make replay idempotent).
+	RecAddMap
+	// RecRmMap removes one directory entry (unlink, rmdir's shard, and the
+	// RM_MAP phase of rename).
+	RecRmMap
+	// RecDirKill tombstones a removed directory: the shard is dropped and
+	// the directory id joins the dead set (the COMMIT and FINISH phases of
+	// the three-phase rmdir).
+	RecDirKill
+)
+
+var recNames = map[RecType]string{
+	RecInode:   "INODE",
+	RecNlink:   "NLINK",
+	RecSize:    "SIZE",
+	RecBlocks:  "BLOCKS",
+	RecWrite:   "WRITE",
+	RecAddMap:  "ADD_MAP",
+	RecRmMap:   "RM_MAP",
+	RecDirKill: "DIR_KILL",
+}
+
+// String names the record type.
+func (t RecType) String() string {
+	if s, ok := recNames[t]; ok {
+		return s
+	}
+	return "REC_UNKNOWN"
+}
+
+// Record is one logged mutation. Only the fields relevant to the record's
+// type are meaningful; like the RPC protocol's Request, a single fixed shape
+// keeps the framing simple and uniform.
+type Record struct {
+	// LSN is the record's log sequence number, assigned by Log.Append.
+	// LSNs are dense and strictly increasing within one server's log.
+	LSN uint64
+	// Type selects which of the remaining fields are meaningful.
+	Type RecType
+
+	// Ino is the local inode number the record applies to (inode records).
+	Ino uint64
+	// Dir and Name address one directory entry (entry records).
+	Dir  proto.InodeID
+	Name string
+	// Target is the inode a directory entry points at.
+	Target proto.InodeID
+
+	Ftype fsapi.FileType
+	Mode  fsapi.Mode
+	Dist  bool
+
+	Size   int64
+	Off    int64
+	Nlink  int32
+	Blocks []uint64
+	Data   []byte
+}
+
+// frame layout: u32 payload length, u32 CRC-32 (IEEE) of the payload,
+// payload bytes. A torn or corrupted tail frame fails the CRC and replay
+// stops there, which is exactly the write-ahead-log contract: everything
+// acknowledged was flushed in a complete frame.
+const frameHeader = 8
+
+// castagnoli would also do; IEEE matches Go's crc32 default table.
+var crcTable = crc32.MakeTable(crc32.IEEE)
+
+// encode serializes the record body (everything inside the frame).
+func (r *Record) encode() []byte {
+	e := newEnc(64 + len(r.Name) + len(r.Data) + 8*len(r.Blocks))
+	e.u64(r.LSN)
+	e.u8(uint8(r.Type))
+	e.u64(r.Ino)
+	e.inode(r.Dir)
+	e.str(r.Name)
+	e.inode(r.Target)
+	e.u8(uint8(r.Ftype))
+	e.u16(uint16(r.Mode))
+	e.boolean(r.Dist)
+	e.i64(r.Size)
+	e.i64(r.Off)
+	e.i32(r.Nlink)
+	e.u64Slice(r.Blocks)
+	e.blob(r.Data)
+	return e.buf
+}
+
+// decodeRecord parses one record body.
+func decodeRecord(b []byte) (Record, error) {
+	d := newDec(b)
+	var r Record
+	r.LSN = d.u64()
+	r.Type = RecType(d.u8())
+	r.Ino = d.u64()
+	r.Dir = d.inode()
+	r.Name = d.str()
+	r.Target = d.inode()
+	r.Ftype = fsapi.FileType(d.u8())
+	r.Mode = fsapi.Mode(d.u16())
+	r.Dist = d.boolean()
+	r.Size = d.i64()
+	r.Off = d.i64()
+	r.Nlink = d.i32()
+	r.Blocks = d.u64Slice()
+	r.Data = d.blob()
+	if err := d.finish("wal record"); err != nil {
+		return Record{}, err
+	}
+	return r, nil
+}
+
+// frame wraps an encoded record body with the length+CRC header.
+func frame(body []byte) []byte {
+	out := make([]byte, frameHeader+len(body))
+	putU32(out[0:], uint32(len(body)))
+	putU32(out[4:], crc32.Checksum(body, crcTable))
+	copy(out[frameHeader:], body)
+	return out
+}
+
+// unframe reads one frame from b, returning the body and remaining bytes.
+// A short or corrupt frame returns an error; callers treat an error at the
+// log tail as the end of the durable prefix.
+func unframe(b []byte) (body, rest []byte, err error) {
+	if len(b) < frameHeader {
+		return nil, nil, fmt.Errorf("wal: truncated frame header (%d bytes)", len(b))
+	}
+	n := int(getU32(b[0:]))
+	sum := getU32(b[4:])
+	if len(b) < frameHeader+n {
+		return nil, nil, fmt.Errorf("wal: truncated frame body (want %d, have %d)", n, len(b)-frameHeader)
+	}
+	body = b[frameHeader : frameHeader+n]
+	if crc32.Checksum(body, crcTable) != sum {
+		return nil, nil, fmt.Errorf("wal: frame CRC mismatch")
+	}
+	return body, b[frameHeader+n:], nil
+}

@@ -1,0 +1,389 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/fsapi"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+func testConfig(st Store) Config {
+	return Config{
+		Store:               st,
+		SegmentBytes:        512,
+		GroupCommitInterval: 0,
+		FlushCycles:         100,
+		AppendPerLine:       2,
+		ReplayPerRecord:     50,
+	}
+}
+
+func rec(t RecType, ino uint64) Record {
+	return Record{Type: t, Ino: ino, Size: int64(ino) * 10}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	in := Record{
+		LSN:    42,
+		Type:   RecAddMap,
+		Ino:    7,
+		Dir:    proto.InodeID{Server: 3, Local: 9},
+		Name:   "file.txt",
+		Target: proto.InodeID{Server: 1, Local: 5},
+		Ftype:  fsapi.TypeRegular,
+		Mode:   fsapi.Mode644,
+		Dist:   true,
+		Size:   4096,
+		Off:    128,
+		Nlink:  2,
+		Blocks: []uint64{10, 11, 12},
+		Data:   []byte("hello"),
+	}
+	body := in.encode()
+	out, err := decodeRecord(body)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.LSN != in.LSN || out.Type != in.Type || out.Name != in.Name ||
+		out.Dir != in.Dir || out.Target != in.Target || out.Off != in.Off ||
+		len(out.Blocks) != 3 || !bytes.Equal(out.Data, in.Data) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", out, in)
+	}
+}
+
+func TestFrameCRCDetectsCorruption(t *testing.T) {
+	f := frame([]byte("payload"))
+	if _, _, err := unframe(f); err != nil {
+		t.Fatalf("clean frame rejected: %v", err)
+	}
+	f[frameHeader] ^= 0xff
+	if _, _, err := unframe(f); err == nil {
+		t.Fatal("corrupt frame accepted")
+	}
+	if _, _, err := unframe(f[:frameHeader-2]); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+}
+
+func TestAppendAndRecover(t *testing.T) {
+	st := NewMemStore()
+	l, err := Open(testConfig(st))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	var now sim.Cycles
+	for i := uint64(1); i <= 20; i++ {
+		now += 1000
+		if _, _, err := l.Append([]Record{rec(RecInode, i)}, now); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+	ckpt, _, recs, err := l.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if ckpt != nil {
+		t.Fatalf("unexpected checkpoint")
+	}
+	if len(recs) != 20 {
+		t.Fatalf("recovered %d records, want 20", len(recs))
+	}
+	for i, r := range recs {
+		if r.LSN != uint64(i+1) {
+			t.Fatalf("record %d has LSN %d", i, r.LSN)
+		}
+	}
+	// The tiny segment size must have forced rotation.
+	segs, _ := st.Segments()
+	if len(segs) < 2 {
+		t.Fatalf("expected multiple segments, got %v", segs)
+	}
+}
+
+func TestCheckpointTruncatesLog(t *testing.T) {
+	st := NewMemStore()
+	l, err := Open(testConfig(st))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := uint64(1); i <= 5; i++ {
+		if _, _, err := l.Append([]Record{rec(RecInode, i)}, sim.Cycles(i)); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	c := &Checkpoint{
+		NextIno: 6,
+		Inodes: []InodeSnap{{
+			Local: 2, Ftype: fsapi.TypeRegular, Mode: fsapi.Mode644,
+			Size: 100, Nlink: 1, Blocks: []uint64{3},
+			Data: [][]byte{[]byte("block-three")},
+		}},
+		Dirs: []DirSnap{{
+			Dir:  proto.RootInode,
+			Ents: []DirEntSnap{{Name: "a", Target: proto.InodeID{Server: 0, Local: 2}, Ftype: fsapi.TypeRegular}},
+		}},
+		DeadDirs: []proto.InodeID{{Server: 0, Local: 4}},
+	}
+	if err := l.WriteCheckpoint(c); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if segs, _ := st.Segments(); len(segs) != 0 {
+		t.Fatalf("checkpoint left segments behind: %v", segs)
+	}
+	// Records after the checkpoint replay on top of it.
+	if _, _, err := l.Append([]Record{rec(RecNlink, 9)}, 100); err != nil {
+		t.Fatalf("append after checkpoint: %v", err)
+	}
+	ckpt, _, recs, err := l.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if ckpt == nil || ckpt.LSN != 5 || ckpt.NextIno != 6 {
+		t.Fatalf("bad checkpoint: %+v", ckpt)
+	}
+	if len(ckpt.Inodes) != 1 || !bytes.Equal(ckpt.Inodes[0].Data[0], []byte("block-three")) {
+		t.Fatalf("checkpoint inode snapshot mangled: %+v", ckpt.Inodes)
+	}
+	if len(recs) != 1 || recs[0].LSN != 6 {
+		t.Fatalf("recovered tail %+v, want single LSN 6", recs)
+	}
+}
+
+func TestCheckpointCRC(t *testing.T) {
+	c := &Checkpoint{LSN: 3, NextIno: 4}
+	b := c.Marshal()
+	if _, err := UnmarshalCheckpoint(b); err != nil {
+		t.Fatalf("clean checkpoint rejected: %v", err)
+	}
+	b[len(b)-1] ^= 0x01
+	if _, err := UnmarshalCheckpoint(b); err == nil {
+		t.Fatal("corrupt checkpoint accepted")
+	}
+}
+
+func TestGroupCommitBatching(t *testing.T) {
+	cfg := testConfig(NewMemStore())
+	cfg.GroupCommitInterval = 10000
+	cfg.GroupCommitBytes = 1 << 20 // never hit the byte threshold
+	l, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	// Three appends inside one interval share a batch: same commit time.
+	ack1, _, _ := l.Append([]Record{rec(RecInode, 1)}, 100)
+	ack2, _, _ := l.Append([]Record{rec(RecInode, 2)}, 200)
+	ack3, _, _ := l.Append([]Record{rec(RecInode, 3)}, 9000)
+	if ack1 != ack2 || ack2 != ack3 {
+		t.Fatalf("batch members ack at different times: %d %d %d", ack1, ack2, ack3)
+	}
+	if want := sim.Cycles(100 + 10000 + 100); ack1 != want {
+		t.Fatalf("ack = %d, want deadline+flush = %d", ack1, want)
+	}
+	// An append past the deadline opens a new batch.
+	ack4, _, _ := l.Append([]Record{rec(RecInode, 4)}, 20000)
+	if ack4 <= ack3 {
+		t.Fatalf("new batch ack %d not after old batch %d", ack4, ack3)
+	}
+	st := l.Stats()
+	if st.Records != 4 {
+		t.Fatalf("records = %d, want 4", st.Records)
+	}
+	// One closed batch plus the open one.
+	if st.Flushes != 2 {
+		t.Fatalf("flushes = %d, want 2", st.Flushes)
+	}
+}
+
+func TestGroupCommitByteThreshold(t *testing.T) {
+	cfg := testConfig(NewMemStore())
+	cfg.GroupCommitInterval = 1 << 30 // effectively never
+	cfg.GroupCommitBytes = 64
+	l, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	big := Record{Type: RecWrite, Ino: 1, Data: make([]byte, 256)}
+	ack, _, _ := l.Append([]Record{big}, 500)
+	// The byte threshold forces an immediate flush: ack is now+flush, not
+	// deadline+flush.
+	if want := sim.Cycles(500 + 100); ack != want {
+		t.Fatalf("ack = %d, want immediate flush at %d", ack, want)
+	}
+}
+
+func TestSynchronousCommitSerializesFlushes(t *testing.T) {
+	cfg := testConfig(NewMemStore())
+	l, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	ack1, _, _ := l.Append([]Record{rec(RecInode, 1)}, 1000)
+	// A second append at the same instant queues behind the first flush.
+	ack2, _, _ := l.Append([]Record{rec(RecInode, 2)}, 1000)
+	if ack1 != 1100 || ack2 != 1200 {
+		t.Fatalf("acks = %d, %d; want 1100, 1200", ack1, ack2)
+	}
+}
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatalf("new file store: %v", err)
+	}
+	cfg := testConfig(st)
+	l, err := Open(cfg)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	for i := uint64(1); i <= 10; i++ {
+		if _, _, err := l.Append([]Record{rec(RecInode, i)}, sim.Cycles(i*10)); err != nil {
+			t.Fatalf("append: %v", err)
+		}
+	}
+	if err := l.WriteCheckpoint(&Checkpoint{NextIno: 11}); err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if _, _, err := l.Append([]Record{rec(RecSize, 3)}, 1000); err != nil {
+		t.Fatalf("append after checkpoint: %v", err)
+	}
+
+	// A second Log opened over the same directory (a process restart) sees
+	// the checkpoint and the tail, and keeps allocating fresh LSNs.
+	st2, err := NewFileStore(dir)
+	if err != nil {
+		t.Fatalf("reopen store: %v", err)
+	}
+	l2, err := Open(testConfig(st2))
+	if err != nil {
+		t.Fatalf("reopen log: %v", err)
+	}
+	ckpt, _, recs, err := l2.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if ckpt == nil || ckpt.LSN != 10 || ckpt.NextIno != 11 {
+		t.Fatalf("bad checkpoint after restart: %+v", ckpt)
+	}
+	if len(recs) != 1 || recs[0].LSN != 11 || recs[0].Type != RecSize {
+		t.Fatalf("bad tail after restart: %+v", recs)
+	}
+	if _, _, err := l2.Append([]Record{rec(RecInode, 99)}, 2000); err != nil {
+		t.Fatalf("append after restart: %v", err)
+	}
+	_, _, recs, _ = l2.Recover()
+	if len(recs) != 2 || recs[1].LSN != 12 {
+		t.Fatalf("restart log did not resume LSNs: %+v", recs)
+	}
+}
+
+func TestRestartOverTornTailRotatesSegment(t *testing.T) {
+	st := NewMemStore()
+	l, err := Open(testConfig(st))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, _, err := l.Append([]Record{rec(RecInode, 1)}, 10); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	segs, _ := st.Segments()
+	st.Append(segs[len(segs)-1], []byte{0x09, 0x00, 0x00, 0x00, 0xde, 0xad}) // torn frame
+
+	// A restart must not append after the corruption: records written
+	// there would be unreachable (readers stop at the first bad frame).
+	l2, err := Open(testConfig(st))
+	if err != nil {
+		t.Fatalf("reopen over torn tail: %v", err)
+	}
+	if _, _, err := l2.Append([]Record{rec(RecNlink, 1)}, 20); err != nil {
+		t.Fatalf("append after restart: %v", err)
+	}
+	_, _, recs, err := l2.Recover()
+	if err != nil {
+		t.Fatalf("recover: %v", err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("recovered %d records, want both (pre-crash and post-restart)", len(recs))
+	}
+	if recs[1].LSN <= recs[0].LSN {
+		t.Fatalf("post-restart record reused an LSN: %d then %d", recs[0].LSN, recs[1].LSN)
+	}
+	if segs, _ := st.Segments(); len(segs) < 2 {
+		t.Fatalf("restart did not rotate away from the torn segment: %v", segs)
+	}
+}
+
+func TestRecoverDetectsLostPrefix(t *testing.T) {
+	// A log whose surviving records do not start right after the
+	// checkpoint (or at LSN 1) has lost durable mutations; recovery must
+	// refuse rather than silently replay a partial history.
+	st := NewMemStore()
+	r := rec(RecInode, 7)
+	r.LSN = 3 // records 1 and 2 are missing
+	st.Append(0, frame(r.encode()))
+	l, err := Open(testConfig(st))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, _, _, err := l.Recover(); err == nil {
+		t.Fatal("recovery accepted a log missing its prefix")
+	}
+}
+
+func TestRecoverDetectsMidLogGap(t *testing.T) {
+	st := NewMemStore()
+	for _, lsn := range []uint64{1, 2, 5, 6} { // 3 and 4 missing
+		r := rec(RecInode, lsn)
+		r.LSN = lsn
+		st.Append(lsn/4, frame(r.encode())) // split across two segments
+	}
+	l, err := Open(testConfig(st))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, _, _, err := l.Recover(); err == nil {
+		t.Fatal("recovery accepted a log with a mid-log gap")
+	}
+}
+
+func TestFailingSyncFailsAppend(t *testing.T) {
+	st := &failingSyncStore{MemStore: NewMemStore()}
+	l, err := Open(testConfig(st))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, _, err := l.Append([]Record{rec(RecInode, 1)}, 10); err == nil {
+		t.Fatal("append acknowledged despite a failing flush")
+	}
+}
+
+// failingSyncStore wraps MemStore with a Sync that always fails.
+type failingSyncStore struct{ *MemStore }
+
+func (f *failingSyncStore) Sync() error { return errSyncBroken }
+
+var errSyncBroken = fmt.Errorf("sync device broken")
+
+func TestTornTailIsIgnored(t *testing.T) {
+	st := NewMemStore()
+	l, err := Open(testConfig(st))
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	if _, _, err := l.Append([]Record{rec(RecInode, 1)}, 10); err != nil {
+		t.Fatalf("append: %v", err)
+	}
+	// Simulate a torn write: garbage after the last intact frame.
+	segs, _ := st.Segments()
+	st.Append(segs[len(segs)-1], []byte{0x03, 0x00, 0x00})
+	_, _, recs, err := l.Recover()
+	if err != nil {
+		t.Fatalf("recover over torn tail: %v", err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("recovered %d records, want the 1 intact one", len(recs))
+	}
+}

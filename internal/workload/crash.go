@@ -1,0 +1,260 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/fsapi"
+	"repro/internal/sched"
+)
+
+// CrashRecovery is the fault-injection workload: it interleaves namespace
+// and data mutations with server crashes, recovering each file server at
+// least once mid-run, and verifies after every recovery that the namespace
+// and every file's contents are byte-identical to a crash-free execution
+// (tracked in an in-memory shadow model). Alternate rounds checkpoint the
+// victim first, so both pure log replay and checkpoint+tail recovery are
+// exercised; one round crashes and recovers twice back-to-back to verify
+// replay idempotence.
+//
+// The workload requires a backend exposing Env.Faults (a Hare deployment
+// with durability enabled) and drives all operations from a single process
+// so the system is quiescent at each crash point.
+type CrashRecovery struct {
+	// FilesPerRound is how many files each mutation round creates
+	// (default 6, scaled by Env.Scale).
+	FilesPerRound int
+}
+
+// Name implements Workload.
+func (CrashRecovery) Name() string { return "crash recovery" }
+
+// Placement implements Workload.
+func (CrashRecovery) Placement() sched.Policy { return sched.PolicyRoundRobin }
+
+// Setup creates the shared distributed directory the mutations live in.
+func (CrashRecovery) Setup(env *Env) error {
+	if env.Faults == nil {
+		return fmt.Errorf("crash recovery: backend exposes no fault injector (enable durability on a Hare backend)")
+	}
+	return runRoot(env, "crash-setup", func(p *sched.Proc) int {
+		if err := env.fs(p).Mkdir("/crash", fsapi.MkdirOpt{Distributed: true}); err != nil {
+			return 1
+		}
+		return 0
+	})
+}
+
+// shadow is the crash-free reference state: every path the workload has
+// created, with file contents.
+type shadow struct {
+	dirs  map[string]bool
+	files map[string][]byte
+}
+
+func newShadow() *shadow {
+	return &shadow{dirs: map[string]bool{"/crash": true}, files: map[string][]byte{}}
+}
+
+// children returns the expected entry names directly under dir.
+func (s *shadow) children(dir string) map[string]bool {
+	out := make(map[string]bool)
+	collect := func(path string) {
+		if !strings.HasPrefix(path, dir+"/") {
+			return
+		}
+		rest := strings.TrimPrefix(path, dir+"/")
+		if !strings.Contains(rest, "/") {
+			out[rest] = true
+		}
+	}
+	for d := range s.dirs {
+		collect(d)
+	}
+	for f := range s.files {
+		collect(f)
+	}
+	return out
+}
+
+// verify walks every shadow directory and file and compares the live file
+// system against the reference.
+func (s *shadow) verify(fs fsapi.Client) error {
+	dirs := make([]string, 0, len(s.dirs))
+	for d := range s.dirs {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		ents, err := fs.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("readdir %s: %w", dir, err)
+		}
+		want := s.children(dir)
+		if len(ents) != len(want) {
+			return fmt.Errorf("%s has %d entries, want %d", dir, len(ents), len(want))
+		}
+		for _, ent := range ents {
+			if !want[ent.Name] {
+				return fmt.Errorf("%s holds unexpected entry %q", dir, ent.Name)
+			}
+		}
+	}
+	files := make([]string, 0, len(s.files))
+	for f := range s.files {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, path := range files {
+		want := s.files[path]
+		st, err := fs.Stat(path)
+		if err != nil {
+			return fmt.Errorf("stat %s: %w", path, err)
+		}
+		if st.Size != int64(len(want)) {
+			return fmt.Errorf("%s is %d bytes, want %d", path, st.Size, len(want))
+		}
+		fd, err := fs.Open(path, fsapi.ORdOnly, 0)
+		if err != nil {
+			return fmt.Errorf("open %s: %w", path, err)
+		}
+		got := make([]byte, len(want))
+		n, err := fs.Read(fd, got)
+		fs.Close(fd)
+		if err != nil {
+			return fmt.Errorf("read %s: %w", path, err)
+		}
+		if !bytes.Equal(got[:n], want) {
+			return fmt.Errorf("%s content diverged after recovery", path)
+		}
+	}
+	return nil
+}
+
+// writeShadowFile creates (or rewrites) a file in both worlds.
+func writeShadowFile(fs fsapi.Client, s *shadow, path string, data []byte) error {
+	fd, err := fs.Open(path, fsapi.OCreate|fsapi.OWrOnly|fsapi.OTrunc, fsapi.Mode644)
+	if err != nil {
+		return fmt.Errorf("create %s: %w", path, err)
+	}
+	if _, err := fs.Write(fd, data); err != nil {
+		return fmt.Errorf("write %s: %w", path, err)
+	}
+	if err := fs.Close(fd); err != nil {
+		return fmt.Errorf("close %s: %w", path, err)
+	}
+	s.files[path] = data
+	return nil
+}
+
+// Run implements Workload.
+func (w CrashRecovery) Run(env *Env) (int, error) {
+	per := w.FilesPerRound
+	if per == 0 {
+		per = env.iters(6)
+	}
+	faults := env.Faults
+	if faults == nil {
+		return 0, fmt.Errorf("crash recovery: backend exposes no fault injector")
+	}
+	nsrv := faults.NumServers()
+	sh := newShadow()
+	ops := 0
+	var runErr error
+
+	// mutate performs one round of mixed namespace and data operations.
+	mutate := func(fs fsapi.Client, round int) error {
+		dir := fmt.Sprintf("/crash/r%02d", round)
+		if err := fs.Mkdir(dir, fsapi.MkdirOpt{}); err != nil {
+			return fmt.Errorf("mkdir %s: %w", dir, err)
+		}
+		sh.dirs[dir] = true
+		ops++
+		for i := 0; i < per; i++ {
+			data := make([]byte, 512*(1+(round+i)%9)) // up to ~4.5 KiB: some files span blocks
+			fillPattern(data, uint64(round*100+i+1))
+			if err := writeShadowFile(fs, sh, fmt.Sprintf("%s/f%02d", dir, i), data); err != nil {
+				return err
+			}
+			ops++
+		}
+		// Rename one file into the shared parent (two-server protocol).
+		from := fmt.Sprintf("%s/f00", dir)
+		to := fmt.Sprintf("/crash/moved-r%02d", round)
+		if err := fs.Rename(from, to); err != nil {
+			return fmt.Errorf("rename %s: %w", from, err)
+		}
+		sh.files[to] = sh.files[from]
+		delete(sh.files, from)
+		ops++
+		// Unlink another.
+		victim := fmt.Sprintf("%s/f01", dir)
+		if per > 1 {
+			if err := fs.Unlink(victim); err != nil {
+				return fmt.Errorf("unlink %s: %w", victim, err)
+			}
+			delete(sh.files, victim)
+			ops++
+		}
+		// A directory that is created and removed within the round: its
+		// tombstone must survive recovery (a recreated name must work, a
+		// stale lookup must not).
+		tmp := fmt.Sprintf("%s/tmpdir", dir)
+		if err := fs.Mkdir(tmp, fsapi.MkdirOpt{}); err != nil {
+			return fmt.Errorf("mkdir %s: %w", tmp, err)
+		}
+		if err := fs.Rmdir(tmp); err != nil {
+			return fmt.Errorf("rmdir %s: %w", tmp, err)
+		}
+		ops += 2
+		return nil
+	}
+
+	err := runRoot(env, "crash-recovery", func(p *sched.Proc) int {
+		fs := env.fs(p)
+		for srv := 0; srv < nsrv; srv++ {
+			if runErr = mutate(fs, 2*srv); runErr != nil {
+				return 1
+			}
+			if srv%2 == 0 {
+				// Even rounds: fold state into a checkpoint, then mutate
+				// more so recovery must also replay a log tail.
+				if runErr = faults.Checkpoint(srv); runErr != nil {
+					return 1
+				}
+			}
+			if runErr = mutate(fs, 2*srv+1); runErr != nil {
+				return 1
+			}
+
+			// The system is quiescent: kill the victim and bring it back.
+			if runErr = faults.Crash(srv); runErr != nil {
+				return 1
+			}
+			if runErr = faults.Recover(srv); runErr != nil {
+				return 1
+			}
+			if srv == 0 {
+				// Idempotence: a second crash/recover with no mutations in
+				// between must reproduce the same state (verified below).
+				if runErr = faults.Crash(srv); runErr != nil {
+					return 1
+				}
+				if runErr = faults.Recover(srv); runErr != nil {
+					return 1
+				}
+			}
+			if runErr = sh.verify(fs); runErr != nil {
+				runErr = fmt.Errorf("after recovering server %d: %w", srv, runErr)
+				return 1
+			}
+		}
+		return 0
+	})
+	if runErr != nil {
+		return ops, runErr
+	}
+	return ops, err
+}

@@ -16,6 +16,21 @@ import (
 	"repro/internal/sim"
 )
 
+// FaultInjector is the crash/recovery surface a backend may expose to
+// workloads (the Hare backend does when durability is enabled; the
+// baselines do not). Workloads that inject faults must quiesce their own
+// operations against a server before crashing it.
+type FaultInjector interface {
+	// NumServers reports how many file servers can be crashed.
+	NumServers() int
+	// Checkpoint snapshots one server's state and truncates its log.
+	Checkpoint(server int) error
+	// Crash kills one server; its clients stall until recovery.
+	Crash(server int) error
+	// Recover rebuilds a crashed server from checkpoint + log replay.
+	Recover(server int) error
+}
+
 // Env is the environment a workload runs in.
 type Env struct {
 	// Procs creates and places processes on the backend.
@@ -28,6 +43,9 @@ type Env struct {
 	// Scale multiplies iteration counts; 1.0 reproduces the default sizes,
 	// smaller values keep unit tests fast.
 	Scale float64
+	// Faults, when non-nil, lets fault-injection workloads crash and
+	// recover the backend's file servers.
+	Faults FaultInjector
 }
 
 // iters scales an iteration count, returning at least 1.

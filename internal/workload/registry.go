@@ -30,9 +30,23 @@ func Names() []string {
 	return out
 }
 
+// FaultBenchmarks returns the fault-injection workloads. They are kept out
+// of All() because they require a backend that exposes crash/recover (a
+// Hare deployment with durability enabled), which the baselines do not.
+func FaultBenchmarks() []Workload {
+	return []Workload{
+		CrashRecovery{},
+	}
+}
+
 // ByName returns a fresh instance of the named benchmark.
 func ByName(name string) (Workload, bool) {
 	for _, w := range All() {
+		if w.Name() == name {
+			return w, true
+		}
+	}
+	for _, w := range FaultBenchmarks() {
 		if w.Name() == name {
 			return w, true
 		}
