@@ -35,12 +35,40 @@ func main() {
 		benchName  = flag.String("bench", "", "restrict to a single benchmark (e.g. \"creates\")")
 		repoRoot   = flag.String("root", ".", "repository root (for the Figure 4 SLOC count)")
 		durability = flag.Bool("durability", false, "run the durability figures (group-commit sweep, recovery time, crash-injection check) instead of the paper's")
+		pipeline   = flag.Bool("pipeline", false, "run the async-RPC pipelining sweep (on/off × server counts) instead of the paper's figures")
+		baseline   = flag.String("baseline", "", "with -pipeline: also write the sweep as a JSON baseline to this path (e.g. BENCH_seed.json)")
 	)
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "hare-bench:", err)
 		os.Exit(1)
+	}
+
+	if *pipeline {
+		if *durability || *fig != 0 {
+			fail(fmt.Errorf("-pipeline runs its own figure set and cannot be combined with -durability or -fig"))
+		}
+		var ws []workload.Workload
+		if *benchName != "" {
+			w, ok := workload.ByName(*benchName)
+			if !ok {
+				fail(fmt.Errorf("unknown benchmark %q; available: %v", *benchName, workload.Names()))
+			}
+			ws = []workload.Workload{w}
+		}
+		data, t, err := bench.PipelineFigure(*scale, *cores, nil, ws)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t.Render())
+		if *baseline != "" {
+			if err := data.WriteBaseline(*baseline); err != nil {
+				fail(err)
+			}
+			fmt.Printf("baseline written to %s\n", *baseline)
+		}
+		return
 	}
 
 	if *durability {

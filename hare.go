@@ -22,6 +22,7 @@ import (
 	"repro/internal/fsapi"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/wal"
 )
 
@@ -67,6 +68,11 @@ type (
 	RecoveryStats = wal.RecoveryStats
 	// WalStats counts one server's write-ahead-log activity.
 	WalStats = wal.Stats
+
+	// Economy aggregates a deployment's message-economy counters
+	// (messages, bytes, batched sub-ops, queueing delay); returned by
+	// System.MessageEconomy. See DESIGN.md §7.
+	Economy = stats.Economy
 
 	// Proc is a simulated process bound to a core and a client library.
 	Proc = sched.Proc

@@ -14,6 +14,7 @@ import (
 	"repro/internal/fsapi"
 	"repro/internal/sched"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -36,6 +37,9 @@ type Backend struct {
 	// WalStats reports per-server write-ahead-log counters; nil when the
 	// backend has no durability subsystem.
 	WalStats func() []wal.Stats
+	// Econ reports the deployment's cumulative message-economy counters;
+	// nil on backends without a message layer (the baselines).
+	Econ func() stats.Economy
 }
 
 // sysFaults adapts core.System to the workload fault-injection interface.
@@ -104,6 +108,7 @@ func HareFactory(opts HareOptions) Factory {
 			Now:     sys.Procs().MaxEndTime,
 			Seconds: sys.Seconds,
 			Close:   sys.Stop,
+			Econ:    sys.MessageEconomy,
 		}
 		if cfg.Durability.Enabled {
 			b.Name += "+wal"

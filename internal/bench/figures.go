@@ -22,14 +22,17 @@ var (
 )
 
 // Figure5 regenerates the operation-breakdown table (paper Figure 5): the
-// share of each POSIX operation class issued by every benchmark.
+// share of each POSIX operation class issued by every benchmark — plus the
+// message economy of each benchmark (request messages and wire bytes per
+// POSIX call, and total server queueing delay), so the table pairs what the
+// workloads ask for with what it costs on the message layer.
 func Figure5(scale float64) (*Table, error) {
 	f := HareFactory(DefaultHare(8))
 	classes := workload.OpClasses()
 	t := &Table{
 		Title:   "Figure 5: Operation breakdown per benchmark (share of POSIX calls)",
-		Columns: append([]string{"benchmark", "total ops"}, classNames(classes)...),
-		Note:    "Counted with the operation counter wrapped around every process's client; compare against the paper's Figure 5 stacked bars.",
+		Columns: append(append([]string{"benchmark", "total ops"}, classNames(classes)...), "msgs/op", "bytes/op", "queue (ms)"),
+		Note:    "Counted with the operation counter wrapped around every process's client; compare against the paper's Figure 5 stacked bars. msgs/op counts client request messages; queue is total virtual time requests waited at busy servers.",
 	}
 	for _, w := range workload.All() {
 		r, err := RunWorkload(f, w, scale)
@@ -40,9 +43,35 @@ func Figure5(scale float64) (*Table, error) {
 		for _, c := range classes {
 			row = append(row, pct(r.OpMix[c]))
 		}
+		row = append(row, econCells(r)...)
 		t.AddRow(row...)
 	}
 	return t, nil
+}
+
+// econCells formats a result's message-economy counters for table rows;
+// backends without a message layer get dashes.
+func econCells(r Result) []string {
+	if r.Econ == nil {
+		return []string{"-", "-", "-"}
+	}
+	ops := int(r.OpTotal)
+	if ops == 0 {
+		ops = r.Ops
+	}
+	// Convert queue cycles with the measurement's own cycle→seconds ratio
+	// (the backend's cost model already produced Seconds from Elapsed), so
+	// the column stays consistent with the runtimes next to it even under a
+	// non-default machine model.
+	queueMs := 0.0
+	if r.Elapsed > 0 {
+		queueMs = float64(r.Econ.QueueCycles) * (r.Seconds / float64(r.Elapsed)) * 1000
+	}
+	return []string{
+		f2(stats.PerOp(r.Econ.ClientRPCs, ops)),
+		f1(stats.PerOp(r.Econ.Bytes, ops)),
+		f2(queueMs),
+	}
 }
 
 func classNames(classes []workload.OpClass) []string {
@@ -179,8 +208,8 @@ func Figure8(scale float64, ws []workload.Workload) (*Table, error) {
 	}
 	t := &Table{
 		Title:   "Figure 8: Single-core throughput normalized to Hare (timeshare)",
-		Columns: []string{"benchmark", "hare timeshare", "hare 2-core", "linux ramfs", "linux unfs", "hare runtime (ms)"},
-		Note:    "hare 2-core dedicates one core to the file server; ramfs requires cache coherence and is shown for reference (paper §5.3.3).",
+		Columns: []string{"benchmark", "hare timeshare", "hare 2-core", "linux ramfs", "linux unfs", "hare runtime (ms)", "hare msgs/op"},
+		Note:    "hare 2-core dedicates one core to the file server; ramfs requires cache coherence and is shown for reference (paper §5.3.3). msgs/op counts hare's client request messages per POSIX call.",
 	}
 	backends := []struct {
 		name string
@@ -207,6 +236,7 @@ func Figure8(scale float64, ws []workload.Workload) (*Table, error) {
 			runtimes = append(runtimes, r.Seconds)
 		}
 		row = append(row, f2(runtimes[0]*1000))
+		row = append(row, econCells(base)[0])
 		t.AddRow(row...)
 	}
 	return t, nil

@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestPipelineFigureMeetsAcceptance(t *testing.T) {
+	// The acceptance criterion for the async RPC pipeline: on the
+	// small-file create/unlink workload at >= 4 servers, pipelining must
+	// cut client request messages by at least 20% and strictly lower the
+	// virtual runtime.
+	ws := []workload.Workload{workload.SmallFile{PerWorker: 25}}
+	data, tbl, err := PipelineFigure(testScale, 8, []int{4, 8}, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Points) != 2 {
+		t.Fatalf("sweep produced %d points", len(data.Points))
+	}
+	for _, p := range data.Points {
+		if p.MsgReduction() < 0.20 {
+			t.Errorf("%s@%d servers: message reduction %.0f%%, want >= 20%%",
+				p.Benchmark, p.Servers, p.MsgReduction()*100)
+		}
+		if p.OnSeconds >= p.OffSeconds {
+			t.Errorf("%s@%d servers: pipelining on (%.4fs) not faster than off (%.4fs)",
+				p.Benchmark, p.Servers, p.OnSeconds, p.OffSeconds)
+		}
+		if p.BatchedOps == 0 {
+			t.Errorf("%s@%d servers: no sub-ops traveled in batches", p.Benchmark, p.Servers)
+		}
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("table has %d rows", len(tbl.Rows))
+	}
+}
+
+func TestPipelineBaselineRoundTrip(t *testing.T) {
+	data := &PipelineData{
+		Cores: 8,
+		Scale: 0.1,
+		Points: []PipelinePoint{{
+			Benchmark: "smallfile", Servers: 4, Ops: 100,
+			OnSeconds: 0.5, OffSeconds: 0.7, OnMsgs: 75, OffMsgs: 100,
+		}},
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := data.WriteBaseline(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Baseline
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Cores != 8 || len(back.Points) != 1 || back.Points[0].OffMsgs != 100 {
+		t.Fatalf("baseline round trip mismatch: %+v", back)
+	}
+	if got := back.Points[0].MsgReduction(); got != 0.25 {
+		t.Fatalf("MsgReduction = %f, want 0.25", got)
+	}
+	if got := back.Points[0].Speedup(); got < 1.39 || got > 1.41 {
+		t.Fatalf("Speedup = %f, want 1.4", got)
+	}
+}
+
+func TestResultCarriesMessageEconomy(t *testing.T) {
+	r, err := RunWorkload(HareFactory(DefaultHare(2)), workload.Creates{PerWorker: 10}, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Econ == nil {
+		t.Fatal("hare backend result has no economy counters")
+	}
+	if r.Econ.Msgs == 0 || r.Econ.Bytes == 0 || r.Econ.ClientRPCs == 0 {
+		t.Fatalf("degenerate economy counters: %+v", *r.Econ)
+	}
+	if r.Econ.ClientRPCs >= r.Econ.Msgs {
+		t.Fatal("request messages should be a strict subset of all messages")
+	}
+	base, err := RunWorkload(RamfsFactory(2), workload.Creates{PerWorker: 10}, testScale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Econ != nil {
+		t.Fatal("ramfs baseline has no message layer; Econ must be nil")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/workload"
 )
 
@@ -21,6 +22,10 @@ type Result struct {
 	OpMix map[workload.OpClass]float64
 	// OpTotal is the total number of POSIX calls observed by the counter.
 	OpTotal uint64
+	// Econ holds the message-economy counters accumulated during the timed
+	// region (messages, bytes, client RPCs, batched sub-ops, queueing
+	// delay); nil on backends without a message layer.
+	Econ *stats.Economy
 }
 
 // RunWorkload builds a fresh backend from the factory, runs the workload's
@@ -39,6 +44,10 @@ func RunWorkload(f Factory, w workload.Workload, scale float64) (Result, error) 
 	}
 	start := b.Now()
 	counter.Reset()
+	var econBase stats.Economy
+	if b.Econ != nil {
+		econBase = b.Econ()
+	}
 	ops, err := w.Run(env)
 	if err != nil {
 		return Result{}, fmt.Errorf("bench: %s run on %s: %w", w.Name(), b.Name, err)
@@ -52,7 +61,7 @@ func RunWorkload(f Factory, w workload.Workload, scale float64) (Result, error) 
 	if ops <= 0 {
 		ops = int(counter.Total())
 	}
-	return Result{
+	r := Result{
 		Benchmark:  w.Name(),
 		Backend:    b.Name,
 		Ops:        ops,
@@ -61,7 +70,12 @@ func RunWorkload(f Factory, w workload.Workload, scale float64) (Result, error) 
 		Throughput: float64(ops) / secs,
 		OpMix:      counter.Breakdown(),
 		OpTotal:    counter.Total(),
-	}, nil
+	}
+	if b.Econ != nil {
+		e := b.Econ().Sub(econBase)
+		r.Econ = &e
+	}
+	return r, nil
 }
 
 // RunSuite runs every provided workload on backends built by the factory and

@@ -1,0 +1,239 @@
+package client
+
+import (
+	"runtime"
+	"sort"
+
+	"repro/internal/fsapi"
+	"repro/internal/msg"
+	"repro/internal/proto"
+	"repro/internal/sim"
+)
+
+// Asynchronous RPC helpers (DESIGN.md §7).
+//
+// The paper's client performs every operation as a synchronous ping-pong;
+// this file generalizes its two one-off message-saving tricks (directory
+// broadcast, the coalesced-create opcode) into reusable machinery:
+//
+//   - sendAsync / awaitAll keep several requests in flight at once, to the
+//     same server or to several. Virtual time follows the broadcast rules:
+//     each send charges MsgSend and stamps the request at the clock it was
+//     issued at; awaiting advances the clock to the latest reply arrival and
+//     charges one MsgRecv per reply.
+//   - rpcBatch packs same-server requests into OpBatch envelopes so they
+//     share one round trip and one server-side message-arrival overhead.
+//   - scatter combines both: per-server request lists travel as batches
+//     whose round trips to distinct servers overlap.
+
+// sendAsync issues one request without waiting for the reply.
+func (c *Client) sendAsync(srv int, req *proto.Request) (*msg.Future, error) {
+	if srv < 0 || srv >= len(c.cfg.Servers) {
+		return nil, fsapi.EIO
+	}
+	req.ClientID = c.cfg.ID
+	payload := req.Marshal()
+	c.charge(c.cfg.Machine.Cost.MsgSend)
+	fut, err := c.cfg.Network.SendAsync(c.ep, c.cfg.Servers[srv], proto.KindRequest, payload, c.clock.Now())
+	if err != nil {
+		return nil, fsapi.EIO
+	}
+	c.stats.rpcs.Add(1)
+	return fut, nil
+}
+
+// awaitAll harvests the given futures: the clock advances to the latest
+// reply arrival, one receive cost is charged per reply, and the decoded
+// responses are returned in future order.
+func (c *Client) awaitAll(futs []*msg.Future) ([]*proto.Response, error) {
+	envs := make([]msg.Envelope, len(futs))
+	var latest sim.Cycles
+	for i, f := range futs {
+		env, err := f.Await()
+		if err != nil {
+			return nil, fsapi.EIO
+		}
+		envs[i] = env
+		if env.ArriveAt > latest {
+			latest = env.ArriveAt
+		}
+	}
+	c.clock.AdvanceTo(latest)
+	c.charge(c.cfg.Machine.Cost.MsgRecv * sim.Cycles(len(futs)))
+	out := make([]*proto.Response, len(envs))
+	for i := range envs {
+		resp, err := proto.UnmarshalResponse(envs[i].Payload)
+		if err != nil {
+			return nil, fsapi.EIO
+		}
+		out[i] = resp
+	}
+	runtime.Gosched()
+	return out, nil
+}
+
+// chunkRequests splits a request list at the batch size caps. The estimate
+// leaves headroom for the fixed-shape fields so a chunk never exceeds
+// MaxBatchBytes once marshaled.
+func chunkRequests(reqs []*proto.Request) [][]*proto.Request {
+	const perReqOverhead = 192
+	budget := proto.MaxBatchBytes - 64
+	var out [][]*proto.Request
+	var cur []*proto.Request
+	curBytes := 0
+	for _, r := range reqs {
+		est := perReqOverhead + len(r.Name) + len(r.Data) + len(r.Program) + len(r.Dirname)
+		if len(cur) > 0 && (len(cur) >= proto.MaxBatchOps || curBytes+est > budget) {
+			out = append(out, cur)
+			cur, curBytes = nil, 0
+		}
+		cur = append(cur, r)
+		curBytes += est
+	}
+	if len(cur) > 0 {
+		out = append(out, cur)
+	}
+	return out
+}
+
+// rpcBatch sends requests destined for one server. With pipelining enabled
+// they travel in OpBatch envelopes (split at the protocol size caps);
+// otherwise they are issued strictly one after another. stopOnErr makes the
+// requests a dependent chain: after the first failure the remaining ones are
+// skipped with ECANCELED responses (server-side within a batch, client-side
+// across batch splits). Responses come back in request order; a protocol
+// failure of a sub-operation is reported in its Response, not as an error.
+func (c *Client) rpcBatch(srv int, stopOnErr bool, reqs []*proto.Request) ([]*proto.Response, error) {
+	out := make([]*proto.Response, 0, len(reqs))
+	failed := false
+	if !c.cfg.Options.Pipelining || len(reqs) == 1 {
+		for _, r := range reqs {
+			if failed && stopOnErr {
+				out = append(out, proto.ErrResponse(fsapi.ECANCELED))
+				continue
+			}
+			resp, err := c.rpc(srv, r)
+			if err != nil {
+				return nil, err
+			}
+			if resp.Err != fsapi.OK {
+				failed = true
+			}
+			out = append(out, resp)
+		}
+		return out, nil
+	}
+	for _, chunk := range chunkRequests(reqs) {
+		if failed && stopOnErr {
+			for range chunk {
+				out = append(out, proto.ErrResponse(fsapi.ECANCELED))
+			}
+			continue
+		}
+		var subs []*proto.Response
+		if len(chunk) == 1 {
+			resp, err := c.rpc(srv, chunk[0])
+			if err != nil {
+				return nil, err
+			}
+			subs = []*proto.Response{resp}
+		} else {
+			for _, r := range chunk {
+				r.ClientID = c.cfg.ID
+			}
+			env, err := c.rpc(srv, proto.BatchRequest(chunk, stopOnErr))
+			if err != nil {
+				return nil, err
+			}
+			if env.Err != fsapi.OK {
+				return nil, env.Err
+			}
+			var derr error
+			subs, derr = proto.UnmarshalBatchResponses(env.Data)
+			if derr != nil || len(subs) != len(chunk) {
+				return nil, fsapi.EIO
+			}
+			c.stats.batched.Add(uint64(len(chunk)))
+		}
+		for _, r := range subs {
+			if r.Err != fsapi.OK {
+				failed = true
+			}
+		}
+		out = append(out, subs...)
+	}
+	return out, nil
+}
+
+// scatter delivers independent per-server request lists with overlapping
+// round trips: each server's list is packed into batch envelopes, every
+// envelope is issued back-to-back, and all replies are awaited together.
+// With pipelining disabled the lists run server by server, request by
+// request. Responses are returned per server in request order.
+func (c *Client) scatter(perSrv map[int][]*proto.Request) (map[int][]*proto.Response, error) {
+	srvs := make([]int, 0, len(perSrv))
+	for srv := range perSrv {
+		srvs = append(srvs, srv)
+	}
+	sort.Ints(srvs)
+
+	out := make(map[int][]*proto.Response, len(perSrv))
+	if !c.cfg.Options.Pipelining {
+		for _, srv := range srvs {
+			resps, err := c.rpcBatch(srv, false, perSrv[srv])
+			if err != nil {
+				return nil, err
+			}
+			out[srv] = resps
+		}
+		return out, nil
+	}
+
+	type chunkRef struct {
+		srv  int
+		n    int // sub-requests carried (1 means a bare request)
+		bare bool
+	}
+	var futs []*msg.Future
+	var refs []chunkRef
+	for _, srv := range srvs {
+		for _, chunk := range chunkRequests(perSrv[srv]) {
+			var env *proto.Request
+			bare := len(chunk) == 1
+			if bare {
+				env = chunk[0]
+			} else {
+				for _, r := range chunk {
+					r.ClientID = c.cfg.ID
+				}
+				env = proto.BatchRequest(chunk, false)
+				c.stats.batched.Add(uint64(len(chunk)))
+			}
+			fut, err := c.sendAsync(srv, env)
+			if err != nil {
+				return nil, err
+			}
+			futs = append(futs, fut)
+			refs = append(refs, chunkRef{srv: srv, n: len(chunk), bare: bare})
+		}
+	}
+	resps, err := c.awaitAll(futs)
+	if err != nil {
+		return nil, err
+	}
+	for i, ref := range refs {
+		if ref.bare {
+			out[ref.srv] = append(out[ref.srv], resps[i])
+			continue
+		}
+		if resps[i].Err != fsapi.OK {
+			return nil, resps[i].Err
+		}
+		subs, derr := proto.UnmarshalBatchResponses(resps[i].Data)
+		if derr != nil || len(subs) != ref.n {
+			return nil, fsapi.EIO
+		}
+		out[ref.srv] = append(out[ref.srv], subs...)
+	}
+	return out, nil
+}

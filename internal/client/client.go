@@ -23,7 +23,8 @@ import (
 	"repro/internal/sim"
 )
 
-// Options toggles the individual techniques evaluated in §5.4. All default
+// Options toggles the individual techniques evaluated in §5.4, plus the
+// async RPC pipeline added on top of the paper (DESIGN.md §7). All default
 // to enabled in a standard Hare configuration.
 type Options struct {
 	DirDistribution  bool // honor the per-directory distribution flag (§3.3)
@@ -31,11 +32,12 @@ type Options struct {
 	DirBroadcast     bool // parallel fan-out for readdir/rmdir (§3.6.2)
 	DirectAccess     bool // client reads/writes the buffer cache directly (§3.2)
 	CreationAffinity bool // NUMA-aware inode placement (§3.6.4)
+	Pipelining       bool // async/batched RPCs, extend-ahead, readahead (DESIGN.md §7)
 }
 
 // DefaultOptions enables every technique.
 func DefaultOptions() Options {
-	return Options{DirDistribution: true, DirCache: true, DirBroadcast: true, DirectAccess: true, CreationAffinity: true}
+	return Options{DirDistribution: true, DirCache: true, DirBroadcast: true, DirectAccess: true, CreationAffinity: true, Pipelining: true}
 }
 
 // Config wires a client library into a Hare deployment.
@@ -68,10 +70,12 @@ type Config struct {
 
 // Stats counts client-side activity.
 type Stats struct {
-	RPCs           uint64
+	RPCs           uint64 // request messages sent (a batch envelope counts once)
 	DirCacheHits   uint64
 	DirCacheMisses uint64
 	Invalidations  uint64
+	BatchedOps     uint64 // sub-operations carried inside batch envelopes
+	Readaheads     uint64 // speculative READ_AT chunks issued ahead of the cursor
 }
 
 // Client is one Hare client library instance. It is not safe for concurrent
@@ -90,13 +94,15 @@ type Client struct {
 	localServer int // designated nearby server for creation affinity
 
 	stats struct {
-		rpcs      atomic.Uint64
-		dcHits    atomic.Uint64
-		dcMisses  atomic.Uint64
-		invals    atomic.Uint64
-		syscalls  atomic.Uint64
-		wbBlocks  atomic.Uint64
-		invBlocks atomic.Uint64
+		rpcs       atomic.Uint64
+		dcHits     atomic.Uint64
+		dcMisses   atomic.Uint64
+		invals     atomic.Uint64
+		syscalls   atomic.Uint64
+		wbBlocks   atomic.Uint64
+		invBlocks  atomic.Uint64
+		batched    atomic.Uint64
+		readaheads atomic.Uint64
 	}
 }
 
@@ -123,6 +129,13 @@ type openFile struct {
 	// Pipe state.
 	pipe      bool
 	pipeWrite bool
+
+	// Readahead state (server-mediated reads, DESIGN.md §7): a speculative
+	// READ_AT for [raOff, raOff+raN) issued after a sequential read. The
+	// future is dropped unharvested when the next access does not match.
+	raFut *msg.Future
+	raOff int64
+	raN   int
 
 	localRefs int // dup'd descriptors in this process
 }
@@ -170,6 +183,8 @@ func (c *Client) Stats() Stats {
 		DirCacheHits:   c.stats.dcHits.Load(),
 		DirCacheMisses: c.stats.dcMisses.Load(),
 		Invalidations:  c.stats.invals.Load(),
+		BatchedOps:     c.stats.batched.Load(),
+		Readaheads:     c.stats.readaheads.Load(),
 	}
 }
 
@@ -416,9 +431,77 @@ func (c *Client) OpenFDs() []fsapi.FD {
 	return out
 }
 
-// CloseAll closes every open descriptor (process exit).
+// CloseAll closes every open descriptor (process exit). With pipelining on,
+// the per-file close/size-update RPCs to all touched servers are flushed as
+// one scatter — same-server closes share a batch message and the round
+// trips to distinct servers overlap — instead of one synchronous ping-pong
+// per descriptor. Close errors are discarded either way: the process is
+// exiting and has nobody to report them to.
 func (c *Client) CloseAll() {
-	for fd := range c.fds {
-		_ = c.Close(fd)
+	if !c.cfg.Options.Pipelining {
+		for fd := range c.fds {
+			_ = c.Close(fd)
+		}
+		return
 	}
+	// Collapse dup'd descriptors onto their open file descriptions.
+	refs := make(map[*openFile]int)
+	for fd, of := range c.fds {
+		refs[of]++
+		delete(c.fds, fd)
+	}
+	perSrv := make(map[int][]*proto.Request)
+	for of, n := range refs {
+		of.localRefs -= n
+		if of.localRefs > 0 {
+			continue
+		}
+		req := c.closeRequest(of)
+		if of.pipe {
+			// Pipe closes can wake parked peers; they keep the plain path.
+			_, _ = c.rpcOK(int(of.ino.Server), req)
+			continue
+		}
+		perSrv[int(of.ino.Server)] = append(perSrv[int(of.ino.Server)], req)
+	}
+	if len(perSrv) > 0 {
+		_, _ = c.scatter(perSrv)
+	}
+}
+
+// Sync flushes every dirty open regular file: dirty private-cache blocks are
+// written back to the shared DRAM and the size updates for all touched
+// servers travel as one overlapping scatter (batched per server). It is the
+// multi-file counterpart of Fsync.
+func (c *Client) Sync() error {
+	c.syscall()
+	perSrv := make(map[int][]*proto.Request)
+	flushed := make(map[*openFile]bool)
+	for _, of := range c.fds {
+		if flushed[of] || of.pipe || of.srvFd != proto.NilFd {
+			continue
+		}
+		flushed[of] = true
+		c.writebackFile(of)
+		if !of.wrote {
+			continue
+		}
+		perSrv[int(of.ino.Server)] = append(perSrv[int(of.ino.Server)],
+			&proto.Request{Op: proto.OpSetSize, Target: of.ino, Size: of.size})
+	}
+	if len(perSrv) == 0 {
+		return nil
+	}
+	resps, err := c.scatter(perSrv)
+	if err != nil {
+		return err
+	}
+	for _, srvResps := range resps {
+		for _, r := range srvResps {
+			if r.Err != fsapi.OK {
+				return r.Err
+			}
+		}
+	}
+	return nil
 }

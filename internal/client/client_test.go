@@ -119,6 +119,11 @@ func TestClientCorrectUnderEveryTechniqueConfiguration(t *testing.T) {
 		"no-direct":       func(tq *core.Techniques) { tq.DirectAccess = false },
 		"no-dircache":     func(tq *core.Techniques) { tq.DirectoryCache = false },
 		"no-affinity":     func(tq *core.Techniques) { tq.CreationAffinity = false },
+		"no-pipelining":   func(tq *core.Techniques) { tq.RPCPipelining = false },
+		"no-direct-no-pipelining": func(tq *core.Techniques) {
+			tq.DirectAccess = false
+			tq.RPCPipelining = false
+		},
 	}
 	for name, disable := range configs {
 		name, disable := name, disable
@@ -253,4 +258,296 @@ func TestExecTransfersWorkingDirectory(t *testing.T) {
 	if h.Wait() != 0 {
 		t.Fatal("exec did not preserve the working directory")
 	}
+}
+
+func TestBatchedUnlinkSavesMessages(t *testing.T) {
+	// A create+unlink pair with a warm directory cache: the unlink's RM_MAP
+	// and UNLINK_INODE share one batch message, so the whole cycle costs
+	// one message less than with pipelining off.
+	count := func(tq core.Techniques) (perCycle uint64, batched uint64) {
+		sys := newSystem(t, tq)
+		cli := sys.NewClient(0)
+		if err := cli.Mkdir("/u", fsapi.MkdirOpt{Distributed: true}); err != nil {
+			t.Fatal(err)
+		}
+		const n = 20
+		before := cli.Stats()
+		for i := 0; i < n; i++ {
+			name := fmt.Sprintf("/u/f%03d", i)
+			fd, err := cli.Open(name, fsapi.OCreate|fsapi.OWrOnly, fsapi.Mode644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := cli.Close(fd); err != nil {
+				t.Fatal(err)
+			}
+			if err := cli.Unlink(name); err != nil {
+				t.Fatal(err)
+			}
+		}
+		after := cli.Stats()
+		return (after.RPCs - before.RPCs) / n, after.BatchedOps - before.BatchedOps
+	}
+
+	on, batched := count(core.AllTechniques())
+	tqOff := core.AllTechniques()
+	tqOff.RPCPipelining = false
+	off, offBatched := count(tqOff)
+	if offBatched != 0 {
+		t.Fatalf("pipelining off batched %d ops", offBatched)
+	}
+	if batched == 0 {
+		t.Fatal("pipelining on never used a batch")
+	}
+	if on >= off {
+		t.Fatalf("messages per create/unlink cycle: on=%d off=%d; batching saved nothing", on, off)
+	}
+}
+
+func TestBatchedUnlinkStaleCacheFallsBack(t *testing.T) {
+	// Client b caches a lookup, client a rename-replaces the entry with a
+	// different inode, and — before b drains the invalidation — b unlinks
+	// the name. The compare-and-remove guard must keep b's stale cached
+	// inode out of harm's way: the entry's current inode is the one that
+	// must die, and the file it replaced must survive untouched.
+	sys := newSystem(t, core.AllTechniques())
+	a := sys.NewClient(0)
+	b := sys.NewClient(1)
+
+	if err := a.Mkdir("/sw", fsapi.MkdirOpt{}); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(name, content string) {
+		fd, err := a.Open(name, fsapi.OCreate|fsapi.OWrOnly, fsapi.Mode644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := a.Write(fd, []byte(content)); err != nil {
+			t.Fatal(err)
+		}
+		if err := a.Close(fd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mk("/sw/victim", "old inode")
+	mk("/sw/other", "surviving inode")
+
+	// b caches /sw/victim's (soon stale) inode.
+	if _, err := b.Stat("/sw/victim"); err != nil {
+		t.Fatal(err)
+	}
+	// a replaces the entry: /sw/victim now names other's inode.
+	if err := a.Rename("/sw/other", "/sw/victim"); err != nil {
+		t.Fatal(err)
+	}
+	// b unlinks through (potentially) stale cache state; whichever path the
+	// client takes, the name must disappear and exactly one link must drop.
+	if err := b.Unlink("/sw/victim"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Stat("/sw/victim"); !fsapi.IsErrno(err, fsapi.ENOENT) {
+		t.Fatalf("unlinked name still resolves: %v", err)
+	}
+	ents, err := a.ReadDir("/sw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("directory should be empty, has %d entries", len(ents))
+	}
+}
+
+func TestReadaheadOnServerMediatedReads(t *testing.T) {
+	tq := core.AllTechniques()
+	tq.DirectAccess = false
+	sys := newSystem(t, tq)
+	cli := sys.NewClient(0)
+
+	payload := bytes.Repeat([]byte("readahead-chunk "), 2048) // 32 KiB
+	fd, err := cli.Open("/ra.bin", fsapi.OCreate|fsapi.OWrOnly, fsapi.Mode644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Write(fd, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+
+	rfd, err := cli.Open("/ra.bin", fsapi.ORdOnly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]byte, 0, len(payload))
+	buf := make([]byte, 4096)
+	for {
+		n, err := cli.Read(rfd, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if err := cli.Close(rfd); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("sequential read with readahead returned wrong data")
+	}
+	if cli.Stats().Readaheads == 0 {
+		t.Fatal("sequential server-mediated read issued no readaheads")
+	}
+
+	// A write between reads must invalidate the speculative chunk.
+	wfd, err := cli.Open("/ra.bin", fsapi.ORdWr, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := make([]byte, 4096)
+	if _, err := cli.Read(wfd, half); err != nil {
+		t.Fatal(err)
+	}
+	patch := bytes.Repeat([]byte("X"), 512)
+	if _, err := cli.Pwrite(wfd, patch, 4096); err != nil {
+		t.Fatal(err)
+	}
+	after := make([]byte, 512)
+	if _, err := cli.Read(wfd, after); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, patch) {
+		t.Fatal("read after overlapping write returned stale readahead data")
+	}
+	cli.Close(wfd)
+}
+
+func TestSyncFlushesAllDirtyFiles(t *testing.T) {
+	sys := newSystem(t, core.AllTechniques())
+	cli := sys.NewClient(0)
+	other := sys.NewClient(1)
+
+	var fds []fsapi.FD
+	for i := 0; i < 6; i++ {
+		fd, err := cli.Open(fmt.Sprintf("/sync%02d", i), fsapi.OCreate|fsapi.OWrOnly, fsapi.Mode644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cli.Write(fd, bytes.Repeat([]byte{byte(i + 1)}, 1000+100*i)); err != nil {
+			t.Fatal(err)
+		}
+		fds = append(fds, fd)
+	}
+	if err := cli.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// The size updates reached every touched server: another client
+	// observes the sizes without any close having happened.
+	for i := range fds {
+		st, err := other.Stat(fmt.Sprintf("/sync%02d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Size != int64(1000+100*i) {
+			t.Fatalf("file %d size = %d after Sync", i, st.Size)
+		}
+	}
+	for _, fd := range fds {
+		if err := cli.Close(fd); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCloseAllFlushesEveryDescriptor(t *testing.T) {
+	for _, pipelining := range []bool{true, false} {
+		tq := core.AllTechniques()
+		tq.RPCPipelining = pipelining
+		sys := newSystem(t, tq)
+		cli := sys.NewClient(0)
+		for i := 0; i < 5; i++ {
+			fd, err := cli.Open(fmt.Sprintf("/ca%02d", i), fsapi.OCreate|fsapi.OWrOnly, fsapi.Mode644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := cli.Write(fd, bytes.Repeat([]byte{0xAB}, 777)); err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 {
+				if _, err := cli.Dup(fd); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		cli.CloseAll()
+		if n := len(cli.OpenFDs()); n != 0 {
+			t.Fatalf("pipelining=%v: %d descriptors survive CloseAll", pipelining, n)
+		}
+		// The coalesced close carried each file's size to its server.
+		other := sys.NewClient(1)
+		for i := 0; i < 5; i++ {
+			st, err := other.Stat(fmt.Sprintf("/ca%02d", i))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.Size != 777 {
+				t.Fatalf("pipelining=%v: file %d size = %d after CloseAll", pipelining, i, st.Size)
+			}
+		}
+	}
+}
+
+func TestReadaheadInvalidatedAcrossDescriptors(t *testing.T) {
+	// A readahead issued through one descriptor must not survive a write
+	// through a *different* descriptor of the same file: same-process
+	// read-after-write holds regardless of which fd did the writing.
+	tq := core.AllTechniques()
+	tq.DirectAccess = false
+	sys := newSystem(t, tq)
+	cli := sys.NewClient(0)
+
+	payload := bytes.Repeat([]byte("Z"), 16384)
+	fd, err := cli.Open("/x.bin", fsapi.OCreate|fsapi.OWrOnly, fsapi.Mode644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Write(fd, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+
+	rfd, err := cli.Open("/x.bin", fsapi.ORdOnly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wfd, err := cli.Open("/x.bin", fsapi.OWrOnly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential read on rfd issues a readahead for [4096, 8192).
+	buf := make([]byte, 4096)
+	if _, err := cli.Read(rfd, buf); err != nil {
+		t.Fatal(err)
+	}
+	if cli.Stats().Readaheads == 0 {
+		t.Fatal("no readahead in flight; test setup is wrong")
+	}
+	// Write through the other descriptor into the speculative range.
+	patch := bytes.Repeat([]byte("w"), 1024)
+	if _, err := cli.Pwrite(wfd, patch, 4096); err != nil {
+		t.Fatal(err)
+	}
+	// The next read on rfd covers the patched range and must see the write.
+	if _, err := cli.Read(rfd, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf[:1024], patch) {
+		t.Fatal("read served stale readahead data written before the cross-descriptor write")
+	}
+	cli.Close(rfd)
+	cli.Close(wfd)
 }

@@ -76,6 +76,13 @@ func (c *Client) Mkdir(path string, opt fsapi.MkdirOpt) error {
 
 // Unlink removes a file's directory entry and drops a link on its inode.
 // The file data remains readable through already-open descriptors (§3.4).
+//
+// The plain path is two dependent RPCs: RM_MAP returns the entry's inode,
+// then UNLINK_INODE drops the link. With pipelining, a cached lookup for the
+// entry breaks the dependency: when the inode lives on the entry server (the
+// common case — coalesced creation put it there), both operations travel as
+// one guarded batch message. A stale cache fails the guard (ESTALE) and the
+// operation falls back to the authoritative two-RPC path.
 func (c *Client) Unlink(path string) error {
 	c.syscall()
 	abs := c.absPath(path)
@@ -84,6 +91,18 @@ func (c *Client) Unlink(path string) error {
 		return err
 	}
 	entrySrv := c.entryServer(parent, parentDist, name)
+
+	if c.cfg.Options.Pipelining && c.cfg.Options.DirCache {
+		c.drainInvalidations()
+		if ent, ok := c.dcache[dcacheKey{parent, name}]; ok &&
+			ent.ftype != fsapi.TypeDir && !ent.ino.IsNil() && int(ent.ino.Server) == entrySrv {
+			done, uerr := c.unlinkBatched(parent, name, entrySrv, ent)
+			if done {
+				return uerr
+			}
+		}
+	}
+
 	resp, rerr := c.rpcOK(entrySrv, &proto.Request{
 		Op:    proto.OpRmMap,
 		Dir:   parent,
@@ -98,6 +117,32 @@ func (c *Client) Unlink(path string) error {
 		return err
 	}
 	return nil
+}
+
+// unlinkBatched removes the directory entry and its inode in a single
+// dependent batch message. It returns done=false when the cached entry
+// turned out to be stale (guard mismatch) and the caller must retry on the
+// authoritative path.
+func (c *Client) unlinkBatched(parent proto.InodeID, name string, entrySrv int, ent dcacheEnt) (bool, error) {
+	resps, err := c.rpcBatch(entrySrv, true, []*proto.Request{
+		{Op: proto.OpRmMap, Dir: parent, Name: name, Target: ent.ino, Ftype: fsapi.TypeRegular},
+		{Op: proto.OpUnlinkInode, Target: ent.ino},
+	})
+	c.uncacheEntry(parent, name)
+	if err != nil {
+		return true, err
+	}
+	rm, ul := resps[0], resps[1]
+	if rm.Err == fsapi.ESTALE {
+		return false, nil
+	}
+	if rm.Err != fsapi.OK {
+		return true, rm.Err
+	}
+	if ul.Err != fsapi.OK {
+		return true, ul.Err
+	}
+	return true, nil
 }
 
 // Rename atomically renames oldPath to newPath: it first creates (or

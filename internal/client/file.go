@@ -147,17 +147,23 @@ func (c *Client) openExisting(ino proto.InodeID, ftype fsapi.FileType, dist bool
 
 // fileFromOpen builds an openFile from an OPEN/CREATE response.
 func (c *Client) fileFromOpen(resp *proto.Response, flags int) *openFile {
-	blocks := make([]ncc.BlockID, len(resp.Blocks))
-	for i, b := range resp.Blocks {
-		blocks[i] = ncc.BlockID(b)
+	of := &openFile{
+		ino:   resp.Ino,
+		ftype: resp.Ftype,
+		flags: flags,
+		size:  resp.Size,
+		dirty: make(map[ncc.BlockID]struct{}),
 	}
-	return &openFile{
-		ino:    resp.Ino,
-		ftype:  resp.Ftype,
-		flags:  flags,
-		size:   resp.Size,
-		blocks: blocks,
-		dirty:  make(map[ncc.BlockID]struct{}),
+	refreshBlocks(of, resp.Blocks)
+	return of
+}
+
+// refreshBlocks replaces the descriptor's block list with the server's wire
+// form (shared by open, GET_BLOCKS, EXTEND, and TRUNCATE responses).
+func refreshBlocks(of *openFile, blocks []uint64) {
+	of.blocks = of.blocks[:0]
+	for _, b := range blocks {
+		of.blocks = append(of.blocks, ncc.BlockID(b))
 	}
 }
 
@@ -175,17 +181,26 @@ func (c *Client) Close(fd fsapi.FD) error {
 	if of.localRefs > 0 {
 		return nil
 	}
+	_, err = c.rpcOK(int(of.ino.Server), c.closeRequest(of))
+	return err
+}
+
+// closeRequest prepares the release RPC for a description whose last local
+// reference is gone: the pipe-end close, the shared-descriptor deref, or —
+// after flushing dirty blocks — the inode close with the size update
+// coalesced in (§3.6.3). Shared by Close and the pipelined CloseAll so the
+// close semantics have one source of truth.
+func (c *Client) closeRequest(of *openFile) *proto.Request {
+	of.dropReadahead()
 	switch {
 	case of.pipe:
 		op := proto.OpPipeCloseRead
 		if of.pipeWrite {
 			op = proto.OpPipeCloseWrite
 		}
-		_, err := c.rpcOK(int(of.ino.Server), &proto.Request{Op: op, Target: of.ino})
-		return err
+		return &proto.Request{Op: op, Target: of.ino}
 	case of.srvFd != proto.NilFd:
-		_, err := c.rpcOK(int(of.ino.Server), &proto.Request{Op: proto.OpFdDecRef, Fd: of.srvFd, Target: of.ino})
-		return err
+		return &proto.Request{Op: proto.OpFdDecRef, Fd: of.srvFd, Target: of.ino}
 	default:
 		c.writebackFile(of)
 		req := &proto.Request{Op: proto.OpCloseInode, Target: of.ino}
@@ -193,8 +208,7 @@ func (c *Client) Close(fd fsapi.FD) error {
 			// Coalesce the size update with the close (§3.6.3).
 			req.Size = of.size
 		}
-		_, err := c.rpcOK(int(of.ino.Server), req)
-		return err
+		return req
 	}
 }
 
@@ -252,7 +266,7 @@ func (c *Client) Read(fd fsapi.FD, p []byte) (int, error) {
 		if of.flags&fsapi.OAccMode == fsapi.OWrOnly {
 			return 0, fsapi.EBADF
 		}
-		n, err := c.readAt(of, of.offset, p)
+		n, err := c.readAt(of, of.offset, p, true)
 		of.offset += int64(n)
 		return n, err
 	}
@@ -279,7 +293,7 @@ func (c *Client) Pread(fd fsapi.FD, p []byte, off int64) (int, error) {
 		}
 		return copy(p, resp.Data), nil
 	}
-	return c.readAt(of, off, p)
+	return c.readAt(of, off, p, false)
 }
 
 // Write writes at the descriptor's current offset.
@@ -319,6 +333,7 @@ func (c *Client) Pwrite(fd fsapi.FD, p []byte, off int64) (int, error) {
 		return 0, fsapi.ESPIPE
 	}
 	if of.srvFd != proto.NilFd {
+		c.dropReadaheadsFor(of.ino)
 		resp, rerr := c.rpcOK(int(of.ino.Server), &proto.Request{
 			Op: proto.OpWriteAt, Target: of.ino, Offset: off, Data: p,
 		})
@@ -332,8 +347,11 @@ func (c *Client) Pwrite(fd fsapi.FD, p []byte, off int64) (int, error) {
 
 // readAt reads file data for a locally tracked descriptor. With direct
 // access the client reads the shared buffer cache through its private cache;
-// otherwise it asks the server to read on its behalf.
-func (c *Client) readAt(of *openFile, off int64, p []byte) (int, error) {
+// otherwise it asks the server to read on its behalf — and, for sequential
+// readers with pipelining on, keeps the next chunk's READ_AT in flight ahead
+// of the cursor so the reply has (partially) propagated by the time it is
+// needed (DESIGN.md §7).
+func (c *Client) readAt(of *openFile, off int64, p []byte, sequential bool) (int, error) {
 	if off >= of.size {
 		return 0, nil
 	}
@@ -342,13 +360,20 @@ func (c *Client) readAt(of *openFile, off int64, p []byte) (int, error) {
 		n = of.size - off
 	}
 	if !c.cfg.Options.DirectAccess {
-		resp, err := c.rpcOK(int(of.ino.Server), &proto.Request{
-			Op: proto.OpReadAt, Target: of.ino, Offset: off, Count: int32(n),
-		})
-		if err != nil {
-			return 0, err
+		data, ok := c.takeReadahead(of, off, n)
+		if !ok {
+			resp, err := c.rpcOK(int(of.ino.Server), &proto.Request{
+				Op: proto.OpReadAt, Target: of.ino, Offset: off, Count: int32(n),
+			})
+			if err != nil {
+				return 0, err
+			}
+			data = resp.Data
 		}
-		return copy(p, resp.Data), nil
+		if sequential {
+			c.issueReadahead(of, off+n, len(p))
+		}
+		return copy(p, data), nil
 	}
 	if err := c.ensureBlocks(of, off+n); err != nil {
 		return 0, err
@@ -356,10 +381,75 @@ func (c *Client) readAt(of *openFile, off int64, p []byte) (int, error) {
 	return c.copyBlocks(of, off, p[:n], false), nil
 }
 
+// takeReadahead consumes the descriptor's in-flight readahead when it covers
+// exactly the requested range; any other pending readahead is dropped
+// unharvested (a mispredicted chunk costs its message, nothing else).
+func (c *Client) takeReadahead(of *openFile, off, n int64) ([]byte, bool) {
+	if of.raFut == nil {
+		return nil, false
+	}
+	if of.raOff != off || int64(of.raN) < n {
+		of.raFut = nil
+		return nil, false
+	}
+	env, err := of.raFut.Await()
+	of.raFut = nil
+	if err != nil {
+		return nil, false
+	}
+	c.clock.AdvanceTo(env.ArriveAt)
+	c.charge(c.cfg.Machine.Cost.MsgRecv)
+	resp, derr := proto.UnmarshalResponse(env.Payload)
+	if derr != nil || resp.Err != fsapi.OK {
+		return nil, false
+	}
+	return resp.Data, true
+}
+
+// issueReadahead speculatively requests the next chunk of a sequential
+// server-mediated read stream. It is a no-op with pipelining off, with a
+// readahead already pending, or at end of file.
+func (c *Client) issueReadahead(of *openFile, off int64, n int) {
+	if !c.cfg.Options.Pipelining || of.raFut != nil || n <= 0 || off >= of.size {
+		return
+	}
+	if off+int64(n) > of.size {
+		n = int(of.size - off)
+	}
+	fut, err := c.sendAsync(int(of.ino.Server), &proto.Request{
+		Op: proto.OpReadAt, Target: of.ino, Offset: off, Count: int32(n),
+	})
+	if err != nil {
+		return
+	}
+	of.raFut, of.raOff, of.raN = fut, off, n
+	c.stats.readaheads.Add(1)
+}
+
+// dropReadahead abandons any in-flight readahead (the data it would return
+// is about to become stale, or the descriptor is going away).
+func (of *openFile) dropReadahead() { of.raFut = nil }
+
+// dropReadaheadsFor invalidates the in-flight readahead of every descriptor
+// this process holds on the given inode: a write through any descriptor
+// makes their speculative chunks stale, and same-process read-after-write
+// must hold regardless of which descriptor did the writing.
+func (c *Client) dropReadaheadsFor(ino proto.InodeID) {
+	for _, of := range c.fds {
+		if of.ino == ino {
+			of.dropReadahead()
+		}
+	}
+}
+
 // writeAt writes file data for a locally tracked descriptor.
 func (c *Client) writeAt(of *openFile, off int64, p []byte) (int, error) {
 	end := off + int64(len(p))
 	if !c.cfg.Options.DirectAccess {
+		// The write may overlap chunks already requested ahead of the
+		// cursor — by this descriptor or by any other descriptor this
+		// process holds on the file; their speculative data would be stale.
+		c.dropReadaheadsFor(of.ino)
 		resp, err := c.rpcOK(int(of.ino.Server), &proto.Request{
 			Op: proto.OpWriteAt, Target: of.ino, Offset: off, Data: p,
 		})
@@ -395,28 +485,37 @@ func (c *Client) ensureBlocks(of *openFile, end int64) error {
 	if err != nil {
 		return err
 	}
-	of.blocks = of.blocks[:0]
-	for _, b := range resp.Blocks {
-		of.blocks = append(of.blocks, ncc.BlockID(b))
-	}
+	refreshBlocks(of, resp.Blocks)
 	return nil
 }
 
 // extendTo asks the file server to allocate blocks so the file can hold end
-// bytes, updating the client's block list.
+// bytes, updating the client's block list. With pipelining on, the request
+// allocates ahead of the cursor — doubling the current allocation — so a
+// sequential writer issues O(log n) EXTEND RPCs instead of one per block
+// boundary; the logical size is still set by CLOSE/SET_SIZE, so the
+// over-allocation is invisible to stat and is reclaimed with the inode.
 func (c *Client) extendTo(of *openFile, end int64) error {
 	bs := int64(c.cfg.DRAM.BlockSize())
 	if int64(len(of.blocks))*bs >= end {
 		return nil
 	}
-	resp, err := c.rpcOK(int(of.ino.Server), &proto.Request{Op: proto.OpExtend, Target: of.ino, Size: end})
+	want := end
+	if c.cfg.Options.Pipelining {
+		if ahead := 2 * int64(len(of.blocks)) * bs; ahead > want {
+			want = ahead
+		}
+	}
+	resp, err := c.rpcOK(int(of.ino.Server), &proto.Request{Op: proto.OpExtend, Target: of.ino, Size: want})
+	if err != nil && want > end && fsapi.IsErrno(err, fsapi.ENOSPC) {
+		// The speculative tail did not fit; retry with exactly what the
+		// write needs.
+		resp, err = c.rpcOK(int(of.ino.Server), &proto.Request{Op: proto.OpExtend, Target: of.ino, Size: end})
+	}
 	if err != nil {
 		return err
 	}
-	of.blocks = of.blocks[:0]
-	for _, b := range resp.Blocks {
-		of.blocks = append(of.blocks, ncc.BlockID(b))
-	}
+	refreshBlocks(of, resp.Blocks)
 	return nil
 }
 
@@ -506,15 +605,13 @@ func (c *Client) Ftruncate(fd fsapi.FD, size int64) error {
 	// Dirty blocks beyond the new size must not be written back later over
 	// reused blocks; flush state first.
 	c.writebackFile(of)
+	c.dropReadaheadsFor(of.ino)
 	resp, rerr := c.rpcOK(int(of.ino.Server), &proto.Request{Op: proto.OpTruncate, Target: of.ino, Size: size})
 	if rerr != nil {
 		return rerr
 	}
 	of.size = resp.Size
-	of.blocks = of.blocks[:0]
-	for _, b := range resp.Blocks {
-		of.blocks = append(of.blocks, ncc.BlockID(b))
-	}
+	refreshBlocks(of, resp.Blocks)
 	of.wrote = false
 	return nil
 }

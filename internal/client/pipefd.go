@@ -91,6 +91,7 @@ func (c *Client) sharedRead(of *openFile, p []byte) (int, error) {
 
 // sharedWrite writes through the file server at the shared offset.
 func (c *Client) sharedWrite(of *openFile, p []byte) (int, error) {
+	c.dropReadaheadsFor(of.ino)
 	resp, err := c.rpcOK(int(of.ino.Server), &proto.Request{
 		Op:     proto.OpFdWrite,
 		Fd:     of.srvFd,

@@ -18,16 +18,19 @@ import (
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/stats"
 	"repro/internal/wal"
 )
 
-// Techniques toggles the design techniques evaluated in §5.4 of the paper.
+// Techniques toggles the design techniques evaluated in §5.4 of the paper,
+// plus the async RPC pipeline this reproduction adds (DESIGN.md §7).
 type Techniques struct {
 	DirectoryDistribution bool // shard a directory's entries across servers (§3.3)
 	DirectoryBroadcast    bool // contact all servers in parallel (§3.6.2)
 	DirectAccess          bool // clients access the buffer cache directly (§3.2)
 	DirectoryCache        bool // client-side lookup cache with invalidations (§3.6.1)
 	CreationAffinity      bool // NUMA-aware placement of new inodes (§3.6.4)
+	RPCPipelining         bool // async/batched RPCs, extend-ahead, readahead (DESIGN.md §7)
 }
 
 // AllTechniques enables everything (the standard Hare configuration).
@@ -38,6 +41,7 @@ func AllTechniques() Techniques {
 		DirectAccess:          true,
 		DirectoryCache:        true,
 		CreationAffinity:      true,
+		RPCPipelining:         true,
 	}
 }
 
@@ -312,6 +316,7 @@ func (s *System) clientOptions() client.Options {
 		DirBroadcast:     t.DirectoryBroadcast,
 		DirectAccess:     t.DirectAccess,
 		CreationAffinity: t.CreationAffinity,
+		Pipelining:       t.RPCPipelining,
 	}
 }
 
@@ -344,6 +349,25 @@ func (s *System) cacheForCore(core int) *ncc.PrivateCache {
 		core = 0
 	}
 	return s.caches[core]
+}
+
+// MessageEconomy summarizes the deployment's cumulative message traffic:
+// network message and byte counts plus the servers' batched-sub-op and
+// queueing-delay totals. Client RPC counts are tracked per client library;
+// the network's message count (requests + replies + callbacks) stands in
+// for them here, since the harness needs a single deployment-wide view.
+func (s *System) MessageEconomy() stats.Economy {
+	e := stats.Economy{
+		Msgs:       s.network.MessageCount(),
+		Bytes:      s.network.ByteCount(),
+		ClientRPCs: s.network.RequestCount(),
+	}
+	for _, srv := range s.servers {
+		st := srv.Stats()
+		e.BatchedOps += st.BatchedOps
+		e.QueueCycles += uint64(st.QueueDelay)
+	}
+	return e
 }
 
 // ServerStats returns per-server counters (op counts, invalidations sent).

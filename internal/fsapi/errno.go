@@ -36,6 +36,7 @@ const (
 	ENOTEMPTY
 	ENOSYS
 	ESTALE
+	ECANCELED
 )
 
 var errnoNames = map[Errno]string{
@@ -62,6 +63,7 @@ var errnoNames = map[Errno]string{
 	ENOTEMPTY:    "ENOTEMPTY: directory not empty",
 	ENOSYS:       "ENOSYS: function not implemented",
 	ESTALE:       "ESTALE: stale file handle",
+	ECANCELED:    "ECANCELED: operation canceled",
 }
 
 // Error implements the error interface.

@@ -1,0 +1,49 @@
+package msg
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Future is the pending reply of one asynchronous request. A caller may keep
+// any number of futures outstanding (to the same server or to several) and
+// harvest them in any order with Await.
+//
+// Virtual-time contract (DESIGN.md §7): the request is stamped with the
+// sender's clock at issue time; the caller is responsible for advancing its
+// clock to the maximum reply arrival among the futures it awaits and for
+// charging its own send/receive CPU costs — the same rules Broadcast's
+// parallel mode has always used.
+type Future struct {
+	q   *Queue
+	dst EndpointID
+	// SentAt is the virtual time the request was stamped with.
+	SentAt sim.Cycles
+}
+
+// SendAsync sends a request and returns a Future for its reply without
+// waiting. The request is in the destination's inbox when SendAsync returns
+// (atomic delivery, like Send).
+func (n *Network) SendAsync(src *Endpoint, dst EndpointID, kind uint16, payload []byte, sentAt sim.Cycles) (*Future, error) {
+	reply := NewQueue()
+	if _, err := n.Send(src, dst, kind, payload, sentAt, reply); err != nil {
+		return nil, err
+	}
+	return &Future{q: reply, dst: dst, SentAt: sentAt}, nil
+}
+
+// Await blocks until the reply arrives and returns its envelope. It fails
+// only if the reply queue was closed without a reply (the responder died).
+func (f *Future) Await() (Envelope, error) {
+	env, ok := f.q.PopWait()
+	if !ok {
+		return Envelope{}, fmt.Errorf("msg: async rpc to endpoint %d: reply queue closed", f.dst)
+	}
+	return env, nil
+}
+
+// TryAwait returns the reply if it has already been pushed, without blocking.
+func (f *Future) TryAwait() (Envelope, bool) {
+	return f.q.TryPop()
+}

@@ -210,3 +210,155 @@ func TestReplyWithoutQueueIsNoop(t *testing.T) {
 	// Envelope with no reply queue: Reply must not panic.
 	n.Reply(a, Envelope{Src: a.ID}, 1, nil, 0)
 }
+
+func TestSendAsyncAwait(t *testing.T) {
+	n, _ := testNetwork(2)
+	cli := n.NewEndpoint(0)
+	srv := n.NewEndpoint(1)
+
+	go func() {
+		for i := 0; i < 2; i++ {
+			env, ok := srv.Inbox.PopWait()
+			if !ok {
+				return
+			}
+			n.Reply(srv, env, 2, env.Payload, env.ArriveAt+500)
+		}
+	}()
+
+	// Two overlapping requests; harvest out of order.
+	f1, err := n.SendAsync(cli, srv.ID, 1, []byte("a"), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f2, err := n.SendAsync(cli, srv.ID, 1, []byte("b"), 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := f2.Await()
+	if err != nil {
+		t.Fatal(err)
+	}
+	e1, err := f1.Await()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(e1.Payload) != "a" || string(e2.Payload) != "b" {
+		t.Fatalf("replies crossed: %q %q", e1.Payload, e2.Payload)
+	}
+	if f1.SentAt != 100 || f2.SentAt != 200 {
+		t.Fatalf("futures lost their issue stamps: %d %d", f1.SentAt, f2.SentAt)
+	}
+}
+
+func TestSendAsyncUnknownEndpoint(t *testing.T) {
+	n, _ := testNetwork(2)
+	cli := n.NewEndpoint(0)
+	if _, err := n.SendAsync(cli, EndpointID(77), 1, nil, 0); err == nil {
+		t.Fatal("async send to unknown endpoint should fail")
+	}
+}
+
+func TestRPCUnknownEndpointAndClosedReply(t *testing.T) {
+	n, _ := testNetwork(2)
+	cli := n.NewEndpoint(0)
+	if _, err := n.RPC(cli, EndpointID(42), 1, nil, 0); err == nil {
+		t.Fatal("rpc to unknown endpoint should fail")
+	}
+
+	// A responder that dies without replying closes the reply queue; the
+	// blocked RPC must surface an error rather than hang.
+	srv := n.NewEndpoint(1)
+	go func() {
+		env, ok := srv.Inbox.PopWait()
+		if !ok {
+			return
+		}
+		env.Reply.Close()
+	}()
+	if _, err := n.RPC(cli, srv.ID, 1, nil, 0); err == nil {
+		t.Fatal("rpc whose reply queue closed should fail")
+	}
+}
+
+func TestAwaitClosedReplyQueue(t *testing.T) {
+	n, _ := testNetwork(2)
+	cli := n.NewEndpoint(0)
+	srv := n.NewEndpoint(1)
+	go func() {
+		env, ok := srv.Inbox.PopWait()
+		if !ok {
+			return
+		}
+		env.Reply.Close()
+	}()
+	f, err := n.SendAsync(cli, srv.ID, 1, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Await(); err == nil {
+		t.Fatal("Await on a closed reply queue should fail")
+	}
+}
+
+func TestBroadcastUnknownEndpointIsPerDestination(t *testing.T) {
+	n, _ := testNetwork(4)
+	cli := n.NewEndpoint(0)
+	srv := n.NewEndpoint(1)
+	go func() {
+		env, ok := srv.Inbox.PopWait()
+		if !ok {
+			return
+		}
+		n.Reply(srv, env, 2, nil, env.ArriveAt)
+	}()
+	results := n.Broadcast(cli, []EndpointID{srv.ID, EndpointID(99)}, 1, nil, 0, true)
+	if results[0].Err != nil {
+		t.Fatalf("reachable destination failed: %v", results[0].Err)
+	}
+	if results[1].Err == nil {
+		t.Fatal("unknown destination should fail, not hang")
+	}
+}
+
+func TestBroadcastSequentialTimingContract(t *testing.T) {
+	// Sequential broadcast sends each request only after the previous reply
+	// arrived: reply arrivals must be strictly increasing by at least the
+	// per-request service time.
+	n, _ := testNetwork(8)
+	cli := n.NewEndpoint(0)
+	const nsrv, service = 3, 1000
+	var servers []EndpointID
+	for i := 0; i < nsrv; i++ {
+		srv := n.NewEndpoint(i + 1)
+		servers = append(servers, srv.ID)
+		go func(ep *Endpoint) {
+			for {
+				env, ok := ep.Inbox.PopWait()
+				if !ok {
+					return
+				}
+				n.Reply(ep, env, 2, nil, env.ArriveAt+service)
+			}
+		}(srv)
+	}
+	results := n.Broadcast(cli, servers, 1, nil, 0, false)
+	var prev sim.Cycles
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if i > 0 {
+			// The reply envelope's SentAt is the server's reply time:
+			// request-arrival + service, and the request was only sent at
+			// the previous reply's arrival.
+			if r.Env.SentAt < prev+service {
+				t.Fatalf("reply %d sent at %d; the request cannot have been issued before %d", i, r.Env.SentAt, prev)
+			}
+			if r.Env.ArriveAt <= prev+service {
+				t.Fatalf("reply %d arrived at %d, not after %d + service", i, r.Env.ArriveAt, prev)
+			}
+		}
+		prev = r.Env.ArriveAt
+	}
+}

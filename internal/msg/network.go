@@ -74,6 +74,7 @@ type Stats struct {
 	Messages  atomic.Uint64
 	Bytes     atomic.Uint64
 	Callbacks atomic.Uint64
+	Requests  atomic.Uint64
 }
 
 // NewNetwork creates an empty network over the given machine model.
@@ -118,6 +119,11 @@ func (n *Network) ByteCount() uint64 { return n.stats.Bytes.Load() }
 // CallbackCount returns the number of callback (invalidation) messages sent.
 func (n *Network) CallbackCount() uint64 { return n.stats.Callbacks.Load() }
 
+// RequestCount returns the number of request messages sent (messages routed
+// through Send — RPCs, async sends, broadcasts — as opposed to replies and
+// callbacks).
+func (n *Network) RequestCount() uint64 { return n.stats.Requests.Load() }
+
 // route computes the arrival time of an envelope sent at sentAt from srcCore
 // to dstCore with the given payload size.
 func (n *Network) route(srcCore, dstCore int, sentAt sim.Cycles, payload int) sim.Cycles {
@@ -148,6 +154,7 @@ func (n *Network) Send(src *Endpoint, dst EndpointID, kind uint16, payload []byt
 	}
 	dep.Inbox.Push(env)
 	n.stats.Messages.Add(1)
+	n.stats.Requests.Add(1)
 	n.stats.Bytes.Add(uint64(len(payload)))
 	return arrive, nil
 }

@@ -12,12 +12,12 @@ import (
 // is available at the caller; the caller is responsible for advancing its
 // clock to that time and charging receive-side costs.
 func (n *Network) RPC(src *Endpoint, dst EndpointID, kind uint16, payload []byte, sentAt sim.Cycles) (Envelope, error) {
-	reply := NewQueue()
-	if _, err := n.Send(src, dst, kind, payload, sentAt, reply); err != nil {
+	fut, err := n.SendAsync(src, dst, kind, payload, sentAt)
+	if err != nil {
 		return Envelope{}, err
 	}
-	env, ok := reply.PopWait()
-	if !ok {
+	env, err := fut.Await()
+	if err != nil {
 		return Envelope{}, fmt.Errorf("msg: rpc to endpoint %d: reply queue closed", dst)
 	}
 	return env, nil

@@ -1,0 +1,119 @@
+package proto
+
+import "fmt"
+
+// Generic op batching (DESIGN.md §7). A batch packs several sub-requests
+// destined for one server into a single OP_BATCH message; the server answers
+// with a single message carrying one response per sub-request, in order.
+// Batching generalizes the paper's one-off message coalescing
+// (OpCreateCoalesced, §3.6.3) into a first-class protocol facility: any
+// client-side sequence of same-server operations can share one network
+// round trip and one message-arrival overhead.
+//
+// A batch may be marked stop-on-error: sub-requests are then dependent, and
+// once one fails the remaining ones are skipped with ECANCELED responses.
+// This lets a client issue a chain like RM_MAP → UNLINK_INODE speculatively
+// without risking the tail running against state the head failed to produce.
+
+const (
+	// MaxBatchOps caps the number of sub-requests per batch message.
+	MaxBatchOps = 16
+	// MaxBatchBytes caps the marshaled size of a batch payload; callers
+	// split larger sequences across several batch messages.
+	MaxBatchBytes = 64 << 10
+)
+
+// batchFlagStopOnErr marks a dependent batch.
+const batchFlagStopOnErr = 1 << 0
+
+// MarshalBatch encodes sub-requests into an OpBatch payload.
+func MarshalBatch(reqs []*Request, stopOnErr bool) []byte {
+	e := newEncoder(8 + 96*len(reqs))
+	var flags uint8
+	if stopOnErr {
+		flags |= batchFlagStopOnErr
+	}
+	e.u8(flags)
+	e.u32(uint32(len(reqs)))
+	for _, r := range reqs {
+		e.blob(r.Marshal())
+	}
+	return e.bytes()
+}
+
+// UnmarshalBatch decodes an OpBatch payload into its sub-requests and the
+// stop-on-error flag, enforcing the batch size caps.
+func UnmarshalBatch(b []byte) ([]*Request, bool, error) {
+	if len(b) > MaxBatchBytes {
+		return nil, false, fmt.Errorf("proto: batch payload %d bytes exceeds cap %d", len(b), MaxBatchBytes)
+	}
+	d := newDecoder(b)
+	flags := d.u8()
+	n := int(d.u32())
+	if d.err != nil {
+		return nil, false, fmt.Errorf("proto: decoding batch header: %w", d.err)
+	}
+	if n <= 0 || n > MaxBatchOps {
+		return nil, false, fmt.Errorf("proto: batch of %d sub-ops outside [1, %d]", n, MaxBatchOps)
+	}
+	reqs := make([]*Request, 0, n)
+	for i := 0; i < n; i++ {
+		raw := d.blob()
+		if d.err != nil {
+			return nil, false, fmt.Errorf("proto: decoding batch sub-op %d: %w", i, d.err)
+		}
+		r, err := UnmarshalRequest(raw)
+		if err != nil {
+			return nil, false, fmt.Errorf("proto: batch sub-op %d: %w", i, err)
+		}
+		reqs = append(reqs, r)
+	}
+	if err := d.finish("batch"); err != nil {
+		return nil, false, err
+	}
+	return reqs, flags&batchFlagStopOnErr != 0, nil
+}
+
+// BatchRequest wraps sub-requests in the OpBatch envelope request.
+func BatchRequest(reqs []*Request, stopOnErr bool) *Request {
+	return &Request{Op: OpBatch, Data: MarshalBatch(reqs, stopOnErr)}
+}
+
+// MarshalBatchResponses encodes the per-sub-op responses of a batch.
+func MarshalBatchResponses(resps []*Response) []byte {
+	e := newEncoder(8 + 96*len(resps))
+	e.u32(uint32(len(resps)))
+	for _, r := range resps {
+		e.blob(r.Marshal())
+	}
+	return e.bytes()
+}
+
+// UnmarshalBatchResponses decodes the payload produced by
+// MarshalBatchResponses.
+func UnmarshalBatchResponses(b []byte) ([]*Response, error) {
+	d := newDecoder(b)
+	n := int(d.u32())
+	if d.err != nil {
+		return nil, fmt.Errorf("proto: decoding batch response header: %w", d.err)
+	}
+	if n < 0 || n > MaxBatchOps {
+		return nil, fmt.Errorf("proto: batch response of %d sub-ops outside [0, %d]", n, MaxBatchOps)
+	}
+	resps := make([]*Response, 0, n)
+	for i := 0; i < n; i++ {
+		raw := d.blob()
+		if d.err != nil {
+			return nil, fmt.Errorf("proto: decoding batch response %d: %w", i, d.err)
+		}
+		r, err := UnmarshalResponse(raw)
+		if err != nil {
+			return nil, fmt.Errorf("proto: batch response %d: %w", i, err)
+		}
+		resps = append(resps, r)
+	}
+	if err := d.finish("batch responses"); err != nil {
+		return nil, err
+	}
+	return resps, nil
+}

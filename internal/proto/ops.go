@@ -61,6 +61,12 @@ const (
 	// Durability (write-ahead log, DESIGN.md §6).
 	OpCheckpoint // snapshot server state and truncate the log
 
+	// Generic op batching (DESIGN.md §7): one message carrying several
+	// independent sub-requests for the same server, answered by one message
+	// carrying the per-sub-op responses. The envelope Request uses only the
+	// Data field (the marshaled batch).
+	OpBatch
+
 	// Directory-cache invalidation callback (server -> client).
 	OpInvalidate
 
@@ -110,6 +116,7 @@ var opNames = map[Op]string{
 	OpPipeCloseRead:   "PIPE_CLOSE_R",
 	OpPipeCloseWrite:  "PIPE_CLOSE_W",
 	OpCheckpoint:      "CHECKPOINT",
+	OpBatch:           "BATCH",
 	OpInvalidate:      "INVALIDATE",
 	OpExec:            "EXEC",
 	OpSignal:          "SIGNAL",

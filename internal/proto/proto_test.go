@@ -204,3 +204,62 @@ func TestOpString(t *testing.T) {
 		t.Error("unknown op name wrong")
 	}
 }
+
+func TestBatchRoundTrip(t *testing.T) {
+	reqs := []*Request{
+		{Op: OpRmMap, Dir: RootInode, Name: "victim", Ftype: fsapi.TypeRegular},
+		{Op: OpUnlinkInode, Target: InodeID{Server: 2, Local: 17}},
+		{Op: OpSetSize, Target: InodeID{Server: 2, Local: 18}, Size: 4096},
+	}
+	env := BatchRequest(reqs, true)
+	if env.Op != OpBatch {
+		t.Fatalf("envelope op = %v", env.Op)
+	}
+	decoded, err := UnmarshalRequest(env.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	subs, stop, err := UnmarshalBatch(decoded.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !stop {
+		t.Fatal("stop-on-error flag lost")
+	}
+	if !reflect.DeepEqual(reqs, subs) {
+		t.Fatalf("sub-request mismatch:\n got %+v\nwant %+v", subs, reqs)
+	}
+
+	resps := []*Response{
+		{Ino: InodeID{Server: 2, Local: 17}, Ftype: fsapi.TypeRegular},
+		{Err: fsapi.ECANCELED},
+	}
+	back, err := UnmarshalBatchResponses(MarshalBatchResponses(resps))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(resps, back) {
+		t.Fatalf("sub-response mismatch:\n got %+v\nwant %+v", back, resps)
+	}
+}
+
+func TestBatchCapsEnforced(t *testing.T) {
+	var reqs []*Request
+	for i := 0; i < MaxBatchOps+1; i++ {
+		reqs = append(reqs, &Request{Op: OpPing})
+	}
+	if _, _, err := UnmarshalBatch(MarshalBatch(reqs, false)); err == nil {
+		t.Fatal("over-count batch should fail to decode")
+	}
+	big := &Request{Op: OpWriteAt, Data: make([]byte, MaxBatchBytes)}
+	if _, _, err := UnmarshalBatch(MarshalBatch([]*Request{big}, false)); err == nil {
+		t.Fatal("over-size batch should fail to decode")
+	}
+	if _, _, err := UnmarshalBatch(nil); err == nil {
+		t.Fatal("empty batch payload should fail to decode")
+	}
+	raw := MarshalBatch([]*Request{{Op: OpPing}}, false)
+	if _, _, err := UnmarshalBatch(raw[:len(raw)-2]); err == nil {
+		t.Fatal("truncated batch should fail to decode")
+	}
+}

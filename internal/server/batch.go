@@ -1,0 +1,111 @@
+package server
+
+import (
+	"repro/internal/fsapi"
+	"repro/internal/msg"
+	"repro/internal/proto"
+)
+
+// Batch dispatch (DESIGN.md §7).
+//
+// A batch is served as one unit of the server's single-threaded request
+// loop: its sub-operations run back-to-back with no other request
+// interleaved, so any invariant that holds between two requests also holds
+// between two sub-operations. Each sub-operation stages its own write-ahead
+// log records exactly as it would stand-alone; they all commit with the
+// batch's single reply, so durability replay is indistinguishable from the
+// unbatched execution order.
+//
+// Sub-operations must be ones that cannot park mid-batch: rmdir-protocol and
+// pipe operations are rejected, and directory operations — which park only
+// when their shard carries an rmdir mark — are pre-screened so that a batch
+// touching a marked shard parks as a whole before any sub-operation has run.
+
+// batchable reports whether an operation may appear inside a batch. The ops
+// excluded either park on state other than rmdir marks (pipes), drive the
+// rmdir protocol itself (which creates marks mid-request), or are
+// control-plane operations with no business being coalesced.
+func batchable(op proto.Op) bool {
+	switch op {
+	case proto.OpLookup, proto.OpAddMap, proto.OpRmMap, proto.OpReadDirShard,
+		proto.OpCreateCoalesced,
+		proto.OpMknod, proto.OpLinkInode, proto.OpUnlinkInode,
+		proto.OpOpenInode, proto.OpCloseInode,
+		proto.OpGetBlocks, proto.OpExtend, proto.OpSetSize, proto.OpTruncate,
+		proto.OpStat, proto.OpReadAt, proto.OpWriteAt,
+		proto.OpFdShare, proto.OpFdIncRef, proto.OpFdDecRef, proto.OpFdUnshare,
+		proto.OpFdRead, proto.OpFdWrite, proto.OpFdSeek, proto.OpFdGetInfo,
+		proto.OpPing:
+		return true
+	default:
+		return false
+	}
+}
+
+// dirOp reports whether the op addresses a directory shard (and can
+// therefore park on an rmdir mark).
+func dirOp(op proto.Op) bool {
+	switch op {
+	case proto.OpLookup, proto.OpAddMap, proto.OpRmMap, proto.OpReadDirShard,
+		proto.OpCreateCoalesced:
+		return true
+	default:
+		return false
+	}
+}
+
+// dispatchBatch serves the decoded sub-requests of one batch envelope. The
+// bool result is true when the whole batch was parked (a sub-request targets
+// a shard marked by an in-flight rmdir); the batch is then re-dispatched
+// from scratch once the mark resolves — safe because parking happens before
+// any sub-operation has executed.
+func (s *Server) dispatchBatch(subs []*proto.Request, stopOnErr bool, batchReq *proto.Request, raw msg.Envelope) (*proto.Response, bool) {
+	// Pre-screen for parking *before* executing anything: a re-dispatch
+	// must be able to start over without replaying side effects.
+	for _, sub := range subs {
+		if !batchable(sub.Op) {
+			continue // answered per-sub below, never dispatched
+		}
+		if dirOp(sub.Op) {
+			if sh, ok := s.dirs[sub.Dir]; ok && sh.marked {
+				sh.park(batchReq, raw)
+				return nil, true
+			}
+		}
+	}
+
+	resps := make([]*proto.Response, len(subs))
+	failed := false
+	for i, sub := range subs {
+		switch {
+		case !batchable(sub.Op):
+			resps[i] = proto.ErrResponse(fsapi.ENOSYS)
+		case failed && stopOnErr:
+			resps[i] = proto.ErrResponse(fsapi.ECANCELED)
+		default:
+			resp, parked := s.dispatch(sub, raw)
+			if parked {
+				// Unreachable given the pre-screen; fail the sub-op rather
+				// than leave the client waiting on a reply that cannot be
+				// routed through the batch envelope.
+				resp = proto.ErrResponse(fsapi.EIO)
+			}
+			if resp == nil {
+				resp = proto.ErrResponse(fsapi.EIO)
+			}
+			resps[i] = resp
+		}
+		if resps[i].Err != fsapi.OK {
+			failed = true
+		}
+	}
+
+	s.statsMu.Lock()
+	s.stats.BatchedOps += uint64(len(subs))
+	for _, sub := range subs {
+		s.stats.Ops[sub.Op]++
+	}
+	s.statsMu.Unlock()
+
+	return &proto.Response{Data: proto.MarshalBatchResponses(resps)}, false
+}

@@ -210,6 +210,15 @@ func (s *Server) handleRmMap(req *proto.Request, env msg.Envelope) (*proto.Respo
 	if req.Ftype == fsapi.TypeDir && ent.ftype != fsapi.TypeDir {
 		return proto.ErrResponse(fsapi.ENOTDIR), false
 	}
+	// Compare-and-remove guard: a client that batches RM_MAP with dependent
+	// sub-operations (pipelined unlink) passes the inode it expects the
+	// entry to hold. A mismatch means the client's cache was stale; failing
+	// here cancels the dependent sub-ops instead of letting them hit the
+	// wrong inode. Local inode numbers start at 1, so Local==0 means the
+	// guard is unset.
+	if req.Target.Local != 0 && ent.target != req.Target {
+		return proto.ErrResponse(fsapi.ESTALE), false
+	}
 	delete(sh.ents, req.Name)
 	s.stageRmMap(req.Dir, req.Name)
 	s.invalidate(req.Dir, req.Name, -1)

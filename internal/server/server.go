@@ -100,6 +100,11 @@ type Stats struct {
 	Parked        uint64
 	Checkpoints   uint64
 	BusyCycles    sim.Cycles
+	// BatchedOps counts sub-operations served inside OpBatch envelopes.
+	BatchedOps uint64
+	// QueueDelay accumulates, across all requests, the virtual time between
+	// a request's arrival and the moment the server started serving it.
+	QueueDelay sim.Cycles
 }
 
 // Server is one Hare file server. Its Run loop processes one request at a
@@ -200,6 +205,8 @@ func (s *Server) Stats() Stats {
 		Parked:        s.stats.Parked,
 		Checkpoints:   s.stats.Checkpoints,
 		BusyCycles:    s.clock.Now(),
+		BatchedOps:    s.stats.BatchedOps,
+		QueueDelay:    s.stats.QueueDelay,
 	}
 	for k, v := range s.stats.Ops {
 		out.Ops[k] = v
@@ -243,8 +250,17 @@ func (s *Server) run() {
 // arrival and the completion of the previously served request, which is what
 // produces queueing delay at a busy server (the single-server bottlenecks of
 // §5.3.1 and §5.4).
+//
+// A batch envelope (OpBatch) pays the message-arrival overhead once and the
+// per-sub-op service costs in sequence, which is the whole point of batching
+// (DESIGN.md §7).
 func (s *Server) handle(env msg.Envelope) {
 	req, err := proto.UnmarshalRequest(env.Payload)
+	if err != nil {
+		s.replyAt(env, proto.ErrResponse(fsapi.EINVAL), env.ArriveAt)
+		return
+	}
+	service, subs, stop, err := s.requestCost(req)
 	if err != nil {
 		s.replyAt(env, proto.ErrResponse(fsapi.EINVAL), env.ArriveAt)
 		return
@@ -254,9 +270,12 @@ func (s *Server) handle(env msg.Envelope) {
 	if s.cfg.CoLocated {
 		overhead += cost.ContextSwitch + cost.CachePollution
 	}
-	total := overhead + s.serviceCost(req)
+	total := overhead + service
 	start := env.ArriveAt
 	if now := s.clock.Now(); now > start {
+		s.statsMu.Lock()
+		s.stats.QueueDelay += now - start
+		s.statsMu.Unlock()
 		start = now
 	}
 	end := s.cfg.Machine.Execute(s.cfg.Core, start, total)
@@ -266,7 +285,13 @@ func (s *Server) handle(env msg.Envelope) {
 	s.stats.Ops[req.Op]++
 	s.statsMu.Unlock()
 
-	resp, parked := s.dispatch(req, env)
+	var resp *proto.Response
+	var parked bool
+	if req.Op == proto.OpBatch {
+		resp, parked = s.dispatchBatch(subs, stop, req, env)
+	} else {
+		resp, parked = s.dispatch(req, env)
+	}
 	if parked {
 		s.statsMu.Lock()
 		s.stats.Parked++
@@ -284,6 +309,24 @@ func (s *Server) handle(env msg.Envelope) {
 			panic(fmt.Sprintf("server %d: checkpoint: %v", s.cfg.ID, err))
 		}
 	}
+}
+
+// requestCost computes the total service cost of a request. For a batch it
+// decodes the sub-requests (returned so dispatch does not decode them twice)
+// and sums their individual service costs.
+func (s *Server) requestCost(req *proto.Request) (sim.Cycles, []*proto.Request, bool, error) {
+	if req.Op != proto.OpBatch {
+		return s.serviceCost(req), nil, false, nil
+	}
+	subs, stop, err := proto.UnmarshalBatch(req.Data)
+	if err != nil {
+		return 0, nil, false, err
+	}
+	var total sim.Cycles
+	for _, sub := range subs {
+		total += s.serviceCost(sub)
+	}
+	return total, subs, stop, nil
 }
 
 // reply sends a response at the server's current high-water time; it is used
@@ -400,6 +443,15 @@ func (s *Server) dispatch(req *proto.Request, env msg.Envelope) (*proto.Response
 
 	case proto.OpCheckpoint:
 		return s.handleCheckpoint(req), false
+
+	case proto.OpBatch:
+		// Reached on re-dispatch of a batch that had been parked on a
+		// marked shard (handle routes fresh batches directly).
+		subs, stop, err := proto.UnmarshalBatch(req.Data)
+		if err != nil {
+			return proto.ErrResponse(fsapi.EINVAL), false
+		}
+		return s.dispatchBatch(subs, stop, req, env)
 
 	case proto.OpPing:
 		return &proto.Response{}, false

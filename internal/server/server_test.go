@@ -354,3 +354,212 @@ func TestServerStatsTracksOps(t *testing.T) {
 		t.Fatal("identity accessors wrong")
 	}
 }
+
+// callBatch sends sub-requests as one OpBatch envelope and returns the
+// decoded per-sub-op responses.
+func (h *harness) callBatch(stopOnErr bool, reqs ...*proto.Request) []*proto.Response {
+	h.t.Helper()
+	for _, r := range reqs {
+		r.ClientID = 7
+	}
+	env := h.callOK(proto.BatchRequest(reqs, stopOnErr))
+	resps, err := proto.UnmarshalBatchResponses(env.Data)
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	if len(resps) != len(reqs) {
+		h.t.Fatalf("batch returned %d responses for %d sub-ops", len(resps), len(reqs))
+	}
+	return resps
+}
+
+func TestServerBatchCreateStatUnlink(t *testing.T) {
+	h := newHarness(t)
+	created := h.callOK(&proto.Request{
+		Op: proto.OpCreateCoalesced, Dir: proto.RootInode, Name: "b", Mode: fsapi.Mode644,
+		Ftype: fsapi.TypeRegular,
+	})
+
+	// Independent batch: stat + extend + set-size in one message.
+	resps := h.callBatch(false,
+		&proto.Request{Op: proto.OpStat, Target: created.Ino},
+		&proto.Request{Op: proto.OpExtend, Target: created.Ino, Size: 1024},
+		&proto.Request{Op: proto.OpSetSize, Target: created.Ino, Size: 600},
+	)
+	for i, r := range resps {
+		if r.Err != fsapi.OK {
+			t.Fatalf("sub-op %d failed: %v", i, r.Err)
+		}
+	}
+	if len(resps[1].Blocks) == 0 {
+		t.Fatal("extend inside a batch allocated no blocks")
+	}
+	after := h.callOK(&proto.Request{Op: proto.OpStat, Target: created.Ino})
+	if after.Stat.Size != 600 {
+		t.Fatalf("batched set-size not applied: size=%d", after.Stat.Size)
+	}
+
+	// Dependent batch: RM_MAP then UNLINK_INODE with stop-on-error.
+	un := h.callBatch(true,
+		&proto.Request{Op: proto.OpRmMap, Dir: proto.RootInode, Name: "b", Ftype: fsapi.TypeRegular},
+		&proto.Request{Op: proto.OpUnlinkInode, Target: created.Ino},
+	)
+	if un[0].Err != fsapi.OK || un[1].Err != fsapi.OK {
+		t.Fatalf("unlink batch failed: %v %v", un[0].Err, un[1].Err)
+	}
+	if gone := h.call(&proto.Request{Op: proto.OpStat, Target: created.Ino}); gone.Err != fsapi.ENOENT {
+		t.Fatalf("inode survived batched unlink: %v", gone.Err)
+	}
+
+	st := h.srv.Stats()
+	if st.BatchedOps != 5 {
+		t.Fatalf("BatchedOps = %d, want 5", st.BatchedOps)
+	}
+	if st.Ops[proto.OpBatch] != 2 {
+		t.Fatalf("OpBatch count = %d, want 2", st.Ops[proto.OpBatch])
+	}
+}
+
+func TestServerBatchStopOnError(t *testing.T) {
+	h := newHarness(t)
+	// RM_MAP of a missing entry fails; the dependent unlink must be skipped
+	// with ECANCELED, not executed.
+	created := h.callOK(&proto.Request{
+		Op: proto.OpCreateCoalesced, Dir: proto.RootInode, Name: "keep", Mode: fsapi.Mode644,
+		Ftype: fsapi.TypeRegular,
+	})
+	resps := h.callBatch(true,
+		&proto.Request{Op: proto.OpRmMap, Dir: proto.RootInode, Name: "missing", Ftype: fsapi.TypeRegular},
+		&proto.Request{Op: proto.OpUnlinkInode, Target: created.Ino},
+	)
+	if resps[0].Err != fsapi.ENOENT {
+		t.Fatalf("head sub-op: %v, want ENOENT", resps[0].Err)
+	}
+	if resps[1].Err != fsapi.ECANCELED {
+		t.Fatalf("tail sub-op: %v, want ECANCELED", resps[1].Err)
+	}
+	if st := h.callOK(&proto.Request{Op: proto.OpStat, Target: created.Ino}); st.Stat.Nlink != 1 {
+		t.Fatalf("skipped unlink still ran: nlink=%d", st.Stat.Nlink)
+	}
+
+	// Without stop-on-error the independent sub-ops all run.
+	resps = h.callBatch(false,
+		&proto.Request{Op: proto.OpRmMap, Dir: proto.RootInode, Name: "missing", Ftype: fsapi.TypeRegular},
+		&proto.Request{Op: proto.OpStat, Target: created.Ino},
+	)
+	if resps[1].Err != fsapi.OK {
+		t.Fatalf("independent sub-op after failure: %v", resps[1].Err)
+	}
+}
+
+func TestServerBatchRejectsUnbatchableOps(t *testing.T) {
+	h := newHarness(t)
+	resps := h.callBatch(false,
+		&proto.Request{Op: proto.OpPing},
+		&proto.Request{Op: proto.OpRmdirLock, Target: proto.RootInode},
+		&proto.Request{Op: proto.OpPipeRead, Target: proto.RootInode},
+	)
+	if resps[0].Err != fsapi.OK {
+		t.Fatalf("ping in batch: %v", resps[0].Err)
+	}
+	if resps[1].Err != fsapi.ENOSYS || resps[2].Err != fsapi.ENOSYS {
+		t.Fatalf("parking ops must be rejected: %v %v", resps[1].Err, resps[2].Err)
+	}
+	// A malformed batch payload is a protocol error on the envelope.
+	bad := h.call(&proto.Request{Op: proto.OpBatch, Data: []byte{1, 2, 3}})
+	if bad.Err != fsapi.EINVAL {
+		t.Fatalf("malformed batch: %v", bad.Err)
+	}
+}
+
+func TestServerBatchPaysSingleArrivalOverhead(t *testing.T) {
+	// The same three ops cost less as one batch than as three messages:
+	// the batch pays MsgRecv (and co-location overhead) once.
+	one := newHarness(t)
+	ino := one.callOK(&proto.Request{Op: proto.OpMknod, Ftype: fsapi.TypeRegular, Mode: fsapi.Mode644})
+	for i := 0; i < 3; i++ {
+		one.callOK(&proto.Request{Op: proto.OpStat, Target: ino.Ino})
+	}
+	separate := one.srv.Clock()
+
+	two := newHarness(t)
+	ino2 := two.callOK(&proto.Request{Op: proto.OpMknod, Ftype: fsapi.TypeRegular, Mode: fsapi.Mode644})
+	two.callBatch(false,
+		&proto.Request{Op: proto.OpStat, Target: ino2.Ino},
+		&proto.Request{Op: proto.OpStat, Target: ino2.Ino},
+		&proto.Request{Op: proto.OpStat, Target: ino2.Ino},
+	)
+	batched := two.srv.Clock()
+	if batched >= separate {
+		t.Fatalf("batched clock %d should be below separate-message clock %d", batched, separate)
+	}
+}
+
+func TestServerBatchParksOnMarkedShardAndResumes(t *testing.T) {
+	h := newHarness(t)
+	dir := h.callOK(&proto.Request{
+		Op: proto.OpCreateCoalesced, Dir: proto.RootInode, Name: "d", Mode: fsapi.Mode755,
+		Ftype: fsapi.TypeDir,
+	})
+	// Phase 1 of rmdir marks the (empty) shard; a batch touching the marked
+	// directory must park whole — before any sub-op ran — and resume after
+	// the abort.
+	h.callOK(&proto.Request{Op: proto.OpRmdirPrepare, Dir: dir.Ino, Target: dir.Ino})
+
+	env := proto.BatchRequest([]*proto.Request{
+		{Op: proto.OpLookup, Dir: dir.Ino, Name: "nope", ClientID: 7},
+		{Op: proto.OpStat, Target: dir.Ino, ClientID: 7},
+	}, false)
+	env.ClientID = 7
+	fut, err := h.net.SendAsync(h.ep, h.srv.EndpointID(), proto.KindRequest, env.Marshal(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := fut.TryAwait(); ok {
+		t.Fatal("batch answered while the shard was marked")
+	}
+	h.callOK(&proto.Request{Op: proto.OpRmdirAbort, Dir: dir.Ino, Target: dir.Ino})
+	renv, err := fut.Await()
+	if err != nil {
+		t.Fatal(err)
+	}
+	outer, err := proto.UnmarshalResponse(renv.Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resps, err := proto.UnmarshalBatchResponses(outer.Data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resps[0].Err != fsapi.ENOENT {
+		t.Fatalf("lookup after unpark: %v, want ENOENT", resps[0].Err)
+	}
+	if resps[1].Err != fsapi.OK {
+		t.Fatalf("stat after unpark: %v", resps[1].Err)
+	}
+}
+
+func TestRmMapCompareAndRemoveGuard(t *testing.T) {
+	h := newHarness(t)
+	created := h.callOK(&proto.Request{
+		Op: proto.OpCreateCoalesced, Dir: proto.RootInode, Name: "g", Mode: fsapi.Mode644,
+		Ftype: fsapi.TypeRegular,
+	})
+	wrong := proto.InodeID{Server: 0, Local: created.Ino.Local + 100}
+	// Guard mismatch fails with ESTALE and cancels the dependent unlink.
+	resps := h.callBatch(true,
+		&proto.Request{Op: proto.OpRmMap, Dir: proto.RootInode, Name: "g", Target: wrong, Ftype: fsapi.TypeRegular},
+		&proto.Request{Op: proto.OpUnlinkInode, Target: created.Ino},
+	)
+	if resps[0].Err != fsapi.ESTALE || resps[1].Err != fsapi.ECANCELED {
+		t.Fatalf("guard mismatch: %v / %v, want ESTALE / ECANCELED", resps[0].Err, resps[1].Err)
+	}
+	if look := h.callOK(&proto.Request{Op: proto.OpLookup, Dir: proto.RootInode, Name: "g"}); look.Ino != created.Ino {
+		t.Fatal("guarded RM_MAP must leave the entry in place")
+	}
+	// Matching guard removes the entry.
+	ok := h.callOK(&proto.Request{Op: proto.OpRmMap, Dir: proto.RootInode, Name: "g", Target: created.Ino, Ftype: fsapi.TypeRegular})
+	if ok.Ino != created.Ino {
+		t.Fatal("guarded RM_MAP returned wrong inode")
+	}
+}

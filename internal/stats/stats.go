@@ -77,6 +77,50 @@ func GeoMean(xs []float64) float64 {
 	return math.Exp(logSum / float64(n))
 }
 
+// Economy aggregates the message-economy counters of one deployment or one
+// timed region: messages on the wire, payload bytes, client request
+// messages, sub-operations that traveled inside batch envelopes, and the
+// total virtual queueing delay requests spent waiting for busy servers.
+// The benchmark harness reports these alongside runtimes so optimizations
+// that trade messages for latency are quantified, not asserted.
+type Economy struct {
+	Msgs        uint64 // envelopes delivered (requests, replies, callbacks)
+	Bytes       uint64 // payload bytes on the wire
+	ClientRPCs  uint64 // request messages sent by client libraries
+	BatchedOps  uint64 // sub-operations carried inside batch envelopes
+	QueueCycles uint64 // total virtual cycles requests queued at busy servers
+}
+
+// Sub returns the counters accumulated since the base snapshot.
+func (e Economy) Sub(base Economy) Economy {
+	return Economy{
+		Msgs:        e.Msgs - base.Msgs,
+		Bytes:       e.Bytes - base.Bytes,
+		ClientRPCs:  e.ClientRPCs - base.ClientRPCs,
+		BatchedOps:  e.BatchedOps - base.BatchedOps,
+		QueueCycles: e.QueueCycles - base.QueueCycles,
+	}
+}
+
+// Add returns the element-wise sum of two counter sets.
+func (e Economy) Add(o Economy) Economy {
+	return Economy{
+		Msgs:        e.Msgs + o.Msgs,
+		Bytes:       e.Bytes + o.Bytes,
+		ClientRPCs:  e.ClientRPCs + o.ClientRPCs,
+		BatchedOps:  e.BatchedOps + o.BatchedOps,
+		QueueCycles: e.QueueCycles + o.QueueCycles,
+	}
+}
+
+// PerOp divides a counter by an operation count (0 when ops is 0).
+func PerOp(counter uint64, ops int) float64 {
+	if ops <= 0 {
+		return 0
+	}
+	return float64(counter) / float64(ops)
+}
+
 // Summary bundles the four summary statistics reported in the paper's
 // technique-importance table (Figure 9).
 type Summary struct {

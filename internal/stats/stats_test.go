@@ -73,3 +73,22 @@ func TestOrderingProperty(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestEconomyArithmetic(t *testing.T) {
+	a := Economy{Msgs: 100, Bytes: 5000, ClientRPCs: 40, BatchedOps: 10, QueueCycles: 900}
+	b := Economy{Msgs: 60, Bytes: 2000, ClientRPCs: 25, BatchedOps: 4, QueueCycles: 400}
+	d := a.Sub(b)
+	if d.Msgs != 40 || d.Bytes != 3000 || d.ClientRPCs != 15 || d.BatchedOps != 6 || d.QueueCycles != 500 {
+		t.Fatalf("Sub wrong: %+v", d)
+	}
+	s := d.Add(b)
+	if s != a {
+		t.Fatalf("Add did not invert Sub: %+v", s)
+	}
+	if got := PerOp(d.Msgs, 20); got != 2 {
+		t.Fatalf("PerOp = %f", got)
+	}
+	if PerOp(d.Msgs, 0) != 0 {
+		t.Fatal("PerOp with zero ops should be 0")
+	}
+}

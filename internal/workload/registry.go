@@ -8,6 +8,7 @@ func All() []Workload {
 		Writes{},
 		Renames{},
 		Directories{},
+		SmallFile{},
 		&RM{Sparse: false},
 		&RM{Sparse: true},
 		&PFind{Sparse: false},
@@ -62,6 +63,7 @@ func Microbenchmarks() []Workload {
 		Writes{},
 		Renames{},
 		Directories{},
+		SmallFile{},
 		&RM{Sparse: false},
 		&RM{Sparse: true},
 		&PFind{Sparse: false},

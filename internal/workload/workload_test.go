@@ -112,8 +112,10 @@ func TestWorkloadsSingleCore(t *testing.T) {
 
 func TestRegistry(t *testing.T) {
 	names := Names()
-	if len(names) != 13 {
-		t.Fatalf("expected the paper's 13 benchmarks, got %d", len(names))
+	// The paper's 13 benchmarks plus the smallfile churn microbenchmark
+	// added with the async RPC pipeline (DESIGN.md §7).
+	if len(names) != 14 {
+		t.Fatalf("expected 14 benchmarks, got %d", len(names))
 	}
 	seen := map[string]bool{}
 	for _, n := range names {
@@ -128,7 +130,7 @@ func TestRegistry(t *testing.T) {
 	if _, ok := ByName("nope"); ok {
 		t.Fatal("ByName accepted an unknown benchmark")
 	}
-	for _, n := range []string{"build linux", "mailbench", "pfind sparse", "rm dense"} {
+	for _, n := range []string{"build linux", "mailbench", "pfind sparse", "rm dense", "smallfile"} {
 		if !seen[n] {
 			t.Fatalf("missing benchmark %q", n)
 		}
