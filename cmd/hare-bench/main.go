@@ -4,6 +4,7 @@
 // Usage:
 //
 //	hare-bench [-fig N] [-scale F] [-cores N] [-bench name] [-durability]
+//	           [-pipeline] [-datapath] [-baseline path]
 //
 // With no -fig flag every experiment is run in order. The -scale flag
 // shrinks the workload iteration counts (1.0 reproduces the default sizes;
@@ -36,13 +37,40 @@ func main() {
 		repoRoot   = flag.String("root", ".", "repository root (for the Figure 4 SLOC count)")
 		durability = flag.Bool("durability", false, "run the durability figures (group-commit sweep, recovery time, crash-injection check) instead of the paper's")
 		pipeline   = flag.Bool("pipeline", false, "run the async-RPC pipelining sweep (on/off × server counts) instead of the paper's figures")
-		baseline   = flag.String("baseline", "", "with -pipeline: also write the sweep as a JSON baseline to this path (e.g. BENCH_seed.json)")
+		datapath   = flag.Bool("datapath", false, "run the zero-waste data-path sweep (dirty-line writeback + version-skip invalidation, on/off × server counts) instead of the paper's figures")
+		baseline   = flag.String("baseline", "", "with -pipeline or -datapath: also write the sweep as a JSON baseline to this path (e.g. BENCH_seed.json, BENCH_datapath.json)")
 	)
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "hare-bench:", err)
 		os.Exit(1)
+	}
+
+	if *datapath {
+		if *durability || *pipeline || *fig != 0 {
+			fail(fmt.Errorf("-datapath runs its own figure set and cannot be combined with -durability, -pipeline or -fig"))
+		}
+		var ws []workload.Workload
+		if *benchName != "" {
+			w, ok := workload.ByName(*benchName)
+			if !ok {
+				fail(fmt.Errorf("unknown benchmark %q; available: %v", *benchName, workload.Names()))
+			}
+			ws = []workload.Workload{w}
+		}
+		data, t, err := bench.DatapathFigure(*scale, *cores, nil, ws)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t.Render())
+		if *baseline != "" {
+			if err := data.WriteBaseline(*baseline); err != nil {
+				fail(err)
+			}
+			fmt.Printf("baseline written to %s\n", *baseline)
+		}
+		return
 	}
 
 	if *pipeline {

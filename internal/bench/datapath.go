@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/workload"
+)
+
+// The data-path sweep (DESIGN.md §8): the data-movement-bound workloads run
+// with the zero-waste data path enabled and disabled at several server
+// counts, and the table reports runtime alongside the line counters, so the
+// optimization's win is quantified in both dimensions — virtual time and
+// 64-byte lines moved through the memory system.
+
+// DefaultDatapathServerCounts are the server counts swept by DatapathFigure.
+var DefaultDatapathServerCounts = []int{1, 2, 4, 8}
+
+// DatapathPoint is one (benchmark, server count) measurement pair.
+type DatapathPoint struct {
+	Benchmark string
+	Servers   int
+	Ops       int
+
+	OnSeconds  float64
+	OffSeconds float64
+
+	// 64-byte lines written back to DRAM during the timed region.
+	OnWbLines  uint64
+	OffWbLines uint64
+
+	// Resident lines dropped by open-time invalidation.
+	OnInvLines  uint64
+	OffInvLines uint64
+
+	// Resident lines preserved by version-matched opens (data path on).
+	SkipLines uint64
+
+	OnBytes  uint64
+	OffBytes uint64
+}
+
+// Speedup is the runtime ratio off/on (>1 means the data path helps).
+func (p DatapathPoint) Speedup() float64 {
+	if p.OnSeconds == 0 {
+		return 0
+	}
+	return p.OffSeconds / p.OnSeconds
+}
+
+// OnDataLines is the total lines the data path moved with the technique on.
+func (p DatapathPoint) OnDataLines() uint64 { return p.OnWbLines + p.OnInvLines }
+
+// OffDataLines is the total lines moved with the technique off.
+func (p DatapathPoint) OffDataLines() uint64 { return p.OffWbLines + p.OffInvLines }
+
+// LineReduction is the fraction of data lines eliminated by the data path
+// (0.25 = 25% fewer lines moved).
+func (p DatapathPoint) LineReduction() float64 {
+	if p.OffDataLines() == 0 {
+		return 0
+	}
+	return 1 - float64(p.OnDataLines())/float64(p.OffDataLines())
+}
+
+// DatapathData holds the full sweep.
+type DatapathData struct {
+	Cores  int
+	Scale  float64
+	Points []DatapathPoint
+}
+
+// DatapathFigure runs the sweep. The default workload set is the
+// data-movement-bound pair — the bigfile read/overwrite benchmark and
+// sequential writes — at the default server counts.
+func DatapathFigure(scale float64, cores int, serverCounts []int, ws []workload.Workload) (*DatapathData, *Table, error) {
+	if cores == 0 {
+		cores = 8
+	}
+	if len(serverCounts) == 0 {
+		serverCounts = DefaultDatapathServerCounts
+	}
+	if ws == nil {
+		ws = []workload.Workload{workload.BigFile{}, workload.Writes{}}
+	}
+	data := &DatapathData{Cores: cores, Scale: scale}
+	t := &Table{
+		Title: fmt.Sprintf("Data-path sweep: dirty-line writeback + version-skip invalidation on vs off (%d cores)", cores),
+		Columns: []string{"benchmark", "servers", "time on (ms)", "time off (ms)", "speedup",
+			"lines on", "lines off", "line cut", "skipped", "bytes cut"},
+		Note: "speedup = off/on runtime; lines = 64B lines written back + invalidated; skipped = resident lines version-matched opens preserved; bytes cut = wire bytes saved by extent coding and fewer flushes.",
+	}
+	for _, w := range ws {
+		for _, nsrv := range serverCounts {
+			if nsrv > cores {
+				continue
+			}
+			p, err := datapathPoint(scale, cores, nsrv, w)
+			if err != nil {
+				return nil, nil, err
+			}
+			data.Points = append(data.Points, p)
+			bytesCut := 0.0
+			if p.OffBytes > 0 {
+				bytesCut = 1 - float64(p.OnBytes)/float64(p.OffBytes)
+			}
+			t.AddRow(p.Benchmark, fmt.Sprintf("%d", p.Servers),
+				f2(p.OnSeconds*1000), f2(p.OffSeconds*1000), f2(p.Speedup()),
+				fmt.Sprintf("%d", p.OnDataLines()), fmt.Sprintf("%d", p.OffDataLines()),
+				pct(p.LineReduction()), fmt.Sprintf("%d", p.SkipLines), pct(bytesCut))
+		}
+	}
+	return data, t, nil
+}
+
+// datapathPoint measures one benchmark at one server count in both modes.
+func datapathPoint(scale float64, cores, nsrv int, w workload.Workload) (DatapathPoint, error) {
+	onOpts := DefaultHare(cores)
+	onOpts.Servers = nsrv
+	offOpts := onOpts
+	offOpts.Techniques.DataPath = false
+
+	on, err := RunWorkload(HareFactory(onOpts), w, scale)
+	if err != nil {
+		return DatapathPoint{}, err
+	}
+	off, err := RunWorkload(HareFactory(offOpts), w, scale)
+	if err != nil {
+		return DatapathPoint{}, err
+	}
+	p := DatapathPoint{
+		Benchmark:  w.Name(),
+		Servers:    nsrv,
+		Ops:        on.Ops,
+		OnSeconds:  on.Seconds,
+		OffSeconds: off.Seconds,
+	}
+	if on.Econ != nil {
+		p.OnWbLines = on.Econ.WbLines
+		p.OnInvLines = on.Econ.InvLines
+		p.SkipLines = on.Econ.SkipLines
+		p.OnBytes = on.Econ.Bytes
+	}
+	if off.Econ != nil {
+		p.OffWbLines = off.Econ.WbLines
+		p.OffInvLines = off.Econ.InvLines
+		p.OffBytes = off.Econ.Bytes
+	}
+	return p, nil
+}
+
+// WriteBaseline serializes the sweep to path as indented JSON (committed as
+// BENCH_datapath.json so future changes have a data-movement trajectory to
+// compare against).
+func (d *DatapathData) WriteBaseline(path string) error {
+	b := struct {
+		Note   string          `json:"note"`
+		Scale  float64         `json:"scale"`
+		Cores  int             `json:"cores"`
+		Points []DatapathPoint `json:"points"`
+	}{
+		Note:   "hare-bench -datapath baseline; regenerate with: hare-bench -datapath -scale <scale> -cores <cores> -baseline <path>",
+		Scale:  d.Scale,
+		Cores:  d.Cores,
+		Points: d.Points,
+	}
+	buf, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

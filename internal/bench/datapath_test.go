@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestDatapathSweepAcceptance pins the PR's acceptance criterion: on the
+// bigfile workload, the zero-waste data path must move strictly fewer data
+// lines AND finish faster than off-mode at every server count, with
+// version-matched opens actually firing.
+func TestDatapathSweepAcceptance(t *testing.T) {
+	data, table, err := DatapathFigure(0.05, 4, []int{1, 2, 4},
+		[]workload.Workload{workload.BigFile{FileKiB: 64, Rounds: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if table.Render() == "" {
+		t.Fatal("empty table")
+	}
+	if len(data.Points) != 3 {
+		t.Fatalf("expected 3 sweep points, got %d", len(data.Points))
+	}
+	for _, p := range data.Points {
+		if p.OnDataLines() >= p.OffDataLines() {
+			t.Errorf("servers=%d: on-mode moved %d lines, off-mode %d — not strictly fewer",
+				p.Servers, p.OnDataLines(), p.OffDataLines())
+		}
+		if p.OnSeconds >= p.OffSeconds {
+			t.Errorf("servers=%d: on-mode %.4fs not faster than off-mode %.4fs",
+				p.Servers, p.OnSeconds, p.OffSeconds)
+		}
+		if p.SkipLines == 0 {
+			t.Errorf("servers=%d: no lines preserved by version-matched opens", p.Servers)
+		}
+		if p.OnBytes >= p.OffBytes {
+			// Extent coding is active in both modes; the on-mode byte win
+			// comes from dirty-line flushes not inflating sizes. Not a hard
+			// criterion, but a zero-byte delta with skip lines present would
+			// indicate the counters are wired wrong.
+			t.Logf("servers=%d: on-mode bytes %d >= off-mode %d", p.Servers, p.OnBytes, p.OffBytes)
+		}
+	}
+}
+
+// TestDatapathBaselineWriter round-trips the JSON baseline file.
+func TestDatapathBaselineWriter(t *testing.T) {
+	data := &DatapathData{
+		Cores: 4, Scale: 0.05,
+		Points: []DatapathPoint{{Benchmark: "bigfile", Servers: 2, Ops: 10,
+			OnSeconds: 0.1, OffSeconds: 0.2, OnWbLines: 5, OffWbLines: 50}},
+	}
+	path := filepath.Join(t.TempDir(), "datapath.json")
+	if err := data.WriteBaseline(path); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back struct {
+		Points []DatapathPoint `json:"points"`
+	}
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Points) != 1 || back.Points[0].OffWbLines != 50 {
+		t.Fatalf("baseline round trip mismatch: %+v", back.Points)
+	}
+	if s := back.Points[0].Speedup(); s != 2 {
+		t.Fatalf("speedup = %v, want 2", s)
+	}
+}

@@ -33,11 +33,12 @@ type Options struct {
 	DirectAccess     bool // client reads/writes the buffer cache directly (§3.2)
 	CreationAffinity bool // NUMA-aware inode placement (§3.6.4)
 	Pipelining       bool // async/batched RPCs, extend-ahead, readahead (DESIGN.md §7)
+	DataPath         bool // dirty-line writeback + version-skip invalidation (DESIGN.md §8)
 }
 
 // DefaultOptions enables every technique.
 func DefaultOptions() Options {
-	return Options{DirDistribution: true, DirCache: true, DirBroadcast: true, DirectAccess: true, CreationAffinity: true, Pipelining: true}
+	return Options{DirDistribution: true, DirCache: true, DirBroadcast: true, DirectAccess: true, CreationAffinity: true, Pipelining: true, DataPath: true}
 }
 
 // Config wires a client library into a Hare deployment.
@@ -76,6 +77,7 @@ type Stats struct {
 	Invalidations  uint64
 	BatchedOps     uint64 // sub-operations carried inside batch envelopes
 	Readaheads     uint64 // speculative READ_AT chunks issued ahead of the cursor
+	VersionSkips   uint64 // opens whose invalidation a version match made unnecessary
 }
 
 // Client is one Hare client library instance. It is not safe for concurrent
@@ -91,6 +93,13 @@ type Client struct {
 
 	dcache map[dcacheKey]dcacheEnt
 
+	// vcache records, per inode, the server-side data version as of the last
+	// moment this client's private cache was known consistent with DRAM for
+	// that file (after an open-time invalidation or a close/fsync
+	// writeback). A re-open whose OPEN reply carries the same version skips
+	// invalidation entirely (DESIGN.md §8).
+	vcache map[proto.InodeID]uint64
+
 	localServer int // designated nearby server for creation affinity
 
 	stats struct {
@@ -103,6 +112,7 @@ type Client struct {
 		invBlocks  atomic.Uint64
 		batched    atomic.Uint64
 		readaheads atomic.Uint64
+		verSkips   atomic.Uint64
 	}
 }
 
@@ -114,13 +124,27 @@ type openFile struct {
 	flags int
 
 	// Local state: used while the descriptor is not shared with another
-	// process. The offset, size and block list live here and reads/writes
-	// access the buffer cache directly.
+	// process. The offset, size and block map live here and reads/writes
+	// access the buffer cache directly. The block map and the dirty set are
+	// extent-coded so they scale with fragmentation, not file size; dirty
+	// extents may overlap until writebackFile normalizes them.
 	offset int64
 	size   int64
-	blocks []ncc.BlockID
-	dirty  map[ncc.BlockID]struct{}
-	wrote  bool
+	blocks ncc.ExtentList
+	dirty  []ncc.Extent
+	// dirtyNorm is len(dirty) right after its last in-place normalization;
+	// addDirty re-normalizes when the list doubles past it, keeping growth
+	// amortized-constant for write patterns that ping-pong between runs.
+	dirtyNorm int
+	wrote     bool
+
+	// verKnown is the inode data version at which this descriptor's view of
+	// the private cache was last known consistent with DRAM; verLost is set
+	// when a reply shows the version moved in a way this descriptor's own
+	// operations cannot explain (another client mutated the file), which
+	// disqualifies the descriptor's close from refreshing the version cache.
+	verKnown uint64
+	verLost  bool
 
 	// Shared state: the offset has migrated to the file server and every
 	// read/write/seek is an RPC (§3.4).
@@ -150,6 +174,7 @@ func New(cfg Config) *Client {
 		nextFD: 3, // 0-2 reserved for stdio by convention
 		cwd:    "/",
 		dcache: make(map[dcacheKey]dcacheEnt),
+		vcache: make(map[proto.InodeID]uint64),
 	}
 	cfg.Registry.Register(cfg.ID, c.ep.ID)
 	c.localServer = c.pickLocalServer()
@@ -185,7 +210,43 @@ func (c *Client) Stats() Stats {
 		Invalidations:  c.stats.invals.Load(),
 		BatchedOps:     c.stats.batched.Load(),
 		Readaheads:     c.stats.readaheads.Load(),
+		VersionSkips:   c.stats.verSkips.Load(),
 	}
+}
+
+// noteVersion records the inode's data version at a moment when this
+// client's private cache is consistent with DRAM for the file (just
+// invalidated, or just written back).
+func (c *Client) noteVersion(ino proto.InodeID, v uint64) {
+	if !c.cfg.Options.DataPath {
+		return
+	}
+	c.vcache[ino] = v
+}
+
+// expectVersion folds a version carried by one of this descriptor's own
+// replies into its consistency window. bumped says the operation itself may
+// have moved the version by exactly one; any other movement proves another
+// client mutated the file, so the window is lost and the descriptor must not
+// refresh the version cache at close.
+func (of *openFile) expectVersion(v uint64, bumped bool) {
+	if v == of.verKnown || (bumped && v == of.verKnown+1) {
+		of.verKnown = v
+		return
+	}
+	of.verLost = true
+}
+
+// settleVersion updates the version cache after a descriptor operation that
+// re-established consistency (writeback + close/fsync/truncate): an intact
+// window records the new version; a lost one evicts the entry so the next
+// open invalidates.
+func (c *Client) settleVersion(of *openFile) {
+	if of.verLost {
+		delete(c.vcache, of.ino)
+		return
+	}
+	c.noteVersion(of.ino, of.verKnown)
 }
 
 // Options returns the technique configuration this client runs with.
@@ -476,6 +537,7 @@ func (c *Client) CloseAll() {
 func (c *Client) Sync() error {
 	c.syscall()
 	perSrv := make(map[int][]*proto.Request)
+	perSrvFiles := make(map[int][]*openFile)
 	flushed := make(map[*openFile]bool)
 	for _, of := range c.fds {
 		if flushed[of] || of.pipe || of.srvFd != proto.NilFd {
@@ -486,8 +548,10 @@ func (c *Client) Sync() error {
 		if !of.wrote {
 			continue
 		}
-		perSrv[int(of.ino.Server)] = append(perSrv[int(of.ino.Server)],
+		srv := int(of.ino.Server)
+		perSrv[srv] = append(perSrv[srv],
 			&proto.Request{Op: proto.OpSetSize, Target: of.ino, Size: of.size})
+		perSrvFiles[srv] = append(perSrvFiles[srv], of)
 	}
 	if len(perSrv) == 0 {
 		return nil
@@ -496,11 +560,17 @@ func (c *Client) Sync() error {
 	if err != nil {
 		return err
 	}
-	for _, srvResps := range resps {
-		for _, r := range srvResps {
+	for srv, srvResps := range resps {
+		for i, r := range srvResps {
 			if r.Err != fsapi.OK {
 				return r.Err
 			}
+			// SET_SIZE bumped the version; settle each descriptor's window
+			// so a reopen after Sync can still skip invalidation (responses
+			// come back in request order, mirroring perSrvFiles).
+			of := perSrvFiles[srv][i]
+			of.expectVersion(r.Version, true)
+			c.settleVersion(of)
 		}
 	}
 	return nil

@@ -120,9 +120,14 @@ func TestClientCorrectUnderEveryTechniqueConfiguration(t *testing.T) {
 		"no-dircache":     func(tq *core.Techniques) { tq.DirectoryCache = false },
 		"no-affinity":     func(tq *core.Techniques) { tq.CreationAffinity = false },
 		"no-pipelining":   func(tq *core.Techniques) { tq.RPCPipelining = false },
+		"no-datapath":     func(tq *core.Techniques) { tq.DataPath = false },
 		"no-direct-no-pipelining": func(tq *core.Techniques) {
 			tq.DirectAccess = false
 			tq.RPCPipelining = false
+		},
+		"no-direct-no-datapath": func(tq *core.Techniques) {
+			tq.DirectAccess = false
+			tq.DataPath = false
 		},
 	}
 	for name, disable := range configs {
@@ -167,6 +172,47 @@ func TestDirectoryCacheInvalidationAcrossClients(t *testing.T) {
 	}
 	if b.Stats().Invalidations == 0 {
 		t.Fatal("client b processed no invalidations")
+	}
+}
+
+func TestVersionSkipSurvivesSyncAndFsync(t *testing.T) {
+	// Sync and Fsync bump the inode version via SET_SIZE; the descriptor's
+	// consistency window must absorb those bumps so the eventual close still
+	// records a version and the reopen skips invalidation.
+	sys := newSystem(t, core.AllTechniques())
+	c := sys.NewClient(0)
+	payload := bytes.Repeat([]byte{0x5A}, 9000)
+
+	for _, syncer := range []struct {
+		name string
+		call func(fd fsapi.FD) error
+	}{
+		{"sync", func(fsapi.FD) error { return c.Sync() }},
+		{"fsync", func(fd fsapi.FD) error { return c.Fsync(fd) }},
+	} {
+		name := "/syncskip-" + syncer.name
+		fd, err := c.Open(name, fsapi.OCreate|fsapi.OWrOnly, fsapi.Mode644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Write(fd, payload); err != nil {
+			t.Fatal(err)
+		}
+		if err := syncer.call(fd); err != nil {
+			t.Fatalf("%s: %v", syncer.name, err)
+		}
+		if err := c.Close(fd); err != nil {
+			t.Fatal(err)
+		}
+		before := c.Stats().VersionSkips
+		rfd, err := c.Open(name, fsapi.ORdOnly, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Close(rfd)
+		if c.Stats().VersionSkips == before {
+			t.Fatalf("reopen after %s+close did not take the version-skip path", syncer.name)
+		}
 	}
 }
 

@@ -51,12 +51,13 @@ func (c *Client) openCreate(abs string, flags int, mode fsapi.Mode) (fsapi.FD, e
 		switch resp.Err {
 		case fsapi.OK:
 			c.cacheEntry(parent, name, dcacheEnt{ino: resp.Ino, ftype: resp.Ftype, dist: resp.Dist})
+			c.noteVersion(resp.Ino, resp.Version)
 			of := &openFile{
-				ino:   resp.Ino,
-				ftype: resp.Ftype,
-				flags: flags,
-				size:  0,
-				dirty: make(map[ncc.BlockID]struct{}),
+				ino:      resp.Ino,
+				ftype:    resp.Ftype,
+				flags:    flags,
+				size:     0,
+				verKnown: resp.Version,
 			}
 			return c.allocFD(of), nil
 		case fsapi.EEXIST:
@@ -133,11 +134,21 @@ func (c *Client) openExisting(ino proto.InodeID, ftype fsapi.FileType, dist bool
 	of.ftype = ftype
 	// Close-to-open consistency: drop any stale private-cache copies of
 	// this file's blocks so reads observe data written back by other cores
-	// since the last close (§3.2).
-	if c.cfg.Options.DirectAccess && len(of.blocks) > 0 {
-		dropped := c.cfg.Cache.Invalidate(of.blocks)
-		c.stats.invBlocks.Add(uint64(dropped))
-		c.charge(sim.Cycles(dropped) * c.cfg.Machine.Cost.CachePerLine)
+	// since the last close (§3.2). With the data path enabled, an OPEN reply
+	// whose data version matches the one recorded at this client's last
+	// consistency point proves nothing changed in DRAM since — the cached
+	// copies are byte-identical and the invalidation is skipped outright
+	// (DESIGN.md §8).
+	if c.cfg.Options.DirectAccess && of.blocks.Len() > 0 {
+		if v, ok := c.vcache[of.ino]; c.cfg.Options.DataPath && ok && v == resp.Version {
+			c.cfg.Cache.NoteVersionSkip(of.blocks.Runs())
+			c.stats.verSkips.Add(1)
+		} else {
+			dropped := c.cfg.Cache.InvalidateExtents(of.blocks.Runs())
+			c.stats.invBlocks.Add(uint64(dropped))
+			c.charge(sim.Cycles(dropped) * c.cfg.Machine.Cost.CachePerLine)
+			c.noteVersion(of.ino, resp.Version)
+		}
 	}
 	if flags&fsapi.OAppend != 0 {
 		of.offset = of.size
@@ -148,22 +159,22 @@ func (c *Client) openExisting(ino proto.InodeID, ftype fsapi.FileType, dist bool
 // fileFromOpen builds an openFile from an OPEN/CREATE response.
 func (c *Client) fileFromOpen(resp *proto.Response, flags int) *openFile {
 	of := &openFile{
-		ino:   resp.Ino,
-		ftype: resp.Ftype,
-		flags: flags,
-		size:  resp.Size,
-		dirty: make(map[ncc.BlockID]struct{}),
+		ino:      resp.Ino,
+		ftype:    resp.Ftype,
+		flags:    flags,
+		size:     resp.Size,
+		verKnown: resp.Version,
 	}
-	refreshBlocks(of, resp.Blocks)
+	refreshBlocks(of, resp.Extents)
 	return of
 }
 
-// refreshBlocks replaces the descriptor's block list with the server's wire
-// form (shared by open, GET_BLOCKS, EXTEND, and TRUNCATE responses).
-func refreshBlocks(of *openFile, blocks []uint64) {
-	of.blocks = of.blocks[:0]
-	for _, b := range blocks {
-		of.blocks = append(of.blocks, ncc.BlockID(b))
+// refreshBlocks replaces the descriptor's block map with the extent-coded
+// wire form (shared by open, GET_BLOCKS, EXTEND, and TRUNCATE responses).
+func refreshBlocks(of *openFile, exts []proto.Extent) {
+	of.blocks.Reset()
+	for _, e := range exts {
+		of.blocks.AppendRun(ncc.Extent{Start: ncc.BlockID(e.Start), Count: e.Count})
 	}
 }
 
@@ -181,7 +192,17 @@ func (c *Client) Close(fd fsapi.FD) error {
 	if of.localRefs > 0 {
 		return nil
 	}
-	_, err = c.rpcOK(int(of.ino.Server), c.closeRequest(of))
+	req := c.closeRequest(of)
+	resp, err := c.rpcOK(int(of.ino.Server), req)
+	if err == nil && req.Op == proto.OpCloseInode {
+		// A dirty close just wrote our data back and moved the version: the
+		// cache IS the new contents. A clean close whose version still
+		// matches proves nothing changed. Either way an intact window lets a
+		// reopen at this version skip invalidation; a lost window (someone
+		// else mutated the file while we held it open) evicts the entry.
+		of.expectVersion(resp.Version, req.Dirty)
+		c.settleVersion(of)
+	}
 	return err
 }
 
@@ -205,26 +226,30 @@ func (c *Client) closeRequest(of *openFile) *proto.Request {
 		c.writebackFile(of)
 		req := &proto.Request{Op: proto.OpCloseInode, Target: of.ino}
 		if of.wrote {
-			// Coalesce the size update with the close (§3.6.3).
+			// Coalesce the size update with the close (§3.6.3), and tell the
+			// server the data changed so it moves the inode's version.
 			req.Size = of.size
+			req.Dirty = true
 		}
 		return req
 	}
 }
 
-// writebackFile flushes dirty private-cache blocks for the file to DRAM.
+// writebackFile flushes this file's dirty private-cache data to DRAM. The
+// dirty set is normalized (sorted, overlaps merged) first, so blocks that
+// several writes touched are neither flushed nor charged twice. With the
+// data path enabled only the 64-byte lines actually written move; otherwise
+// every dirty block is flushed in full (the paper's behavior).
 func (c *Client) writebackFile(of *openFile) {
 	if !c.cfg.Options.DirectAccess || len(of.dirty) == 0 {
 		return
 	}
-	blocks := make([]ncc.BlockID, 0, len(of.dirty))
-	for b := range of.dirty {
-		blocks = append(blocks, b)
-	}
-	flushed := c.cfg.Cache.Writeback(blocks)
+	exts := ncc.NormalizeExtents(of.dirty)
+	flushed, lines := c.cfg.Cache.WritebackExtents(exts, c.cfg.Options.DataPath)
 	c.stats.wbBlocks.Add(uint64(flushed))
-	c.charge(sim.LineCost(c.cfg.Machine.Cost.DRAMPerLine, flushed*c.cfg.DRAM.BlockSize()))
-	of.dirty = make(map[ncc.BlockID]struct{})
+	c.charge(sim.LineCost(c.cfg.Machine.Cost.DRAMPerLine, lines*ncc.LineSize))
+	of.dirty = of.dirty[:0]
+	of.dirtyNorm = 0
 }
 
 // Fsync forces dirty data for the descriptor back to the shared DRAM and
@@ -243,9 +268,12 @@ func (c *Client) Fsync(fd fsapi.FD) error {
 	}
 	c.writebackFile(of)
 	if of.wrote {
-		if _, err := c.rpcOK(int(of.ino.Server), &proto.Request{Op: proto.OpSetSize, Target: of.ino, Size: of.size}); err != nil {
+		resp, err := c.rpcOK(int(of.ino.Server), &proto.Request{Op: proto.OpSetSize, Target: of.ino, Size: of.size})
+		if err != nil {
 			return err
 		}
+		of.expectVersion(resp.Version, true)
+		c.settleVersion(of)
 	}
 	return nil
 }
@@ -478,14 +506,19 @@ func (c *Client) writeAt(of *openFile, off int64, p []byte) (int, error) {
 // file before our open; normally open returned the full list already).
 func (c *Client) ensureBlocks(of *openFile, end int64) error {
 	bs := int64(c.cfg.DRAM.BlockSize())
-	if int64(len(of.blocks))*bs >= end {
+	if int64(of.blocks.Len())*bs >= end {
 		return nil
 	}
 	resp, err := c.rpcOK(int(of.ino.Server), &proto.Request{Op: proto.OpGetBlocks, Target: of.ino})
 	if err != nil {
 		return err
 	}
-	refreshBlocks(of, resp.Blocks)
+	before := of.blocks.Len()
+	refreshBlocks(of, resp.Extents)
+	c.invalidateTail(of, before)
+	// GET_BLOCKS never bumps; a moved version means another client extended
+	// or wrote the file while we held it open.
+	of.expectVersion(resp.Version, false)
 	return nil
 }
 
@@ -497,12 +530,12 @@ func (c *Client) ensureBlocks(of *openFile, end int64) error {
 // over-allocation is invisible to stat and is reclaimed with the inode.
 func (c *Client) extendTo(of *openFile, end int64) error {
 	bs := int64(c.cfg.DRAM.BlockSize())
-	if int64(len(of.blocks))*bs >= end {
+	if int64(of.blocks.Len())*bs >= end {
 		return nil
 	}
 	want := end
 	if c.cfg.Options.Pipelining {
-		if ahead := 2 * int64(len(of.blocks)) * bs; ahead > want {
+		if ahead := 2 * int64(of.blocks.Len()) * bs; ahead > want {
 			want = ahead
 		}
 	}
@@ -515,8 +548,28 @@ func (c *Client) extendTo(of *openFile, end int64) error {
 	if err != nil {
 		return err
 	}
-	refreshBlocks(of, resp.Blocks)
+	before := of.blocks.Len()
+	refreshBlocks(of, resp.Extents)
+	c.invalidateTail(of, before)
+	// EXTEND bumps the version exactly when the block map grew.
+	of.expectVersion(resp.Version, of.blocks.Len() > before)
 	return nil
+}
+
+// invalidateTail drops any stale cached copies of blocks the descriptor just
+// learned about (an EXTEND or GET_BLOCKS grew its map). A newly allocated
+// block may have had a previous life in another file on this core; a
+// leftover clean copy would shadow the zeroed (or remotely written) DRAM
+// contents.
+func (c *Client) invalidateTail(of *openFile, from int) {
+	if !c.cfg.Options.DirectAccess || from >= of.blocks.Len() {
+		return
+	}
+	dropped := c.cfg.Cache.InvalidateExtents(of.blocks.TailRuns(from))
+	if dropped > 0 {
+		c.stats.invBlocks.Add(uint64(dropped))
+		c.charge(sim.Cycles(dropped) * c.cfg.Machine.Cost.CachePerLine)
+	}
 }
 
 // copyBlocks moves data between the caller's buffer and the buffer cache via
@@ -529,15 +582,15 @@ func (c *Client) copyBlocks(of *openFile, off int64, p []byte, write bool) int {
 		pos := off + int64(moved)
 		bi := int(pos / bs)
 		bo := int(pos % bs)
-		if bi >= len(of.blocks) {
+		if bi >= of.blocks.Len() {
 			break
 		}
-		block := of.blocks[bi]
+		block := of.blocks.At(bi)
 		var n int
 		var hit bool
 		if write {
 			n, hit = c.cfg.Cache.Write(block, bo, p[moved:])
-			of.dirty[block] = struct{}{}
+			of.addDirty(block)
 		} else {
 			n, hit = c.cfg.Cache.Read(block, bo, p[moved:])
 		}
@@ -552,6 +605,31 @@ func (c *Client) copyBlocks(of *openFile, off int64, p []byte, write bool) int {
 		moved += n
 	}
 	return moved
+}
+
+// addDirty records block b in the descriptor's dirty set. Sequential writes
+// extend the last run in place and rewrites of the run's tail block are
+// absorbed; anything else appends a new run, and writebackFile's
+// normalization merges whatever overlaps remain. Writes that ping-pong
+// between non-adjacent blocks would grow the list one run per write, so it
+// is re-normalized in place whenever it gets long — bounding it at the
+// file's true fragmentation plus a constant.
+func (of *openFile) addDirty(b ncc.BlockID) {
+	if n := len(of.dirty); n > 0 {
+		last := &of.dirty[n-1]
+		if last.End() == b {
+			last.Count++
+			return
+		}
+		if b >= last.Start && b < last.End() {
+			return
+		}
+		if n >= 64 && n >= 2*of.dirtyNorm {
+			of.dirty = ncc.NormalizeExtents(of.dirty)
+			of.dirtyNorm = len(of.dirty)
+		}
+	}
+	of.dirty = append(of.dirty, ncc.Extent{Start: b, Count: 1})
 }
 
 // Seek repositions a descriptor offset.
@@ -611,7 +689,12 @@ func (c *Client) Ftruncate(fd fsapi.FD, size int64) error {
 		return rerr
 	}
 	of.size = resp.Size
-	refreshBlocks(of, resp.Blocks)
+	refreshBlocks(of, resp.Extents)
+	// The writeback above put our data in DRAM and TRUNCATE always bumps;
+	// with the window intact the surviving cached blocks are consistent at
+	// the new version.
+	of.expectVersion(resp.Version, true)
+	c.settleVersion(of)
 	of.wrote = false
 	return nil
 }

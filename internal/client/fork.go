@@ -33,20 +33,27 @@ func (c *Client) shareFD(of *openFile) error {
 		return nil
 	}
 	c.writebackFile(of)
-	if of.wrote {
-		if _, err := c.rpcOK(int(of.ino.Server), &proto.Request{Op: proto.OpSetSize, Target: of.ino, Size: of.size}); err != nil {
-			return err
-		}
-		of.wrote = false
-	}
-	resp, err := c.rpcOK(int(of.ino.Server), &proto.Request{
+	// A written-through descriptor coalesces its size update and version
+	// bump into the FD_SHARE message (§3.6.3 style), saving the separate
+	// SET_SIZE round trip.
+	req := &proto.Request{
 		Op:     proto.OpFdShare,
 		Target: of.ino,
 		Offset: of.offset,
 		Flags:  int32(of.flags),
-	})
+	}
+	if of.wrote {
+		req.Size = of.size
+		req.Dirty = true
+	}
+	resp, err := c.rpcOK(int(of.ino.Server), req)
 	if err != nil {
 		return err
+	}
+	if of.wrote {
+		of.expectVersion(resp.Version, true)
+		c.settleVersion(of)
+		of.wrote = false
 	}
 	of.srvFd = resp.Fd
 	return nil

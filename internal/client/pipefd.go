@@ -2,8 +2,8 @@ package client
 
 import (
 	"repro/internal/fsapi"
-	"repro/internal/ncc"
 	"repro/internal/proto"
+	"repro/internal/sim"
 )
 
 // Pipe creates a pipe on a nearby file server and returns the read and write
@@ -122,11 +122,17 @@ func (c *Client) maybeUnshare(of *openFile, last *proto.Response) {
 	of.srvFd = proto.NilFd
 	of.offset = resp.Offset
 	of.size = blocksResp.Size
-	of.blocks = of.blocks[:0]
-	for _, b := range blocksResp.Blocks {
-		of.blocks = append(of.blocks, ncc.BlockID(b))
+	refreshBlocks(of, blocksResp.Extents)
+	// While the descriptor was shared, all writes went through the server
+	// straight to DRAM, so any private-cache copies of the file's blocks are
+	// suspect: drop them before resuming direct access, and restart the
+	// version window at the freshly consistent point.
+	if c.cfg.Options.DirectAccess && of.blocks.Len() > 0 {
+		dropped := c.cfg.Cache.InvalidateExtents(of.blocks.Runs())
+		c.stats.invBlocks.Add(uint64(dropped))
+		c.charge(sim.Cycles(dropped) * c.cfg.Machine.Cost.CachePerLine)
 	}
-	if of.dirty == nil {
-		of.dirty = make(map[ncc.BlockID]struct{})
-	}
+	of.verKnown = blocksResp.Version
+	of.verLost = false
+	c.noteVersion(of.ino, blocksResp.Version)
 }

@@ -23,7 +23,8 @@ import (
 )
 
 // Techniques toggles the design techniques evaluated in §5.4 of the paper,
-// plus the async RPC pipeline this reproduction adds (DESIGN.md §7).
+// plus the async RPC pipeline (DESIGN.md §7) and the zero-waste data path
+// (DESIGN.md §8) this reproduction adds.
 type Techniques struct {
 	DirectoryDistribution bool // shard a directory's entries across servers (§3.3)
 	DirectoryBroadcast    bool // contact all servers in parallel (§3.6.2)
@@ -31,6 +32,7 @@ type Techniques struct {
 	DirectoryCache        bool // client-side lookup cache with invalidations (§3.6.1)
 	CreationAffinity      bool // NUMA-aware placement of new inodes (§3.6.4)
 	RPCPipelining         bool // async/batched RPCs, extend-ahead, readahead (DESIGN.md §7)
+	DataPath              bool // dirty-line writeback + version-skip invalidation (DESIGN.md §8)
 }
 
 // AllTechniques enables everything (the standard Hare configuration).
@@ -42,6 +44,7 @@ func AllTechniques() Techniques {
 		DirectoryCache:        true,
 		CreationAffinity:      true,
 		RPCPipelining:         true,
+		DataPath:              true,
 	}
 }
 
@@ -317,6 +320,7 @@ func (s *System) clientOptions() client.Options {
 		DirectAccess:     t.DirectAccess,
 		CreationAffinity: t.CreationAffinity,
 		Pipelining:       t.RPCPipelining,
+		DataPath:         t.DataPath,
 	}
 }
 
@@ -351,11 +355,13 @@ func (s *System) cacheForCore(core int) *ncc.PrivateCache {
 	return s.caches[core]
 }
 
-// MessageEconomy summarizes the deployment's cumulative message traffic:
-// network message and byte counts plus the servers' batched-sub-op and
-// queueing-delay totals. Client RPC counts are tracked per client library;
-// the network's message count (requests + replies + callbacks) stands in
-// for them here, since the harness needs a single deployment-wide view.
+// MessageEconomy summarizes the deployment's cumulative message traffic and
+// data movement: network message and byte counts, the servers' batched-sub-op
+// and queueing-delay totals, and the per-core caches' line counters (written
+// back, invalidated, preserved by version-matched opens). Client RPC counts
+// are tracked per client library; the network's message count (requests +
+// replies + callbacks) stands in for them here, since the harness needs a
+// single deployment-wide view.
 func (s *System) MessageEconomy() stats.Economy {
 	e := stats.Economy{
 		Msgs:       s.network.MessageCount(),
@@ -366,6 +372,12 @@ func (s *System) MessageEconomy() stats.Economy {
 		st := srv.Stats()
 		e.BatchedOps += st.BatchedOps
 		e.QueueCycles += uint64(st.QueueDelay)
+	}
+	for _, cache := range s.caches {
+		st := cache.Stats()
+		e.WbLines += st.LinesWB
+		e.InvLines += st.LinesInv
+		e.SkipLines += st.LinesSkipped
 	}
 	return e
 }

@@ -14,12 +14,33 @@ package msg
 
 import "sync"
 
-// Queue is an unbounded multi-producer queue of Envelopes. Pop order is FIFO.
+// qitem is one queued envelope plus its push sequence number (the FIFO key,
+// and the tie-break for equal arrival times).
+type qitem struct {
+	env Envelope
+	seq uint64
+}
+
+// Queue is an unbounded multi-producer queue of Envelopes. TryPop/PopWait
+// drain it FIFO; PopWaitEarliest drains it in virtual-arrival-time order.
+//
+// Storage is a binary min-heap over the backing slice, keyed by push
+// sequence (FIFO mode) or by (ArriveAt, seq) (arrival mode). In FIFO mode
+// the heap degenerates to an append-only ring: pushes carry increasing
+// sequence numbers, so the sift-up terminates immediately and both push and
+// pop cost O(log n) at worst. The first PopWaitEarliest re-heaps by arrival
+// time once and subsequent pops are O(log n) — replacing the previous
+// implementation's O(n) scan plus O(n) splice per pop. Popped slots are
+// zeroed before the slice shrinks, so a drained queue retains no payload
+// references (the old `items = items[1:]` reslice kept every popped payload
+// alive until the backing array was abandoned).
 type Queue struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	items  []Envelope
-	closed bool
+	mu        sync.Mutex
+	cond      *sync.Cond
+	items     []qitem
+	nextSeq   uint64
+	byArrival bool
+	closed    bool
 }
 
 // NewQueue returns an empty queue.
@@ -29,11 +50,82 @@ func NewQueue() *Queue {
 	return q
 }
 
+// less orders the heap: by push sequence in FIFO mode, by virtual arrival
+// time (ties broken by push order, matching the old scan's stability) in
+// arrival mode.
+func (q *Queue) less(i, j int) bool {
+	if q.byArrival {
+		a, b := &q.items[i], &q.items[j]
+		if a.env.ArriveAt != b.env.ArriveAt {
+			return a.env.ArriveAt < b.env.ArriveAt
+		}
+		return a.seq < b.seq
+	}
+	return q.items[i].seq < q.items[j].seq
+}
+
+func (q *Queue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.items[i], q.items[parent] = q.items[parent], q.items[i]
+		i = parent
+	}
+}
+
+func (q *Queue) siftDown(i int) {
+	n := len(q.items)
+	for {
+		least := i
+		if l := 2*i + 1; l < n && q.less(l, least) {
+			least = l
+		}
+		if r := 2*i + 2; r < n && q.less(r, least) {
+			least = r
+		}
+		if least == i {
+			return
+		}
+		q.items[i], q.items[least] = q.items[least], q.items[i]
+		i = least
+	}
+}
+
+// setMode switches the heap ordering, re-heapifying when it changes. A queue
+// is in practice drained by one discipline (server inboxes by arrival time,
+// reply and callback queues FIFO), so the switch happens at most once.
+func (q *Queue) setMode(byArrival bool) {
+	if q.byArrival == byArrival {
+		return
+	}
+	q.byArrival = byArrival
+	for i := len(q.items)/2 - 1; i >= 0; i-- {
+		q.siftDown(i)
+	}
+}
+
+// popRoot removes and returns the heap minimum. The vacated tail slot is
+// zeroed so the backing array drops its reference to the popped payload.
+// The caller must hold q.mu and ensure the queue is non-empty.
+func (q *Queue) popRoot() Envelope {
+	e := q.items[0].env
+	n := len(q.items) - 1
+	q.items[0] = q.items[n]
+	q.items[n] = qitem{}
+	q.items = q.items[:n]
+	q.siftDown(0)
+	return e
+}
+
 // Push appends an envelope to the queue. Push never blocks; by the time it
 // returns the envelope is visible to Pop/PopWait (atomic delivery).
 func (q *Queue) Push(e Envelope) {
 	q.mu.Lock()
-	q.items = append(q.items, e)
+	q.items = append(q.items, qitem{env: e, seq: q.nextSeq})
+	q.nextSeq++
+	q.siftUp(len(q.items) - 1)
 	q.mu.Unlock()
 	q.cond.Signal()
 }
@@ -45,9 +137,8 @@ func (q *Queue) TryPop() (Envelope, bool) {
 	if len(q.items) == 0 {
 		return Envelope{}, false
 	}
-	e := q.items[0]
-	q.items = q.items[1:]
-	return e, true
+	q.setMode(false)
+	return q.popRoot(), true
 }
 
 // PopWait blocks until an envelope is available or the queue is closed. The
@@ -62,16 +153,16 @@ func (q *Queue) PopWait() (Envelope, bool) {
 	if len(q.items) == 0 {
 		return Envelope{}, false
 	}
-	e := q.items[0]
-	q.items = q.items[1:]
-	return e, true
+	q.setMode(false)
+	return q.popRoot(), true
 }
 
 // PopWaitEarliest blocks until an envelope is available and returns the one
-// with the smallest virtual arrival time among those currently queued. File
-// servers drain their inbox with it so that requests queued concurrently are
-// served in virtual-time order, which keeps the queueing model accurate even
-// when goroutine scheduling delivers them out of order.
+// with the smallest virtual arrival time among those currently queued (ties
+// in push order). File servers drain their inbox with it so that requests
+// queued concurrently are served in virtual-time order, which keeps the
+// queueing model accurate even when goroutine scheduling delivers them out
+// of order.
 func (q *Queue) PopWaitEarliest() (Envelope, bool) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -81,16 +172,8 @@ func (q *Queue) PopWaitEarliest() (Envelope, bool) {
 	if len(q.items) == 0 {
 		return Envelope{}, false
 	}
-	best := 0
-	for i, e := range q.items {
-		if e.ArriveAt < q.items[best].ArriveAt {
-			best = i
-		}
-		_ = e
-	}
-	e := q.items[best]
-	q.items = append(q.items[:best], q.items[best+1:]...)
-	return e, true
+	q.setMode(true)
+	return q.popRoot(), true
 }
 
 // Len returns the number of queued envelopes.

@@ -1,0 +1,144 @@
+package msg
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// The queue's two drain disciplines share one heap; these tests pin the
+// ordering contracts and the memory behavior the heap rewrite exists for.
+
+func TestPopWaitEarliestOrdersByArrival(t *testing.T) {
+	q := NewQueue()
+	arrivals := []sim.Cycles{900, 100, 500, 100, 700, 300}
+	for i, at := range arrivals {
+		q.Push(Envelope{Kind: uint16(i), ArriveAt: at})
+	}
+	// Expect ascending arrival time, ties in push order: 100(#1), 100(#3),
+	// 300(#5), 500(#2), 700(#4), 900(#0).
+	wantKinds := []uint16{1, 3, 5, 2, 4, 0}
+	for i, want := range wantKinds {
+		e, ok := q.PopWaitEarliest()
+		if !ok || e.Kind != want {
+			t.Fatalf("pop %d: got kind %d ok=%v, want %d", i, e.Kind, ok, want)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained: %d left", q.Len())
+	}
+}
+
+func TestQueueModeSwitchKeepsOrdering(t *testing.T) {
+	q := NewQueue()
+	for i := 0; i < 8; i++ {
+		q.Push(Envelope{Kind: uint16(i), ArriveAt: sim.Cycles(800 - 100*i)})
+	}
+	// Arrival order first: latest pushes arrived earliest.
+	e, _ := q.PopWaitEarliest()
+	if e.Kind != 7 {
+		t.Fatalf("earliest pop got kind %d, want 7", e.Kind)
+	}
+	// Switch to FIFO: the oldest push still in the queue comes out.
+	e, _ = q.TryPop()
+	if e.Kind != 0 {
+		t.Fatalf("FIFO pop after mode switch got kind %d, want 0", e.Kind)
+	}
+	// And back to arrival order.
+	e, _ = q.PopWaitEarliest()
+	if e.Kind != 6 {
+		t.Fatalf("earliest pop after switch back got kind %d, want 6", e.Kind)
+	}
+}
+
+func TestQueueReleasesPoppedPayloads(t *testing.T) {
+	q := NewQueue()
+	const n = 64
+	for i := 0; i < n; i++ {
+		q.Push(Envelope{Payload: make([]byte, 1024)})
+	}
+	for i := 0; i < n; i++ {
+		if _, ok := q.TryPop(); !ok {
+			t.Fatalf("pop %d failed", i)
+		}
+	}
+	// The backing array must hold no references to the popped payloads (the
+	// old reslice-based queue kept every popped envelope reachable until the
+	// array was abandoned).
+	for i, it := range q.items[:cap(q.items)] {
+		if it.env.Payload != nil {
+			t.Fatalf("slot %d still references a popped payload", i)
+		}
+	}
+}
+
+func TestQueueSteadyStateDoesNotGrow(t *testing.T) {
+	q := NewQueue()
+	for i := 0; i < 16; i++ {
+		q.Push(Envelope{ArriveAt: sim.Cycles(i)})
+	}
+	q.PopWaitEarliest() // enter arrival mode
+	grown := 0
+	for i := 0; i < 10_000; i++ {
+		q.Push(Envelope{ArriveAt: sim.Cycles(i)})
+		if _, ok := q.PopWaitEarliest(); !ok {
+			t.Fatal("pop failed")
+		}
+		if cap(q.items) > 64 {
+			grown++
+		}
+	}
+	if grown > 0 {
+		t.Fatalf("backing array grew during steady-state push/pop (%d iterations over cap)", grown)
+	}
+}
+
+// benchQueueFill pre-fills a queue with n envelopes at pseudo-random
+// arrival times.
+func benchQueueFill(n int) *Queue {
+	q := NewQueue()
+	r := uint64(0x9E3779B97F4A7C15)
+	for i := 0; i < n; i++ {
+		r ^= r << 13
+		r ^= r >> 7
+		r ^= r << 17
+		q.Push(Envelope{ArriveAt: sim.Cycles(r % 100_000)})
+	}
+	return q
+}
+
+// BenchmarkQueuePopWaitEarliest measures the server-inbox drain discipline
+// at a steady queue depth of 1024: one push plus one earliest-pop per
+// iteration. The heap makes this O(log n) a pop; the previous linear scan +
+// splice was O(n).
+func BenchmarkQueuePopWaitEarliest(b *testing.B) {
+	q := benchQueueFill(1024)
+	r := uint64(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r ^= r << 13
+		r ^= r >> 7
+		r ^= r << 17
+		q.Push(Envelope{ArriveAt: sim.Cycles(r % 100_000)})
+		if _, ok := q.PopWaitEarliest(); !ok {
+			b.Fatal("pop failed")
+		}
+	}
+}
+
+// BenchmarkQueueFIFO measures the reply-queue discipline (push then pop, the
+// RPC pattern) — it must stay allocation-free at steady state now that
+// popped slots are zeroed in place instead of resliced away.
+func BenchmarkQueueFIFO(b *testing.B) {
+	q := NewQueue()
+	payload := make([]byte, 256)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q.Push(Envelope{Payload: payload})
+		if _, ok := q.TryPop(); !ok {
+			b.Fatal("pop failed")
+		}
+	}
+}

@@ -2,6 +2,11 @@ package ncc
 
 import "sync"
 
+// LineSize is the coherence granularity of the software-managed data path:
+// writeback and invalidation costs are charged per 64-byte line, matching the
+// hardware cache line the paper's cost figures are expressed in.
+const LineSize = 64
+
 // PrivateCache models one core's private (L1/L2) cache over the shared DRAM.
 // It is a write-back cache with no hardware coherence: a cached copy can be
 // stale with respect to DRAM, and dirty data is invisible to other cores
@@ -21,11 +26,66 @@ type PrivateCache struct {
 	misses     uint64
 	writebacks uint64
 	invalidns  uint64
+	// Data-movement counters for the zero-waste data path (DESIGN.md §8):
+	// 64-byte lines actually flushed to DRAM, lines dropped by invalidation,
+	// and lines a version-matched open did NOT have to drop.
+	linesWB      uint64
+	linesInv     uint64
+	linesSkipped uint64
 }
 
+// cachedBlock is one resident block copy. dirty is the per-64-byte-line dirty
+// bitmap (bit i = line i modified since the last writeback); a block is dirty
+// iff any bit is set.
 type cachedBlock struct {
 	data  []byte
-	dirty bool
+	dirty []uint64
+}
+
+// numLines returns how many 64-byte lines the block spans.
+func (cb *cachedBlock) numLines() int { return (len(cb.data) + LineSize - 1) / LineSize }
+
+// isDirty reports whether any line is dirty.
+func (cb *cachedBlock) isDirty() bool {
+	for _, w := range cb.dirty {
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// markLines sets the dirty bits for the lines spanning [off, off+n).
+func (cb *cachedBlock) markLines(off, n int) {
+	if n <= 0 {
+		return
+	}
+	if cb.dirty == nil {
+		cb.dirty = make([]uint64, (cb.numLines()+63)/64)
+	}
+	first := off / LineSize
+	last := (off + n - 1) / LineSize
+	for l := first; l <= last; l++ {
+		cb.dirty[l/64] |= 1 << (uint(l) % 64)
+	}
+}
+
+// dirtyLineCount returns the number of dirty lines.
+func (cb *cachedBlock) dirtyLineCount() int {
+	n := 0
+	for _, w := range cb.dirty {
+		for ; w != 0; w &= w - 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// clearDirty marks every line clean.
+func (cb *cachedBlock) clearDirty() {
+	for i := range cb.dirty {
+		cb.dirty[i] = 0
+	}
 }
 
 // NewPrivateCache creates an empty private cache over the given DRAM.
@@ -68,9 +128,9 @@ func (c *PrivateCache) Read(b BlockID, off int, dst []byte) (n int, hit bool) {
 	return copy(dst, cb.data[off:]), hit
 }
 
-// Write copies src into the cached copy of block b at off and marks the block
-// dirty. The data is NOT visible in DRAM until Writeback. Returns bytes
-// written and whether the block was already cached.
+// Write copies src into the cached copy of block b at off, marking the
+// touched 64-byte lines dirty. The data is NOT visible in DRAM until
+// Writeback. Returns bytes written and whether the block was already cached.
 func (c *PrivateCache) Write(b BlockID, off int, src []byte) (n int, hit bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -80,9 +140,7 @@ func (c *PrivateCache) Write(b BlockID, off int, src []byte) (n int, hit bool) {
 		return 0, hit
 	}
 	n = copy(cb.data[off:], src)
-	if n > 0 {
-		cb.dirty = true
-	}
+	cb.markLines(off, n)
 	return n, hit
 }
 
@@ -95,7 +153,8 @@ func (c *PrivateCache) Invalidate(blocks []BlockID) int {
 	defer c.mu.Unlock()
 	dropped := 0
 	for _, b := range blocks {
-		if _, ok := c.lines[b]; ok {
+		if cb, ok := c.lines[b]; ok {
+			c.linesInv += uint64(cb.numLines())
 			delete(c.lines, b)
 			dropped++
 		}
@@ -104,24 +163,129 @@ func (c *PrivateCache) Invalidate(blocks []BlockID) int {
 	return dropped
 }
 
-// Writeback flushes dirty cached copies of the given blocks to DRAM, leaving
-// clean copies in the cache. Hare calls this on close() and fsync(). It
-// returns the number of blocks flushed.
+// forEachCovered visits every resident block covered by the extents,
+// driving the iteration from whichever side is smaller: block-by-block map
+// lookups for a small file against a big cache, or one walk of the resident
+// set range-checked against the extents for a big file against a sparse
+// cache. Either way no per-block []BlockID slice is materialized. The
+// extents may arrive in file order (unsorted, e.g. descending under LIFO
+// allocation); the resident-walk branch sorts a scratch copy so its binary
+// search is valid. fn may delete the visited entry.
+func (c *PrivateCache) forEachCovered(exts []Extent, fn func(b BlockID, cb *cachedBlock)) {
+	if ExtentBlocks(exts) <= len(c.lines) {
+		for _, e := range exts {
+			for b := e.Start; b < e.End(); b++ {
+				if cb, ok := c.lines[b]; ok {
+					fn(b, cb)
+				}
+			}
+		}
+		return
+	}
+	norm := NormalizeExtents(append([]Extent(nil), exts...))
+	for b, cb := range c.lines {
+		if extentsContain(norm, b) {
+			fn(b, cb)
+		}
+	}
+}
+
+// InvalidateExtents drops cached copies of every block in the (normalized)
+// extents, discarding dirty data. It returns the number of blocks dropped.
+func (c *PrivateCache) InvalidateExtents(exts []Extent) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	dropped := 0
+	c.forEachCovered(exts, func(b BlockID, cb *cachedBlock) {
+		c.linesInv += uint64(cb.numLines())
+		delete(c.lines, b)
+		dropped++
+	})
+	c.invalidns += uint64(dropped)
+	return dropped
+}
+
+// Writeback flushes dirty cached copies of the given blocks to DRAM in full,
+// leaving clean copies in the cache. It returns the number of blocks flushed.
 func (c *PrivateCache) Writeback(blocks []BlockID) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	flushed := 0
 	for _, b := range blocks {
 		cb, ok := c.lines[b]
-		if !ok || !cb.dirty {
+		if !ok || !cb.isDirty() {
 			continue
 		}
 		c.dram.write(b, 0, cb.data)
-		cb.dirty = false
+		cb.clearDirty()
+		c.linesWB += uint64(cb.numLines())
 		flushed++
 	}
 	c.writebacks += uint64(flushed)
 	return flushed
+}
+
+// WritebackExtents flushes dirty cached blocks covered by the (normalized)
+// extents to DRAM, walking the resident set once instead of doing a map
+// lookup per block. With dirtyLinesOnly set, only the 64-byte lines actually
+// written since the last writeback move (and untouched lines of the same
+// block are left alone in DRAM); otherwise each dirty block is flushed in
+// full, matching Writeback. It returns the blocks flushed and the lines
+// moved — the quantity the data-path cost model charges for.
+func (c *PrivateCache) WritebackExtents(exts []Extent, dirtyLinesOnly bool) (blocks, lines int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.forEachCovered(exts, func(b BlockID, cb *cachedBlock) {
+		if !cb.isDirty() {
+			return
+		}
+		if dirtyLinesOnly {
+			lines += c.flushDirtyLines(b, cb)
+		} else {
+			c.dram.write(b, 0, cb.data)
+			lines += cb.numLines()
+		}
+		cb.clearDirty()
+		blocks++
+	})
+	c.writebacks += uint64(blocks)
+	c.linesWB += uint64(lines)
+	return blocks, lines
+}
+
+// flushDirtyLines writes only the dirty lines of cb to DRAM and returns how
+// many moved. The caller must hold c.mu and clear the dirty bits afterwards.
+func (c *PrivateCache) flushDirtyLines(b BlockID, cb *cachedBlock) int {
+	moved := 0
+	nl := cb.numLines()
+	for l := 0; l < nl; l++ {
+		if cb.dirty[l/64]&(1<<(uint(l)%64)) == 0 {
+			continue
+		}
+		off := l * LineSize
+		end := off + LineSize
+		if end > len(cb.data) {
+			end = len(cb.data)
+		}
+		c.dram.write(b, off, cb.data[off:end])
+		moved++
+	}
+	return moved
+}
+
+// NoteVersionSkip records that an open's invalidation was skipped because the
+// server-side data version matched the client's cached copy, and returns the
+// number of resident lines the skip preserved (for the lines-skipped
+// economy counter). It charges nothing and moves nothing.
+func (c *PrivateCache) NoteVersionSkip(exts []Extent) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	lines := 0
+	c.forEachCovered(exts, func(b BlockID, cb *cachedBlock) {
+		lines += cb.numLines()
+	})
+	c.linesSkipped += uint64(lines)
+	return lines
 }
 
 // InvalidateAll drops the entire cache contents (used when a simulated
@@ -130,6 +294,9 @@ func (c *PrivateCache) InvalidateAll() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	n := len(c.lines)
+	for _, cb := range c.lines {
+		c.linesInv += uint64(cb.numLines())
+	}
 	c.lines = make(map[BlockID]*cachedBlock)
 	c.invalidns += uint64(n)
 	return n
@@ -141,9 +308,10 @@ func (c *PrivateCache) WritebackAll() int {
 	defer c.mu.Unlock()
 	flushed := 0
 	for b, cb := range c.lines {
-		if cb.dirty {
+		if cb.isDirty() {
 			c.dram.write(b, 0, cb.data)
-			cb.dirty = false
+			cb.clearDirty()
+			c.linesWB += uint64(cb.numLines())
 			flushed++
 		}
 	}
@@ -156,7 +324,18 @@ func (c *PrivateCache) Dirty(b BlockID) bool {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	cb, ok := c.lines[b]
-	return ok && cb.dirty
+	return ok && cb.isDirty()
+}
+
+// DirtyLines returns the number of dirty 64-byte lines in block b.
+func (c *PrivateCache) DirtyLines(b BlockID) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cb, ok := c.lines[b]
+	if !ok {
+		return 0
+	}
+	return cb.dirtyLineCount()
 }
 
 // Cached reports whether block b currently has a cached copy.
@@ -174,6 +353,10 @@ type CacheStats struct {
 	Writebacks  uint64
 	Invalidated uint64
 	Resident    int
+	// Line-granular data movement (DESIGN.md §8).
+	LinesWB      uint64 // 64-byte lines flushed to DRAM
+	LinesInv     uint64 // resident lines dropped by invalidation
+	LinesSkipped uint64 // resident lines preserved by version-matched opens
 }
 
 // Stats returns a snapshot of the cache counters.
@@ -181,10 +364,13 @@ func (c *PrivateCache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return CacheStats{
-		Hits:        c.hits,
-		Misses:      c.misses,
-		Writebacks:  c.writebacks,
-		Invalidated: c.invalidns,
-		Resident:    len(c.lines),
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Writebacks:   c.writebacks,
+		Invalidated:  c.invalidns,
+		Resident:     len(c.lines),
+		LinesWB:      c.linesWB,
+		LinesInv:     c.linesInv,
+		LinesSkipped: c.linesSkipped,
 	}
 }

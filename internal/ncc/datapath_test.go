@@ -1,0 +1,339 @@
+package ncc
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Tests for the zero-waste data path primitives: extent lists, dirty-line
+// bitmaps, and the ranged writeback/invalidate variants, including a
+// randomized property test against a flat shadow model.
+
+func TestExtentListAppendAndAt(t *testing.T) {
+	var l ExtentList
+	blocks := []BlockID{4, 5, 6, 10, 11, 3, 7, 8}
+	for _, b := range blocks {
+		l.Append(b)
+	}
+	if l.Len() != len(blocks) {
+		t.Fatalf("Len = %d, want %d", l.Len(), len(blocks))
+	}
+	if l.NumRuns() != 4 {
+		t.Fatalf("NumRuns = %d, want 4 (%+v)", l.NumRuns(), l.Runs())
+	}
+	for i, want := range blocks {
+		if got := l.At(i); got != want {
+			t.Fatalf("At(%d) = %d, want %d", i, got, want)
+		}
+	}
+	tail := l.TailRuns(4)
+	want := []Extent{{Start: 11, Count: 1}, {Start: 3, Count: 1}, {Start: 7, Count: 2}}
+	if len(tail) != len(want) {
+		t.Fatalf("TailRuns(4) = %+v, want %+v", tail, want)
+	}
+	for i := range want {
+		if tail[i] != want[i] {
+			t.Fatalf("TailRuns(4)[%d] = %+v, want %+v", i, tail[i], want[i])
+		}
+	}
+	if l.TailRuns(len(blocks)) != nil {
+		t.Fatal("TailRuns past the end should be nil")
+	}
+	l.Reset()
+	if l.Len() != 0 || l.NumRuns() != 0 {
+		t.Fatal("Reset did not empty the list")
+	}
+}
+
+func TestNormalizeExtentsMergesOverlaps(t *testing.T) {
+	exts := []Extent{
+		{Start: 10, Count: 3}, // [10,13)
+		{Start: 2, Count: 2},  // [2,4)
+		{Start: 11, Count: 4}, // [11,15) overlaps the first
+		{Start: 4, Count: 1},  // adjacent to [2,4)
+		{Start: 12, Count: 1}, // contained
+	}
+	norm := NormalizeExtents(exts)
+	want := []Extent{{Start: 2, Count: 3}, {Start: 10, Count: 5}}
+	if len(norm) != len(want) {
+		t.Fatalf("normalize = %+v, want %+v", norm, want)
+	}
+	for i := range want {
+		if norm[i] != want[i] {
+			t.Fatalf("normalize[%d] = %+v, want %+v", i, norm[i], want[i])
+		}
+	}
+	if ExtentBlocks(norm) != 8 {
+		t.Fatalf("ExtentBlocks = %d, want 8", ExtentBlocks(norm))
+	}
+	for _, b := range []BlockID{2, 3, 4, 10, 14} {
+		if !extentsContain(norm, b) {
+			t.Fatalf("extentsContain(%d) = false", b)
+		}
+	}
+	for _, b := range []BlockID{1, 5, 9, 15} {
+		if extentsContain(norm, b) {
+			t.Fatalf("extentsContain(%d) = true", b)
+		}
+	}
+}
+
+func TestDirtyLineWritebackMovesOnlyWrittenLines(t *testing.T) {
+	d := NewDRAM(4, 4*LineSize)
+	c := NewPrivateCache(d)
+
+	// Another core's data sits in DRAM line 1 of block 0.
+	theirs := bytes.Repeat([]byte{0xAA}, LineSize)
+	d.WriteDirect(0, LineSize, theirs)
+
+	// This core caches the block, then writes only line 3.
+	buf := make([]byte, LineSize)
+	c.Read(0, 0, buf[:1])
+	ours := bytes.Repeat([]byte{0x55}, LineSize)
+	c.Write(0, 3*LineSize, ours)
+	if got := c.DirtyLines(0); got != 1 {
+		t.Fatalf("DirtyLines = %d, want 1", got)
+	}
+
+	// Meanwhile DRAM line 1 changes again (the other core wrote back).
+	newer := bytes.Repeat([]byte{0xBB}, LineSize)
+	d.WriteDirect(0, LineSize, newer)
+
+	blocks, lines := c.WritebackExtents([]Extent{{Start: 0, Count: 4}}, true)
+	if blocks != 1 || lines != 1 {
+		t.Fatalf("writeback moved %d blocks / %d lines, want 1/1", blocks, lines)
+	}
+	// The dirty-line writeback must not have clobbered line 1 with the stale
+	// cached copy; a full-block writeback would have.
+	got := make([]byte, LineSize)
+	d.ReadDirect(0, LineSize, got)
+	if !bytes.Equal(got, newer) {
+		t.Fatal("dirty-line writeback clobbered a clean line with stale data")
+	}
+	d.ReadDirect(0, 3*LineSize, got)
+	if !bytes.Equal(got, ours) {
+		t.Fatal("dirty line did not reach DRAM")
+	}
+	if c.Dirty(0) {
+		t.Fatal("block still dirty after writeback")
+	}
+}
+
+// shadowState models the cache + DRAM pair as flat buffers with per-line
+// dirty tracking, independently of the implementation under test.
+type shadowState struct {
+	blockSize int
+	dram      map[BlockID][]byte
+	priv      map[BlockID][]byte
+	dirty     map[BlockID][]bool
+}
+
+func newShadow(blockSize int) *shadowState {
+	return &shadowState{
+		blockSize: blockSize,
+		dram:      make(map[BlockID][]byte),
+		priv:      make(map[BlockID][]byte),
+		dirty:     make(map[BlockID][]bool),
+	}
+}
+
+func (s *shadowState) dramOf(b BlockID) []byte {
+	if buf, ok := s.dram[b]; ok {
+		return buf
+	}
+	buf := make([]byte, s.blockSize)
+	s.dram[b] = buf
+	return buf
+}
+
+// resident fetches the block into the shadow private cache if needed.
+func (s *shadowState) resident(b BlockID) []byte {
+	if buf, ok := s.priv[b]; ok {
+		return buf
+	}
+	buf := make([]byte, s.blockSize)
+	copy(buf, s.dramOf(b))
+	s.priv[b] = buf
+	s.dirty[b] = make([]bool, (s.blockSize+LineSize-1)/LineSize)
+	return buf
+}
+
+func (s *shadowState) write(b BlockID, off int, src []byte) {
+	buf := s.resident(b)
+	n := copy(buf[off:], src)
+	for l := off / LineSize; l <= (off+n-1)/LineSize; l++ {
+		s.dirty[b][l] = true
+	}
+}
+
+// writeback flushes dirty lines of resident blocks inside exts (any order,
+// may overlap) and returns the lines moved.
+func (s *shadowState) writeback(exts []Extent) int {
+	norm := NormalizeExtents(append([]Extent(nil), exts...))
+	moved := 0
+	for b, buf := range s.priv {
+		if !extentsContain(norm, b) {
+			continue
+		}
+		dram := s.dramOf(b)
+		for l, d := range s.dirty[b] {
+			if !d {
+				continue
+			}
+			off := l * LineSize
+			end := off + LineSize
+			if end > s.blockSize {
+				end = s.blockSize
+			}
+			copy(dram[off:end], buf[off:end])
+			s.dirty[b][l] = false
+			moved++
+		}
+	}
+	return moved
+}
+
+func (s *shadowState) invalidate(exts []Extent) {
+	norm := NormalizeExtents(append([]Extent(nil), exts...))
+	for b := range s.priv {
+		if extentsContain(norm, b) {
+			delete(s.priv, b)
+			delete(s.dirty, b)
+		}
+	}
+}
+
+// TestDataPathPropertyAgainstShadow drives random write / read / writeback /
+// invalidate / remote-DRAM-write sequences through the private cache and a
+// flat shadow model, asserting byte-equality of every read and of DRAM after
+// every writeback, and that lines moved never exceed lines written.
+func TestDataPathPropertyAgainstShadow(t *testing.T) {
+	const (
+		numBlocks = 12
+		blockSize = 4 * LineSize
+		rounds    = 4000
+	)
+	d := NewDRAM(numBlocks, blockSize)
+	c := NewPrivateCache(d)
+	shadow := newShadow(blockSize)
+
+	rng := uint64(0xDEADBEEFCAFE)
+	next := func(n int) int {
+		rng ^= rng << 13
+		rng ^= rng >> 7
+		rng ^= rng << 17
+		return int(rng % uint64(n))
+	}
+
+	var linesWritten, linesMoved int
+	// randExtents produces one or two runs, deliberately unsorted and
+	// possibly overlapping — block maps arrive in file order, which under
+	// LIFO allocation means descending block ids.
+	randExtents := func() []Extent {
+		start := BlockID(next(numBlocks))
+		count := uint64(1 + next(numBlocks-int(start)))
+		exts := []Extent{{Start: start, Count: count}}
+		if next(2) == 0 {
+			s2 := BlockID(next(numBlocks))
+			exts = append(exts, Extent{Start: s2, Count: uint64(1 + next(numBlocks-int(s2)))})
+		}
+		return exts
+	}
+
+	for i := 0; i < rounds; i++ {
+		b := BlockID(next(numBlocks))
+		off := next(blockSize - 1)
+		n := 1 + next(blockSize-off)
+		switch next(5) {
+		case 0: // direct-access write through the cache
+			src := make([]byte, n)
+			for j := range src {
+				src[j] = byte(next(256))
+			}
+			wrote, _ := c.Write(b, off, src)
+			shadow.write(b, off, src[:wrote])
+			if wrote > 0 {
+				linesWritten += (off+wrote-1)/LineSize - off/LineSize + 1
+			}
+		case 1: // read through the cache: must equal the shadow's view
+			got := make([]byte, n)
+			read, _ := c.Read(b, off, got)
+			want := shadow.resident(b)[off : off+read]
+			if !bytes.Equal(got[:read], want) {
+				t.Fatalf("round %d: read block %d off %d diverged from shadow", i, b, off)
+			}
+		case 2: // ranged dirty-line writeback
+			exts := randExtents()
+			_, lines := c.WritebackExtents(exts, true)
+			wantLines := shadow.writeback(exts)
+			if lines != wantLines {
+				t.Fatalf("round %d: writeback moved %d lines, shadow says %d", i, lines, wantLines)
+			}
+			linesMoved += lines
+		case 3: // ranged invalidation
+			exts := randExtents()
+			c.InvalidateExtents(exts)
+			shadow.invalidate(exts)
+		case 4: // another core writes DRAM directly (its own writeback)
+			src := make([]byte, n)
+			for j := range src {
+				src[j] = byte(next(256))
+			}
+			d.WriteDirect(b, off, src)
+			copy(shadow.dramOf(b)[off:], src)
+		}
+		// DRAM must match the shadow DRAM everywhere, every few rounds.
+		if i%97 == 0 {
+			for blk := 0; blk < numBlocks; blk++ {
+				got := make([]byte, blockSize)
+				d.ReadDirect(BlockID(blk), 0, got)
+				if !bytes.Equal(got, shadow.dramOf(BlockID(blk))) {
+					t.Fatalf("round %d: DRAM block %d diverged from shadow", i, blk)
+				}
+			}
+		}
+	}
+	if linesMoved > linesWritten {
+		t.Fatalf("moved %d lines but only %d were written: writeback moved clean data", linesMoved, linesWritten)
+	}
+	if linesMoved == 0 || linesWritten == 0 {
+		t.Fatal("property test exercised no writebacks; widen the op mix")
+	}
+	st := c.Stats()
+	if st.LinesWB != uint64(linesMoved) {
+		t.Fatalf("stats LinesWB = %d, observed %d", st.LinesWB, linesMoved)
+	}
+}
+
+// BenchmarkWritebackExtents measures the ranged dirty-line flush over a
+// cache with many resident blocks and a sparse dirty set.
+func BenchmarkWritebackExtents(b *testing.B) {
+	const numBlocks = 4096
+	d := NewDRAM(numBlocks, 4096)
+	c := NewPrivateCache(d)
+	buf := make([]byte, 64)
+	for i := 0; i < numBlocks; i++ {
+		c.Read(BlockID(i), 0, buf) // make resident
+	}
+	exts := []Extent{{Start: 0, Count: numBlocks}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Write(BlockID(i%numBlocks), 128, buf)
+		c.WritebackExtents(exts, true)
+	}
+}
+
+// BenchmarkExtentListAt measures random access into a fragmented block map.
+func BenchmarkExtentListAt(b *testing.B) {
+	var l ExtentList
+	for i := 0; i < 1024; i++ {
+		l.Append(BlockID(i * 2)) // fully fragmented: one run per block
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if l.At(i%1024) != BlockID((i%1024)*2) {
+			b.Fatal("wrong block")
+		}
+	}
+}

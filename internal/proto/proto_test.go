@@ -28,6 +28,7 @@ func TestRequestRoundTrip(t *testing.T) {
 		Exclusive:   true,
 		Replace:     false,
 		WantOpen:    true,
+		Dirty:       true,
 		Program:     "prog-1",
 		Args:        []string{"a", "b c", ""},
 		Env:         []string{"K=V"},
@@ -51,16 +52,17 @@ func TestRequestRoundTrip(t *testing.T) {
 
 func TestResponseRoundTrip(t *testing.T) {
 	resp := &Response{
-		Err:    fsapi.EEXIST,
-		Ino:    InodeID{Server: 3, Local: 77},
-		Server: 3,
-		Ftype:  fsapi.TypeDir,
-		Size:   8192,
-		Offset: 64,
-		N:      5,
-		Fd:     FdID(9),
-		Blocks: []uint64{1, 2, 3, 500},
-		Data:   []byte{0, 1, 2, 255},
+		Err:     fsapi.EEXIST,
+		Ino:     InodeID{Server: 3, Local: 77},
+		Server:  3,
+		Ftype:   fsapi.TypeDir,
+		Size:    8192,
+		Offset:  64,
+		N:       5,
+		Fd:      FdID(9),
+		Extents: []Extent{{Start: 1, Count: 3}, {Start: 500, Count: 1}},
+		Version: 42,
+		Data:    []byte{0, 1, 2, 255},
 		Stat: StatWire{
 			Ino:   InodeID{Server: 3, Local: 77},
 			Ftype: fsapi.TypeDir,
@@ -116,7 +118,7 @@ func TestTruncatedPayloadsFail(t *testing.T) {
 			t.Errorf("truncation at %d not detected", cut)
 		}
 	}
-	resp := &Response{Data: []byte("abcdef"), Blocks: []uint64{1, 2}}
+	resp := &Response{Data: []byte("abcdef"), Extents: []Extent{{Start: 1, Count: 2}}}
 	rraw := resp.Marshal()
 	if _, err := UnmarshalResponse(rraw[:len(rraw)/3]); err == nil {
 		t.Error("truncated response not detected")
@@ -147,6 +149,16 @@ func TestRequestRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestExtentCoding(t *testing.T) {
+	exts := []Extent{{Start: 4, Count: 3}, {Start: 9, Count: 2}, {Start: 2, Count: 1}}
+	if BlockCount(exts) != 6 {
+		t.Fatalf("BlockCount = %d, want 6", BlockCount(exts))
+	}
+	if BlockCount(nil) != 0 {
+		t.Fatal("BlockCount(nil) should be 0")
 	}
 }
 

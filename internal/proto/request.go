@@ -56,6 +56,7 @@ type Request struct {
 	Exclusive   bool // O_EXCL semantics for create
 	Replace     bool // AddMap may replace an existing entry (rename)
 	WantOpen    bool // coalesced create should also open a descriptor
+	Dirty       bool // close/fd-share: client wrote the file's data directly
 
 	// Scheduling-server fields.
 	Program string
@@ -89,6 +90,7 @@ func (r *Request) Marshal() []byte {
 	e.boolean(r.Exclusive)
 	e.boolean(r.Replace)
 	e.boolean(r.WantOpen)
+	e.boolean(r.Dirty)
 	e.str(r.Program)
 	e.strSlice(r.Args)
 	e.strSlice(r.Env)
@@ -132,6 +134,7 @@ func UnmarshalRequest(b []byte) (*Request, error) {
 	r.Exclusive = d.boolean()
 	r.Replace = d.boolean()
 	r.WantOpen = d.boolean()
+	r.Dirty = d.boolean()
 	r.Program = d.str()
 	r.Args = d.strSlice()
 	r.Env = d.strSlice()

@@ -2,25 +2,35 @@ package proto
 
 import "repro/internal/fsapi"
 
+// Extent is a run of Count consecutive buffer-cache blocks starting at
+// block Start. Block lists travel extent-coded so OPEN/EXTEND/TRUNCATE
+// message bytes scale with a file's fragmentation, not its size: a freshly
+// allocated file is one run regardless of length (DESIGN.md §8).
+type Extent struct {
+	Start uint64
+	Count uint64
+}
+
 // Response is the single response message shape used for every operation.
 // Err is fsapi.OK on success. Only the fields relevant to the request's Op
 // are meaningful.
 type Response struct {
 	Err fsapi.Errno
 
-	Ino    InodeID // resulting / looked-up inode
-	Server int32   // server storing the inode named by a directory entry
-	Ftype  fsapi.FileType
-	Size   int64
-	Offset int64
-	N      int64 // generic count (bytes read/written, entries removed, ...)
-	Fd     FdID
-	Blocks []uint64 // buffer-cache block list for direct access
-	Data   []byte
-	Stat   StatWire
-	Ents   []DirEntWire
-	Dist   bool  // looked-up/created directory has distributed entries
-	Refs   int32 // remaining reference count (shared fd ops)
+	Ino     InodeID // resulting / looked-up inode
+	Server  int32   // server storing the inode named by a directory entry
+	Ftype   fsapi.FileType
+	Size    int64
+	Offset  int64
+	N       int64 // generic count (bytes read/written, entries removed, ...)
+	Fd      FdID
+	Extents []Extent // extent-coded buffer-cache block list for direct access
+	Version uint64   // inode data version (bumped on any data mutation)
+	Data    []byte
+	Stat    StatWire
+	Ents    []DirEntWire
+	Dist    bool  // looked-up/created directory has distributed entries
+	Refs    int32 // remaining reference count (shared fd ops)
 
 	ExitStatus int32 // exec: exit status of the remote process
 	PID        int64 // exec: pid assigned to the remote process
@@ -28,7 +38,7 @@ type Response struct {
 
 // Marshal encodes the response into a fresh byte slice.
 func (r *Response) Marshal() []byte {
-	e := newEncoder(64 + len(r.Data) + 24*len(r.Ents) + 8*len(r.Blocks))
+	e := newEncoder(64 + len(r.Data) + 24*len(r.Ents) + 16*len(r.Extents))
 	e.i32(int32(r.Err))
 	e.inode(r.Ino)
 	e.i32(r.Server)
@@ -37,7 +47,12 @@ func (r *Response) Marshal() []byte {
 	e.i64(r.Offset)
 	e.i64(r.N)
 	e.u64(uint64(r.Fd))
-	e.u64Slice(r.Blocks)
+	e.u32(uint32(len(r.Extents)))
+	for _, ext := range r.Extents {
+		e.u64(ext.Start)
+		e.u64(ext.Count)
+	}
+	e.u64(r.Version)
 	e.blob(r.Data)
 	e.inode(r.Stat.Ino)
 	e.u8(uint8(r.Stat.Ftype))
@@ -69,7 +84,16 @@ func UnmarshalResponse(b []byte) (*Response, error) {
 	r.Offset = d.i64()
 	r.N = d.i64()
 	r.Fd = FdID(d.u64())
-	r.Blocks = d.u64Slice()
+	nexts := int(d.u32())
+	if nexts > 0 && d.err == nil {
+		r.Extents = make([]Extent, 0, nexts)
+		for i := 0; i < nexts; i++ {
+			start := d.u64()
+			count := d.u64()
+			r.Extents = append(r.Extents, Extent{Start: start, Count: count})
+		}
+	}
+	r.Version = d.u64()
 	r.Data = d.blob()
 	r.Stat.Ino = d.inode()
 	r.Stat.Ftype = fsapi.FileType(d.u8())
@@ -99,6 +123,15 @@ func UnmarshalResponse(b []byte) (*Response, error) {
 
 // ErrResponse builds a response carrying only an error.
 func ErrResponse(err fsapi.Errno) *Response { return &Response{Err: err} }
+
+// BlockCount returns the total number of blocks the extents cover.
+func BlockCount(exts []Extent) int {
+	total := 0
+	for _, e := range exts {
+		total += int(e.Count)
+	}
+	return total
+}
 
 // Invalidation is the payload of a directory-cache invalidation callback
 // (server -> client), identifying the cached name to drop.

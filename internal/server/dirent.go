@@ -291,12 +291,12 @@ func (s *Server) handleCreateCoalesced(req *proto.Request, env msg.Envelope) (*p
 	}
 	s.track(req.Dir, req.Name, req.ClientID)
 	return &proto.Response{
-		Ino:    s.id(ino),
-		Server: int32(s.cfg.ID),
-		Ftype:  ftype,
-		Size:   0,
-		Blocks: nil,
-		Dist:   req.Distributed,
-		Stat:   s.statOf(ino),
+		Ino:     s.id(ino),
+		Server:  int32(s.cfg.ID),
+		Ftype:   ftype,
+		Size:    0,
+		Version: ino.version,
+		Dist:    req.Distributed,
+		Stat:    s.statOf(ino),
 	}, false
 }

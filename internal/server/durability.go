@@ -245,6 +245,7 @@ func (s *Server) Crashed() bool { return s.crashed.Load() }
 func (s *Server) resetState() {
 	s.inodes = make(map[uint64]*inode)
 	s.nextIno = 2
+	s.verBase = uint64(s.incarnation) << 32
 	s.dirs = make(map[proto.InodeID]*dirShard)
 	s.deadDirs = make(map[proto.InodeID]bool)
 	s.sharedFds = make(map[proto.FdID]*sharedFd)
@@ -364,6 +365,7 @@ func (s *Server) loadCheckpoint(c *wal.Checkpoint) {
 			size:        snap.Size,
 			nlink:       int(snap.Nlink),
 			distributed: snap.Dist,
+			version:     s.verBase,
 		}
 		for _, b := range snap.Blocks {
 			ino.blocks = append(ino.blocks, ncc.BlockID(b))
@@ -412,6 +414,7 @@ func (s *Server) applyRecord(r wal.Record) {
 			mode:        r.Mode,
 			nlink:       int(r.Nlink),
 			distributed: r.Dist,
+			version:     s.verBase,
 		}
 	case wal.RecNlink:
 		ino, ok := s.inodes[r.Ino]

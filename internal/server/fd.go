@@ -34,10 +34,21 @@ func (s *Server) handleFdShare(req *proto.Request) *proto.Response {
 	if errno != fsapi.OK {
 		return proto.ErrResponse(errno)
 	}
+	// Sharing a descriptor the client had written through flushes its dirty
+	// data to DRAM first; the share request coalesces the resulting size
+	// update (sizes only grow here, like CLOSE) and the version bump other
+	// clients' caches must observe, saving a separate SET_SIZE message.
+	if req.Dirty {
+		if req.Size > ino.size {
+			ino.size = req.Size
+			s.stageSize(ino)
+		}
+		s.bumpVersion(ino)
+	}
 	id := s.nextFd
 	s.nextFd++
 	s.sharedFds[id] = &sharedFd{ino: ino.local, offset: req.Offset, refs: 1, flags: req.Flags}
-	return &proto.Response{Fd: id, Refs: 1}
+	return &proto.Response{Fd: id, Refs: 1, Version: ino.version}
 }
 
 func (s *Server) handleFdIncRef(req *proto.Request) *proto.Response {
@@ -136,6 +147,7 @@ func (s *Server) handleFdWrite(req *proto.Request) *proto.Response {
 	// The offset is resolved before logging so append-mode replay writes
 	// the same bytes to the same place.
 	s.stageWrite(ino, off, req.Data)
+	s.bumpVersion(ino)
 	fd.offset = end
 	return &proto.Response{N: int64(len(req.Data)), Offset: fd.offset, Size: ino.size, Refs: int32(fd.refs)}
 }

@@ -17,6 +17,13 @@ type inode struct {
 
 	// blocks is the ordered buffer-cache block list holding file data.
 	blocks []ncc.BlockID
+	// version counts data mutations (writes acknowledged at close/fsync,
+	// server-side writes, extends, truncates). OPEN and CLOSE return it so a
+	// client re-opening a file whose version matches its cached copy can
+	// skip invalidating the file's blocks (DESIGN.md §8). After a crash,
+	// versions restart in a fresh incarnation's range (verBase), so a stale
+	// pre-crash version can never match.
+	version uint64
 	// fdRefs counts open file descriptors (across all client libraries)
 	// referring to this inode. Data blocks are reclaimed only when the
 	// count drops to zero (supports reading unlinked files, and defers
@@ -60,17 +67,39 @@ func (s *Server) allocInode(ftype fsapi.FileType, mode fsapi.Mode, distributed b
 		mode:        mode,
 		nlink:       1,
 		distributed: distributed,
+		version:     s.verBase,
 	}
 	s.nextIno++
 	s.inodes[ino.local] = ino
 	return ino
 }
 
-// blockList converts the inode's block list to wire form.
+// bumpVersion records a data mutation on the inode. Every path that changes
+// file contents, the block list, or the size calls it, so a version match at
+// open proves the client's cached copy is still byte-identical to DRAM.
+func (s *Server) bumpVersion(ino *inode) { ino.version++ }
+
+// blockList converts the inode's block list to the flat form used by the
+// write-ahead log (whose record format predates extent coding and stays
+// stable across PRs).
 func blockList(ino *inode) []uint64 {
 	out := make([]uint64, len(ino.blocks))
 	for i, b := range ino.blocks {
 		out[i] = uint64(b)
+	}
+	return out
+}
+
+// extentList converts the inode's block list to the extent-coded wire form:
+// message bytes scale with the file's fragmentation, not its size.
+func extentList(ino *inode) []proto.Extent {
+	var out []proto.Extent
+	for _, b := range ino.blocks {
+		if n := len(out); n > 0 && out[n-1].Start+out[n-1].Count == uint64(b) {
+			out[n-1].Count++
+			continue
+		}
+		out = append(out, proto.Extent{Start: uint64(b), Count: 1})
 	}
 	return out
 }
@@ -191,17 +220,20 @@ func (s *Server) handleOpenInode(req *proto.Request) *proto.Response {
 		return proto.ErrResponse(errno)
 	}
 	if req.Flags&fsapi.OTrunc != 0 && ino.ftype == fsapi.TypeRegular {
-		s.truncateTo(ino, 0)
+		if s.truncateTo(ino, 0) {
+			s.bumpVersion(ino)
+		}
 		s.stageBlocks(ino)
 	}
 	ino.fdRefs++
 	return &proto.Response{
-		Ino:    s.id(ino),
-		Ftype:  ino.ftype,
-		Size:   ino.size,
-		Blocks: blockList(ino),
-		Stat:   s.statOf(ino),
-		Dist:   ino.distributed,
+		Ino:     s.id(ino),
+		Ftype:   ino.ftype,
+		Size:    ino.size,
+		Extents: extentList(ino),
+		Version: ino.version,
+		Stat:    s.statOf(ino),
+		Dist:    ino.distributed,
 	}
 }
 
@@ -217,11 +249,19 @@ func (s *Server) handleCloseInode(req *proto.Request) *proto.Response {
 		ino.size = req.Size
 		s.stageSize(ino)
 	}
+	// The Dirty flag says the client wrote the file's data directly in the
+	// buffer cache (and has just written it back): other clients' cached
+	// copies are now stale, so the data version moves on. The new version is
+	// returned so the closing client — whose cache IS the new contents —
+	// can skip invalidation on its own reopen.
+	if req.Dirty {
+		s.bumpVersion(ino)
+	}
 	if ino.fdRefs > 0 {
 		ino.fdRefs--
 	}
 	s.maybeReap(ino)
-	return &proto.Response{Size: ino.size}
+	return &proto.Response{Size: ino.size, Version: ino.version}
 }
 
 func (s *Server) handleGetBlocks(req *proto.Request) *proto.Response {
@@ -229,7 +269,7 @@ func (s *Server) handleGetBlocks(req *proto.Request) *proto.Response {
 	if errno != fsapi.OK {
 		return proto.ErrResponse(errno)
 	}
-	return &proto.Response{Size: ino.size, Blocks: blockList(ino)}
+	return &proto.Response{Size: ino.size, Extents: extentList(ino), Version: ino.version}
 }
 
 func (s *Server) handleExtend(req *proto.Request) *proto.Response {
@@ -242,9 +282,10 @@ func (s *Server) handleExtend(req *proto.Request) *proto.Response {
 		return proto.ErrResponse(errno)
 	}
 	if len(ino.blocks) != before {
+		s.bumpVersion(ino)
 		s.stageBlocks(ino)
 	}
-	return &proto.Response{Size: ino.size, Blocks: blockList(ino)}
+	return &proto.Response{Size: ino.size, Extents: extentList(ino), Version: ino.version}
 }
 
 func (s *Server) handleSetSize(req *proto.Request) *proto.Response {
@@ -256,18 +297,24 @@ func (s *Server) handleSetSize(req *proto.Request) *proto.Response {
 		ino.size = req.Size
 		s.stageSize(ino)
 	}
-	return &proto.Response{Size: ino.size}
+	// SET_SIZE is only sent after direct writes (fsync/sync), so the file's
+	// data changed even when the size did not.
+	s.bumpVersion(ino)
+	return &proto.Response{Size: ino.size, Version: ino.version}
 }
 
 // truncateTo shrinks the file to size, deferring block reuse while file
 // descriptors remain open (another core's client library may still be
-// writing those blocks directly, §3.2).
-func (s *Server) truncateTo(ino *inode, size int64) {
+// writing those blocks directly, §3.2). It reports whether the size or the
+// block list actually changed (so callers bump the data version only for
+// real mutations).
+func (s *Server) truncateTo(ino *inode, size int64) bool {
 	if size < 0 {
 		size = 0
 	}
 	bs := int64(s.cfg.DRAM.BlockSize())
 	keep := int((size + bs - 1) / bs)
+	changed := false
 	if keep < len(ino.blocks) {
 		removed := ino.blocks[keep:]
 		ino.blocks = ino.blocks[:keep:keep]
@@ -276,8 +323,13 @@ func (s *Server) truncateTo(ino *inode, size int64) {
 		} else {
 			s.cfg.Partition.Free(removed)
 		}
+		changed = true
 	}
-	ino.size = size
+	if ino.size != size {
+		ino.size = size
+		changed = true
+	}
+	return changed
 }
 
 func (s *Server) handleTruncate(req *proto.Request) *proto.Response {
@@ -290,10 +342,13 @@ func (s *Server) handleTruncate(req *proto.Request) *proto.Response {
 	}
 	// truncateTo both trims capacity beyond the new size (deferring reuse
 	// while descriptors remain open) and sets the logical size, growing or
-	// shrinking as needed.
+	// shrinking as needed. The bump is unconditional — clients count an
+	// explicit TRUNCATE as exactly one version step when tracking their
+	// consistency window, even when the size happens to be unchanged.
 	s.truncateTo(ino, req.Size)
+	s.bumpVersion(ino)
 	s.stageBlocks(ino)
-	return &proto.Response{Size: ino.size, Blocks: blockList(ino)}
+	return &proto.Response{Size: ino.size, Extents: extentList(ino), Version: ino.version}
 }
 
 func (s *Server) handleStat(req *proto.Request) *proto.Response {
@@ -344,7 +399,8 @@ func (s *Server) handleWriteAt(req *proto.Request) *proto.Response {
 		s.stageBlocks(ino)
 	}
 	s.stageWrite(ino, req.Offset, req.Data)
-	return &proto.Response{N: int64(len(req.Data)), Size: ino.size}
+	s.bumpVersion(ino)
+	return &proto.Response{N: int64(len(req.Data)), Size: ino.size, Version: ino.version}
 }
 
 // readData copies file contents [off, off+len(dst)) from the shared DRAM.

@@ -139,6 +139,11 @@ type Server struct {
 	// incarnation counts recoveries; shared-descriptor ids embed it so
 	// descriptors from before a crash cannot alias ones issued after.
 	incarnation uint32
+	// verBase is the floor of this incarnation's inode data versions
+	// (incarnation << 32). Versions replayed or assigned after a recovery
+	// start above every version handed out before the crash, so a client's
+	// stale pre-crash version can never match and mask lost writes.
+	verBase uint64
 
 	done chan struct{}
 }

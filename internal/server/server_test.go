@@ -391,7 +391,7 @@ func TestServerBatchCreateStatUnlink(t *testing.T) {
 			t.Fatalf("sub-op %d failed: %v", i, r.Err)
 		}
 	}
-	if len(resps[1].Blocks) == 0 {
+	if proto.BlockCount(resps[1].Extents) == 0 {
 		t.Fatal("extend inside a batch allocated no blocks")
 	}
 	after := h.callOK(&proto.Request{Op: proto.OpStat, Target: created.Ino})

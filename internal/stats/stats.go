@@ -79,16 +79,22 @@ func GeoMean(xs []float64) float64 {
 
 // Economy aggregates the message-economy counters of one deployment or one
 // timed region: messages on the wire, payload bytes, client request
-// messages, sub-operations that traveled inside batch envelopes, and the
-// total virtual queueing delay requests spent waiting for busy servers.
+// messages, sub-operations that traveled inside batch envelopes, the total
+// virtual queueing delay requests spent waiting for busy servers, and the
+// data-path line counters (64-byte lines written back to DRAM, lines dropped
+// by open-time invalidation, and lines a version-matched open preserved).
 // The benchmark harness reports these alongside runtimes so optimizations
-// that trade messages for latency are quantified, not asserted.
+// that trade messages or data movement for latency are quantified, not
+// asserted.
 type Economy struct {
 	Msgs        uint64 // envelopes delivered (requests, replies, callbacks)
 	Bytes       uint64 // payload bytes on the wire
 	ClientRPCs  uint64 // request messages sent by client libraries
 	BatchedOps  uint64 // sub-operations carried inside batch envelopes
 	QueueCycles uint64 // total virtual cycles requests queued at busy servers
+	WbLines     uint64 // 64-byte lines written back to the shared DRAM
+	InvLines    uint64 // resident lines dropped by open-time invalidation
+	SkipLines   uint64 // resident lines preserved by version-matched opens
 }
 
 // Sub returns the counters accumulated since the base snapshot.
@@ -99,6 +105,9 @@ func (e Economy) Sub(base Economy) Economy {
 		ClientRPCs:  e.ClientRPCs - base.ClientRPCs,
 		BatchedOps:  e.BatchedOps - base.BatchedOps,
 		QueueCycles: e.QueueCycles - base.QueueCycles,
+		WbLines:     e.WbLines - base.WbLines,
+		InvLines:    e.InvLines - base.InvLines,
+		SkipLines:   e.SkipLines - base.SkipLines,
 	}
 }
 
@@ -110,8 +119,16 @@ func (e Economy) Add(o Economy) Economy {
 		ClientRPCs:  e.ClientRPCs + o.ClientRPCs,
 		BatchedOps:  e.BatchedOps + o.BatchedOps,
 		QueueCycles: e.QueueCycles + o.QueueCycles,
+		WbLines:     e.WbLines + o.WbLines,
+		InvLines:    e.InvLines + o.InvLines,
+		SkipLines:   e.SkipLines + o.SkipLines,
 	}
 }
+
+// DataLines returns the total 64-byte lines the data path actually moved
+// (written back plus invalidated) — the quantity the zero-waste data path
+// minimizes (DESIGN.md §8).
+func (e Economy) DataLines() uint64 { return e.WbLines + e.InvLines }
 
 // PerOp divides a counter by an operation count (0 when ops is 0).
 func PerOp(counter uint64, ops int) float64 {

@@ -1,0 +1,163 @@
+package workload
+
+import (
+	"bytes"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/fsapi"
+	"repro/internal/sched"
+)
+
+// BigFile is the large-file data-path microbenchmark: every worker writes a
+// multi-block file sequentially, then alternates re-open/read rounds with
+// sparse overwrite rounds that dirty a single 64-byte line per touched
+// block, and finally verifies the whole file byte for byte. It is the
+// workload most sensitive to data moved per operation, which makes it the
+// acceptance benchmark for the zero-waste data path (DESIGN.md §8): version
+// matching lets the read rounds skip whole-file invalidation, and dirty-line
+// writeback lets the overwrite rounds flush lines instead of blocks.
+type BigFile struct {
+	// FileKiB is the per-worker file size in KiB; 0 means a scaled default.
+	FileKiB int
+	// Rounds is how many read rounds and overwrite rounds each worker runs.
+	Rounds int
+}
+
+// Name implements Workload.
+func (BigFile) Name() string { return "bigfile" }
+
+// Placement implements Workload.
+func (BigFile) Placement() sched.Policy { return sched.PolicyRoundRobin }
+
+// Setup creates the shared directory.
+func (BigFile) Setup(env *Env) error {
+	return runRoot(env, "bigfile-setup", func(p *sched.Proc) int {
+		if err := env.fs(p).Mkdir("/big", fsapi.MkdirOpt{Distributed: true}); err != nil {
+			return 1
+		}
+		return 0
+	})
+}
+
+// Run implements Workload.
+func (w BigFile) Run(env *Env) (int, error) {
+	const chunk = 4096
+	fileKiB := w.FileKiB
+	if fileKiB == 0 {
+		// Large enough that per-round data movement dominates the open/close
+		// RPCs even when a single server serializes them.
+		fileKiB = env.iters(1024)
+	}
+	size := fileKiB << 10
+	if size < 2*chunk {
+		size = 2 * chunk
+	}
+	size = (size + chunk - 1) / chunk * chunk
+	rounds := w.Rounds
+	if rounds == 0 {
+		rounds = 3
+	}
+	n := env.workers()
+	var ops int64
+	err := runRoot(env, "bigfile", func(p *sched.Proc) int {
+		return fanOut(p, n, func(wp *sched.Proc, idx int) int {
+			fs := env.fs(wp)
+			name := fmt.Sprintf("/big/w%02d", idx)
+			// expected mirrors what the file must contain at every point.
+			expected := make([]byte, size)
+			fillPattern(expected, uint64(idx)+101)
+			workerOps := 0
+
+			// Phase 1: sequential write, one syscall per 4 KiB block.
+			fd, err := fs.Open(name, fsapi.OCreate|fsapi.OWrOnly, fsapi.Mode644)
+			if err != nil {
+				return 1
+			}
+			workerOps++
+			for off := 0; off < size; off += chunk {
+				if _, err := fs.Write(fd, expected[off:off+chunk]); err != nil {
+					return 1
+				}
+				workerOps++
+			}
+			if err := fs.Close(fd); err != nil {
+				return 1
+			}
+			workerOps++
+
+			buf := make([]byte, 2*chunk)
+			for r := 0; r < rounds; r++ {
+				// Read round: re-open and stream the file. The reopening
+				// client wrote it (or read it) last, so with the data path
+				// on the version matches and no invalidation happens.
+				fd, err := fs.Open(name, fsapi.ORdOnly, 0)
+				if err != nil {
+					return 1
+				}
+				workerOps++
+				for off := 0; off < size; off += len(buf) {
+					m, err := fs.Read(fd, buf)
+					if err != nil || m == 0 {
+						return 1
+					}
+					if !bytes.Equal(buf[:m], expected[off:off+m]) {
+						return 1
+					}
+					workerOps++
+				}
+				if err := fs.Close(fd); err != nil {
+					return 1
+				}
+				workerOps++
+
+				// Overwrite round: dirty one 64-byte line every fourth
+				// block, then close. Off-mode flushes each touched block in
+				// full; on-mode moves exactly one line per touched block.
+				fd, err = fs.Open(name, fsapi.ORdWr, 0)
+				if err != nil {
+					return 1
+				}
+				workerOps++
+				for off := 0; off < size; off += 4 * chunk {
+					pos := int64(off + (r%2)*chunk/2)
+					line := make([]byte, 64)
+					fillPattern(line, uint64(idx)*1000+uint64(r)*100+uint64(off))
+					if _, err := fs.Pwrite(fd, line, pos); err != nil {
+						return 1
+					}
+					copy(expected[pos:], line)
+					workerOps++
+				}
+				if err := fs.Close(fd); err != nil {
+					return 1
+				}
+				workerOps++
+			}
+
+			// Final verification pass over the whole file.
+			fd, err = fs.Open(name, fsapi.ORdOnly, 0)
+			if err != nil {
+				return 1
+			}
+			workerOps++
+			for off := 0; off < size; off += len(buf) {
+				m, err := fs.Read(fd, buf)
+				if err != nil || m == 0 {
+					return 1
+				}
+				if !bytes.Equal(buf[:m], expected[off:off+m]) {
+					return 1
+				}
+				workerOps++
+			}
+			if err := fs.Close(fd); err != nil {
+				return 1
+			}
+			workerOps++
+			atomic.AddInt64(&ops, int64(workerOps))
+			return 0
+		})
+	})
+	return int(atomic.LoadInt64(&ops)), err
+}

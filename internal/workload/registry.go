@@ -9,6 +9,7 @@ func All() []Workload {
 		Renames{},
 		Directories{},
 		SmallFile{},
+		BigFile{},
 		&RM{Sparse: false},
 		&RM{Sparse: true},
 		&PFind{Sparse: false},

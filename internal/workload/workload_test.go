@@ -113,9 +113,10 @@ func TestWorkloadsSingleCore(t *testing.T) {
 func TestRegistry(t *testing.T) {
 	names := Names()
 	// The paper's 13 benchmarks plus the smallfile churn microbenchmark
-	// added with the async RPC pipeline (DESIGN.md §7).
-	if len(names) != 14 {
-		t.Fatalf("expected 14 benchmarks, got %d", len(names))
+	// added with the async RPC pipeline (DESIGN.md §7) and the bigfile
+	// data-path microbenchmark (DESIGN.md §8).
+	if len(names) != 15 {
+		t.Fatalf("expected 15 benchmarks, got %d", len(names))
 	}
 	seen := map[string]bool{}
 	for _, n := range names {
@@ -130,7 +131,7 @@ func TestRegistry(t *testing.T) {
 	if _, ok := ByName("nope"); ok {
 		t.Fatal("ByName accepted an unknown benchmark")
 	}
-	for _, n := range []string{"build linux", "mailbench", "pfind sparse", "rm dense", "smallfile"} {
+	for _, n := range []string{"build linux", "mailbench", "pfind sparse", "rm dense", "smallfile", "bigfile"} {
 		if !seen[n] {
 			t.Fatalf("missing benchmark %q", n)
 		}
