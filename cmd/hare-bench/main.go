@@ -4,7 +4,7 @@
 // Usage:
 //
 //	hare-bench [-fig N] [-scale F] [-cores N] [-bench name] [-durability]
-//	           [-pipeline] [-datapath] [-baseline path]
+//	           [-pipeline] [-datapath] [-elastic] [-baseline path]
 //
 // With no -fig flag every experiment is run in order. The -scale flag
 // shrinks the workload iteration counts (1.0 reproduces the default sizes;
@@ -38,13 +38,32 @@ func main() {
 		durability = flag.Bool("durability", false, "run the durability figures (group-commit sweep, recovery time, crash-injection check) instead of the paper's")
 		pipeline   = flag.Bool("pipeline", false, "run the async-RPC pipelining sweep (on/off × server counts) instead of the paper's figures")
 		datapath   = flag.Bool("datapath", false, "run the zero-waste data-path sweep (dirty-line writeback + version-skip invalidation, on/off × server counts) instead of the paper's figures")
-		baseline   = flag.String("baseline", "", "with -pipeline or -datapath: also write the sweep as a JSON baseline to this path (e.g. BENCH_seed.json, BENCH_datapath.json)")
+		elastic    = flag.Bool("elastic", false, "run the elastic sweep (scale-out under load, ring vs modulo placement) instead of the paper's figures")
+		baseline   = flag.String("baseline", "", "with -pipeline, -datapath or -elastic: also write the sweep as a JSON baseline to this path (e.g. BENCH_seed.json, BENCH_elastic.json)")
 	)
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "hare-bench:", err)
 		os.Exit(1)
+	}
+
+	if *elastic {
+		if *durability || *pipeline || *datapath || *fig != 0 || *benchName != "" {
+			fail(fmt.Errorf("-elastic runs its own figure set and cannot be combined with -durability, -pipeline, -datapath, -bench or -fig"))
+		}
+		data, t, err := bench.ElasticFigure(*scale, *cores, nil)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t.Render())
+		if *baseline != "" {
+			if err := data.WriteBaseline(*baseline); err != nil {
+				fail(err)
+			}
+			fmt.Printf("baseline written to %s\n", *baseline)
+		}
+		return
 	}
 
 	if *datapath {

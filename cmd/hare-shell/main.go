@@ -4,10 +4,15 @@
 //
 // Usage:
 //
-//	hare-shell [-cores N] [-servers N] [-split]
+//	hare-shell [-cores N] [-servers N] [-maxservers N] [-ring] [-split]
 //
 // Commands: help, ls, tree, cat, write, append, mkdir, mkdir -d, rm, rmdir,
-// mv, stat, cd, pwd, core, servers, exit.
+// mv, stat, cd, pwd, core, servers, addserver, rmserver, exit.
+//
+// With -maxservers headroom the fleet is elastic: addserver grows it online
+// (directory shards migrate to the new member) and rmserver drains one; the
+// servers command prints the live placement epoch, per-server shard counts,
+// load, and migration traffic.
 package main
 
 import (
@@ -20,23 +25,32 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fsapi"
+	"repro/internal/place"
 	"repro/internal/sched"
 )
 
 func main() {
 	var (
-		cores   = flag.Int("cores", 8, "number of cores in the simulated machine")
-		servers = flag.Int("servers", 0, "number of file servers (default: one per core)")
-		split   = flag.Bool("split", false, "dedicate cores to the file servers instead of timesharing")
+		cores      = flag.Int("cores", 8, "number of cores in the simulated machine")
+		servers    = flag.Int("servers", 0, "number of file servers (default: one per core)")
+		maxServers = flag.Int("maxservers", 0, "server-count ceiling for online growth (default: no headroom)")
+		ring       = flag.Bool("ring", false, "place directory shards by consistent hashing instead of modulo")
+		split      = flag.Bool("split", false, "dedicate cores to the file servers instead of timesharing")
 	)
 	flag.Parse()
 
+	policy := place.PolicyModulo
+	if *ring {
+		policy = place.PolicyRing
+	}
 	cfg := core.Config{
-		Cores:      *cores,
-		Servers:    *servers,
-		Timeshare:  !*split,
-		Techniques: core.AllTechniques(),
-		Placement:  sched.PolicyRoundRobin,
+		Cores:       *cores,
+		Servers:     *servers,
+		MaxServers:  *maxServers,
+		Timeshare:   !*split,
+		Techniques:  core.AllTechniques(),
+		Placement:   sched.PolicyRoundRobin,
+		PlacePolicy: policy,
 	}
 	sys, err := core.New(cfg)
 	if err != nil {
@@ -91,7 +105,7 @@ func (s *shell) exec(line string) error {
 	case "help":
 		fmt.Println("commands: ls [path] | tree [path] | cat file | write file text... | append file text... |")
 		fmt.Println("          mkdir [-d] dir | rm file | rmdir dir | mv old new | stat path | cd dir | pwd |")
-		fmt.Println("          core N | servers | exit")
+		fmt.Println("          core N | servers | addserver | rmserver N | exit")
 		return nil
 	case "pwd":
 		fmt.Println(s.cli.Getcwd())
@@ -161,13 +175,47 @@ func (s *shell) exec(line string) error {
 		s.cli = s.sys.NewClient(n)
 		return s.cli.Chdir(cwd)
 	case "servers":
+		member := make(map[int]bool)
+		for _, m := range s.sys.Members() {
+			member[m] = true
+		}
+		fmt.Printf("epoch %d, policy %s, members %v\n",
+			s.sys.Epoch(), s.sys.PlacementPolicy(), s.sys.Members())
 		for i, st := range s.sys.ServerStats() {
 			var total uint64
 			for _, n := range st.Ops {
 				total += n
 			}
-			fmt.Printf("server %2d: %6d ops, %d invalidations sent\n", i, total, st.Invalidations)
+			role := "member"
+			if !member[i] {
+				role = "drained"
+			}
+			fmt.Printf("server %2d: %-7s %6d ops, %4d entries, %d invalidations", i, role, total, st.Entries, st.Invalidations)
+			if st.MigInEntries > 0 || st.MigOutEntries > 0 {
+				fmt.Printf(", migrated %d in / %d out", st.MigInEntries, st.MigOutEntries)
+			}
+			fmt.Println()
 		}
+		return nil
+	case "addserver":
+		id, err := s.sys.AddServer()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("server %d joined; epoch now %d\n", id, s.sys.Epoch())
+		return nil
+	case "rmserver":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: rmserver N")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil {
+			return fmt.Errorf("rmserver: bad server id %q", args[0])
+		}
+		if err := s.sys.RemoveServer(n); err != nil {
+			return err
+		}
+		fmt.Printf("server %d drained; epoch now %d\n", n, s.sys.Epoch())
 		return nil
 	default:
 		return fmt.Errorf("unknown command %q (try 'help')", cmd)

@@ -20,6 +20,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/fsapi"
+	"repro/internal/place"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -70,9 +71,15 @@ type (
 	WalStats = wal.Stats
 
 	// Economy aggregates a deployment's message-economy counters
-	// (messages, bytes, batched sub-ops, queueing delay); returned by
-	// System.MessageEconomy. See DESIGN.md §7.
+	// (messages, bytes, batched sub-ops, queueing delay, migrated shard
+	// entries); returned by System.MessageEconomy. See DESIGN.md §7, §9.
 	Economy = stats.Economy
+
+	// PlacePolicy selects how directory-entry shards are placed on file
+	// servers (DESIGN.md §9): PlaceModulo reproduces the paper's static
+	// hash % NSERVERS routing; PlaceRing uses consistent hashing so
+	// System.AddServer / System.RemoveServer move only ~1/N of the shards.
+	PlacePolicy = place.Policy
 
 	// Proc is a simulated process bound to a core and a client library.
 	Proc = sched.Proc
@@ -123,6 +130,12 @@ const (
 	PolicyRoundRobin = sched.PolicyRoundRobin
 	PolicyRandom     = sched.PolicyRandom
 	PolicyLocal      = sched.PolicyLocal
+)
+
+// Shard-placement policies for elastic deployments (Config.PlacePolicy).
+const (
+	PlaceModulo = place.PolicyModulo
+	PlaceRing   = place.PolicyRing
 )
 
 // Mode constants.

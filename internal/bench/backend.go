@@ -12,6 +12,7 @@ import (
 	"repro/internal/baseline/unfs"
 	"repro/internal/core"
 	"repro/internal/fsapi"
+	"repro/internal/place"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -40,6 +41,12 @@ type Backend struct {
 	// Econ reports the deployment's cumulative message-economy counters;
 	// nil on backends without a message layer (the baselines).
 	Econ func() stats.Economy
+	// Loads reports cumulative requests served per file server (for the
+	// load-imbalance metric); nil on the baselines.
+	Loads func() []uint64
+	// Elastic exposes online server add/drain on backends configured with
+	// growth headroom (Hare with MaxServers > Servers); nil otherwise.
+	Elastic workload.ElasticController
 }
 
 // sysFaults adapts core.System to the workload fault-injection interface.
@@ -65,6 +72,12 @@ type HareOptions struct {
 	Techniques core.Techniques
 	Seed       uint64
 	Durability core.Durability
+
+	// MaxServers > Servers gives the deployment growth headroom and
+	// exposes the elastic controller to workloads; PlacePolicy selects
+	// how directory-entry shards are placed (DESIGN.md §9).
+	MaxServers  int
+	PlacePolicy place.Policy
 }
 
 // DefaultHare returns the standard Hare deployment used throughout the
@@ -86,6 +99,8 @@ func HareFactory(opts HareOptions) Factory {
 			Seed:            opts.Seed,
 			RootDistributed: false,
 			Durability:      opts.Durability,
+			MaxServers:      opts.MaxServers,
+			PlacePolicy:     opts.PlacePolicy,
 		}
 		if cfg.Servers == 0 {
 			cfg.Servers = cfg.Cores
@@ -109,6 +124,11 @@ func HareFactory(opts HareOptions) Factory {
 			Seconds: sys.Seconds,
 			Close:   sys.Stop,
 			Econ:    sys.MessageEconomy,
+			Loads:   sys.ServerLoads,
+		}
+		if cfg.MaxServers > cfg.Servers {
+			b.Name += "+elastic"
+			b.Elastic = sys
 		}
 		if cfg.Durability.Enabled {
 			b.Name += "+wal"

@@ -31,8 +31,8 @@ func Figure5(scale float64) (*Table, error) {
 	classes := workload.OpClasses()
 	t := &Table{
 		Title:   "Figure 5: Operation breakdown per benchmark (share of POSIX calls)",
-		Columns: append(append([]string{"benchmark", "total ops"}, classNames(classes)...), "msgs/op", "bytes/op", "queue (ms)"),
-		Note:    "Counted with the operation counter wrapped around every process's client; compare against the paper's Figure 5 stacked bars. msgs/op counts client request messages; queue is total virtual time requests waited at busy servers.",
+		Columns: append(append([]string{"benchmark", "total ops"}, classNames(classes)...), "msgs/op", "bytes/op", "queue (ms)", "imbalance"),
+		Note:    "Counted with the operation counter wrapped around every process's client; compare against the paper's Figure 5 stacked bars. msgs/op counts client request messages; queue is total virtual time requests waited at busy servers; imbalance is max/mean requests per server (1.0 = perfectly balanced).",
 	}
 	for _, w := range workload.All() {
 		r, err := RunWorkload(f, w, scale)
@@ -53,7 +53,7 @@ func Figure5(scale float64) (*Table, error) {
 // backends without a message layer get dashes.
 func econCells(r Result) []string {
 	if r.Econ == nil {
-		return []string{"-", "-", "-"}
+		return []string{"-", "-", "-", "-"}
 	}
 	ops := int(r.OpTotal)
 	if ops == 0 {
@@ -71,6 +71,7 @@ func econCells(r Result) []string {
 		f2(stats.PerOp(r.Econ.ClientRPCs, ops)),
 		f1(stats.PerOp(r.Econ.Bytes, ops)),
 		f2(queueMs),
+		f2(r.Imbalance),
 	}
 }
 

@@ -26,6 +26,10 @@ type Result struct {
 	// region (messages, bytes, client RPCs, batched sub-ops, queueing
 	// delay); nil on backends without a message layer.
 	Econ *stats.Economy
+	// Imbalance is the max/mean ratio of per-server requests served during
+	// the timed region (1.0 = perfectly balanced; 0 on backends without
+	// per-server load counters).
+	Imbalance float64
 }
 
 // RunWorkload builds a fresh backend from the factory, runs the workload's
@@ -38,7 +42,7 @@ func RunWorkload(f Factory, w workload.Workload, scale float64) (Result, error) 
 	defer b.Close()
 
 	counter := workload.NewOpCounter()
-	env := &workload.Env{Procs: b.Procs, Cores: b.Cores, Counter: counter, Scale: scale, Faults: b.Faults}
+	env := &workload.Env{Procs: b.Procs, Cores: b.Cores, Counter: counter, Scale: scale, Faults: b.Faults, Elastic: b.Elastic}
 	if err := w.Setup(env); err != nil {
 		return Result{}, fmt.Errorf("bench: %s setup on %s: %w", w.Name(), b.Name, err)
 	}
@@ -47,6 +51,10 @@ func RunWorkload(f Factory, w workload.Workload, scale float64) (Result, error) 
 	var econBase stats.Economy
 	if b.Econ != nil {
 		econBase = b.Econ()
+	}
+	var loadsBase []uint64
+	if b.Loads != nil {
+		loadsBase = b.Loads()
 	}
 	ops, err := w.Run(env)
 	if err != nil {
@@ -74,6 +82,19 @@ func RunWorkload(f Factory, w workload.Workload, scale float64) (Result, error) 
 	if b.Econ != nil {
 		e := b.Econ().Sub(econBase)
 		r.Econ = &e
+	}
+	if b.Loads != nil {
+		// The fleet may have grown mid-run; servers beyond the base
+		// snapshot started from zero.
+		loads := b.Loads()
+		delta := make([]uint64, len(loads))
+		for i, l := range loads {
+			if i < len(loadsBase) {
+				l -= loadsBase[i]
+			}
+			delta[i] = l
+		}
+		r.Imbalance = stats.Imbalance(delta)
 	}
 	return r, nil
 }

@@ -28,13 +28,14 @@ import (
 
 // sendAsync issues one request without waiting for the reply.
 func (c *Client) sendAsync(srv int, req *proto.Request) (*msg.Future, error) {
-	if srv < 0 || srv >= len(c.cfg.Servers) {
+	rt := c.routing
+	if srv < 0 || srv >= len(rt.Servers) {
 		return nil, fsapi.EIO
 	}
 	req.ClientID = c.cfg.ID
 	payload := req.Marshal()
 	c.charge(c.cfg.Machine.Cost.MsgSend)
-	fut, err := c.cfg.Network.SendAsync(c.ep, c.cfg.Servers[srv], proto.KindRequest, payload, c.clock.Now())
+	fut, err := c.cfg.Network.SendAsync(c.ep, rt.Servers[srv], proto.KindRequest, payload, c.clock.Now())
 	if err != nil {
 		return nil, fsapi.EIO
 	}

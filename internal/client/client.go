@@ -53,9 +53,16 @@ type Config struct {
 	Registry *server.ClientRegistry
 
 	// Servers maps server index to network endpoint; ServerCores gives the
-	// core each server is pinned to (used by creation affinity).
+	// core each server is pinned to (used by creation affinity). Both are
+	// the static fallback used when no Provider is wired in.
 	Servers     []msg.EndpointID
 	ServerCores []int
+
+	// Provider publishes the deployment's current routing snapshot
+	// (placement map + server endpoints); the client caches it and
+	// refreshes on EEPOCH, which is how it learns about servers added or
+	// drained after it was created (DESIGN.md §9).
+	Provider RoutingProvider
 
 	Root     proto.InodeID
 	RootDist bool
@@ -92,6 +99,10 @@ type Client struct {
 	cwd    string
 
 	dcache map[dcacheKey]dcacheEnt
+
+	// routing is the cached routing snapshot (placement map + server
+	// endpoints); refreshed from cfg.Provider on EEPOCH replies.
+	routing *Routing
 
 	// vcache records, per inode, the server-side data version as of the last
 	// moment this client's private cache was known consistent with DRAM for
@@ -176,6 +187,11 @@ func New(cfg Config) *Client {
 		dcache: make(map[dcacheKey]dcacheEnt),
 		vcache: make(map[proto.InodeID]uint64),
 	}
+	if cfg.Provider != nil {
+		c.routing = cfg.Provider.Routing()
+	} else {
+		c.routing = staticRouting(cfg)
+	}
 	cfg.Registry.Register(cfg.ID, c.ep.ID)
 	c.localServer = c.pickLocalServer()
 	return c
@@ -254,21 +270,24 @@ func (c *Client) Options() Options { return c.cfg.Options }
 
 // pickLocalServer chooses the designated nearby server used by creation
 // affinity. Clients on the same socket spread across that socket's servers
-// so they do not all hammer one server.
+// so they do not all hammer one server. Only placement members qualify:
+// drained servers must not receive new inodes.
 func (c *Client) pickLocalServer() int {
-	if len(c.cfg.Servers) == 0 {
+	rt := c.routing
+	members := rt.Map.Members()
+	if len(members) == 0 {
 		return 0
 	}
 	topo := c.cfg.Machine.Topo
 	mySocket := topo.Socket(c.cfg.Core)
 	var near []int
-	for i, score := range c.cfg.ServerCores {
-		if topo.Socket(score) == mySocket {
-			near = append(near, i)
+	for _, id := range members {
+		if int(id) < len(rt.Cores) && topo.Socket(rt.Cores[id]) == mySocket {
+			near = append(near, int(id))
 		}
 	}
 	if len(near) == 0 {
-		return int(c.cfg.ID) % len(c.cfg.Servers)
+		return int(members[int(c.cfg.ID)%len(members)])
 	}
 	return near[int(c.cfg.ID)%len(near)]
 }
@@ -295,14 +314,15 @@ func (c *Client) syscall() {
 // tends to run one client/server ping-pong chain far ahead of the others,
 // which shows up as artificial queueing delay (see DESIGN.md §4).
 func (c *Client) rpc(srv int, req *proto.Request) (*proto.Response, error) {
-	if srv < 0 || srv >= len(c.cfg.Servers) {
+	rt := c.routing
+	if srv < 0 || srv >= len(rt.Servers) {
 		return nil, fsapi.EIO
 	}
 	req.ClientID = c.cfg.ID
 	payload := req.Marshal()
 	cost := c.cfg.Machine.Cost
 	c.charge(cost.MsgSend)
-	env, err := c.cfg.Network.RPC(c.ep, c.cfg.Servers[srv], proto.KindRequest, payload, c.clock.Now())
+	env, err := c.cfg.Network.RPC(c.ep, rt.Servers[srv], proto.KindRequest, payload, c.clock.Now())
 	if err != nil {
 		return nil, fsapi.EIO
 	}
@@ -360,12 +380,13 @@ func (c *Client) broadcast(servers []int, req *proto.Request) ([]*proto.Response
 	req.ClientID = c.cfg.ID
 	payload := req.Marshal()
 	cost := c.cfg.Machine.Cost
+	rt := c.routing
 	dsts := make([]msg.EndpointID, len(servers))
 	for i, s := range servers {
-		if s < 0 || s >= len(c.cfg.Servers) {
+		if s < 0 || s >= len(rt.Servers) {
 			return nil, fsapi.EIO
 		}
-		dsts[i] = c.cfg.Servers[s]
+		dsts[i] = rt.Servers[s]
 	}
 	parallel := c.cfg.Options.DirBroadcast
 	// Charge one send per destination (marshaling/enqueueing is per
@@ -393,25 +414,6 @@ func (c *Client) broadcast(servers []int, req *proto.Request) ([]*proto.Response
 	return out, nil
 }
 
-// allServers returns the list of all server indices.
-func (c *Client) allServers() []int {
-	out := make([]int, len(c.cfg.Servers))
-	for i := range out {
-		out[i] = i
-	}
-	return out
-}
-
-// entryServer returns the server index storing the directory entry `name` of
-// directory `dir`: the hash server for distributed directories, the
-// directory's home server otherwise.
-func (c *Client) entryServer(dir proto.InodeID, dirDist bool, name string) int {
-	if dirDist && len(c.cfg.Servers) > 1 {
-		return int(proto.Hash(dir, name) % uint64(len(c.cfg.Servers)))
-	}
-	return int(dir.Server)
-}
-
 // chooseInodeServer applies creation affinity: if the entry server is on the
 // client's socket, coalesce by using it; otherwise use the designated nearby
 // server (§3.6.4). With affinity disabled the inode always goes to the entry
@@ -420,9 +422,10 @@ func (c *Client) chooseInodeServer(entrySrv int) int {
 	if !c.cfg.Options.CreationAffinity {
 		return entrySrv
 	}
+	rt := c.routing
 	topo := c.cfg.Machine.Topo
-	if entrySrv < len(c.cfg.ServerCores) &&
-		topo.Socket(c.cfg.ServerCores[entrySrv]) == topo.Socket(c.cfg.Core) {
+	if entrySrv < len(rt.Cores) &&
+		topo.Socket(rt.Cores[entrySrv]) == topo.Socket(c.cfg.Core) {
 		return entrySrv
 	}
 	return c.localServer

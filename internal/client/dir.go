@@ -23,28 +23,27 @@ func (c *Client) Mkdir(path string, opt fsapi.MkdirOpt) error {
 	// The application requests distribution per directory; the deployment
 	// may globally disable the technique (Figure 10 ablation).
 	opt.Distributed = opt.Distributed && c.cfg.Options.DirDistribution
-	entrySrv := c.entryServer(parent, parentDist, name)
-	inodeSrv := c.chooseInodeServer(entrySrv)
-
-	if inodeSrv == entrySrv {
-		resp, rerr := c.rpc(entrySrv, &proto.Request{
-			Op:          proto.OpCreateCoalesced,
-			Dir:         parent,
-			Name:        name,
-			Mode:        mode,
-			Ftype:       fsapi.TypeDir,
-			Distributed: opt.Distributed,
-			Exclusive:   true,
-		})
-		if rerr != nil {
-			return rerr
-		}
+	resp, sent, rerr := c.coalescedCreate(parent, parentDist, name, &proto.Request{
+		Op:          proto.OpCreateCoalesced,
+		Dir:         parent,
+		Name:        name,
+		Mode:        mode,
+		Ftype:       fsapi.TypeDir,
+		Distributed: opt.Distributed,
+		Exclusive:   true,
+	})
+	if rerr != nil {
+		return rerr
+	}
+	if sent {
 		if resp.Err != fsapi.OK {
 			return resp.Err
 		}
 		c.cacheEntry(parent, name, dcacheEnt{ino: resp.Ino, ftype: fsapi.TypeDir, dist: opt.Distributed})
 		return nil
 	}
+	entrySrv, _ := c.routeEntry(parent, parentDist, name)
+	inodeSrv := c.chooseInodeServer(entrySrv)
 
 	mkResp, err := c.rpcOK(inodeSrv, &proto.Request{
 		Op:          proto.OpMknod,
@@ -55,7 +54,7 @@ func (c *Client) Mkdir(path string, opt fsapi.MkdirOpt) error {
 	if err != nil {
 		return err
 	}
-	addResp, aerr := c.rpc(entrySrv, &proto.Request{
+	addResp, aerr := c.routedEntryRPC(parent, parentDist, name, &proto.Request{
 		Op:          proto.OpAddMap,
 		Dir:         parent,
 		Name:        name,
@@ -90,20 +89,19 @@ func (c *Client) Unlink(path string) error {
 	if err != nil {
 		return err
 	}
-	entrySrv := c.entryServer(parent, parentDist, name)
-
 	if c.cfg.Options.Pipelining && c.cfg.Options.DirCache {
 		c.drainInvalidations()
+		entrySrv, epoch := c.routeEntry(parent, parentDist, name)
 		if ent, ok := c.dcache[dcacheKey{parent, name}]; ok &&
 			ent.ftype != fsapi.TypeDir && !ent.ino.IsNil() && int(ent.ino.Server) == entrySrv {
-			done, uerr := c.unlinkBatched(parent, name, entrySrv, ent)
+			done, uerr := c.unlinkBatched(parent, name, entrySrv, epoch, ent)
 			if done {
 				return uerr
 			}
 		}
 	}
 
-	resp, rerr := c.rpcOK(entrySrv, &proto.Request{
+	resp, rerr := c.routedEntryRPCOK(parent, parentDist, name, &proto.Request{
 		Op:    proto.OpRmMap,
 		Dir:   parent,
 		Name:  name,
@@ -121,11 +119,11 @@ func (c *Client) Unlink(path string) error {
 
 // unlinkBatched removes the directory entry and its inode in a single
 // dependent batch message. It returns done=false when the cached entry
-// turned out to be stale (guard mismatch) and the caller must retry on the
-// authoritative path.
-func (c *Client) unlinkBatched(parent proto.InodeID, name string, entrySrv int, ent dcacheEnt) (bool, error) {
+// turned out to be stale (guard mismatch, or the placement epoch moved) and
+// the caller must retry on the authoritative path.
+func (c *Client) unlinkBatched(parent proto.InodeID, name string, entrySrv int, epoch uint64, ent dcacheEnt) (bool, error) {
 	resps, err := c.rpcBatch(entrySrv, true, []*proto.Request{
-		{Op: proto.OpRmMap, Dir: parent, Name: name, Target: ent.ino, Ftype: fsapi.TypeRegular},
+		{Op: proto.OpRmMap, Dir: parent, Name: name, Target: ent.ino, Ftype: fsapi.TypeRegular, Epoch: epoch},
 		{Op: proto.OpUnlinkInode, Target: ent.ino},
 	})
 	c.uncacheEntry(parent, name)
@@ -133,6 +131,10 @@ func (c *Client) unlinkBatched(parent proto.InodeID, name string, entrySrv int, 
 		return true, err
 	}
 	rm, ul := resps[0], resps[1]
+	if rm.Err == fsapi.EEPOCH {
+		c.refreshRouting()
+		return false, nil
+	}
 	if rm.Err == fsapi.ESTALE {
 		return false, nil
 	}
@@ -168,8 +170,7 @@ func (c *Client) Rename(oldPath, newPath string) error {
 		return err
 	}
 
-	newSrv := c.entryServer(newParent, newDist, newName)
-	addResp, aerr := c.rpcOK(newSrv, &proto.Request{
+	addResp, aerr := c.routedEntryRPCOK(newParent, newDist, newName, &proto.Request{
 		Op:          proto.OpAddMap,
 		Dir:         newParent,
 		Name:        newName,
@@ -182,8 +183,7 @@ func (c *Client) Rename(oldPath, newPath string) error {
 		return aerr
 	}
 
-	oldSrv := c.entryServer(oldParent, oldDist, oldName)
-	rmResp, rerr := c.rpcOK(oldSrv, &proto.Request{
+	rmResp, rerr := c.routedEntryRPCOK(oldParent, oldDist, oldName, &proto.Request{
 		Op:   proto.OpRmMap,
 		Dir:  oldParent,
 		Name: oldName,
@@ -217,11 +217,7 @@ func (c *Client) ReadDir(path string) ([]fsapi.Dirent, error) {
 	if ftype != fsapi.TypeDir {
 		return nil, fsapi.ENOTDIR
 	}
-	servers := []int{int(ino.Server)}
-	if dist {
-		servers = c.allServers()
-	}
-	resps, err := c.broadcast(servers, &proto.Request{Op: proto.OpReadDirShard, Dir: ino})
+	resps, err := c.routedBroadcast(ino.Server, dist, &proto.Request{Op: proto.OpReadDirShard, Dir: ino})
 	if err != nil {
 		return nil, err
 	}
@@ -269,13 +265,11 @@ func (c *Client) Rmdir(path string) error {
 	}
 	dist := lockResp.Dist
 
-	servers := []int{home}
-	if dist {
-		servers = c.allServers()
-	}
-
-	// Phase 1: prepare — every shard must be empty.
-	prepResps, err := c.broadcast(servers, &proto.Request{Op: proto.OpRmdirPrepare, Dir: dir, Target: dir})
+	// Phase 1: prepare — every shard must be empty. Each phase's fan-out
+	// re-routes through the placement map independently: a migration
+	// between phases re-targets the next broadcast to the new member set
+	// (re-preparing or re-committing a shard is idempotent).
+	prepResps, err := c.routedBroadcast(dir.Server, dist, &proto.Request{Op: proto.OpRmdirPrepare, Dir: dir, Target: dir})
 	if err != nil {
 		_, _ = c.rpcOK(home, &proto.Request{Op: proto.OpRmdirUnlock, Target: dir})
 		return err
@@ -290,7 +284,7 @@ func (c *Client) Rmdir(path string) error {
 
 	if failure != nil {
 		// Phase 2b: abort — clear deletion marks and release the lock.
-		if _, err := c.broadcast(servers, &proto.Request{Op: proto.OpRmdirAbort, Dir: dir, Target: dir}); err != nil {
+		if _, err := c.routedBroadcast(dir.Server, dist, &proto.Request{Op: proto.OpRmdirAbort, Dir: dir, Target: dir}); err != nil {
 			return err
 		}
 		if _, err := c.rpcOK(home, &proto.Request{Op: proto.OpRmdirUnlock, Target: dir}); err != nil {
@@ -300,12 +294,11 @@ func (c *Client) Rmdir(path string) error {
 	}
 
 	// Phase 2a: commit — shards are deleted.
-	if _, err := c.broadcast(servers, &proto.Request{Op: proto.OpRmdirCommit, Dir: dir, Target: dir}); err != nil {
+	if _, err := c.routedBroadcast(dir.Server, dist, &proto.Request{Op: proto.OpRmdirCommit, Dir: dir, Target: dir}); err != nil {
 		return err
 	}
 	// Remove the parent's entry for the directory.
-	entrySrv := c.entryServer(parent, parentDist, name)
-	if _, err := c.rpcOK(entrySrv, &proto.Request{Op: proto.OpRmMap, Dir: parent, Name: name, Ftype: fsapi.TypeDir}); err != nil && err != fsapi.ENOENT {
+	if _, err := c.routedEntryRPCOK(parent, parentDist, name, &proto.Request{Op: proto.OpRmMap, Dir: parent, Name: name, Ftype: fsapi.TypeDir}); err != nil && err != fsapi.ENOENT {
 		return err
 	}
 	// Remove the directory inode and release the serialization lock.

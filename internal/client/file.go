@@ -30,24 +30,21 @@ func (c *Client) openCreate(abs string, flags int, mode fsapi.Mode) (fsapi.FD, e
 	if err != nil {
 		return -1, err
 	}
-	entrySrv := c.entryServer(parent, parentDist, name)
-	inodeSrv := c.chooseInodeServer(entrySrv)
-
-	if inodeSrv == entrySrv {
-		// Coalesced path: one message creates the inode, adds the
-		// directory entry, and opens a descriptor (§3.6.3).
-		resp, rerr := c.rpc(entrySrv, &proto.Request{
-			Op:        proto.OpCreateCoalesced,
-			Dir:       parent,
-			Name:      name,
-			Mode:      mode,
-			Ftype:     fsapi.TypeRegular,
-			Exclusive: flags&fsapi.OExcl != 0,
-			WantOpen:  true,
-		})
-		if rerr != nil {
-			return -1, rerr
-		}
+	// Coalesced path: one message creates the inode, adds the directory
+	// entry, and opens a descriptor (§3.6.3).
+	resp, sent, rerr := c.coalescedCreate(parent, parentDist, name, &proto.Request{
+		Op:        proto.OpCreateCoalesced,
+		Dir:       parent,
+		Name:      name,
+		Mode:      mode,
+		Ftype:     fsapi.TypeRegular,
+		Exclusive: flags&fsapi.OExcl != 0,
+		WantOpen:  true,
+	})
+	if rerr != nil {
+		return -1, rerr
+	}
+	if sent {
 		switch resp.Err {
 		case fsapi.OK:
 			c.cacheEntry(parent, name, dcacheEnt{ino: resp.Ino, ftype: resp.Ftype, dist: resp.Dist})
@@ -73,6 +70,8 @@ func (c *Client) openCreate(abs string, flags int, mode fsapi.Mode) (fsapi.FD, e
 
 	// Creation affinity placed the inode on a closer server than the entry
 	// server: create the inode first, then add the entry.
+	entrySrv, _ := c.routeEntry(parent, parentDist, name)
+	inodeSrv := c.chooseInodeServer(entrySrv)
 	mkResp, err := c.rpcOK(inodeSrv, &proto.Request{
 		Op:    proto.OpMknod,
 		Ftype: fsapi.TypeRegular,
@@ -81,7 +80,7 @@ func (c *Client) openCreate(abs string, flags int, mode fsapi.Mode) (fsapi.FD, e
 	if err != nil {
 		return -1, err
 	}
-	addResp, aerr := c.rpc(entrySrv, &proto.Request{
+	addResp, aerr := c.routedEntryRPC(parent, parentDist, name, &proto.Request{
 		Op:     proto.OpAddMap,
 		Dir:    parent,
 		Name:   name,

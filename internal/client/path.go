@@ -69,8 +69,7 @@ func (c *Client) lookupEntry(dir proto.InodeID, dirDist bool, name string) (dcac
 		}
 		c.stats.dcMisses.Add(1)
 	}
-	srv := c.entryServer(dir, dirDist, name)
-	resp, err := c.rpcOK(srv, &proto.Request{Op: proto.OpLookup, Dir: dir, Name: name})
+	resp, err := c.routedEntryRPCOK(dir, dirDist, name, &proto.Request{Op: proto.OpLookup, Dir: dir, Name: name})
 	if err != nil {
 		return dcacheEnt{}, err
 	}

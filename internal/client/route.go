@@ -1,0 +1,177 @@
+package client
+
+import (
+	"runtime"
+
+	"repro/internal/fsapi"
+	"repro/internal/msg"
+	"repro/internal/place"
+	"repro/internal/proto"
+)
+
+// Epoch-cached routing (DESIGN.md §9).
+//
+// The client holds one consistent snapshot of the deployment's routing
+// state: the placement map (which member server stores each
+// distributed-directory entry) plus the endpoint and core of every server
+// ever spun up, drained or not. Every request a snapshot routes is stamped
+// with the snapshot's epoch; when a server answers EEPOCH the snapshot is
+// refreshed from the provider and the operation retries. Requests that are
+// not placement-routed — inode, descriptor and pipe operations, and entries
+// of centralized directories, which live with their directory's inode —
+// carry epoch 0 and never hit the gate: inodes do not migrate.
+
+// Routing is one epoch's routing snapshot. Servers and Cores are indexed by
+// server id and cover every server the deployment has ever started
+// (drained servers keep serving the inodes they own); the map's members are
+// the subset that owns directory-entry shards and receives new placements.
+type Routing struct {
+	Map     *place.Map
+	Servers []msg.EndpointID
+	Cores   []int
+}
+
+// RoutingProvider publishes the deployment's current routing snapshot; the
+// core layer implements it and swaps the snapshot atomically when servers
+// are added or removed.
+type RoutingProvider interface {
+	Routing() *Routing
+}
+
+// staticRouting builds the fixed snapshot used when no provider is wired in
+// (clients constructed directly by unit tests): the paper's modulo placement
+// over the configured server list.
+func staticRouting(cfg Config) *Routing {
+	return &Routing{
+		Map:     place.Initial(place.PolicyModulo, len(cfg.Servers)),
+		Servers: append([]msg.EndpointID(nil), cfg.Servers...),
+		Cores:   append([]int(nil), cfg.ServerCores...),
+	}
+}
+
+// refreshRouting reloads the routing snapshot (after an EEPOCH reply) and
+// recomputes the designated nearby server used by creation affinity, which
+// must stay a placement member.
+func (c *Client) refreshRouting() {
+	if c.cfg.Provider == nil {
+		return
+	}
+	c.routing = c.cfg.Provider.Routing()
+	c.localServer = c.pickLocalServer()
+}
+
+// routeEntry is the one place that consults the placement map: it returns
+// the server storing the directory entry `name` of `dir`, plus the epoch
+// that decision was made under. Entries of centralized directories live with
+// the directory's inode and are not placement-routed (epoch 0).
+func (c *Client) routeEntry(dir proto.InodeID, dirDist bool, name string) (int, uint64) {
+	if dirDist {
+		m := c.routing.Map
+		return int(m.Route(proto.Hash(dir, name))), m.Epoch()
+	}
+	return int(dir.Server), 0
+}
+
+// memberServers returns the current placement members as server indices (the
+// fan-out set for distributed-directory broadcasts).
+func (c *Client) memberServers() []int {
+	members := c.routing.Map.Members()
+	out := make([]int, len(members))
+	for i, id := range members {
+		out[i] = int(id)
+	}
+	return out
+}
+
+// routedEntryRPC routes one directory-entry request, stamps it with the
+// routing epoch, and transparently refreshes + retries when the server
+// answers EEPOCH (the deployment migrated under us). Protocol errors other
+// than EEPOCH are returned in the response, as with rpc.
+func (c *Client) routedEntryRPC(dir proto.InodeID, dirDist bool, name string, req *proto.Request) (*proto.Response, error) {
+	for {
+		srv, epoch := c.routeEntry(dir, dirDist, name)
+		req.Epoch = epoch
+		resp, err := c.rpc(srv, req)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Err == fsapi.EEPOCH {
+			c.refreshRouting()
+			runtime.Gosched()
+			continue
+		}
+		return resp, nil
+	}
+}
+
+// routedEntryRPCOK is routedEntryRPC with rpcOK's error convention.
+func (c *Client) routedEntryRPCOK(dir proto.InodeID, dirDist bool, name string, req *proto.Request) (*proto.Response, error) {
+	resp, err := c.routedEntryRPC(dir, dirDist, name, req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Err != fsapi.OK {
+		return resp, resp.Err
+	}
+	return resp, nil
+}
+
+// coalescedCreate routes a create for (parent, name) and, while creation
+// affinity keeps the inode server equal to the entry server, sends the
+// given coalesced-create request there — refreshing and re-routing on
+// EEPOCH like every routed helper. sent=false means the placement (or a
+// mid-retry migration) moved the entry server off this client's socket and
+// no RPC was issued: the caller takes the split mknod+addmap path instead.
+func (c *Client) coalescedCreate(parent proto.InodeID, parentDist bool, name string, req *proto.Request) (resp *proto.Response, sent bool, err error) {
+	entrySrv, epoch := c.routeEntry(parent, parentDist, name)
+	for c.chooseInodeServer(entrySrv) == entrySrv {
+		req.Epoch = epoch
+		resp, err := c.rpc(entrySrv, req)
+		if err != nil {
+			return nil, true, err
+		}
+		if resp.Err == fsapi.EEPOCH {
+			c.refreshRouting()
+			runtime.Gosched()
+			entrySrv, epoch = c.routeEntry(parent, parentDist, name)
+			continue
+		}
+		return resp, true, nil
+	}
+	return nil, false, nil
+}
+
+// routedBroadcast fans a shard request out to every placement member (for a
+// distributed directory) or to the directory's home server (centralized),
+// re-routing and retrying the whole fan-out when any member answers EEPOCH.
+// The returned responses are free of EEPOCH but may carry other protocol
+// errors for the caller to interpret.
+func (c *Client) routedBroadcast(home int32, dist bool, req *proto.Request) ([]*proto.Response, error) {
+	for {
+		var servers []int
+		if dist {
+			servers = c.memberServers()
+			req.Epoch = c.routing.Map.Epoch()
+		} else {
+			servers = []int{int(home)}
+			req.Epoch = 0
+		}
+		resps, err := c.broadcast(servers, req)
+		if err != nil {
+			return nil, err
+		}
+		stale := false
+		for _, r := range resps {
+			if r.Err == fsapi.EEPOCH {
+				stale = true
+				break
+			}
+		}
+		if stale {
+			c.refreshRouting()
+			runtime.Gosched()
+			continue
+		}
+		return resps, nil
+	}
+}

@@ -10,10 +10,13 @@ package core
 import (
 	"fmt"
 	"path/filepath"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/client"
 	"repro/internal/msg"
 	"repro/internal/ncc"
+	"repro/internal/place"
 	"repro/internal/proto"
 	"repro/internal/sched"
 	"repro/internal/server"
@@ -63,6 +66,19 @@ type Config struct {
 	Techniques Techniques
 	Placement  sched.Policy
 	Seed       uint64
+
+	// PlacePolicy selects how directory-entry shards are placed on servers
+	// (DESIGN.md §9). The zero value, place.PolicyModulo, reproduces the
+	// paper's hash % NSERVERS routing bit-for-bit; place.PolicyRing uses
+	// consistent hashing so online membership changes move only ~1/N of
+	// the shards.
+	PlacePolicy place.Policy
+
+	// MaxServers caps how many file servers the deployment can ever run
+	// (the shared buffer cache is partitioned up front among that many).
+	// Zero means Servers — no headroom, the static default. Raise it to
+	// use System.AddServer.
+	MaxServers int
 
 	// CostModel overrides the default cycle cost model when non-nil.
 	CostModel *sim.CostModel
@@ -147,6 +163,15 @@ func (c *Config) normalize() error {
 	} else if c.Servers > c.Cores {
 		return fmt.Errorf("core: timeshare configuration cannot run more servers (%d) than cores (%d)", c.Servers, c.Cores)
 	}
+	if c.MaxServers <= 0 {
+		c.MaxServers = c.Servers
+	}
+	if c.MaxServers < c.Servers {
+		return fmt.Errorf("core: MaxServers (%d) below the initial server count (%d)", c.MaxServers, c.Servers)
+	}
+	if c.Timeshare && c.MaxServers > c.Cores {
+		return fmt.Errorf("core: timeshare configuration cannot grow to more servers (%d) than cores (%d)", c.MaxServers, c.Cores)
+	}
 	return nil
 }
 
@@ -162,9 +187,20 @@ type System struct {
 	servers     []*server.Server
 	serverEPs   []msg.EndpointID
 	serverCores []int
+	parts       []*ncc.Partition
 
-	// ctl is the control-plane endpoint used for checkpoint requests.
+	// ctl is the control-plane endpoint used for checkpoint requests and
+	// for driving shard migrations.
 	ctl *msg.Endpoint
+
+	// routing is the published routing snapshot clients cache and refresh
+	// from on EEPOCH; elMu serializes membership changes, and pendingMig
+	// holds an interrupted migration until ResumeMigration completes it
+	// (DESIGN.md §9).
+	routing     atomic.Pointer[client.Routing]
+	elMu        sync.Mutex
+	pendingMig  *migration
+	migObserver func(stage string, srv int)
 
 	ids      *client.IDAllocator
 	procSys  *sched.HareSystem
@@ -186,11 +222,14 @@ func New(cfg Config) (*System, error) {
 	machine := sim.NewMachine(topo, cost)
 
 	numBlocks := int(cfg.BufferCacheBytes / int64(cfg.BlockSize))
-	if numBlocks < cfg.Servers {
-		numBlocks = cfg.Servers
+	if numBlocks < cfg.MaxServers {
+		numBlocks = cfg.MaxServers
 	}
 	dram := ncc.NewDRAM(numBlocks, cfg.BlockSize)
-	parts := ncc.PartitionDRAM(dram, cfg.Servers)
+	// Partition the buffer cache among the maximum fleet size, so a server
+	// added later finds its partition pre-carved (with the default
+	// MaxServers == Servers this is exactly the static split).
+	parts := ncc.PartitionDRAM(dram, cfg.MaxServers)
 
 	network := msg.NewNetwork(msg.WrapMachine(machine))
 	registry := server.NewClientRegistry()
@@ -202,6 +241,7 @@ func New(cfg Config) (*System, error) {
 		dram:     dram,
 		caches:   make([]*ncc.PrivateCache, cfg.Cores),
 		registry: registry,
+		parts:    parts,
 		ids:      client.NewIDAllocator(1),
 	}
 	for i := range sys.caches {
@@ -225,6 +265,7 @@ func New(cfg Config) (*System, error) {
 	sys.serverCores = serverCores
 
 	rootDist := cfg.RootDistributed && cfg.Techniques.DirectoryDistribution
+	bootMap := place.Initial(cfg.PlacePolicy, cfg.Servers)
 	for i := 0; i < cfg.Servers; i++ {
 		log, err := newServerLog(cfg, cost, i)
 		if err != nil {
@@ -242,11 +283,13 @@ func New(cfg Config) (*System, error) {
 			CoLocated:       cfg.Timeshare,
 			RootDistributed: rootDist,
 			Log:             log,
+			Placement:       bootMap,
 		})
 		sys.servers = append(sys.servers, srv)
 		sys.serverEPs = append(sys.serverEPs, srv.EndpointID())
 	}
 	sys.ctl = network.NewEndpoint(0)
+	sys.publishRouting(bootMap)
 
 	sys.procSys = sched.NewHareSystem(sched.HareConfig{
 		Machine:   machine,
@@ -338,8 +381,7 @@ func (s *System) NewClient(core int) *client.Client {
 		DRAM:         s.dram,
 		Cache:        s.caches[core],
 		Registry:     s.registry,
-		Servers:      append([]msg.EndpointID(nil), s.serverEPs...),
-		ServerCores:  append([]int(nil), s.serverCores...),
+		Provider:     s,
 		Root:         proto.RootInode,
 		RootDist:     s.cfg.RootDistributed && s.cfg.Techniques.DirectoryDistribution,
 		Options:      s.clientOptions(),
@@ -372,6 +414,7 @@ func (s *System) MessageEconomy() stats.Economy {
 		st := srv.Stats()
 		e.BatchedOps += st.BatchedOps
 		e.QueueCycles += uint64(st.QueueDelay)
+		e.MigEntries += st.MigOutEntries
 	}
 	for _, cache := range s.caches {
 		st := cache.Stats()
@@ -387,6 +430,20 @@ func (s *System) ServerStats() []server.Stats {
 	out := make([]server.Stats, len(s.servers))
 	for i, srv := range s.servers {
 		out[i] = srv.Stats()
+	}
+	return out
+}
+
+// ServerLoads returns the total requests each server has served (batch
+// sub-operations included); the benchmark harness derives the per-server
+// load-imbalance metric (max/mean) from snapshots of it.
+func (s *System) ServerLoads() []uint64 {
+	out := make([]uint64, len(s.servers))
+	for i, srv := range s.servers {
+		st := srv.Stats()
+		for _, n := range st.Ops {
+			out[i] += n
+		}
 	}
 	return out
 }
@@ -488,12 +545,24 @@ func (s *System) CrashLosingMemory(id int) error {
 
 // Recover rebuilds a crashed server from its checkpoint and log and
 // restarts it. Recovery is idempotent: a crash/recover cycle with no
-// intervening mutations reproduces the same state.
+// intervening mutations reproduces the same state. If the crash interrupted
+// a shard migration, the migration is resumed once the server is back: its
+// write-ahead log put it on exactly one side of the epoch boundary, and the
+// resumed (idempotent) protocol carries it across.
 func (s *System) Recover(id int) (wal.RecoveryStats, error) {
 	if err := s.checkServer(id); err != nil {
 		return wal.RecoveryStats{}, err
 	}
-	return s.servers[id].Recover()
+	st, err := s.servers[id].Recover()
+	if err != nil {
+		return st, err
+	}
+	if s.MigrationPending() {
+		if rerr := s.ResumeMigration(); rerr != nil {
+			return st, fmt.Errorf("core: resuming interrupted migration after recovery: %w", rerr)
+		}
+	}
+	return st, nil
 }
 
 // Crashed reports whether server id is currently down.

@@ -1,0 +1,242 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/fsapi"
+	"repro/internal/place"
+	"repro/internal/proto"
+	"repro/internal/sched"
+)
+
+// elasticSystem builds a started deployment with headroom for growth.
+func elasticSystem(t *testing.T, policy place.Policy, servers, maxServers int, d *Durability) *System {
+	t.Helper()
+	cfg := Config{
+		Cores:            8,
+		Servers:          servers,
+		MaxServers:       maxServers,
+		Timeshare:        true,
+		Techniques:       AllTechniques(),
+		Placement:        sched.PolicyRoundRobin,
+		PlacePolicy:      policy,
+		BufferCacheBytes: 32 << 20,
+	}
+	if d != nil {
+		cfg.Durability = *d
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	t.Cleanup(sys.Stop)
+	return sys
+}
+
+// seedFiles creates n files inside a distributed directory and returns the
+// directory's inode id plus the file names.
+func seedFiles(t *testing.T, sys *System, n int) (proto.InodeID, []string) {
+	t.Helper()
+	cli := sys.NewClient(0)
+	if err := cli.Mkdir("/d", fsapi.MkdirOpt{Distributed: true}); err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("f%03d", i)
+		fd, err := cli.Open("/d/"+names[i], fsapi.OCreate|fsapi.OWrOnly, fsapi.Mode644)
+		if err != nil {
+			t.Fatalf("create %s: %v", names[i], err)
+		}
+		if _, err := cli.Write(fd, []byte(names[i])); err != nil {
+			t.Fatal(err)
+		}
+		if err := cli.Close(fd); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st, err := cli.Stat("/d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return proto.InodeID{Server: int32(st.Server), Local: st.Ino}, names
+}
+
+// verifyFiles checks every seeded file resolves and reads back its content
+// through a fresh client (no warm caches).
+func verifyFiles(t *testing.T, sys *System, names []string) {
+	t.Helper()
+	cli := sys.NewClient(1)
+	ents, err := cli.ReadDir("/d")
+	if err != nil {
+		t.Fatalf("readdir after migration: %v", err)
+	}
+	if len(ents) != len(names) {
+		t.Fatalf("readdir sees %d entries, want %d", len(ents), len(names))
+	}
+	for _, name := range names {
+		fd, err := cli.Open("/d/"+name, fsapi.ORdOnly, 0)
+		if err != nil {
+			t.Fatalf("open %s after migration: %v", name, err)
+		}
+		buf := make([]byte, len(name))
+		if n, err := cli.Read(fd, buf); err != nil || string(buf[:n]) != name {
+			t.Fatalf("read %s after migration: got %q (%v)", name, buf[:n], err)
+		}
+		if err := cli.Close(fd); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestAddServerMovesOnlyDeltaShards grows a ring deployment by one server
+// and asserts (a) the namespace survives intact, (b) the epoch advanced,
+// and (c) migration moved exactly the delta shard set — the entries whose
+// route differs between the two maps — as counted by the new Economy
+// counter.
+func TestAddServerMovesOnlyDeltaShards(t *testing.T) {
+	sys := elasticSystem(t, place.PolicyRing, 3, 5, nil)
+	dir, names := seedFiles(t, sys, 80)
+
+	oldMap := place.Initial(place.PolicyRing, 3)
+	newMap := oldMap.Add(3)
+	expected := 0
+	for _, name := range names {
+		if oldMap.Route(proto.Hash(dir, name)) != newMap.Route(proto.Hash(dir, name)) {
+			expected++
+		}
+	}
+	if expected == 0 {
+		t.Fatal("test is vacuous: no entry moves under this membership change")
+	}
+
+	id, err := sys.AddServer()
+	if err != nil {
+		t.Fatalf("AddServer: %v", err)
+	}
+	if id != 3 {
+		t.Fatalf("new server id = %d, want 3", id)
+	}
+	if got := sys.Epoch(); got != 2 {
+		t.Fatalf("epoch after add = %d, want 2", got)
+	}
+	if got := len(sys.Members()); got != 4 {
+		t.Fatalf("members after add = %d, want 4", got)
+	}
+	if got := sys.MessageEconomy().MigEntries; got != uint64(expected) {
+		t.Fatalf("migration moved %d entries, delta shard set is %d", got, expected)
+	}
+	// Well under the whole namespace: the ring's bounded-movement promise.
+	if expected > 2*len(names)/(3+1) {
+		t.Fatalf("ring moved %d of %d entries; exceeds the 2/N bound", expected, len(names))
+	}
+	verifyFiles(t, sys, names)
+}
+
+// TestAddServerModulo exercises the same growth under PolicyModulo: nearly
+// everything moves, but the namespace must still be intact.
+func TestAddServerModulo(t *testing.T) {
+	sys := elasticSystem(t, place.PolicyModulo, 3, 4, nil)
+	_, names := seedFiles(t, sys, 40)
+	if _, err := sys.AddServer(); err != nil {
+		t.Fatalf("AddServer: %v", err)
+	}
+	verifyFiles(t, sys, names)
+}
+
+// TestRemoveServerDrains drains a member: its entry shards migrate away, it
+// leaves the placement map, and the namespace — including inodes that live
+// on the drained server and never migrate — stays fully reachable.
+func TestRemoveServerDrains(t *testing.T) {
+	sys := elasticSystem(t, place.PolicyRing, 4, 4, nil)
+	_, names := seedFiles(t, sys, 60)
+
+	if err := sys.RemoveServer(2); err != nil {
+		t.Fatalf("RemoveServer: %v", err)
+	}
+	if got := sys.Epoch(); got != 2 {
+		t.Fatalf("epoch after drain = %d, want 2", got)
+	}
+	for _, m := range sys.Members() {
+		if m == 2 {
+			t.Fatal("drained server still a placement member")
+		}
+	}
+	// The drained server holds no entry shards any more...
+	if st := sys.ServerStats()[2]; st.Entries != 0 {
+		t.Fatalf("drained server still holds %d entries", st.Entries)
+	}
+	// ...but its inodes stayed put and remain reachable.
+	verifyFiles(t, sys, names)
+
+	if err := sys.RemoveServer(2); err == nil {
+		t.Fatal("draining a non-member succeeded")
+	}
+}
+
+// TestAddServerLimits pins the guard rails: no headroom, wrong
+// configuration, last-member drain.
+func TestAddServerLimits(t *testing.T) {
+	sys := elasticSystem(t, place.PolicyRing, 2, 2, nil)
+	if _, err := sys.AddServer(); err == nil {
+		t.Fatal("AddServer beyond MaxServers succeeded")
+	}
+	if err := sys.RemoveServer(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.RemoveServer(1); err == nil {
+		t.Fatal("draining the last member succeeded")
+	}
+}
+
+// TestCrashDuringMigrationRecoversToOneEpoch crashes a server at its commit
+// step: the migration is left pending, every server sits on exactly one
+// side of the epoch boundary, and recovery (which resumes the migration)
+// converges the fleet on the new epoch with the namespace intact.
+func TestCrashDuringMigrationRecoversToOneEpoch(t *testing.T) {
+	d := &Durability{Enabled: true, CheckpointEvery: 32}
+	sys := elasticSystem(t, place.PolicyRing, 3, 4, d)
+	_, names := seedFiles(t, sys, 60)
+
+	const victim = 1
+	crashed := false
+	sys.SetMigrationObserver(func(stage string, srv int) {
+		if stage == "commit" && srv == victim && !crashed {
+			crashed = true
+			if err := sys.Crash(victim); err != nil {
+				t.Errorf("crash victim: %v", err)
+			}
+		}
+	})
+
+	if _, err := sys.AddServer(); err == nil {
+		t.Fatal("AddServer succeeded although the victim crashed mid-commit")
+	}
+	if !sys.MigrationPending() {
+		t.Fatal("migration not pending after mid-commit crash")
+	}
+	// Either epoch, never both: every server is wholly at 1 or wholly at 2.
+	for i, st := range sys.ServerStats() {
+		if i == victim {
+			continue // down; its stats are from the dead incarnation
+		}
+		if st.Epoch != 1 && st.Epoch != 2 {
+			t.Fatalf("server %d at epoch %d, want 1 or 2", i, st.Epoch)
+		}
+	}
+
+	if _, err := sys.Recover(victim); err != nil {
+		t.Fatalf("recover victim: %v", err)
+	}
+	if sys.MigrationPending() {
+		t.Fatal("migration still pending after recovery auto-resume")
+	}
+	for i, st := range sys.ServerStats() {
+		if st.Epoch != 2 {
+			t.Fatalf("server %d at epoch %d after resume, want 2", i, st.Epoch)
+		}
+	}
+	verifyFiles(t, sys, names)
+}

@@ -37,6 +37,10 @@ const (
 	ENOSYS
 	ESTALE
 	ECANCELED
+	// EEPOCH is Hare-specific: the request was routed under a placement-map
+	// epoch the server has moved past (or not yet reached). The client
+	// refreshes its cached routing table and retries (DESIGN.md §9).
+	EEPOCH
 )
 
 var errnoNames = map[Errno]string{
@@ -64,6 +68,7 @@ var errnoNames = map[Errno]string{
 	ENOSYS:       "ENOSYS: function not implemented",
 	ESTALE:       "ESTALE: stale file handle",
 	ECANCELED:    "ECANCELED: operation canceled",
+	EEPOCH:       "EEPOCH: stale placement epoch",
 }
 
 // Error implements the error interface.

@@ -67,6 +67,13 @@ const (
 	// Data field (the marshaled batch).
 	OpBatch
 
+	// Shard migration (elastic placement, DESIGN.md §9). Driven by the
+	// deployment's control plane against each server individually — servers
+	// still never talk to each other.
+	OpShardFreeze // announce a pending epoch: entry mutations park
+	OpShardPull   // copy out the entries leaving this server under a new map
+	OpShardCommit // install incoming entries, drop outgoing, adopt the epoch
+
 	// Directory-cache invalidation callback (server -> client).
 	OpInvalidate
 
@@ -116,6 +123,9 @@ var opNames = map[Op]string{
 	OpPipeCloseRead:   "PIPE_CLOSE_R",
 	OpPipeCloseWrite:  "PIPE_CLOSE_W",
 	OpCheckpoint:      "CHECKPOINT",
+	OpShardFreeze:     "SHARD_FREEZE",
+	OpShardPull:       "SHARD_PULL",
+	OpShardCommit:     "SHARD_COMMIT",
 	OpBatch:           "BATCH",
 	OpInvalidate:      "INVALIDATE",
 	OpExec:            "EXEC",

@@ -39,6 +39,14 @@ type Request struct {
 	Op       Op
 	ClientID int32 // registered client-library id (for invalidation tracking)
 
+	// Epoch is the placement-map epoch the client routed this request
+	// under. Zero means the request was not routed through the placement
+	// map (inode/fd/pipe/control operations, and entries of centralized
+	// directories, which live with the directory's inode and never
+	// migrate). Servers answer a mismatched non-zero epoch with EEPOCH
+	// (DESIGN.md §9).
+	Epoch uint64
+
 	Dir    InodeID // parent directory inode
 	Name   string  // directory entry name
 	Target InodeID // inode operated on / linked to
@@ -109,6 +117,7 @@ func (r *Request) Marshal() []byte {
 	e.i64(r.PID)
 	e.i32(r.Sig)
 	e.i32(r.Policy)
+	e.u64(r.Epoch)
 	return e.bytes()
 }
 
@@ -158,6 +167,7 @@ func UnmarshalRequest(b []byte) (*Request, error) {
 	r.PID = d.i64()
 	r.Sig = d.i32()
 	r.Policy = d.i32()
+	r.Epoch = d.u64()
 	if err := d.finish("request"); err != nil {
 		return nil, err
 	}

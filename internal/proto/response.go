@@ -31,6 +31,10 @@ type Response struct {
 	Ents    []DirEntWire
 	Dist    bool  // looked-up/created directory has distributed entries
 	Refs    int32 // remaining reference count (shared fd ops)
+	// Epoch is the server's current placement-map epoch. Meaningful on
+	// EEPOCH errors (so a behind/ahead client can see how far) and on the
+	// shard-migration ops.
+	Epoch uint64
 
 	ExitStatus int32 // exec: exit status of the remote process
 	PID        int64 // exec: pid assigned to the remote process
@@ -69,6 +73,7 @@ func (r *Response) Marshal() []byte {
 	e.i32(r.Refs)
 	e.i32(r.ExitStatus)
 	e.i64(r.PID)
+	e.u64(r.Epoch)
 	return e.bytes()
 }
 
@@ -115,6 +120,7 @@ func UnmarshalResponse(b []byte) (*Response, error) {
 	r.Refs = d.i32()
 	r.ExitStatus = d.i32()
 	r.PID = d.i64()
+	r.Epoch = d.u64()
 	if err := d.finish("response"); err != nil {
 		return nil, err
 	}

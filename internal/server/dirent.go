@@ -167,6 +167,9 @@ func (s *Server) handleAddMap(req *proto.Request, env msg.Envelope) (*proto.Resp
 		}, false
 	}
 	sh.ents[req.Name] = dirEnt{target: req.Target, ftype: req.Ftype, dist: req.Distributed}
+	if !exists {
+		s.entCount.Add(1)
+	}
 	s.stageAddMap(req.Dir, req.Name, sh.ents[req.Name])
 	if exists {
 		s.invalidate(req.Dir, req.Name, req.ClientID)
@@ -220,6 +223,7 @@ func (s *Server) handleRmMap(req *proto.Request, env msg.Envelope) (*proto.Respo
 		return proto.ErrResponse(fsapi.ESTALE), false
 	}
 	delete(sh.ents, req.Name)
+	s.entCount.Add(-1)
 	s.stageRmMap(req.Dir, req.Name)
 	s.invalidate(req.Dir, req.Name, -1)
 	return &proto.Response{
@@ -284,6 +288,7 @@ func (s *Server) handleCreateCoalesced(req *proto.Request, env msg.Envelope) (*p
 	}
 	ino := s.allocInode(ftype, req.Mode, req.Distributed)
 	sh.ents[req.Name] = dirEnt{target: s.id(ino), ftype: ftype, dist: req.Distributed}
+	s.entCount.Add(1)
 	s.stageInode(ino)
 	s.stageAddMap(req.Dir, req.Name, sh.ents[req.Name])
 	if req.WantOpen {

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/fsapi"
 	"repro/internal/ncc"
+	"repro/internal/place"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/wal"
@@ -153,6 +154,10 @@ func (s *Server) writeCheckpoint() error {
 // checkpoint functions as a full backup of its DRAM partition).
 func (s *Server) buildCheckpoint() *wal.Checkpoint {
 	c := &wal.Checkpoint{NextIno: s.nextIno}
+	if s.pmap != nil {
+		c.Epoch = s.epoch.Load()
+		c.PlaceMap = s.pmap.Encode()
+	}
 	bs := s.cfg.DRAM.BlockSize()
 	for _, ino := range s.inodes {
 		if ino.ftype == fsapi.TypePipe || ino.nlink <= 0 {
@@ -252,6 +257,20 @@ func (s *Server) resetState() {
 	s.nextFd = proto.FdID(uint64(s.incarnation)<<32) + 1
 	s.tracking = make(map[direntKey]map[int32]struct{})
 	s.pending = nil
+	// Placement falls back to the boot-time map; a later epoch adopted
+	// through migration is restored by the checkpoint or an epoch record.
+	// Freeze state and parked requests are volatile and die with the
+	// server, like every other parked request.
+	s.pmap = s.cfg.Placement
+	if s.pmap != nil {
+		s.epoch.Store(s.pmap.Epoch())
+	} else {
+		s.epoch.Store(0)
+	}
+	s.frozen = false
+	s.pendingEpoch = 0
+	s.migParked = nil
+	s.entCount.Store(0)
 	if int32(s.cfg.ID) == proto.RootInode.Server {
 		root := &inode{
 			local:       proto.RootInode.Local,
@@ -299,6 +318,13 @@ func (s *Server) Recover() (wal.RecoveryStats, error) {
 		s.applyRecord(r)
 	}
 	st.Records = len(recs)
+
+	// Rebuild the entry counter from the recovered shard table.
+	var ents int64
+	for _, sh := range s.dirs {
+		ents += int64(len(sh.ents))
+	}
+	s.entCount.Store(ents)
 
 	// Rebuild the partition's free list around the blocks recovered files
 	// own; everything else (including blocks of inodes whose unlink
@@ -355,6 +381,17 @@ func (s *Server) broadcastCacheFlush() {
 func (s *Server) loadCheckpoint(c *wal.Checkpoint) {
 	if c.NextIno > s.nextIno {
 		s.nextIno = c.NextIno
+	}
+	if c.Epoch > 0 && len(c.PlaceMap) > 0 {
+		m, err := place.Decode(c.PlaceMap)
+		if err != nil {
+			// The checkpoint passed its CRC, so an undecodable map is a
+			// programming error; recovering silently onto the boot map
+			// would strand the server behind the fleet's epoch forever.
+			panic(fmt.Sprintf("server %d: checkpoint placement map: %v", s.cfg.ID, err))
+		}
+		s.pmap = m
+		s.epoch.Store(c.Epoch)
 	}
 	for i := range c.Inodes {
 		snap := &c.Inodes[i]
@@ -466,5 +503,15 @@ func (s *Server) applyRecord(r wal.Record) {
 	case wal.RecDirKill:
 		delete(s.dirs, r.Dir)
 		s.deadDirs[r.Dir] = true
+	case wal.RecEpoch:
+		m, err := place.Decode(r.Data)
+		if err != nil {
+			// CRC-framed record with an undecodable map: a bug, and
+			// skipping it would leave the server permanently behind the
+			// published epoch (clients would spin on EEPOCH).
+			panic(fmt.Sprintf("server %d: epoch record placement map: %v", s.cfg.ID, err))
+		}
+		s.pmap = m
+		s.epoch.Store(r.Epoch)
 	}
 }

@@ -62,6 +62,7 @@ func (s *Server) handleRmdirCommit(req *proto.Request) *proto.Response {
 		return &proto.Response{}
 	}
 	sh.marked = false
+	s.entCount.Add(-int64(len(sh.ents))) // empty in practice (PREPARE verified)
 	delete(s.dirs, req.Dir)
 	s.deadDirs[req.Dir] = true
 	// Parked operations now observe the dead directory and fail with

@@ -21,6 +21,7 @@ import (
 	"repro/internal/fsapi"
 	"repro/internal/msg"
 	"repro/internal/ncc"
+	"repro/internal/place"
 	"repro/internal/proto"
 	"repro/internal/sim"
 	"repro/internal/wal"
@@ -91,6 +92,11 @@ type Config struct {
 	// to this log, acknowledged at their group-commit point, periodically
 	// folded into checkpoints, and replayed by Recover after a Crash.
 	Log *wal.Log
+
+	// Placement is the deployment's boot-time placement map (DESIGN.md
+	// §9). Nil disables the epoch gate and shard migration (bare servers
+	// built directly by unit tests).
+	Placement *place.Map
 }
 
 // Stats counts the work a server has performed.
@@ -105,6 +111,16 @@ type Stats struct {
 	// QueueDelay accumulates, across all requests, the virtual time between
 	// a request's arrival and the moment the server started serving it.
 	QueueDelay sim.Cycles
+	// Epoch is the placement-map epoch the server has adopted (0 when the
+	// server runs without a placement layer).
+	Epoch uint64
+	// Entries is the number of directory entries currently stored here
+	// (the server's share of the namespace's shard state).
+	Entries int64
+	// MigInEntries and MigOutEntries count directory entries this server
+	// received and handed off through shard migrations (DESIGN.md §9).
+	MigInEntries  uint64
+	MigOutEntries uint64
 }
 
 // Server is one Hare file server. Its Run loop processes one request at a
@@ -145,6 +161,17 @@ type Server struct {
 	// stale pre-crash version can never match and mask lost writes.
 	verBase uint64
 
+	// Elastic-placement state (DESIGN.md §9). pmap/frozen/pendingEpoch/
+	// migParked are confined to the request loop (and to Recover, which
+	// runs with the loop stopped); epoch and entCount are atomics so the
+	// stats/shell surfaces can read them from other goroutines.
+	pmap         *place.Map
+	epoch        atomic.Uint64
+	frozen       bool
+	pendingEpoch uint64
+	migParked    []parkedReq
+	entCount     atomic.Int64
+
 	done chan struct{}
 }
 
@@ -165,6 +192,10 @@ func New(cfg Config) *Server {
 		done:      make(chan struct{}),
 	}
 	s.stats.Ops = make(map[proto.Op]uint64)
+	s.pmap = cfg.Placement
+	if s.pmap != nil {
+		s.epoch.Store(s.pmap.Epoch())
+	}
 	if int32(cfg.ID) == proto.RootInode.Server {
 		root := &inode{
 			local:       proto.RootInode.Local,
@@ -212,6 +243,10 @@ func (s *Server) Stats() Stats {
 		BusyCycles:    s.clock.Now(),
 		BatchedOps:    s.stats.BatchedOps,
 		QueueDelay:    s.stats.QueueDelay,
+		Epoch:         s.epoch.Load(),
+		Entries:       s.entCount.Load(),
+		MigInEntries:  s.stats.MigInEntries,
+		MigOutEntries: s.stats.MigOutEntries,
 	}
 	for k, v := range s.stats.Ops {
 		out.Ops[k] = v
@@ -359,6 +394,12 @@ func (s *Server) replyAt(env msg.Envelope, resp *proto.Response, at sim.Cycles) 
 // dispatch routes the request to the appropriate handler. The bool result is
 // true if the request was parked (no reply should be sent yet).
 func (s *Server) dispatch(req *proto.Request, env msg.Envelope) (*proto.Response, bool) {
+	// Placement-routed requests pass the epoch gate first: a stale (or
+	// ahead-of-us) epoch is answered with EEPOCH, and entry mutations on a
+	// frozen server park until the migration commits (DESIGN.md §9).
+	if resp, parked, handled := s.epochGate(req, env); handled {
+		return resp, parked
+	}
 	switch req.Op {
 	// Directory entries.
 	case proto.OpLookup:
@@ -449,6 +490,14 @@ func (s *Server) dispatch(req *proto.Request, env msg.Envelope) (*proto.Response
 	case proto.OpCheckpoint:
 		return s.handleCheckpoint(req), false
 
+	// Shard migration (elastic placement).
+	case proto.OpShardFreeze:
+		return s.handleShardFreeze(req), false
+	case proto.OpShardPull:
+		return s.handleShardPull(req), false
+	case proto.OpShardCommit:
+		return s.handleShardCommit(req), false
+
 	case proto.OpBatch:
 		// Reached on re-dispatch of a batch that had been parked on a
 		// marked shard (handle routes fresh batches directly).
@@ -515,6 +564,10 @@ func (s *Server) serviceCost(req *proto.Request) sim.Cycles {
 	case proto.OpPipeCreate, proto.OpPipeCloseRead, proto.OpPipeCloseWrite,
 		proto.OpPipeIncReader, proto.OpPipeIncWriter:
 		return c.ServePipeOp
+	case proto.OpShardPull, proto.OpShardCommit:
+		// Migration cost scales with the entries scanned; approximate with
+		// the current shard-table size.
+		return c.ServeReadDir + sim.Cycles(s.entCount.Load())*c.ServePerEnt
 	case proto.OpPipeRead, proto.OpPipeWrite:
 		n := int(req.Count)
 		if len(req.Data) > n {

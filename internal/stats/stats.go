@@ -95,6 +95,7 @@ type Economy struct {
 	WbLines     uint64 // 64-byte lines written back to the shared DRAM
 	InvLines    uint64 // resident lines dropped by open-time invalidation
 	SkipLines   uint64 // resident lines preserved by version-matched opens
+	MigEntries  uint64 // directory entries handed off by shard migrations (DESIGN.md §9)
 }
 
 // Sub returns the counters accumulated since the base snapshot.
@@ -108,6 +109,7 @@ func (e Economy) Sub(base Economy) Economy {
 		WbLines:     e.WbLines - base.WbLines,
 		InvLines:    e.InvLines - base.InvLines,
 		SkipLines:   e.SkipLines - base.SkipLines,
+		MigEntries:  e.MigEntries - base.MigEntries,
 	}
 }
 
@@ -122,6 +124,7 @@ func (e Economy) Add(o Economy) Economy {
 		WbLines:     e.WbLines + o.WbLines,
 		InvLines:    e.InvLines + o.InvLines,
 		SkipLines:   e.SkipLines + o.SkipLines,
+		MigEntries:  e.MigEntries + o.MigEntries,
 	}
 }
 
@@ -136,6 +139,28 @@ func PerOp(counter uint64, ops int) float64 {
 		return 0
 	}
 	return float64(counter) / float64(ops)
+}
+
+// Imbalance returns the max/mean ratio of per-server loads: 1.0 is a
+// perfectly balanced fleet, N is everything on one of N servers. Zero-load
+// fleets report 0. The benchmark tables surface it so the ring-vs-modulo
+// balance difference is measurable rather than anecdotal.
+func Imbalance(loads []uint64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	var total, max uint64
+	for _, l := range loads {
+		total += l
+		if l > max {
+			max = l
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	mean := float64(total) / float64(len(loads))
+	return float64(max) / mean
 }
 
 // Summary bundles the four summary statistics reported in the paper's

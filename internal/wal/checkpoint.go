@@ -55,6 +55,13 @@ type Checkpoint struct {
 	// servers never reissue a live inode number.
 	NextIno uint64
 
+	// Epoch and PlaceMap preserve the placement-map epoch the server had
+	// adopted (the encoded map, place.Map.Encode). Zero/nil on servers
+	// that never migrated past their boot map; recovery then falls back
+	// to the deployment's initial map (DESIGN.md §9).
+	Epoch    uint64
+	PlaceMap []byte
+
 	Inodes   []InodeSnap
 	Dirs     []DirSnap
 	DeadDirs []proto.InodeID
@@ -66,6 +73,8 @@ func (c *Checkpoint) Marshal() []byte {
 	e := newEnc(1024)
 	e.u64(c.LSN)
 	e.u64(c.NextIno)
+	e.u64(c.Epoch)
+	e.blob(c.PlaceMap)
 	e.u32(uint32(len(c.Inodes)))
 	for i := range c.Inodes {
 		in := &c.Inodes[i]
@@ -117,6 +126,8 @@ func UnmarshalCheckpoint(b []byte) (*Checkpoint, error) {
 	c := &Checkpoint{}
 	c.LSN = d.u64()
 	c.NextIno = d.u64()
+	c.Epoch = d.u64()
+	c.PlaceMap = d.blob()
 	nino := int(d.u32())
 	for i := 0; i < nino && d.err == nil; i++ {
 		var in InodeSnap

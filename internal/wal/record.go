@@ -67,6 +67,12 @@ const (
 	// the directory id joins the dead set (the COMMIT and FINISH phases of
 	// the three-phase rmdir).
 	RecDirKill
+	// RecEpoch records that the server adopted a new placement-map epoch
+	// at the commit point of a shard migration. Epoch carries the epoch
+	// number, Data the encoded map (DESIGN.md §9). It is logged in the
+	// same batch as the migration's entry installs/removals, so recovery
+	// lands on exactly one side of the epoch boundary — never both.
+	RecEpoch
 )
 
 var recNames = map[RecType]string{
@@ -78,6 +84,7 @@ var recNames = map[RecType]string{
 	RecAddMap:  "ADD_MAP",
 	RecRmMap:   "RM_MAP",
 	RecDirKill: "DIR_KILL",
+	RecEpoch:   "EPOCH",
 }
 
 // String names the record type.
@@ -115,6 +122,10 @@ type Record struct {
 	Nlink  int32
 	Blocks []uint64
 	Data   []byte
+
+	// Epoch is the placement-map epoch adopted by a RecEpoch record (the
+	// encoded map itself travels in Data).
+	Epoch uint64
 }
 
 // frame layout: u32 payload length, u32 CRC-32 (IEEE) of the payload,
@@ -143,6 +154,7 @@ func (r *Record) encode() []byte {
 	e.i32(r.Nlink)
 	e.u64Slice(r.Blocks)
 	e.blob(r.Data)
+	e.u64(r.Epoch)
 	return e.buf
 }
 
@@ -164,6 +176,7 @@ func decodeRecord(b []byte) (Record, error) {
 	r.Nlink = d.i32()
 	r.Blocks = d.u64Slice()
 	r.Data = d.blob()
+	r.Epoch = d.u64()
 	if err := d.finish("wal record"); err != nil {
 		return Record{}, err
 	}

@@ -31,6 +31,24 @@ type FaultInjector interface {
 	Recover(server int) error
 }
 
+// ElasticController is the online-membership surface a backend may expose
+// to workloads (a Hare deployment with MaxServers headroom does; the
+// baselines and static deployments do not). Adding or draining a server
+// migrates directory-entry shards while the system keeps serving
+// (DESIGN.md §9).
+type ElasticController interface {
+	// AddServer spins up one new file server and rebalances shards onto
+	// it, returning the new server's id.
+	AddServer() (int, error)
+	// RemoveServer drains server id's shards away and removes it from the
+	// placement map (its inodes stay put and keep being served).
+	RemoveServer(id int) error
+	// Epoch returns the current placement epoch.
+	Epoch() uint64
+	// Members returns the server ids currently owning shards.
+	Members() []int
+}
+
 // Env is the environment a workload runs in.
 type Env struct {
 	// Procs creates and places processes on the backend.
@@ -46,6 +64,11 @@ type Env struct {
 	// Faults, when non-nil, lets fault-injection workloads crash and
 	// recover the backend's file servers.
 	Faults FaultInjector
+	// Elastic, when non-nil, lets workloads add and drain file servers
+	// mid-run. Workloads must tolerate a nil controller by running their
+	// operation stream statically (which is what makes the elastic
+	// namespace-equivalence tests possible).
+	Elastic ElasticController
 }
 
 // iters scales an iteration count, returning at least 1.

@@ -41,6 +41,16 @@ func FaultBenchmarks() []Workload {
 	}
 }
 
+// ElasticBenchmarks returns the online-membership workloads. They are kept
+// out of All() because their interesting half needs a backend exposing an
+// ElasticController (a Hare deployment with MaxServers headroom); without
+// one they degrade to a static create/read storm.
+func ElasticBenchmarks() []Workload {
+	return []Workload{
+		&Elastic{},
+	}
+}
+
 // ByName returns a fresh instance of the named benchmark.
 func ByName(name string) (Workload, bool) {
 	for _, w := range All() {
@@ -49,6 +59,11 @@ func ByName(name string) (Workload, bool) {
 		}
 	}
 	for _, w := range FaultBenchmarks() {
+		if w.Name() == name {
+			return w, true
+		}
+	}
+	for _, w := range ElasticBenchmarks() {
 		if w.Name() == name {
 			return w, true
 		}
