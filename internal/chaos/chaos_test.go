@@ -1,0 +1,165 @@
+package chaos
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/place"
+)
+
+// TestChaosConformanceSmoke is the CI chaos gate: 8 sampled technique/policy
+// configurations × 4 distinct seeds each (32 seeds total), every run
+// conformance-checked against the shadow model at every quiescent point,
+// with message faults, crashes, memory-losing crashes, checkpoints, and
+// live membership changes on the schedule. Zero divergences allowed; any
+// failure prints its one-line repro tuple.
+func TestChaosConformanceSmoke(t *testing.T) {
+	base := DefaultConfig(0)
+	configs := SampleConfigs(base, 8)
+	for ci, cfg := range configs {
+		cfg := cfg
+		seeds := make([]uint64, 4)
+		for si := range seeds {
+			seeds[si] = uint64(1000 + ci*10 + si)
+		}
+		t.Run(TechBits(cfg.Techniques)+"-"+policyName(cfg.Policy), func(t *testing.T) {
+			t.Parallel()
+			for _, seed := range seeds {
+				run := cfg
+				run.Seed = seed
+				rep, err := Run(run)
+				if err != nil {
+					t.Fatalf("%v\n  repro: hare-chaos -repro %s", err, run.Tuple())
+				}
+				if rep.Ops == 0 || rep.Events == 0 {
+					t.Fatalf("tuple=%s: degenerate run (%d ops, %d events)", run.Tuple(), rep.Ops, rep.Events)
+				}
+			}
+		})
+	}
+}
+
+// TestPlanDeterminism is the determinism acceptance check: the same
+// (seed, config) tuple must produce a byte-identical op trace and fault
+// schedule on consecutive derivations, and the tuple printed for a failure
+// must reproduce exactly the same plan through the -repro path.
+func TestPlanDeterminism(t *testing.T) {
+	for _, seed := range []uint64{1, 42, 0xDEAD} {
+		cfg := DefaultConfig(seed)
+		cfg.Policy = place.PolicyRing
+		a := NewPlan(cfg).Encode()
+		b := NewPlan(cfg).Encode()
+		if !bytes.Equal(a, b) {
+			t.Fatalf("seed %d: two consecutive plan derivations differ", seed)
+		}
+
+		// Round-trip through the printed tuple, the way -repro rebuilds it.
+		s, tech, pol, err := ParseTuple(cfg.Tuple())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := NewPlan(WithTuple(DefaultConfig(0), s, tech, pol)).Encode()
+		if !bytes.Equal(a, c) {
+			t.Fatalf("seed %d: plan rebuilt from tuple %q differs from the original", seed, cfg.Tuple())
+		}
+	}
+}
+
+// TestRunReproducibility runs the same tuple twice end to end: both runs
+// must pass conformance and execute the identical trace and schedule.
+func TestRunReproducibility(t *testing.T) {
+	cfg := DefaultConfig(7)
+	first, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Ops != second.Ops || first.Events != second.Events {
+		t.Fatalf("same tuple executed different work: %+v vs %+v", first, second)
+	}
+}
+
+func TestTupleParsing(t *testing.T) {
+	cfg := DefaultConfig(99)
+	cfg.Techniques.DirectAccess = false
+	cfg.Techniques.DataPath = false
+	cfg.Policy = place.PolicyRing
+	seed, tech, pol, err := ParseTuple(cfg.Tuple())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seed != 99 || tech != cfg.Techniques || pol != place.PolicyRing {
+		t.Fatalf("tuple %q parsed to seed=%d tech=%+v pol=%v", cfg.Tuple(), seed, tech, pol)
+	}
+	for _, bad := range []string{"", "1,2", "x,1111111,mod", "1,11111,mod", "1,1111112,mod", "1,1111111,hash"} {
+		if _, _, _, err := ParseTuple(bad); err == nil {
+			t.Errorf("ParseTuple(%q) accepted garbage", bad)
+		}
+	}
+}
+
+// TestMatrixShapes checks the sweep constructors cover what they claim.
+func TestMatrixShapes(t *testing.T) {
+	techs := MatrixTechniques()
+	if len(techs) != 32 {
+		t.Fatalf("MatrixTechniques: %d combos, want 32 (2^5)", len(techs))
+	}
+	seen := make(map[string]bool)
+	for _, tc := range techs {
+		seen[TechBits(tc)] = true
+		if !tc.RPCPipelining || !tc.DataPath {
+			t.Fatalf("matrix sweep %s disabled a default-on technique", TechBits(tc))
+		}
+	}
+	if len(seen) != 32 {
+		t.Fatalf("matrix sweep repeats combinations: %d unique", len(seen))
+	}
+	full := MatrixConfigs(DefaultConfig(0))
+	if len(full) != 64 {
+		t.Fatalf("MatrixConfigs: %d, want 64 (32 techniques x 2 policies)", len(full))
+	}
+
+	samples := SampleConfigs(DefaultConfig(0), 8)
+	policies := map[string]bool{}
+	offPath := false
+	uniq := map[string]bool{}
+	for _, c := range samples {
+		policies[policyName(c.Policy)] = true
+		uniq[c.Tuple()] = true
+		if !c.Techniques.RPCPipelining {
+			offPath = true
+		}
+	}
+	if len(policies) != 2 {
+		t.Fatal("samples do not cover both placement policies")
+	}
+	if !offPath {
+		t.Fatal("samples never disable the pipeline/data-path techniques")
+	}
+	if len(uniq) != len(samples) {
+		t.Fatalf("samples repeat configurations: %d unique of %d", len(uniq), len(samples))
+	}
+}
+
+// TestMatrixRunnerReportsFailures checks the failure path prints a usable
+// repro tuple: an impossible config (a run that must error) has to surface
+// as a FAIL line carrying its tuple.
+func TestMatrixRunnerReportsFailures(t *testing.T) {
+	bad := DefaultConfig(5)
+	bad.Cores = 1
+	bad.Servers = 2 // timeshare cannot run 2 servers on 1 core: core.New fails
+	var out bytes.Buffer
+	fails := RunMatrix(&out, []Config{bad}, []uint64{5})
+	if len(fails) != 1 {
+		t.Fatalf("failures = %v, want exactly one", fails)
+	}
+	if fails[0] != bad.Tuple() {
+		t.Fatalf("failure tuple %q, want %q", fails[0], bad.Tuple())
+	}
+	if !bytes.Contains(out.Bytes(), []byte("repro: hare-chaos -repro "+bad.Tuple())) {
+		t.Fatalf("matrix output lacks the repro line:\n%s", out.String())
+	}
+}

@@ -1,0 +1,96 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/place"
+)
+
+// MatrixTechniques returns the full 2^5 sweep of the paper's five technique
+// toggles (§5.4). The async-RPC pipeline and the zero-waste data path stay
+// enabled throughout the sweep — they are this reproduction's defaults —
+// and SampleConfigs mixes in their disabled states.
+func MatrixTechniques() []core.Techniques {
+	out := make([]core.Techniques, 0, 32)
+	for bits := 0; bits < 32; bits++ {
+		out = append(out, core.Techniques{
+			DirectoryDistribution: bits&1 != 0,
+			DirectoryBroadcast:    bits&2 != 0,
+			DirectAccess:          bits&4 != 0,
+			DirectoryCache:        bits&8 != 0,
+			CreationAffinity:      bits&16 != 0,
+			RPCPipelining:         true,
+			DataPath:              true,
+		})
+	}
+	return out
+}
+
+// MatrixConfigs expands a base config into the full technique × placement
+// matrix (64 configurations).
+func MatrixConfigs(base Config) []Config {
+	var out []Config
+	for _, pol := range []place.Policy{place.PolicyModulo, place.PolicyRing} {
+		for _, tech := range MatrixTechniques() {
+			c := base
+			c.Techniques = tech
+			c.Policy = pol
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// SampleConfigs deterministically picks n configurations spread across the
+// matrix: technique combinations stride through the 32-point sweep,
+// placement policies alternate, and every third sample additionally turns
+// the pipeline and data-path techniques off so the pre-optimization code
+// paths stay under chaos too.
+func SampleConfigs(base Config, n int) []Config {
+	techs := MatrixTechniques()
+	out := make([]Config, 0, n)
+	for i := 0; i < n; i++ {
+		c := base
+		c.Techniques = techs[(i*7)%len(techs)]
+		if i%2 == 1 {
+			c.Policy = place.PolicyRing
+		} else {
+			c.Policy = place.PolicyModulo
+		}
+		if i%3 == 2 {
+			c.Techniques.RPCPipelining = false
+			c.Techniques.DataPath = false
+		}
+		out = append(out, c)
+	}
+	return out
+}
+
+// RunMatrix sweeps seeds × configs, writing one line per run to w (pass
+// nil to discard), and returns the repro tuples of the failing runs. Every
+// failure line carries the one-line (seed, config) tuple that reproduces it
+// via `hare-chaos -repro`.
+func RunMatrix(w io.Writer, configs []Config, seeds []uint64) []string {
+	if w == nil {
+		w = io.Discard
+	}
+	var failures []string
+	for _, cfg := range configs {
+		for _, seed := range seeds {
+			run := cfg
+			run.Seed = seed
+			rep, err := Run(run)
+			tuple := run.Tuple()
+			if err != nil {
+				failures = append(failures, tuple)
+				fmt.Fprintf(w, "FAIL tuple=%s err=%v\n      repro: hare-chaos -repro %s\n", tuple, err, tuple)
+				continue
+			}
+			fmt.Fprintf(w, "PASS tuple=%s ops=%d events=%d delayed=%d dups=%d epoch=%d servers=%d\n",
+				tuple, rep.Ops, rep.Events, rep.Faults.Delayed, rep.Faults.Duplicated, rep.Epoch, rep.Servers)
+		}
+	}
+	return failures
+}

@@ -1,0 +1,532 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/fsapi"
+	"repro/internal/msg"
+	"repro/internal/proto"
+	"repro/internal/sched"
+	"repro/internal/shadow"
+	"repro/internal/sim"
+)
+
+// Report summarizes one chaos run.
+type Report struct {
+	Ops     int            // POSIX operations executed by the trace
+	Events  int            // fault-schedule events fired
+	Faults  msg.FaultStats // message faults the network injected
+	Epoch   uint64         // final placement epoch
+	Servers int            // final server count
+	Cycles  sim.Cycles     // virtual time at the end of the run
+}
+
+// idempotentOps are the protocol requests the network may deliver twice: the
+// read-only operations whose second execution cannot change server state.
+var idempotentOps = map[proto.Op]bool{
+	proto.OpLookup:       true,
+	proto.OpStat:         true,
+	proto.OpGetBlocks:    true,
+	proto.OpReadDirShard: true,
+	proto.OpFdGetInfo:    true,
+	proto.OpPing:         true,
+}
+
+// dupOK is the fault plan's idempotence classifier.
+func dupOK(kind uint16, payload []byte) bool {
+	if kind != proto.KindRequest {
+		return false
+	}
+	req, err := proto.UnmarshalRequest(payload)
+	if err != nil {
+		return false
+	}
+	return idempotentOps[req.Op]
+}
+
+// coreConfig maps a chaos config onto a Hare deployment: timeshare (so
+// AddServer works), durability enabled (so the crash events work), headroom
+// up to MaxServers.
+func coreConfig(cfg Config) core.Config {
+	return core.Config{
+		Cores:            cfg.Cores,
+		Servers:          cfg.Servers,
+		Timeshare:        true,
+		Techniques:       cfg.Techniques,
+		Placement:        sched.PolicyRoundRobin,
+		Seed:             cfg.Seed,
+		PlacePolicy:      cfg.Policy,
+		MaxServers:       cfg.MaxServers,
+		BufferCacheBytes: 8 << 20,
+		BlockSize:        4096,
+		Durability:       core.Durability{Enabled: true, GroupCommitInterval: cfg.GroupCommit},
+	}
+}
+
+// Run executes one chaos run: derive the plan from the (seed, config) tuple,
+// drive it against a fresh deployment, and conformance-check every quiescent
+// point against the shadow model. The returned error, if any, carries the
+// run's repro tuple.
+func Run(cfg Config) (*Report, error) {
+	cfg = cfg.normalized()
+	return RunPlan(NewPlan(cfg))
+}
+
+// RunPlan executes an already-derived plan.
+func RunPlan(plan *Plan) (*Report, error) {
+	cfg := plan.Cfg
+	sys, err := core.New(coreConfig(cfg))
+	if err != nil {
+		return nil, fmt.Errorf("chaos tuple=%s: %w", cfg.Tuple(), err)
+	}
+	sys.Start()
+	defer sys.Stop()
+	sys.Network().SetFaultPlan(&msg.FaultPlan{
+		Seed:         cfg.Seed,
+		MaxDelay:     cfg.MaxDelay,
+		DelayPercent: cfg.DelayPercent,
+		DupPercent:   cfg.DupPercent,
+		DupOK:        dupOK,
+	})
+
+	model := shadow.NewModel("/chaos")
+	model.DirectAccess = cfg.Techniques.DirectAccess
+
+	rep := &Report{}
+	var runErr error
+	cores := sys.AppCores()
+	h := sys.Procs().StartRoot(cores[0], []string{"chaos-root"}, func(p *sched.Proc) int {
+		if err := p.FS.Mkdir("/chaos", fsapi.MkdirOpt{Distributed: true}); err != nil {
+			runErr = fmt.Errorf("mkdir /chaos: %w", err)
+			return 1
+		}
+		for proc := 0; proc < cfg.Procs; proc++ {
+			dir := fmt.Sprintf("/chaos/p%02d", proc)
+			if err := p.FS.Mkdir(dir, fsapi.MkdirOpt{Distributed: true}); err != nil {
+				runErr = fmt.Errorf("mkdir %s: %w", dir, err)
+				return 1
+			}
+			model.Mkdir(dir)
+		}
+		for round := 0; round < cfg.Rounds; round++ {
+			if err := runRound(sys, plan, model, p, round, rep); err != nil {
+				runErr = err
+				return 1
+			}
+		}
+		return 0
+	})
+	status := h.Wait()
+	rep.Faults = sys.Network().FaultStats()
+	rep.Epoch = sys.Epoch()
+	rep.Servers = sys.NumServers()
+	rep.Cycles = h.EndTime()
+	if runErr != nil {
+		return rep, fmt.Errorf("chaos tuple=%s: %w", cfg.Tuple(), runErr)
+	}
+	if status != 0 {
+		return rep, fmt.Errorf("chaos tuple=%s: root process exited %d", cfg.Tuple(), status)
+	}
+	return rep, nil
+}
+
+// runRound spawns one worker process per planned op list, fires the round's
+// mid-traffic events while they run, then — at the quiescent boundary —
+// fires the round's scheduled faults and diffs the whole namespace against
+// the shadow model.
+func runRound(sys *core.System, plan *Plan, model *shadow.Model, p *sched.Proc, round int, rep *Report) error {
+	cfg := plan.Cfg
+	errs := make([]error, cfg.Procs)
+	done := make([]int, cfg.Procs)
+	handles := make([]*sched.Handle, 0, cfg.Procs)
+	for proc := range plan.Ops[round] {
+		idx := proc
+		ops := plan.Ops[round][proc]
+		h, err := p.Spawn([]string{fmt.Sprintf("chaos-w%02d", idx)}, func(wp *sched.Proc) int {
+			for _, op := range ops {
+				if err := applyOp(wp, model, op); err != nil {
+					errs[idx] = fmt.Errorf("round %d proc %d op %s %s: %w", round, idx, op.Kind, op.Path, err)
+					return 1
+				}
+				done[idx]++
+			}
+			return 0
+		}, true)
+		if err != nil {
+			return fmt.Errorf("round %d: spawn worker %d: %w", round, proc, err)
+		}
+		handles = append(handles, h)
+	}
+
+	// Membership changes against live traffic: shard freezing, EEPOCH
+	// refresh-retry, and serve-while-frozen parking are on the hot path.
+	for _, ev := range plan.Events {
+		if ev.Round == round && ev.Mid {
+			if err := fireEvent(sys, model, ev, rep); err != nil {
+				return fmt.Errorf("round %d mid event %s: %w", round, ev.Kind, err)
+			}
+		}
+	}
+
+	var latest sim.Cycles
+	for _, h := range handles {
+		h.Wait()
+		if h.EndTime() > latest {
+			latest = h.EndTime()
+		}
+	}
+	for i := range errs {
+		if errs[i] != nil {
+			return errs[i]
+		}
+		rep.Ops += done[i]
+	}
+	// Pull the root's clock to the round boundary so rounds and events stay
+	// ordered in virtual time (Wait alone does not advance it).
+	if c, ok := p.FS.(sched.Clocked); ok {
+		c.AdvanceClock(latest)
+	}
+
+	// Quiescent-boundary faults.
+	lossy := false
+	for _, ev := range plan.Events {
+		if ev.Round != round || ev.Mid {
+			continue
+		}
+		if ev.Kind == EvCrashLoseMem {
+			lossy = true
+		}
+		if err := fireEvent(sys, model, ev, rep); err != nil {
+			return fmt.Errorf("round %d event %s srv %d: %w", round, ev.Kind, ev.Server, err)
+		}
+	}
+
+	// The oracle: full namespace + content diff against the shadow model.
+	if err := model.Verify(p.FS); err != nil {
+		return fmt.Errorf("conformance after round %d: %w", round, err)
+	}
+	if lossy {
+		// Adopt whatever recovery produced for the legally-lost contents so
+		// the next round's reads have an exact reference again.
+		if err := model.Reconcile(p.FS); err != nil {
+			return fmt.Errorf("reconcile after round %d: %w", round, err)
+		}
+	}
+	return nil
+}
+
+// fireEvent executes one scheduled fault, keeping the shadow model's
+// durability bookkeeping in step.
+func fireEvent(sys *core.System, model *shadow.Model, ev Event, rep *Report) error {
+	rep.Events++
+	switch ev.Kind {
+	case EvCheckpoint:
+		if err := sys.Checkpoint(ev.Server); err != nil {
+			return err
+		}
+		model.NoteCheckpoint(ev.Server)
+	case EvCheckpointAll:
+		if err := sys.CheckpointAll(); err != nil {
+			return err
+		}
+		model.NoteCheckpoint(-1)
+	case EvCrash:
+		if err := sys.Crash(ev.Server); err != nil {
+			return err
+		}
+		if _, err := sys.Recover(ev.Server); err != nil {
+			return err
+		}
+	case EvCrashLoseMem:
+		if err := sys.CrashLosingMemory(ev.Server); err != nil {
+			return err
+		}
+		model.CrashLostMemory(ev.Server)
+		if _, err := sys.Recover(ev.Server); err != nil {
+			return err
+		}
+	case EvAddServer:
+		if _, err := sys.AddServer(); err != nil {
+			return err
+		}
+	case EvRemoveServer:
+		if err := sys.RemoveServer(ev.Server); err != nil {
+			return err
+		}
+	case EvMigrateCrash:
+		return fireMigrateCrash(sys, ev)
+	default:
+		return fmt.Errorf("unknown event kind %d", ev.Kind)
+	}
+	return nil
+}
+
+// fireMigrateCrash kills a victim server at a chosen stage of a live
+// migration, then recovers it; Recover auto-resumes the interrupted protocol
+// and the run proceeds only once the migration has converged.
+func fireMigrateCrash(sys *core.System, ev Event) error {
+	fired := false
+	sys.SetMigrationObserver(func(stage string, srv int) {
+		if !fired && stage == ev.Stage && srv == ev.Victim {
+			fired = true
+			_ = sys.Crash(ev.Victim)
+		}
+	})
+	var migErr error
+	if ev.Add {
+		_, migErr = sys.AddServer()
+	} else {
+		migErr = sys.RemoveServer(ev.Server)
+	}
+	sys.SetMigrationObserver(nil)
+	if !fired {
+		// The (stage, victim) pair never came up; the migration ran clean.
+		return migErr
+	}
+	if migErr == nil {
+		return fmt.Errorf("migrate-crash: killing server %d at %s did not interrupt the migration", ev.Victim, ev.Stage)
+	}
+	if !sys.MigrationPending() {
+		return fmt.Errorf("migrate-crash: no pending migration after interrupting at %s", ev.Stage)
+	}
+	if _, err := sys.Recover(ev.Victim); err != nil {
+		return fmt.Errorf("migrate-crash: recover server %d: %w", ev.Victim, err)
+	}
+	if sys.MigrationPending() {
+		return fmt.Errorf("migrate-crash: migration still pending after recovery resumed it")
+	}
+	return nil
+}
+
+// applyOp executes one generated operation against the live file system and
+// the shadow model, checking read results on the spot.
+func applyOp(p *sched.Proc, model *shadow.Model, op Op) error {
+	fs := p.FS
+	switch op.Kind {
+	case OpMkdir:
+		if err := fs.Mkdir(op.Path, fsapi.MkdirOpt{}); err != nil {
+			return err
+		}
+		model.Mkdir(op.Path)
+
+	case OpCreate:
+		data := pattern(op.Size, op.Seed)
+		fd, err := fs.Open(op.Path, fsapi.OCreate|fsapi.OWrOnly|fsapi.OTrunc, fsapi.Mode644)
+		if err != nil {
+			return err
+		}
+		if _, err := fs.Write(fd, data); err != nil {
+			fs.Close(fd)
+			return err
+		}
+		if op.Sync {
+			if err := fs.Fsync(fd); err != nil {
+				fs.Close(fd)
+				return err
+			}
+		}
+		if err := fs.Close(fd); err != nil {
+			return err
+		}
+		st, err := fs.Stat(op.Path)
+		if err != nil {
+			return fmt.Errorf("stat after create: %w", err)
+		}
+		model.SetFile(op.Path, data, st.Server)
+
+	case OpAppend:
+		data := pattern(op.Size, op.Seed)
+		fd, err := fs.Open(op.Path, fsapi.OWrOnly|fsapi.OAppend, 0)
+		if err != nil {
+			return err
+		}
+		prev, _ := model.Size(op.Path)
+		if _, err := fs.Write(fd, data); err != nil {
+			fs.Close(fd)
+			return err
+		}
+		if op.Sync {
+			if err := fs.Fsync(fd); err != nil {
+				fs.Close(fd)
+				return err
+			}
+		}
+		if err := fs.Close(fd); err != nil {
+			return err
+		}
+		model.WriteAt(op.Path, prev, data)
+
+	case OpOverwrite:
+		data := pattern(op.Size, op.Seed)
+		fd, err := fs.Open(op.Path, fsapi.OWrOnly, 0)
+		if err != nil {
+			return err
+		}
+		if _, err := fs.Pwrite(fd, data, op.Off); err != nil {
+			fs.Close(fd)
+			return err
+		}
+		if op.Sync {
+			if err := fs.Fsync(fd); err != nil {
+				fs.Close(fd)
+				return err
+			}
+		}
+		if err := fs.Close(fd); err != nil {
+			return err
+		}
+		model.WriteAt(op.Path, op.Off, data)
+
+	case OpTruncate:
+		fd, err := fs.Open(op.Path, fsapi.OWrOnly, 0)
+		if err != nil {
+			return err
+		}
+		if err := fs.Ftruncate(fd, int64(op.Size)); err != nil {
+			fs.Close(fd)
+			return err
+		}
+		if err := fs.Close(fd); err != nil {
+			return err
+		}
+		model.Truncate(op.Path, int64(op.Size))
+
+	case OpRead:
+		want, ok := model.Content(op.Path)
+		if !ok {
+			return fmt.Errorf("shadow lost track of %s", op.Path)
+		}
+		got, err := shadow.ReadAll(fs, op.Path, int64(len(want)))
+		if err != nil {
+			return err
+		}
+		if !bytes.Equal(got, want) {
+			return fmt.Errorf("read returned %d bytes diverging from shadow (%d expected)", len(got), len(want))
+		}
+
+	case OpStatCheck:
+		want, ok := model.Size(op.Path)
+		if !ok {
+			return fmt.Errorf("shadow lost track of %s", op.Path)
+		}
+		st, err := fs.Stat(op.Path)
+		if err != nil {
+			return err
+		}
+		if st.Size != want {
+			return fmt.Errorf("stat size %d, shadow says %d", st.Size, want)
+		}
+
+	case OpReadDir:
+		ents, err := fs.ReadDir(op.Path)
+		if err != nil {
+			return err
+		}
+		want := model.Children(op.Path)
+		if len(ents) != len(want) {
+			return fmt.Errorf("readdir found %d entries, shadow says %d", len(ents), len(want))
+		}
+		seen := make(map[string]bool, len(ents))
+		for _, e := range ents {
+			seen[e.Name] = true
+		}
+		for _, name := range want {
+			if !seen[name] {
+				return fmt.Errorf("readdir is missing %q", name)
+			}
+		}
+
+	case OpRename:
+		if err := fs.Rename(op.Path, op.Path2); err != nil {
+			return err
+		}
+		model.Rename(op.Path, op.Path2)
+
+	case OpUnlink:
+		if err := fs.Unlink(op.Path); err != nil {
+			return err
+		}
+		model.Unlink(op.Path)
+
+	case OpRmdirCycle:
+		if err := fs.Mkdir(op.Path, fsapi.MkdirOpt{}); err != nil {
+			return err
+		}
+		if err := fs.Rmdir(op.Path); err != nil {
+			return err
+		}
+		// The name must be reusable (the tombstone must not shadow it).
+		if err := fs.Mkdir(op.Path, fsapi.MkdirOpt{}); err != nil {
+			return fmt.Errorf("recreate after rmdir: %w", err)
+		}
+		if err := fs.Rmdir(op.Path); err != nil {
+			return fmt.Errorf("re-rmdir: %w", err)
+		}
+
+	case OpPipeFork:
+		return pipeForkExchange(p, op)
+
+	default:
+		return fmt.Errorf("unknown op kind %d", op.Kind)
+	}
+	return nil
+}
+
+// pipeForkExchange creates a pipe, forks a child that inherits both ends and
+// writes a pattern into it, and reads the pattern back in the parent: pipe
+// semantics and descriptor inheritance across fork, under message faults.
+func pipeForkExchange(p *sched.Proc, op Op) error {
+	fs := p.FS
+	rd, wr, err := fs.Pipe()
+	if err != nil {
+		return fmt.Errorf("pipe: %w", err)
+	}
+	data := pattern(op.Size, op.Seed)
+	child, err := p.Spawn([]string{"chaos-pipe-child"}, func(cp *sched.Proc) int {
+		// The child sees the same descriptor numbers (fork semantics).
+		if err := cp.FS.Close(rd); err != nil {
+			return 2
+		}
+		if _, err := cp.FS.Write(wr, data); err != nil {
+			return 3
+		}
+		if err := cp.FS.Close(wr); err != nil {
+			return 4
+		}
+		return 0
+	}, false)
+	if err != nil {
+		fs.Close(rd)
+		fs.Close(wr)
+		return fmt.Errorf("fork: %w", err)
+	}
+	// Parent drops its write end so EOF arrives once the child closes.
+	if err := fs.Close(wr); err != nil {
+		return fmt.Errorf("close parent write end: %w", err)
+	}
+	var got []byte
+	buf := make([]byte, 256)
+	for {
+		n, err := fs.Read(rd, buf)
+		if err != nil {
+			fs.Close(rd)
+			return fmt.Errorf("pipe read: %w", err)
+		}
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if err := fs.Close(rd); err != nil {
+		return fmt.Errorf("close read end: %w", err)
+	}
+	if status := child.Wait(); status != 0 {
+		return fmt.Errorf("pipe child exited %d", status)
+	}
+	if !bytes.Equal(got, data) {
+		return fmt.Errorf("pipe carried %d bytes, want %d (content diverged)", len(got), len(data))
+	}
+	return nil
+}

@@ -689,6 +689,18 @@ func (c *Client) Ftruncate(fd fsapi.FD, size int64) error {
 	}
 	of.size = resp.Size
 	refreshBlocks(of, resp.Extents)
+	// Drop every cached copy of the file's surviving blocks: a shrink just
+	// zeroed the final block's tail in DRAM (our clean cached copy still
+	// shows the old bytes), and a grow may have handed us newly allocated
+	// blocks with stale previous-life copies on this core. The descriptor's
+	// dirty data was written back above, so nothing of ours is lost.
+	if c.cfg.Options.DirectAccess && of.blocks.Len() > 0 {
+		dropped := c.cfg.Cache.InvalidateExtents(of.blocks.Runs())
+		if dropped > 0 {
+			c.stats.invBlocks.Add(uint64(dropped))
+			c.charge(sim.Cycles(dropped) * c.cfg.Machine.Cost.CachePerLine)
+		}
+	}
 	// The writeback above put our data in DRAM and TRUNCATE always bumps;
 	// with the window intact the surviving cached blocks are consistent at
 	// the new version.

@@ -1,0 +1,294 @@
+package client_test
+
+// Coverage for pipefd.go and fork.go: pipe read/write/close semantics and
+// descriptor inheritance across fork. (The chaos harness additionally drives
+// the same paths under message faults via its pipe+fork op.)
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fsapi"
+)
+
+func writeFile(t *testing.T, fs fsapi.Client, path string, data []byte) {
+	t.Helper()
+	fd, err := fs.Open(path, fsapi.OCreate|fsapi.OWrOnly|fsapi.OTrunc, fsapi.Mode644)
+	if err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+	if _, err := fs.Write(fd, data); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+	if err := fs.Close(fd); err != nil {
+		t.Fatalf("close %s: %v", path, err)
+	}
+}
+
+func TestPipeReadWriteCloseSemantics(t *testing.T) {
+	sys := newSystem(t, core.AllTechniques())
+	cli := sys.NewClient(0)
+
+	rd, wr, err := cli.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Wrong-direction accesses fail with EBADF.
+	if _, err := cli.Write(rd, []byte("x")); !fsapi.IsErrno(err, fsapi.EBADF) {
+		t.Fatalf("write to read end: %v, want EBADF", err)
+	}
+	if _, err := cli.Read(wr, make([]byte, 1)); !fsapi.IsErrno(err, fsapi.EBADF) {
+		t.Fatalf("read from write end: %v, want EBADF", err)
+	}
+	// Pipes have no offset.
+	if _, err := cli.Seek(rd, 0, fsapi.SeekSet); !fsapi.IsErrno(err, fsapi.ESPIPE) {
+		t.Fatalf("seek on pipe: %v, want ESPIPE", err)
+	}
+
+	// Bytes flow in order across multiple writes and partial reads.
+	if _, err := cli.Write(wr, []byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Write(wr, []byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 4)
+	n, err := cli.Read(rd, buf)
+	if err != nil || string(buf[:n]) != "hell" {
+		t.Fatalf("first read: %q, %v", buf[:n], err)
+	}
+	rest := make([]byte, 16)
+	n, err = cli.Read(rd, rest)
+	if err != nil || string(rest[:n]) != "o world" {
+		t.Fatalf("second read: %q, %v", rest[:n], err)
+	}
+
+	// Closing the write end delivers EOF once the buffer drains.
+	if _, err := cli.Write(wr, []byte("tail")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Close(wr); err != nil {
+		t.Fatal(err)
+	}
+	n, err = cli.Read(rd, rest)
+	if err != nil || string(rest[:n]) != "tail" {
+		t.Fatalf("drain after writer close: %q, %v", rest[:n], err)
+	}
+	n, err = cli.Read(rd, rest)
+	if err != nil || n != 0 {
+		t.Fatalf("read past EOF: n=%d err=%v, want 0, nil", n, err)
+	}
+	if err := cli.Close(rd); err != nil {
+		t.Fatal(err)
+	}
+	// Double close is EBADF, not a crash.
+	if err := cli.Close(rd); !fsapi.IsErrno(err, fsapi.EBADF) {
+		t.Fatalf("double close: %v, want EBADF", err)
+	}
+}
+
+func TestPipeWriteAfterReaderCloseIsEPIPE(t *testing.T) {
+	sys := newSystem(t, core.AllTechniques())
+	cli := sys.NewClient(0)
+	rd, wr, err := cli.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Close(rd); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Write(wr, []byte("nobody listens")); !fsapi.IsErrno(err, fsapi.EPIPE) {
+		t.Fatalf("write after reader close: %v, want EPIPE", err)
+	}
+	if err := cli.Close(wr); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipeBlocksReaderUntilWrite(t *testing.T) {
+	// A pipe read with an open write end and no data parks at the server
+	// until bytes arrive — it must not return early.
+	sys := newSystem(t, core.AllTechniques())
+	parent := sys.NewClient(0)
+	rd, wr, err := parent.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	childFS, err := parent.CloneForFork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := childFS.(fsapi.Client)
+
+	got := make(chan string, 1)
+	go func() {
+		buf := make([]byte, 16)
+		n, err := child.Read(rd, buf)
+		if err != nil {
+			got <- "error: " + err.Error()
+			return
+		}
+		got <- string(buf[:n])
+	}()
+	select {
+	case v := <-got:
+		t.Fatalf("read returned %q before any write", v)
+	case <-time.After(10 * time.Millisecond):
+	}
+	if _, err := parent.Write(wr, []byte("wake")); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case v := <-got:
+		if v != "wake" {
+			t.Fatalf("parked read woke with %q", v)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("parked read never woke")
+	}
+	parent.Close(rd)
+	parent.Close(wr)
+	child.Close(rd)
+	child.Close(wr)
+}
+
+func TestForkInheritsRegularFileOffset(t *testing.T) {
+	// Fork shares open descriptions: the child inherits the parent's
+	// offset, and movement on either side is visible to the other (§3.4).
+	sys := newSystem(t, core.AllTechniques())
+	parent := sys.NewClient(0)
+
+	writeFile(t, parent, "/shared.txt", []byte("0123456789"))
+	fd, err := parent.Open("/shared.txt", fsapi.ORdOnly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 3)
+	if _, err := parent.Read(fd, buf); err != nil || string(buf) != "012" {
+		t.Fatalf("parent pre-fork read: %q, %v", buf, err)
+	}
+
+	childFS, err := parent.CloneForFork(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := childFS.(fsapi.Client)
+
+	// The child picks up where the parent stopped…
+	if _, err := child.Read(fd, buf); err != nil || string(buf) != "345" {
+		t.Fatalf("child read after fork: %q, %v", buf, err)
+	}
+	// …and the parent continues after the child.
+	if _, err := parent.Read(fd, buf); err != nil || string(buf) != "678" {
+		t.Fatalf("parent read after child: %q, %v", buf, err)
+	}
+	if err := child.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	// With the child gone the parent still owns a working descriptor.
+	if _, err := parent.Read(fd, buf[:1]); err != nil || buf[0] != '9' {
+		t.Fatalf("parent read after child close: %q, %v", buf[:1], err)
+	}
+	if err := parent.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestForkPreservesDupRelationships(t *testing.T) {
+	// Two descriptors duped onto one description in the parent must stay
+	// one description in the child: reads through either child fd advance
+	// the same offset.
+	sys := newSystem(t, core.AllTechniques())
+	parent := sys.NewClient(0)
+	writeFile(t, parent, "/dup.txt", []byte("abcdef"))
+	fd, err := parent.Open("/dup.txt", fsapi.ORdOnly, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dup, err := parent.Dup(fd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	childFS, err := parent.CloneForFork(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	child := childFS.(fsapi.Client)
+
+	buf := make([]byte, 2)
+	if _, err := child.Read(fd, buf); err != nil || string(buf) != "ab" {
+		t.Fatalf("child read via fd: %q, %v", buf, err)
+	}
+	if _, err := child.Read(dup, buf); err != nil || string(buf) != "cd" {
+		t.Fatalf("child read via dup: %q, %v (dup lost the shared offset)", buf, err)
+	}
+	// And the parent's view is the same description too.
+	if _, err := parent.Read(fd, buf); err != nil || string(buf) != "ef" {
+		t.Fatalf("parent read after child: %q, %v", buf, err)
+	}
+	for _, c := range []fsapi.Client{child, parent} {
+		if err := c.Close(fd); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Close(dup); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestForkPipeFanInFanOut(t *testing.T) {
+	// The jobserver pattern: both ends inherited across two forks; children
+	// write, the parent reads everything back after closing its own write
+	// end and the children close theirs.
+	sys := newSystem(t, core.AllTechniques())
+	parent := sys.NewClient(0)
+	rd, wr, err := parent.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kids []fsapi.Client
+	for i := 0; i < 2; i++ {
+		c, err := parent.CloneForFork(1 + i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		kids = append(kids, c.(fsapi.Client))
+	}
+	for i, kid := range kids {
+		payload := bytes.Repeat([]byte{byte('A' + i)}, 100)
+		if _, err := kid.Write(wr, payload); err != nil {
+			t.Fatalf("child %d write: %v", i, err)
+		}
+		if err := kid.Close(wr); err != nil {
+			t.Fatalf("child %d close wr: %v", i, err)
+		}
+		if err := kid.Close(rd); err != nil {
+			t.Fatalf("child %d close rd: %v", i, err)
+		}
+	}
+	if err := parent.Close(wr); err != nil {
+		t.Fatal(err)
+	}
+	var got []byte
+	buf := make([]byte, 64)
+	for {
+		n, err := parent.Read(rd, buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n == 0 {
+			break
+		}
+		got = append(got, buf[:n]...)
+	}
+	if err := parent.Close(rd); err != nil {
+		t.Fatal(err)
+	}
+	want := append(bytes.Repeat([]byte{'A'}, 100), bytes.Repeat([]byte{'B'}, 100)...)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("pipe fan-in carried %d bytes, want %d", len(got), len(want))
+	}
+}

@@ -83,12 +83,22 @@ func (c *Client) memberServers() []int {
 	return out
 }
 
+// maxEpochRetries bounds every EEPOCH refresh-retry loop. A healthy
+// migration publishes its new routing before committing, so a client
+// refreshes at most a couple of times per membership change; a snapshot
+// provider that never catches up to the servers' epoch (a control-plane
+// bug, or a test driving the client against a torn-down deployment) would
+// otherwise spin forever. Exhaustion surfaces as EIO, the errno for "the
+// deployment is wedged", not EEPOCH, which callers treat as retriable.
+const maxEpochRetries = 32
+
 // routedEntryRPC routes one directory-entry request, stamps it with the
 // routing epoch, and transparently refreshes + retries when the server
 // answers EEPOCH (the deployment migrated under us). Protocol errors other
-// than EEPOCH are returned in the response, as with rpc.
+// than EEPOCH are returned in the response, as with rpc. The retry loop is
+// bounded by maxEpochRetries; exhaustion returns EIO.
 func (c *Client) routedEntryRPC(dir proto.InodeID, dirDist bool, name string, req *proto.Request) (*proto.Response, error) {
-	for {
+	for tries := 0; ; tries++ {
 		srv, epoch := c.routeEntry(dir, dirDist, name)
 		req.Epoch = epoch
 		resp, err := c.rpc(srv, req)
@@ -96,6 +106,9 @@ func (c *Client) routedEntryRPC(dir proto.InodeID, dirDist bool, name string, re
 			return nil, err
 		}
 		if resp.Err == fsapi.EEPOCH {
+			if tries >= maxEpochRetries {
+				return nil, fsapi.EIO
+			}
 			c.refreshRouting()
 			runtime.Gosched()
 			continue
@@ -124,13 +137,16 @@ func (c *Client) routedEntryRPCOK(dir proto.InodeID, dirDist bool, name string, 
 // no RPC was issued: the caller takes the split mknod+addmap path instead.
 func (c *Client) coalescedCreate(parent proto.InodeID, parentDist bool, name string, req *proto.Request) (resp *proto.Response, sent bool, err error) {
 	entrySrv, epoch := c.routeEntry(parent, parentDist, name)
-	for c.chooseInodeServer(entrySrv) == entrySrv {
+	for tries := 0; c.chooseInodeServer(entrySrv) == entrySrv; tries++ {
 		req.Epoch = epoch
 		resp, err := c.rpc(entrySrv, req)
 		if err != nil {
 			return nil, true, err
 		}
 		if resp.Err == fsapi.EEPOCH {
+			if tries >= maxEpochRetries {
+				return nil, true, fsapi.EIO
+			}
 			c.refreshRouting()
 			runtime.Gosched()
 			entrySrv, epoch = c.routeEntry(parent, parentDist, name)
@@ -145,9 +161,10 @@ func (c *Client) coalescedCreate(parent proto.InodeID, parentDist bool, name str
 // distributed directory) or to the directory's home server (centralized),
 // re-routing and retrying the whole fan-out when any member answers EEPOCH.
 // The returned responses are free of EEPOCH but may carry other protocol
-// errors for the caller to interpret.
+// errors for the caller to interpret. Like routedEntryRPC, the retry loop is
+// bounded; exhaustion returns EIO.
 func (c *Client) routedBroadcast(home int32, dist bool, req *proto.Request) ([]*proto.Response, error) {
-	for {
+	for tries := 0; ; tries++ {
 		var servers []int
 		if dist {
 			servers = c.memberServers()
@@ -168,6 +185,9 @@ func (c *Client) routedBroadcast(home int32, dist bool, req *proto.Request) ([]*
 			}
 		}
 		if stale {
+			if tries >= maxEpochRetries {
+				return nil, fsapi.EIO
+			}
 			c.refreshRouting()
 			runtime.Gosched()
 			continue

@@ -1,0 +1,244 @@
+package client
+
+// Error-path tests for the epoch-cached routing layer (route.go), driven
+// against scripted fake servers rather than a full deployment so the
+// pathological cases — a snapshot provider that never catches up, a refresh
+// racing a concurrent epoch publish, a broadcast spanning a drain — are
+// reachable deterministically.
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/fsapi"
+	"repro/internal/msg"
+	"repro/internal/ncc"
+	"repro/internal/place"
+	"repro/internal/proto"
+	"repro/internal/server"
+	"repro/internal/sim"
+)
+
+// fakeProvider serves a swappable routing snapshot.
+type fakeProvider struct {
+	mu sync.Mutex
+	rt *Routing
+}
+
+func (p *fakeProvider) Routing() *Routing {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.rt
+}
+
+func (p *fakeProvider) publish(rt *Routing) {
+	p.mu.Lock()
+	p.rt = rt
+	p.mu.Unlock()
+}
+
+// routeHarness is a client wired to scripted fake servers.
+type routeHarness struct {
+	net      *msg.Network
+	provider *fakeProvider
+	cli      *Client
+	eps      []msg.EndpointID
+}
+
+// newRouteHarness builds n fake servers whose behaviour is given by handler
+// (invoked with the server index and the decoded request) and a client
+// routing to them through a fakeProvider snapshot at epoch 1.
+func newRouteHarness(t *testing.T, n int, handler func(srv int, req *proto.Request) *proto.Response) *routeHarness {
+	t.Helper()
+	machine := sim.NewMachine(sim.TopologyForCores(4), sim.DefaultCostModel())
+	net := msg.NewNetwork(msg.WrapMachine(machine))
+	dram := ncc.NewDRAM(64, 4096)
+
+	h := &routeHarness{net: net, provider: &fakeProvider{}}
+	cores := make([]int, n)
+	for i := 0; i < n; i++ {
+		srv := i
+		ep := net.NewEndpoint(i % 4)
+		cores[i] = i % 4
+		h.eps = append(h.eps, ep.ID)
+		t.Cleanup(ep.Inbox.Close)
+		go func() {
+			for {
+				env, ok := ep.Inbox.PopWait()
+				if !ok {
+					return
+				}
+				req, err := proto.UnmarshalRequest(env.Payload)
+				resp := proto.ErrResponse(fsapi.EINVAL)
+				if err == nil {
+					resp = handler(srv, req)
+				}
+				net.Reply(ep, env, proto.KindResponse, resp.Marshal(), env.ArriveAt)
+			}
+		}()
+	}
+	members := make([]int32, n)
+	for i := range members {
+		members[i] = int32(i)
+	}
+	h.provider.publish(&Routing{
+		Map:     place.New(place.PolicyModulo, members, 1),
+		Servers: h.eps,
+		Cores:   cores,
+	})
+
+	h.cli = New(Config{
+		ID:       1,
+		Core:     0,
+		Machine:  machine,
+		Network:  net,
+		DRAM:     dram,
+		Cache:    ncc.NewPrivateCache(dram),
+		Registry: server.NewClientRegistry(),
+		Provider: h.provider,
+		Root:     proto.RootInode,
+		Options:  DefaultOptions(),
+	})
+	return h
+}
+
+var testDir = proto.InodeID{Server: 0, Local: 7}
+
+func TestRoutedRPCEpochRetryExhaustionReturnsEIO(t *testing.T) {
+	// The servers are forever ahead of the snapshot the provider serves:
+	// every request bounces with EEPOCH and every refresh hands back the
+	// same stale epoch. The retry loop must give up with EIO, not spin.
+	var calls atomic.Int64
+	h := newRouteHarness(t, 2, func(srv int, req *proto.Request) *proto.Response {
+		calls.Add(1)
+		return proto.ErrResponse(fsapi.EEPOCH)
+	})
+	_, err := h.cli.routedEntryRPC(testDir, true, "name", &proto.Request{Op: proto.OpLookup})
+	if !fsapi.IsErrno(err, fsapi.EIO) {
+		t.Fatalf("exhausted retry returned %v, want EIO", err)
+	}
+	if n := calls.Load(); n < maxEpochRetries {
+		t.Fatalf("gave up after %d attempts, want at least %d", n, maxEpochRetries)
+	}
+
+	// The broadcast loop obeys the same bound.
+	calls.Store(0)
+	if _, err := h.cli.routedBroadcast(0, true, &proto.Request{Op: proto.OpReadDirShard}); !fsapi.IsErrno(err, fsapi.EIO) {
+		t.Fatalf("exhausted broadcast returned %v, want EIO", err)
+	}
+}
+
+func TestRoutedRPCRefreshRacesConcurrentPublish(t *testing.T) {
+	// The deployment migrates to epoch 2 while the first request is in
+	// flight: the server answers EEPOCH, and — as during a real migration,
+	// where the routing is published before the servers commit — the
+	// provider's snapshot has already moved on by the time the client
+	// refreshes. Exactly one retry must succeed.
+	const newEpoch = 2
+	var attempts atomic.Int64
+	var h *routeHarness
+	published := false
+	h = newRouteHarness(t, 2, func(srv int, req *proto.Request) *proto.Response {
+		attempts.Add(1)
+		if req.Epoch != newEpoch {
+			if !published {
+				published = true
+				// The concurrent publish: visible to the next refresh.
+				h.provider.publish(&Routing{
+					Map:     place.New(place.PolicyModulo, []int32{0, 1}, newEpoch),
+					Servers: h.eps,
+					Cores:   []int{0, 1},
+				})
+			}
+			return proto.ErrResponse(fsapi.EEPOCH)
+		}
+		return &proto.Response{Ino: testDir}
+	})
+	resp, err := h.cli.routedEntryRPC(testDir, true, "name", &proto.Request{Op: proto.OpLookup})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Err != fsapi.OK {
+		t.Fatalf("response errno %v", resp.Err)
+	}
+	if got := attempts.Load(); got != 2 {
+		t.Fatalf("took %d attempts, want 2 (one bounce, one retry at the published epoch)", got)
+	}
+}
+
+func TestRoutedBroadcastSkipsDrainedMember(t *testing.T) {
+	// Server 1 has been drained: it is still running (it owns inodes) but
+	// no longer a placement member. A distributed-directory broadcast must
+	// fan out to the members only.
+	var mu sync.Mutex
+	hit := make(map[int]int)
+	h := newRouteHarness(t, 3, func(srv int, req *proto.Request) *proto.Response {
+		mu.Lock()
+		hit[srv]++
+		mu.Unlock()
+		return &proto.Response{}
+	})
+	h.provider.publish(&Routing{
+		Map:     place.New(place.PolicyModulo, []int32{0, 2}, 2),
+		Servers: h.eps,
+		Cores:   []int{0, 1, 2},
+	})
+	h.cli.refreshRouting()
+
+	resps, err := h.cli.routedBroadcast(0, true, &proto.Request{Op: proto.OpReadDirShard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resps) != 2 {
+		t.Fatalf("broadcast returned %d responses, want 2 (the members)", len(resps))
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if hit[1] != 0 {
+		t.Fatalf("drained server 1 received %d broadcast requests", hit[1])
+	}
+	if hit[0] != 1 || hit[2] != 1 {
+		t.Fatalf("member fan-out uneven: %v", hit)
+	}
+}
+
+func TestRoutedBroadcastRetriesWholeFanOutOnEEPOCH(t *testing.T) {
+	// One member answers EEPOCH (it adopted the next epoch first); the
+	// whole fan-out must refresh and retry, and the caller must never see
+	// the EEPOCH response.
+	const newEpoch = 2
+	var mu sync.Mutex
+	rounds := 0
+	var h *routeHarness
+	h = newRouteHarness(t, 2, func(srv int, req *proto.Request) *proto.Response {
+		mu.Lock()
+		defer mu.Unlock()
+		if srv == 1 && req.Epoch < newEpoch {
+			h.provider.publish(&Routing{
+				Map:     place.New(place.PolicyModulo, []int32{0, 1}, newEpoch),
+				Servers: h.eps,
+				Cores:   []int{0, 1},
+			})
+			return proto.ErrResponse(fsapi.EEPOCH)
+		}
+		if srv == 0 {
+			rounds++
+		}
+		return &proto.Response{}
+	})
+	resps, err := h.cli.routedBroadcast(0, true, &proto.Request{Op: proto.OpReadDirShard})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range resps {
+		if r.Err == fsapi.EEPOCH {
+			t.Fatal("caller saw an EEPOCH response")
+		}
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if rounds != 2 {
+		t.Fatalf("member 0 served %d fan-outs, want 2 (the whole broadcast retries)", rounds)
+	}
+}

@@ -1,0 +1,147 @@
+package msg
+
+import (
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// FaultPlan injects deterministic message-level faults into a Network: seeded
+// delivery-latency jitter (which, combined with the servers'
+// arrival-time-ordered inbox draining, produces bounded reordering of
+// concurrent requests) and duplicate delivery of idempotent requests
+// (DESIGN.md §10).
+//
+// Every fault decision is a pure function of the plan's seed and the
+// message's own coordinates (endpoints, kind, payload bytes, send time) —
+// never of shared mutable state — so the faults a given message suffers do
+// not depend on the real-time order in which concurrent goroutines reach the
+// network. The same message in the same virtual state is faulted the same
+// way on every run.
+type FaultPlan struct {
+	// Seed keys the per-message fault hash.
+	Seed uint64
+
+	// MaxDelay bounds the extra delivery latency added to a delayed
+	// message, in cycles. The added delay is uniform in [1, MaxDelay].
+	// Because servers serve their inbox in arrival-time order, a delayed
+	// request can be overtaken by at most the requests that arrive inside
+	// its delay window: reordering is bounded by MaxDelay.
+	MaxDelay sim.Cycles
+	// DelayPercent is the percentage (0-100) of request and reply messages
+	// that receive extra latency.
+	DelayPercent int
+
+	// DupPercent is the percentage (0-100) of eligible request messages
+	// delivered twice. The duplicate carries the same payload and reply
+	// queue and arrives strictly after the original; the extra reply is
+	// abandoned with its queue. Only requests DupOK approves are eligible:
+	// the network cannot know which operations are idempotent, so the
+	// caller supplies the classifier (the chaos harness approves the
+	// read-only protocol ops).
+	DupPercent int
+	// DupOK reports whether a request message may be delivered twice. A nil
+	// DupOK disables duplication.
+	DupOK func(kind uint16, payload []byte) bool
+}
+
+// FaultStats counts the faults a network has injected.
+type FaultStats struct {
+	Delayed    uint64
+	Duplicated uint64
+}
+
+// SetFaultPlan installs (or, with nil, removes) the network's fault plan.
+// It may be called at any time; in-flight messages are unaffected.
+func (n *Network) SetFaultPlan(p *FaultPlan) {
+	if p == nil {
+		n.faults.Store((*faultState)(nil))
+		return
+	}
+	n.faults.Store(&faultState{plan: *p})
+}
+
+// FaultStats returns how many faults the current plan has injected since it
+// was installed. A nil plan reports zeroes.
+func (n *Network) FaultStats() FaultStats {
+	fs := n.faults.Load()
+	if fs == nil {
+		return FaultStats{}
+	}
+	return FaultStats{Delayed: fs.delayed.Load(), Duplicated: fs.duplicated.Load()}
+}
+
+// faultState pairs an immutable plan with its injection counters.
+type faultState struct {
+	plan       FaultPlan
+	delayed    atomic.Uint64
+	duplicated atomic.Uint64
+}
+
+// hash mixes the message coordinates with the plan seed and a salt (one salt
+// per decision, so the delay decision and the duplication decision of the
+// same message are independent). FNV-1a over the payload, then a SplitMix64
+// finalizer for avalanche.
+func (fs *faultState) hash(salt uint64, src, dst EndpointID, kind uint16, payload []byte, sentAt sim.Cycles) uint64 {
+	const (
+		fnvOffset = 14695981039346656037
+		fnvPrime  = 1099511628211
+	)
+	h := uint64(fnvOffset)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= fnvPrime
+		}
+	}
+	mix(fs.plan.Seed)
+	mix(salt)
+	mix(uint64(src))
+	mix(uint64(dst))
+	mix(uint64(kind))
+	mix(uint64(sentAt))
+	for _, b := range payload {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	// SplitMix64 finalizer.
+	h ^= h >> 30
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}
+
+// delay returns the extra latency for a message (zero for most).
+func (fs *faultState) delay(src, dst EndpointID, kind uint16, payload []byte, sentAt sim.Cycles) sim.Cycles {
+	p := &fs.plan
+	if p.DelayPercent <= 0 || p.MaxDelay <= 0 {
+		return 0
+	}
+	h := fs.hash(1, src, dst, kind, payload, sentAt)
+	if int(h%100) >= p.DelayPercent {
+		return 0
+	}
+	fs.delayed.Add(1)
+	return 1 + sim.Cycles((h>>32)%uint64(p.MaxDelay))
+}
+
+// dupDelay returns (extra delay for the duplicate, true) when the message
+// should be delivered twice.
+func (fs *faultState) dupDelay(src, dst EndpointID, kind uint16, payload []byte, sentAt sim.Cycles) (sim.Cycles, bool) {
+	p := &fs.plan
+	if p.DupPercent <= 0 || p.DupOK == nil || !p.DupOK(kind, payload) {
+		return 0, false
+	}
+	h := fs.hash(2, src, dst, kind, payload, sentAt)
+	if int(h%100) >= p.DupPercent {
+		return 0, false
+	}
+	fs.duplicated.Add(1)
+	extra := sim.Cycles(1)
+	if p.MaxDelay > 0 {
+		extra += sim.Cycles((h >> 32) % uint64(p.MaxDelay))
+	}
+	return extra, true
+}

@@ -1,0 +1,147 @@
+package msg
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// sendN sends n distinct payloads from a to b and returns the arrival times
+// the network reported.
+func sendN(t *testing.T, net *Network, a *Endpoint, b *Endpoint, n int) []sim.Cycles {
+	t.Helper()
+	out := make([]sim.Cycles, n)
+	for i := 0; i < n; i++ {
+		at, err := net.Send(a, b.ID, 1, []byte{byte(i), byte(i >> 8)}, sim.Cycles(i*10), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = at
+	}
+	return out
+}
+
+func TestFaultPlanDelayIsDeterministicAndBounded(t *testing.T) {
+	const maxDelay = 5000
+	run := func() ([]sim.Cycles, []sim.Cycles) {
+		netA, _ := testNetwork(4)
+		a, b := netA.NewEndpoint(0), netA.NewEndpoint(2)
+		clean := sendN(t, netA, a, b, 64)
+
+		netB, _ := testNetwork(4)
+		a2, b2 := netB.NewEndpoint(0), netB.NewEndpoint(2)
+		netB.SetFaultPlan(&FaultPlan{Seed: 7, MaxDelay: maxDelay, DelayPercent: 50})
+		faulty := sendN(t, netB, a2, b2, 64)
+		return clean, faulty
+	}
+	clean, faulty := run()
+	_, faulty2 := run()
+
+	delayed := 0
+	for i := range clean {
+		d := faulty[i] - clean[i]
+		if d < 0 || d > maxDelay {
+			t.Fatalf("msg %d: delay %d outside [0, %d]", i, d, maxDelay)
+		}
+		if d > 0 {
+			delayed++
+		}
+		if faulty[i] != faulty2[i] {
+			t.Fatalf("msg %d: arrival differs across identical runs (%d vs %d)", i, faulty[i], faulty2[i])
+		}
+	}
+	if delayed == 0 || delayed == len(clean) {
+		t.Fatalf("delayed %d of %d messages; plan should fault some but not all", delayed, len(clean))
+	}
+}
+
+func TestFaultPlanDuplicatesOnlyApprovedRequests(t *testing.T) {
+	net, _ := testNetwork(4)
+	a, b := net.NewEndpoint(0), net.NewEndpoint(1)
+	net.SetFaultPlan(&FaultPlan{
+		Seed:       3,
+		MaxDelay:   100,
+		DupPercent: 100,
+		DupOK:      func(kind uint16, payload []byte) bool { return len(payload) > 0 && payload[0] == 'R' },
+	})
+
+	// A non-approved request is delivered once.
+	if _, err := net.Send(a, b.ID, 1, []byte("W-mutation"), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Inbox.Len(); got != 1 {
+		t.Fatalf("mutating request delivered %d times, want 1", got)
+	}
+
+	// An approved request is delivered twice, duplicate strictly later.
+	if _, err := net.Send(a, b.ID, 1, []byte("R-read"), 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Inbox.Len(); got != 3 {
+		t.Fatalf("idempotent request delivered %d extra copies, want inbox 3", got)
+	}
+	st := net.FaultStats()
+	if st.Duplicated != 1 {
+		t.Fatalf("FaultStats.Duplicated = %d, want 1", st.Duplicated)
+	}
+	var first, second Envelope
+	b.Inbox.TryPop() // the mutation
+	first, _ = b.Inbox.TryPop()
+	second, _ = b.Inbox.TryPop()
+	if string(first.Payload) != "R-read" || string(second.Payload) != "R-read" {
+		t.Fatalf("inbox holds %q then %q", first.Payload, second.Payload)
+	}
+	if second.ArriveAt <= first.ArriveAt {
+		t.Fatalf("duplicate arrives at %d, not after the original at %d", second.ArriveAt, first.ArriveAt)
+	}
+}
+
+func TestFaultPlanDuplicateRepliesBothToSameQueue(t *testing.T) {
+	// An RPC whose request is duplicated still completes: the first reply
+	// wins, the surplus reply is abandoned with the queue.
+	net, _ := testNetwork(2)
+	cli, srv := net.NewEndpoint(0), net.NewEndpoint(1)
+	net.SetFaultPlan(&FaultPlan{
+		Seed:       9,
+		DupPercent: 100,
+		DupOK:      func(uint16, []byte) bool { return true },
+	})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 2; i++ {
+			env, ok := srv.Inbox.PopWait()
+			if !ok {
+				return
+			}
+			net.Reply(srv, env, 2, []byte("pong"), env.ArriveAt)
+		}
+	}()
+	env, err := net.RPC(cli, srv.ID, 1, []byte("ping"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(env.Payload) != "pong" {
+		t.Fatalf("reply payload %q", env.Payload)
+	}
+	<-done
+}
+
+func TestFaultPlanRemovalStopsInjection(t *testing.T) {
+	net, _ := testNetwork(2)
+	a, b := net.NewEndpoint(0), net.NewEndpoint(1)
+	net.SetFaultPlan(&FaultPlan{Seed: 1, MaxDelay: 1000, DelayPercent: 100})
+	sendN(t, net, a, b, 8)
+	if st := net.FaultStats(); st.Delayed != 8 {
+		t.Fatalf("Delayed = %d, want 8", st.Delayed)
+	}
+	net.SetFaultPlan(nil)
+	if st := net.FaultStats(); st.Delayed != 0 {
+		t.Fatalf("stats after removal = %+v, want zeroes", st)
+	}
+	before := net.MessageCount()
+	sendN(t, net, a, b, 8)
+	if net.MessageCount() != before+8 {
+		t.Fatal("faults still injected after plan removal")
+	}
+}

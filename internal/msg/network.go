@@ -49,6 +49,10 @@ type Network struct {
 	nextID    EndpointID
 
 	stats Stats
+
+	// faults, when non-nil, is the installed fault-injection plan
+	// (deterministic delay jitter and duplicate delivery; see FaultPlan).
+	faults atomic.Pointer[faultState]
 }
 
 // Machine is the subset of sim.Machine the network needs; it is satisfied by
@@ -143,6 +147,10 @@ func (n *Network) Send(src *Endpoint, dst EndpointID, kind uint16, payload []byt
 		return 0, fmt.Errorf("msg: send to unknown endpoint %d", dst)
 	}
 	arrive := n.route(src.Core, dep.Core, sentAt, len(payload))
+	fs := n.faults.Load()
+	if fs != nil {
+		arrive += fs.delay(src.ID, dst, kind, payload, sentAt)
+	}
 	env := Envelope{
 		Src:      src.ID,
 		Dst:      dst,
@@ -156,6 +164,19 @@ func (n *Network) Send(src *Endpoint, dst EndpointID, kind uint16, payload []byt
 	n.stats.Messages.Add(1)
 	n.stats.Requests.Add(1)
 	n.stats.Bytes.Add(uint64(len(payload)))
+	if fs != nil {
+		if extra, dup := fs.dupDelay(src.ID, dst, kind, payload, sentAt); dup {
+			// Deliver the same request a second time, strictly after the
+			// original. The receiver answers both; the surplus reply is
+			// abandoned with its queue.
+			dupEnv := env
+			dupEnv.ArriveAt = arrive + extra
+			dep.Inbox.Push(dupEnv)
+			n.stats.Messages.Add(1)
+			n.stats.Requests.Add(1)
+			n.stats.Bytes.Add(uint64(len(payload)))
+		}
+	}
 	return arrive, nil
 }
 
@@ -199,6 +220,9 @@ func (n *Network) Reply(from *Endpoint, req Envelope, kind uint16, payload []byt
 		dstCore = sep.Core
 	}
 	arrive := n.route(from.Core, dstCore, sentAt, len(payload))
+	if fs := n.faults.Load(); fs != nil {
+		arrive += fs.delay(from.ID, req.Src, kind, payload, sentAt)
+	}
 	req.Reply.Push(Envelope{
 		Src:      from.ID,
 		Dst:      req.Src,

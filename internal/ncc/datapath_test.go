@@ -3,6 +3,8 @@ package ncc
 import (
 	"bytes"
 	"testing"
+
+	"repro/internal/shadow"
 )
 
 // Tests for the zero-waste data path primitives: extent lists, dirty-line
@@ -119,105 +121,34 @@ func TestDirtyLineWritebackMovesOnlyWrittenLines(t *testing.T) {
 	}
 }
 
-// shadowState models the cache + DRAM pair as flat buffers with per-line
-// dirty tracking, independently of the implementation under test.
-type shadowState struct {
-	blockSize int
-	dram      map[BlockID][]byte
-	priv      map[BlockID][]byte
-	dirty     map[BlockID][]bool
-}
-
-func newShadow(blockSize int) *shadowState {
-	return &shadowState{
-		blockSize: blockSize,
-		dram:      make(map[BlockID][]byte),
-		priv:      make(map[BlockID][]byte),
-		dirty:     make(map[BlockID][]bool),
+// toRuns converts ncc extents to the shared shadow package's block runs.
+func toRuns(exts []Extent) []shadow.Run {
+	out := make([]shadow.Run, len(exts))
+	for i, e := range exts {
+		out[i] = shadow.Run{Start: uint64(e.Start), Count: e.Count}
 	}
-}
-
-func (s *shadowState) dramOf(b BlockID) []byte {
-	if buf, ok := s.dram[b]; ok {
-		return buf
-	}
-	buf := make([]byte, s.blockSize)
-	s.dram[b] = buf
-	return buf
-}
-
-// resident fetches the block into the shadow private cache if needed.
-func (s *shadowState) resident(b BlockID) []byte {
-	if buf, ok := s.priv[b]; ok {
-		return buf
-	}
-	buf := make([]byte, s.blockSize)
-	copy(buf, s.dramOf(b))
-	s.priv[b] = buf
-	s.dirty[b] = make([]bool, (s.blockSize+LineSize-1)/LineSize)
-	return buf
-}
-
-func (s *shadowState) write(b BlockID, off int, src []byte) {
-	buf := s.resident(b)
-	n := copy(buf[off:], src)
-	for l := off / LineSize; l <= (off+n-1)/LineSize; l++ {
-		s.dirty[b][l] = true
-	}
-}
-
-// writeback flushes dirty lines of resident blocks inside exts (any order,
-// may overlap) and returns the lines moved.
-func (s *shadowState) writeback(exts []Extent) int {
-	norm := NormalizeExtents(append([]Extent(nil), exts...))
-	moved := 0
-	for b, buf := range s.priv {
-		if !extentsContain(norm, b) {
-			continue
-		}
-		dram := s.dramOf(b)
-		for l, d := range s.dirty[b] {
-			if !d {
-				continue
-			}
-			off := l * LineSize
-			end := off + LineSize
-			if end > s.blockSize {
-				end = s.blockSize
-			}
-			copy(dram[off:end], buf[off:end])
-			s.dirty[b][l] = false
-			moved++
-		}
-	}
-	return moved
-}
-
-func (s *shadowState) invalidate(exts []Extent) {
-	norm := NormalizeExtents(append([]Extent(nil), exts...))
-	for b := range s.priv {
-		if extentsContain(norm, b) {
-			delete(s.priv, b)
-			delete(s.dirty, b)
-		}
-	}
+	return out
 }
 
 // TestDataPathPropertyAgainstShadow drives random write / read / writeback /
-// invalidate / remote-DRAM-write sequences through the private cache and a
-// flat shadow model, asserting byte-equality of every read and of DRAM after
-// every writeback, and that lines moved never exceed lines written.
+// invalidate / remote-DRAM-write sequences through the private cache and the
+// shared flat shadow model (shadow.Blocks), asserting byte-equality of every
+// read and of DRAM after every writeback, and that lines moved never exceed
+// lines written.
 func TestDataPathPropertyAgainstShadow(t *testing.T) {
 	const (
 		numBlocks = 12
 		blockSize = 4 * LineSize
 		rounds    = 4000
+		seed      = uint64(0xDEADBEEFCAFE)
 	)
 	d := NewDRAM(numBlocks, blockSize)
 	c := NewPrivateCache(d)
-	shadow := newShadow(blockSize)
+	ref := shadow.NewBlocks(blockSize, LineSize)
 
-	rng := uint64(0xDEADBEEFCAFE)
+	// On any failure the seed is in the log, so the run is replayable.
+	t.Logf("datapath property seed: %#x", seed)
+	rng := seed
 	next := func(n int) int {
 		rng ^= rng << 13
 		rng ^= rng >> 7
@@ -251,21 +182,21 @@ func TestDataPathPropertyAgainstShadow(t *testing.T) {
 				src[j] = byte(next(256))
 			}
 			wrote, _ := c.Write(b, off, src)
-			shadow.write(b, off, src[:wrote])
+			ref.Write(uint64(b), off, src[:wrote])
 			if wrote > 0 {
 				linesWritten += (off+wrote-1)/LineSize - off/LineSize + 1
 			}
 		case 1: // read through the cache: must equal the shadow's view
 			got := make([]byte, n)
 			read, _ := c.Read(b, off, got)
-			want := shadow.resident(b)[off : off+read]
+			want := ref.Resident(uint64(b))[off : off+read]
 			if !bytes.Equal(got[:read], want) {
 				t.Fatalf("round %d: read block %d off %d diverged from shadow", i, b, off)
 			}
 		case 2: // ranged dirty-line writeback
 			exts := randExtents()
 			_, lines := c.WritebackExtents(exts, true)
-			wantLines := shadow.writeback(exts)
+			wantLines := ref.Writeback(toRuns(exts))
 			if lines != wantLines {
 				t.Fatalf("round %d: writeback moved %d lines, shadow says %d", i, lines, wantLines)
 			}
@@ -273,21 +204,21 @@ func TestDataPathPropertyAgainstShadow(t *testing.T) {
 		case 3: // ranged invalidation
 			exts := randExtents()
 			c.InvalidateExtents(exts)
-			shadow.invalidate(exts)
+			ref.Invalidate(toRuns(exts))
 		case 4: // another core writes DRAM directly (its own writeback)
 			src := make([]byte, n)
 			for j := range src {
 				src[j] = byte(next(256))
 			}
 			d.WriteDirect(b, off, src)
-			copy(shadow.dramOf(b)[off:], src)
+			ref.WriteDRAM(uint64(b), off, src)
 		}
 		// DRAM must match the shadow DRAM everywhere, every few rounds.
 		if i%97 == 0 {
 			for blk := 0; blk < numBlocks; blk++ {
 				got := make([]byte, blockSize)
 				d.ReadDirect(BlockID(blk), 0, got)
-				if !bytes.Equal(got, shadow.dramOf(BlockID(blk))) {
+				if !bytes.Equal(got, ref.DRAM(uint64(blk))) {
 					t.Fatalf("round %d: DRAM block %d diverged from shadow", i, blk)
 				}
 			}

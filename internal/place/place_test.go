@@ -4,11 +4,18 @@ import (
 	"testing"
 )
 
+// keySeed seeds the deterministic pseudo-random key stream the property
+// tests route through the placement maps.
+const keySeed = uint64(0x9E3779B97F4A7C15)
+
 // keys generates n deterministic pseudo-random keys (the tests must be
-// reproducible across runs).
-func keys(n int) []uint64 {
+// reproducible across runs). The seed lands in the test log so a failure is
+// replayable as-is.
+func keys(t *testing.T, n int) []uint64 {
+	t.Helper()
+	t.Logf("placement key-stream seed: %#x (n=%d)", keySeed, n)
 	out := make([]uint64, n)
-	state := uint64(0x9E3779B97F4A7C15)
+	state := keySeed
 	for i := range out {
 		state ^= state << 13
 		state ^= state >> 7
@@ -27,7 +34,7 @@ func TestModuloBitForBit(t *testing.T) {
 		if m.Epoch() != 1 {
 			t.Fatalf("initial epoch = %d, want 1", m.Epoch())
 		}
-		for _, k := range keys(5000) {
+		for _, k := range keys(t, 5000) {
 			if got, want := m.Route(k), int32(k%uint64(n)); got != want {
 				t.Fatalf("n=%d key=%d: Route=%d, want %d", n, k, got, want)
 			}
@@ -42,7 +49,7 @@ func TestRingBalance(t *testing.T) {
 	for _, n := range []int{2, 4, 8, 16} {
 		m := Initial(PolicyRing, n)
 		counts := make(map[int32]int)
-		ks := keys(40000)
+		ks := keys(t, 40000)
 		for _, k := range ks {
 			counts[m.Route(k)]++
 		}
@@ -70,7 +77,7 @@ func TestRingMembershipMovesBoundedKeys(t *testing.T) {
 	if grown.Epoch() != old.Epoch()+1 {
 		t.Fatalf("Add epoch = %d, want %d", grown.Epoch(), old.Epoch()+1)
 	}
-	ks := keys(40000)
+	ks := keys(t, 40000)
 	moved := 0
 	for _, k := range ks {
 		a, b := old.Route(k), grown.Route(k)
@@ -108,7 +115,7 @@ func TestRingMembershipMovesBoundedKeys(t *testing.T) {
 func TestModuloMovesAlmostEverything(t *testing.T) {
 	old := Initial(PolicyModulo, 8)
 	grown := old.Add(8)
-	ks := keys(20000)
+	ks := keys(t, 20000)
 	moved := 0
 	for _, k := range ks {
 		if old.Route(k) != grown.Route(k) {
@@ -133,7 +140,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		if got.Epoch() != m.Epoch() || got.Policy() != m.Policy() || got.NumMembers() != m.NumMembers() {
 			t.Fatalf("%v: header mismatch after round trip", policy)
 		}
-		for _, k := range keys(5000) {
+		for _, k := range keys(t, 5000) {
 			if got.Route(k) != m.Route(k) {
 				t.Fatalf("%v: decoded map routes key %d to %d, original to %d", policy, k, got.Route(k), m.Route(k))
 			}

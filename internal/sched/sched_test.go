@@ -181,7 +181,9 @@ func TestPlacerPolicies(t *testing.T) {
 		t.Fatalf("local policy picked %d", got)
 	}
 
-	random := newPlacer(PolicyRandom, cores, 12345)
+	const randomSeed = 12345
+	t.Logf("random-placer seed: %d", randomSeed)
+	random := newPlacer(PolicyRandom, cores, randomSeed)
 	counts := map[int]int{}
 	for i := 0; i < 400; i++ {
 		c := random.pick(0)

@@ -473,6 +473,27 @@ func (s *Server) applyRecord(r wal.Record) {
 		if !ok {
 			return
 		}
+		if s.lostMemory {
+			// At runtime every block enters an inode's map zeroed (Alloc
+			// zeroes on hand-over), but replay assigns logged block lists
+			// directly, bypassing the allocator. After a memory loss the
+			// zero-fill must be reproduced here for blocks newly entering
+			// this inode's map, or a reused block would expose its previous
+			// owner's replayed bytes — e.g. through the gap a growing
+			// truncate opened. Subsequent RecWrite records then lay the
+			// file's logged contents back on top. After a plain process
+			// crash DRAM survived and may hold direct-access writes newer
+			// than the log; it must not be touched (same rule as RecWrite).
+			had := make(map[ncc.BlockID]bool, len(ino.blocks))
+			for _, b := range ino.blocks {
+				had[b] = true
+			}
+			for _, b := range r.Blocks {
+				if !had[ncc.BlockID(b)] {
+					s.cfg.DRAM.ZeroBlock(ncc.BlockID(b))
+				}
+			}
+		}
 		ino.blocks = ino.blocks[:0]
 		for _, b := range r.Blocks {
 			ino.blocks = append(ino.blocks, ncc.BlockID(b))

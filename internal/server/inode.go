@@ -342,10 +342,35 @@ func (s *Server) handleTruncate(req *proto.Request) *proto.Response {
 	}
 	// truncateTo both trims capacity beyond the new size (deferring reuse
 	// while descriptors remain open) and sets the logical size, growing or
-	// shrinking as needed. The bump is unconditional — clients count an
-	// explicit TRUNCATE as exactly one version step when tracking their
-	// consistency window, even when the size happens to be unchanged.
+	// shrinking as needed. A growing truncate must also allocate the blocks
+	// covering the new size — Alloc hands them over zeroed, which is exactly
+	// POSIX's zero-filled gap — or the tail would be unreadable. The bump is
+	// unconditional — clients count an explicit TRUNCATE as exactly one
+	// version step when tracking their consistency window, even when the
+	// size happens to be unchanged.
+	// Capacity first: if the partition cannot back the new size, the
+	// inode must be left untouched (size included), or a failed grow
+	// would report ENOSPC yet stat at the grown size with an unreadable,
+	// unlogged tail. For a shrink this is a no-op.
+	if errno := s.ensureCapacity(ino, req.Size); errno != fsapi.OK {
+		return proto.ErrResponse(errno)
+	}
+	old := ino.size
 	s.truncateTo(ino, req.Size)
+	if req.Size < old {
+		// Zero the tail of the surviving partial block. Freed whole blocks
+		// come back zeroed from Alloc, but without this a later growing
+		// truncate would expose the shrunk-away bytes instead of POSIX's
+		// zeros. Staged as a write record so replayed recoveries (including
+		// memory-loss recoveries from an older checkpoint) preserve the
+		// bytes-beyond-EOF-are-zero invariant.
+		bs := int64(s.cfg.DRAM.BlockSize())
+		if tail := req.Size % bs; tail != 0 {
+			zeros := make([]byte, bs-tail)
+			s.writeData(ino, req.Size, zeros)
+			s.stageWrite(ino, req.Size, zeros)
+		}
+	}
 	s.bumpVersion(ino)
 	s.stageBlocks(ino)
 	return &proto.Response{Size: ino.size, Extents: extentList(ino), Version: ino.version}

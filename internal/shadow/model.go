@@ -1,0 +1,431 @@
+package shadow
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/fsapi"
+)
+
+// Model is the namespace-and-contents shadow: every directory and regular
+// file a test has created, with flat byte contents, plus the per-file
+// bookkeeping needed to apply the durability contract after memory-losing
+// crashes (DESIGN.md §10).
+//
+// Model is safe for concurrent use; the chaos harness mutates disjoint
+// per-process subtrees from several worker goroutines at once.
+type Model struct {
+	mu    sync.Mutex
+	dirs  map[string]bool
+	files map[string]*fileState
+
+	// DirectAccess mirrors the deployment's Techniques.DirectAccess. When
+	// set, file contents travel from clients straight into the shared
+	// buffer cache and are durable against a memory-losing crash only up to
+	// the owning server's last checkpoint; when clear, every write is a
+	// WAL-logged server-path write and survives any crash.
+	DirectAccess bool
+}
+
+// fileState is one shadow file plus its durability bookkeeping.
+type fileState struct {
+	content *File
+	// server is the id of the file server storing the inode (and therefore
+	// the buffer-cache partition holding the file's blocks); -1 if unknown.
+	server int
+	// dirtySinceCkpt is set when direct-access content was written since the
+	// owning server's last checkpoint: exactly the bytes a memory-losing
+	// crash of that server may legally lose.
+	dirtySinceCkpt bool
+	// suspect marks a file whose contents may have been legally lost; Verify
+	// checks only its size until Reconcile adopts the live contents.
+	suspect bool
+}
+
+// NewModel returns a shadow holding only the given pre-existing directories
+// (the workload's root, e.g. "/crash"). Paths must be absolute and clean.
+func NewModel(roots ...string) *Model {
+	m := &Model{dirs: make(map[string]bool), files: make(map[string]*fileState)}
+	for _, r := range roots {
+		m.dirs[r] = true
+	}
+	return m
+}
+
+// Mkdir records a directory.
+func (m *Model) Mkdir(path string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.dirs[path] = true
+}
+
+// Rmdir removes a directory.
+func (m *Model) Rmdir(path string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.dirs, path)
+}
+
+// HasDir reports whether the shadow holds the directory.
+func (m *Model) HasDir(path string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dirs[path]
+}
+
+// SetFile creates (or rewrites) a whole file, recording the server storing
+// its inode (pass -1 when unknown; only memory-losing crash tolerance needs
+// it).
+func (m *Model) SetFile(path string, data []byte, server int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.files[path]
+	if st == nil {
+		st = &fileState{server: server}
+		m.files[path] = st
+	} else if server >= 0 {
+		st.server = server
+	}
+	st.content = NewFile(data)
+	st.suspect = false
+	if m.DirectAccess {
+		st.dirtySinceCkpt = true
+	}
+}
+
+// WriteAt writes into an existing shadow file.
+func (m *Model) WriteAt(path string, off int64, p []byte) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := m.files[path]
+	if st == nil {
+		st = &fileState{server: -1, content: NewFile(nil)}
+		m.files[path] = st
+	}
+	st.content.WriteAt(off, p)
+	if m.DirectAccess {
+		st.dirtySinceCkpt = true
+	}
+}
+
+// Truncate resizes a shadow file.
+func (m *Model) Truncate(path string, size int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st := m.files[path]; st != nil {
+		st.content.Truncate(size)
+		if m.DirectAccess {
+			st.dirtySinceCkpt = true
+		}
+	}
+}
+
+// Rename moves a file (contents and bookkeeping follow the new name).
+func (m *Model) Rename(oldPath, newPath string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if st, ok := m.files[oldPath]; ok {
+		delete(m.files, oldPath)
+		m.files[newPath] = st
+	}
+}
+
+// Unlink removes a file.
+func (m *Model) Unlink(path string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	delete(m.files, path)
+}
+
+// HasFile reports whether the shadow holds the file.
+func (m *Model) HasFile(path string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	_, ok := m.files[path]
+	return ok
+}
+
+// Content returns a copy of the shadow file's contents and whether the file
+// exists.
+func (m *Model) Content(path string) ([]byte, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.files[path]
+	if !ok {
+		return nil, false
+	}
+	return append([]byte(nil), st.content.Bytes()...), true
+}
+
+// Size returns the shadow file's size and whether the file exists.
+func (m *Model) Size(path string) (int64, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.files[path]
+	if !ok {
+		return 0, false
+	}
+	return st.content.Size(), true
+}
+
+// Suspect reports whether the file's contents are currently unverifiable
+// (legally lost by a memory-losing crash, awaiting Reconcile).
+func (m *Model) Suspect(path string) bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st, ok := m.files[path]
+	return ok && st.suspect
+}
+
+// Files returns the shadow's file paths, sorted.
+func (m *Model) Files() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.files))
+	for f := range m.files {
+		out = append(out, f)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Dirs returns the shadow's directory paths, sorted.
+func (m *Model) Dirs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.dirs))
+	for d := range m.dirs {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Children returns the expected entry names directly under dir, sorted.
+func (m *Model) Children(dir string) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return sortedKeys(m.children(dir))
+}
+
+// NoteCheckpoint records that server's state (including its buffer-cache
+// partition's block snapshots) was checkpointed: content written before this
+// moment is durable even against memory loss. server -1 means every server.
+func (m *Model) NoteCheckpoint(server int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, st := range m.files {
+		if server < 0 || st.server == server {
+			st.dirtySinceCkpt = false
+		}
+	}
+}
+
+// CrashLostMemory applies the durability contract for a memory-losing crash
+// of the given server: files homed there whose direct-access contents were
+// written since the server's last checkpoint become suspect (their bytes may
+// be legally lost; their namespace entries and sizes are WAL-logged and must
+// survive exactly). It returns the newly suspect paths. Files whose home
+// server is unknown (-1) are treated as at risk, conservatively.
+func (m *Model) CrashLostMemory(server int) []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var out []string
+	for path, st := range m.files {
+		if !st.dirtySinceCkpt {
+			continue
+		}
+		if st.server == server || st.server < 0 {
+			st.suspect = true
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// children returns the expected entry names directly under dir.
+func (m *Model) children(dir string) map[string]bool {
+	out := make(map[string]bool)
+	collect := func(path string) {
+		if !strings.HasPrefix(path, dir+"/") {
+			return
+		}
+		rest := strings.TrimPrefix(path, dir+"/")
+		if !strings.Contains(rest, "/") {
+			out[rest] = true
+		}
+	}
+	for d := range m.dirs {
+		collect(d)
+	}
+	for f := range m.files {
+		collect(f)
+	}
+	return out
+}
+
+// Verify walks every shadow directory and file and compares the live file
+// system against the reference: directory entry sets must match exactly,
+// file sizes must match exactly, and file contents must be byte-identical —
+// except for suspect files, whose contents are skipped until Reconcile.
+func (m *Model) Verify(fs fsapi.Client) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	dirs := make([]string, 0, len(m.dirs))
+	for d := range m.dirs {
+		dirs = append(dirs, d)
+	}
+	sort.Strings(dirs)
+	for _, dir := range dirs {
+		ents, err := fs.ReadDir(dir)
+		if err != nil {
+			return fmt.Errorf("readdir %s: %w", dir, err)
+		}
+		want := m.children(dir)
+		if len(ents) != len(want) {
+			got := make([]string, 0, len(ents))
+			for _, ent := range ents {
+				got = append(got, ent.Name)
+			}
+			sort.Strings(got)
+			return fmt.Errorf("%s has %d entries %v, want %d %v", dir, len(ents), got, len(want), sortedKeys(want))
+		}
+		for _, ent := range ents {
+			if !want[ent.Name] {
+				return fmt.Errorf("%s holds unexpected entry %q", dir, ent.Name)
+			}
+		}
+	}
+	files := make([]string, 0, len(m.files))
+	for f := range m.files {
+		files = append(files, f)
+	}
+	sort.Strings(files)
+	for _, path := range files {
+		st := m.files[path]
+		if err := m.verifyFile(fs, path, st); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyFile checks one file's size and (unless suspect) contents. Caller
+// holds m.mu.
+func (m *Model) verifyFile(fs fsapi.Client, path string, st *fileState) error {
+	want := st.content.Bytes()
+	info, err := fs.Stat(path)
+	if err != nil {
+		return fmt.Errorf("stat %s: %w", path, err)
+	}
+	if info.Size != int64(len(want)) {
+		return fmt.Errorf("%s is %d bytes, want %d", path, info.Size, len(want))
+	}
+	if st.suspect {
+		return nil
+	}
+	got, err := ReadAll(fs, path, info.Size)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, want) {
+		return fmt.Errorf("%s content diverged: %s", path, diffDetail(got, want))
+	}
+	return nil
+}
+
+// diffDetail pinpoints the first diverging byte for conformance reports.
+func diffDetail(got, want []byte) string {
+	n := len(got)
+	if len(want) < n {
+		n = len(want)
+	}
+	at := n
+	for i := 0; i < n; i++ {
+		if got[i] != want[i] {
+			at = i
+			break
+		}
+	}
+	if at == n && len(got) == len(want) {
+		return "lengths equal, no byte diff (impossible)"
+	}
+	if at == n {
+		return fmt.Sprintf("lengths differ: got %d bytes, want %d", len(got), len(want))
+	}
+	return fmt.Sprintf("first diff at byte %d of %d: got %#02x, want %#02x", at, len(want), got[at], want[at])
+}
+
+// Reconcile re-reads every suspect file from the live file system and adopts
+// its contents into the shadow (the bytes were legally lost; whatever
+// recovery produced is now the reference), clearing the suspect marks. Sizes
+// are still required to match: namespace metadata is WAL-logged and a size
+// divergence is a real conformance failure, not a legal loss.
+func (m *Model) Reconcile(fs fsapi.Client) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	paths := make([]string, 0, len(m.files))
+	for path, st := range m.files {
+		if st.suspect {
+			paths = append(paths, path)
+		}
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		st := m.files[path]
+		info, err := fs.Stat(path)
+		if err != nil {
+			return fmt.Errorf("reconcile stat %s: %w", path, err)
+		}
+		if info.Size != st.content.Size() {
+			return fmt.Errorf("reconcile %s: size %d survived crash as %d (sizes are WAL-logged and must not change)", path, st.content.Size(), info.Size)
+		}
+		got, err := ReadAll(fs, path, info.Size)
+		if err != nil {
+			return fmt.Errorf("reconcile %s: %w", path, err)
+		}
+		st.content = NewFile(got)
+		st.suspect = false
+		st.dirtySinceCkpt = false
+	}
+	return nil
+}
+
+// ReadAll reads a file through the POSIX surface, looping on partial reads
+// (a read may legally return fewer bytes than asked, e.g. one block at a
+// time). It asks for one byte more than size so a file that grew past the
+// expected length shows up as extra bytes rather than a silent match; the
+// chaos harness shares it for its in-trace read checks.
+func ReadAll(fs fsapi.Client, path string, size int64) ([]byte, error) {
+	fd, err := fs.Open(path, fsapi.ORdOnly, 0)
+	if err != nil {
+		return nil, fmt.Errorf("open %s: %w", path, err)
+	}
+	defer fs.Close(fd)
+	buf := make([]byte, size+1)
+	total := 0
+	for total < len(buf) {
+		n, err := fs.Read(fd, buf[total:])
+		if err != nil {
+			return nil, fmt.Errorf("read %s: %w", path, err)
+		}
+		if n == 0 {
+			break
+		}
+		total += n
+	}
+	return buf[:total], nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

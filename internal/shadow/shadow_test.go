@@ -1,0 +1,230 @@
+package shadow_test
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/baseline/ramfs"
+	"repro/internal/fsapi"
+	"repro/internal/shadow"
+	"repro/internal/sim"
+)
+
+func TestFileFlatSemantics(t *testing.T) {
+	f := shadow.NewFile(nil)
+	f.WriteAt(0, []byte("hello"))
+	f.WriteAt(8, []byte("world")) // sparse gap zero-fills
+	if f.Size() != 13 {
+		t.Fatalf("size = %d, want 13", f.Size())
+	}
+	want := append([]byte("hello\x00\x00\x00"), []byte("world")...)
+	if !bytes.Equal(f.Bytes(), want) {
+		t.Fatalf("bytes = %q, want %q", f.Bytes(), want)
+	}
+	f.Truncate(4)
+	if string(f.Bytes()) != "hell" {
+		t.Fatalf("after shrink: %q", f.Bytes())
+	}
+	f.Truncate(6)
+	if !bytes.Equal(f.Bytes(), []byte("hell\x00\x00")) {
+		t.Fatalf("after grow: %q", f.Bytes())
+	}
+	buf := make([]byte, 10)
+	if n := f.ReadAt(2, buf); n != 4 || string(buf[:n]) != "ll\x00\x00" {
+		t.Fatalf("ReadAt = %d %q", n, buf[:n])
+	}
+	c := f.Clone()
+	c.WriteAt(0, []byte("X"))
+	if f.Bytes()[0] == 'X' {
+		t.Fatal("clone aliases the original")
+	}
+}
+
+func TestNormalizeRunsAndContain(t *testing.T) {
+	runs := []shadow.Run{{Start: 10, Count: 3}, {Start: 2, Count: 2}, {Start: 11, Count: 4}, {Start: 4, Count: 1}}
+	norm := shadow.NormalizeRuns(runs)
+	want := []shadow.Run{{Start: 2, Count: 3}, {Start: 10, Count: 5}}
+	if len(norm) != len(want) {
+		t.Fatalf("normalize = %+v, want %+v", norm, want)
+	}
+	for i := range want {
+		if norm[i] != want[i] {
+			t.Fatalf("normalize[%d] = %+v, want %+v", i, norm[i], want[i])
+		}
+	}
+	for _, b := range []uint64{2, 4, 10, 14} {
+		if !shadow.RunsContain(norm, b) {
+			t.Fatalf("RunsContain(%d) = false", b)
+		}
+	}
+	for _, b := range []uint64{1, 5, 15} {
+		if shadow.RunsContain(norm, b) {
+			t.Fatalf("RunsContain(%d) = true", b)
+		}
+	}
+}
+
+func TestBlocksDirtyLineWriteback(t *testing.T) {
+	const line = 64
+	s := shadow.NewBlocks(4*line, line)
+	// Cache block 0, dirty only line 3.
+	s.Resident(0)
+	ours := bytes.Repeat([]byte{0x55}, line)
+	s.Write(0, 3*line, ours)
+	// Meanwhile DRAM line 1 changes under us (another core's writeback).
+	newer := bytes.Repeat([]byte{0xBB}, line)
+	s.WriteDRAM(0, line, newer)
+
+	if moved := s.Writeback([]shadow.Run{{Start: 0, Count: 4}}); moved != 1 {
+		t.Fatalf("writeback moved %d lines, want 1", moved)
+	}
+	dram := s.DRAM(0)
+	if !bytes.Equal(dram[line:2*line], newer) {
+		t.Fatal("clean line was clobbered with stale cached data")
+	}
+	if !bytes.Equal(dram[3*line:4*line], ours) {
+		t.Fatal("dirty line did not reach DRAM")
+	}
+	s.Invalidate([]shadow.Run{{Start: 0, Count: 1}})
+	if moved := s.Writeback([]shadow.Run{{Start: 0, Count: 4}}); moved != 0 {
+		t.Fatal("invalidated block still had dirty lines")
+	}
+}
+
+// liveFS returns a ramfs client: a real fsapi.Client for exercising the
+// model's verification against a live tree.
+func liveFS(t *testing.T) fsapi.Client {
+	t.Helper()
+	machine := sim.NewMachine(sim.TopologyForCores(2), sim.DefaultCostModel())
+	return ramfs.New(machine).NewClient(0)
+}
+
+func mkFile(t *testing.T, fs fsapi.Client, path string, data []byte) {
+	t.Helper()
+	fd, err := fs.Open(path, fsapi.OCreate|fsapi.OWrOnly|fsapi.OTrunc, fsapi.Mode644)
+	if err != nil {
+		t.Fatalf("create %s: %v", path, err)
+	}
+	if _, err := fs.Write(fd, data); err != nil {
+		t.Fatalf("write %s: %v", path, err)
+	}
+	if err := fs.Close(fd); err != nil {
+		t.Fatalf("close %s: %v", path, err)
+	}
+}
+
+func TestModelVerifyMatchesAndDiverges(t *testing.T) {
+	fs := liveFS(t)
+	m := shadow.NewModel("/d")
+	if err := fs.Mkdir("/d", fsapi.MkdirOpt{}); err != nil {
+		t.Fatal(err)
+	}
+	mkFile(t, fs, "/d/a", []byte("alpha"))
+	m.SetFile("/d/a", []byte("alpha"), -1)
+	if err := fs.Mkdir("/d/sub", fsapi.MkdirOpt{}); err != nil {
+		t.Fatal(err)
+	}
+	m.Mkdir("/d/sub")
+	if err := m.Verify(fs); err != nil {
+		t.Fatalf("verify of matching tree: %v", err)
+	}
+
+	// An entry the shadow does not know about must be flagged.
+	mkFile(t, fs, "/d/stray", []byte("x"))
+	if err := m.Verify(fs); err == nil {
+		t.Fatal("verify missed a stray entry")
+	}
+	if err := fs.Unlink("/d/stray"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Content divergence at equal size must be flagged.
+	mkFile(t, fs, "/d/a", []byte("alphA"))
+	if err := m.Verify(fs); err == nil {
+		t.Fatal("verify missed a content divergence")
+	}
+	// Size divergence must be flagged.
+	mkFile(t, fs, "/d/a", []byte("alphaalpha"))
+	if err := m.Verify(fs); err == nil {
+		t.Fatal("verify missed a size divergence")
+	}
+	mkFile(t, fs, "/d/a", []byte("alpha"))
+
+	// Namespace ops keep the two worlds in sync.
+	if err := fs.Rename("/d/a", "/d/b"); err != nil {
+		t.Fatal(err)
+	}
+	m.Rename("/d/a", "/d/b")
+	if err := fs.Rmdir("/d/sub"); err != nil {
+		t.Fatal(err)
+	}
+	m.Rmdir("/d/sub")
+	if err := m.Verify(fs); err != nil {
+		t.Fatalf("verify after rename+rmdir: %v", err)
+	}
+}
+
+func TestModelMemoryLossToleranceAndReconcile(t *testing.T) {
+	fs := liveFS(t)
+	m := shadow.NewModel("/d")
+	m.DirectAccess = true
+	if err := fs.Mkdir("/d", fsapi.MkdirOpt{}); err != nil {
+		t.Fatal(err)
+	}
+	mkFile(t, fs, "/d/f", []byte("durable!"))
+	m.SetFile("/d/f", []byte("durable!"), 0)
+
+	// Checkpoint makes the current contents durable; later writes are at
+	// risk again.
+	m.NoteCheckpoint(0)
+	if lost := m.CrashLostMemory(0); len(lost) != 0 {
+		t.Fatalf("checkpointed file reported at risk: %v", lost)
+	}
+	m.WriteAt("/d/f", 0, []byte("VOLATILE"))
+	mkFile(t, fs, "/d/f", []byte("VOLATILE"))
+
+	lost := m.CrashLostMemory(0)
+	if len(lost) != 1 || lost[0] != "/d/f" {
+		t.Fatalf("at-risk set = %v, want [/d/f]", lost)
+	}
+	if !m.Suspect("/d/f") {
+		t.Fatal("file not marked suspect")
+	}
+
+	// The "recovered" live file lost the post-checkpoint bytes (same size,
+	// different contents): a suspect file's contents are tolerated...
+	mkFile(t, fs, "/d/f", []byte("durable!"))
+	if err := m.Verify(fs); err != nil {
+		t.Fatalf("verify should tolerate lost contents on a suspect file: %v", err)
+	}
+	// ...but a size change is a real divergence, even while suspect.
+	mkFile(t, fs, "/d/f", []byte("tiny"))
+	if err := m.Verify(fs); err == nil {
+		t.Fatal("verify missed a size divergence on a suspect file")
+	}
+	if err := m.Reconcile(fs); err == nil {
+		t.Fatal("reconcile accepted a size divergence")
+	}
+	mkFile(t, fs, "/d/f", []byte("durable!"))
+
+	// Reconcile adopts the recovered contents as the new reference.
+	if err := m.Reconcile(fs); err != nil {
+		t.Fatal(err)
+	}
+	if m.Suspect("/d/f") {
+		t.Fatal("file still suspect after reconcile")
+	}
+	got, _ := m.Content("/d/f")
+	if string(got) != "durable!" {
+		t.Fatalf("reconcile adopted %q", got)
+	}
+	if err := m.Verify(fs); err != nil {
+		t.Fatalf("verify after reconcile: %v", err)
+	}
+
+	// A crash of a different server leaves the file alone.
+	m.WriteAt("/d/f", 0, []byte("X"))
+	if lost := m.CrashLostMemory(3); len(lost) != 0 {
+		t.Fatalf("crash of another server marked %v", lost)
+	}
+}

@@ -1,13 +1,11 @@
 package workload
 
 import (
-	"bytes"
 	"fmt"
-	"sort"
-	"strings"
 
 	"repro/internal/fsapi"
 	"repro/internal/sched"
+	"repro/internal/shadow"
 )
 
 // CrashRecovery is the fault-injection workload: it interleaves namespace
@@ -47,94 +45,9 @@ func (CrashRecovery) Setup(env *Env) error {
 	})
 }
 
-// shadow is the crash-free reference state: every path the workload has
-// created, with file contents.
-type shadow struct {
-	dirs  map[string]bool
-	files map[string][]byte
-}
-
-func newShadow() *shadow {
-	return &shadow{dirs: map[string]bool{"/crash": true}, files: map[string][]byte{}}
-}
-
-// children returns the expected entry names directly under dir.
-func (s *shadow) children(dir string) map[string]bool {
-	out := make(map[string]bool)
-	collect := func(path string) {
-		if !strings.HasPrefix(path, dir+"/") {
-			return
-		}
-		rest := strings.TrimPrefix(path, dir+"/")
-		if !strings.Contains(rest, "/") {
-			out[rest] = true
-		}
-	}
-	for d := range s.dirs {
-		collect(d)
-	}
-	for f := range s.files {
-		collect(f)
-	}
-	return out
-}
-
-// verify walks every shadow directory and file and compares the live file
-// system against the reference.
-func (s *shadow) verify(fs fsapi.Client) error {
-	dirs := make([]string, 0, len(s.dirs))
-	for d := range s.dirs {
-		dirs = append(dirs, d)
-	}
-	sort.Strings(dirs)
-	for _, dir := range dirs {
-		ents, err := fs.ReadDir(dir)
-		if err != nil {
-			return fmt.Errorf("readdir %s: %w", dir, err)
-		}
-		want := s.children(dir)
-		if len(ents) != len(want) {
-			return fmt.Errorf("%s has %d entries, want %d", dir, len(ents), len(want))
-		}
-		for _, ent := range ents {
-			if !want[ent.Name] {
-				return fmt.Errorf("%s holds unexpected entry %q", dir, ent.Name)
-			}
-		}
-	}
-	files := make([]string, 0, len(s.files))
-	for f := range s.files {
-		files = append(files, f)
-	}
-	sort.Strings(files)
-	for _, path := range files {
-		want := s.files[path]
-		st, err := fs.Stat(path)
-		if err != nil {
-			return fmt.Errorf("stat %s: %w", path, err)
-		}
-		if st.Size != int64(len(want)) {
-			return fmt.Errorf("%s is %d bytes, want %d", path, st.Size, len(want))
-		}
-		fd, err := fs.Open(path, fsapi.ORdOnly, 0)
-		if err != nil {
-			return fmt.Errorf("open %s: %w", path, err)
-		}
-		got := make([]byte, len(want))
-		n, err := fs.Read(fd, got)
-		fs.Close(fd)
-		if err != nil {
-			return fmt.Errorf("read %s: %w", path, err)
-		}
-		if !bytes.Equal(got[:n], want) {
-			return fmt.Errorf("%s content diverged after recovery", path)
-		}
-	}
-	return nil
-}
-
-// writeShadowFile creates (or rewrites) a file in both worlds.
-func writeShadowFile(fs fsapi.Client, s *shadow, path string, data []byte) error {
+// writeShadowFile creates (or rewrites) a file in both worlds (the shared
+// shadow.Model is the crash-free reference state; DESIGN.md §10).
+func writeShadowFile(fs fsapi.Client, s *shadow.Model, path string, data []byte) error {
 	fd, err := fs.Open(path, fsapi.OCreate|fsapi.OWrOnly|fsapi.OTrunc, fsapi.Mode644)
 	if err != nil {
 		return fmt.Errorf("create %s: %w", path, err)
@@ -145,7 +58,7 @@ func writeShadowFile(fs fsapi.Client, s *shadow, path string, data []byte) error
 	if err := fs.Close(fd); err != nil {
 		return fmt.Errorf("close %s: %w", path, err)
 	}
-	s.files[path] = data
+	s.SetFile(path, data, -1)
 	return nil
 }
 
@@ -160,7 +73,7 @@ func (w CrashRecovery) Run(env *Env) (int, error) {
 		return 0, fmt.Errorf("crash recovery: backend exposes no fault injector")
 	}
 	nsrv := faults.NumServers()
-	sh := newShadow()
+	sh := shadow.NewModel("/crash")
 	ops := 0
 	var runErr error
 
@@ -170,7 +83,7 @@ func (w CrashRecovery) Run(env *Env) (int, error) {
 		if err := fs.Mkdir(dir, fsapi.MkdirOpt{}); err != nil {
 			return fmt.Errorf("mkdir %s: %w", dir, err)
 		}
-		sh.dirs[dir] = true
+		sh.Mkdir(dir)
 		ops++
 		for i := 0; i < per; i++ {
 			data := make([]byte, 512*(1+(round+i)%9)) // up to ~4.5 KiB: some files span blocks
@@ -186,8 +99,7 @@ func (w CrashRecovery) Run(env *Env) (int, error) {
 		if err := fs.Rename(from, to); err != nil {
 			return fmt.Errorf("rename %s: %w", from, err)
 		}
-		sh.files[to] = sh.files[from]
-		delete(sh.files, from)
+		sh.Rename(from, to)
 		ops++
 		// Unlink another.
 		victim := fmt.Sprintf("%s/f01", dir)
@@ -195,7 +107,7 @@ func (w CrashRecovery) Run(env *Env) (int, error) {
 			if err := fs.Unlink(victim); err != nil {
 				return fmt.Errorf("unlink %s: %w", victim, err)
 			}
-			delete(sh.files, victim)
+			sh.Unlink(victim)
 			ops++
 		}
 		// A directory that is created and removed within the round: its
@@ -246,7 +158,7 @@ func (w CrashRecovery) Run(env *Env) (int, error) {
 					return 1
 				}
 			}
-			if runErr = sh.verify(fs); runErr != nil {
+			if runErr = sh.Verify(fs); runErr != nil {
 				runErr = fmt.Errorf("after recovering server %d: %w", srv, runErr)
 				return 1
 			}

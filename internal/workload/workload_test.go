@@ -58,6 +58,11 @@ func ramfsEnv(t *testing.T, cores int) *Env {
 // invariants: no error, a positive op count, and virtual time advanced.
 func runOne(t *testing.T, env *Env, w Workload) {
 	t.Helper()
+	// Workloads with a randomized op mix (fsstress, the synthetic data
+	// generators) derive all randomness from fixed per-worker seeds
+	// (newRand(idx*1234567+1), fillPattern): log the scheme so a failing
+	// run names its seeds.
+	t.Logf("%s: deterministic xorshift seeds (worker idx*1234567+1)", w.Name())
 	if err := w.Setup(env); err != nil {
 		t.Fatalf("%s setup: %v", w.Name(), err)
 	}
