@@ -4,7 +4,8 @@
 // Usage:
 //
 //	hare-bench [-fig N] [-scale F] [-cores N] [-bench name] [-durability]
-//	           [-pipeline] [-datapath] [-elastic] [-baseline path]
+//	           [-pipeline] [-datapath] [-elastic] [-obs] [-baseline path]
+//	           [-trace out.json]
 //
 // With no -fig flag every experiment is run in order. The -scale flag
 // shrinks the workload iteration counts (1.0 reproduces the default sizes;
@@ -23,8 +24,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/bench"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -39,13 +42,75 @@ func main() {
 		pipeline   = flag.Bool("pipeline", false, "run the async-RPC pipelining sweep (on/off × server counts) instead of the paper's figures")
 		datapath   = flag.Bool("datapath", false, "run the zero-waste data-path sweep (dirty-line writeback + version-skip invalidation, on/off × server counts) instead of the paper's figures")
 		elastic    = flag.Bool("elastic", false, "run the elastic sweep (scale-out under load, ring vs modulo placement) instead of the paper's figures")
-		baseline   = flag.String("baseline", "", "with -pipeline, -datapath or -elastic: also write the sweep as a JSON baseline to this path (e.g. BENCH_seed.json, BENCH_elastic.json)")
+		obs        = flag.Bool("obs", false, "run the tracing-overhead sweep (off vs 1-in-64 sampled vs full tracing) instead of the paper's figures")
+		traceOut   = flag.String("trace", "", "run one benchmark (-bench, default smallfile) with full tracing and export the span tree as Chrome trace_event JSON to this path (open in Perfetto)")
+		baseline   = flag.String("baseline", "", "with -pipeline, -datapath, -elastic or -obs: also write the sweep as a JSON baseline to this path (e.g. BENCH_seed.json, BENCH_obs.json)")
 	)
 	flag.Parse()
 
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "hare-bench:", err)
 		os.Exit(1)
+	}
+
+	if *traceOut != "" {
+		if *fig != 0 || *durability || *pipeline || *datapath || *elastic || *obs {
+			fail(fmt.Errorf("-trace runs a single traced benchmark and cannot be combined with figure-set flags"))
+		}
+		var w workload.Workload = workload.SmallFile{}
+		if *benchName != "" {
+			var ok bool
+			w, ok = workload.ByName(*benchName)
+			if !ok {
+				fail(fmt.Errorf("unknown benchmark %q; available: %v", *benchName, workload.Names()))
+			}
+		}
+		opts := bench.DefaultHare(*cores)
+		opts.Trace = trace.Config{Sample: 1}
+		r, err := bench.RunWorkload(bench.HareFactory(opts), w, *scale)
+		if err != nil {
+			fail(err)
+		}
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fail(err)
+		}
+		if err := trace.WriteChrome(f, r.Spans); err != nil {
+			f.Close()
+			fail(err)
+		}
+		if err := f.Close(); err != nil {
+			fail(err)
+		}
+		fmt.Println(latencyTable(r).Render())
+		fmt.Printf("%d spans written to %s (load in Perfetto: ui.perfetto.dev)\n", len(r.Spans), *traceOut)
+		return
+	}
+
+	if *obs {
+		if *durability || *pipeline || *datapath || *elastic || *fig != 0 {
+			fail(fmt.Errorf("-obs runs its own figure set and cannot be combined with -durability, -pipeline, -datapath, -elastic or -fig"))
+		}
+		var ws []workload.Workload
+		if *benchName != "" {
+			w, ok := workload.ByName(*benchName)
+			if !ok {
+				fail(fmt.Errorf("unknown benchmark %q; available: %v", *benchName, workload.Names()))
+			}
+			ws = []workload.Workload{w}
+		}
+		data, t, err := bench.ObsFigure(*scale, *cores, ws)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t.Render())
+		if *baseline != "" {
+			if err := data.WriteBaseline(*baseline); err != nil {
+				fail(err)
+			}
+			fmt.Printf("baseline written to %s\n", *baseline)
+		}
+		return
 	}
 
 	if *elastic {
@@ -215,3 +280,24 @@ func main() {
 		fmt.Println(t.Render())
 	}
 }
+
+// latencyTable renders the per-op tail-latency quantiles of a traced run.
+func latencyTable(r bench.Result) *bench.Table {
+	t := &bench.Table{
+		Title:   fmt.Sprintf("%s on %s: per-op latency (virtual cycles)", r.Benchmark, r.Backend),
+		Columns: []string{"op", "n", "p50", "p95", "p99", "p999", "max"},
+		Note:    "power-of-two histogram percentiles: each estimate is within one bucket (2x) of the exact rank.",
+	}
+	ops := make([]string, 0, len(r.Lat))
+	for op := range r.Lat {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		q := r.Lat[op]
+		t.AddRow(op, fmt.Sprintf("%d", q.N), cyc(q.P50), cyc(q.P95), cyc(q.P99), cyc(q.P999), cyc(q.Max))
+	}
+	return t
+}
+
+func cyc(v uint64) string { return fmt.Sprintf("%d", v) }

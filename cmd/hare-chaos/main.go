@@ -7,8 +7,8 @@
 //	hare-chaos [-seeds N] [-seed-start S] [-configs N] [-duration D] [-v]
 //	           [-procs N] [-rounds N] [-ops N] [-cores N] [-servers N]
 //	           [-max-servers N] [-delay-pct P] [-dup-pct P] [-max-delay C]
-//	           [-group-commit C]
-//	hare-chaos -repro seed,techbits,policy [-dump-plan]
+//	           [-group-commit C] [-trace-dir D]
+//	hare-chaos -repro seed,techbits,policy [-dump-plan] [-trace-dir D]
 //
 // The default invocation sweeps -seeds seeds across -configs sampled
 // technique/policy configurations and reports every failure as a
@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -48,6 +49,7 @@ func main() {
 		dupPct      = flag.Int("dup-pct", -1, "percent of idempotent requests duplicated (-1 = default)")
 		maxDelay    = flag.Int64("max-delay", -1, "jitter bound in cycles (-1 = default)")
 		groupCommit = flag.Int64("group-commit", 0, "WAL group-commit interval in cycles")
+		traceDir    = flag.String("trace-dir", "", "record a full request trace per run and dump failing runs' span trees here (Chrome JSON + canonical encoding)")
 	)
 	flag.Parse()
 
@@ -90,10 +92,20 @@ func main() {
 			os.Exit(2)
 		}
 		cfg := chaos.WithTuple(base, seed, tech, pol)
+		if *traceDir != "" {
+			cfg.Trace = trace.Config{Sample: 1, Ring: 1 << 18}
+		}
 		if *dumpPlan {
 			os.Stdout.Write(chaos.NewPlan(cfg).Encode())
 		}
 		rep, err := chaos.Run(cfg)
+		if *traceDir != "" && rep != nil {
+			if p, derr := chaos.DumpTrace(*traceDir, cfg.Tuple(), rep.Spans); derr == nil {
+				fmt.Printf("trace: %s\n", p)
+			} else {
+				fmt.Fprintln(os.Stderr, "hare-chaos: trace dump:", derr)
+			}
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "FAIL %v\n", err)
 			os.Exit(1)
@@ -125,7 +137,7 @@ func main() {
 			seedList[i] = nextSeed
 			nextSeed++
 		}
-		failed = append(failed, chaos.RunMatrix(logw, cfgs, seedList)...)
+		failed = append(failed, chaos.RunMatrixTraced(logw, cfgs, seedList, *traceDir)...)
 		total += len(cfgs) * len(seedList)
 		if *duration == 0 || time.Since(start) >= *duration {
 			break

@@ -5,14 +5,20 @@
 // Usage:
 //
 //	hare-shell [-cores N] [-servers N] [-maxservers N] [-ring] [-split]
+//	           [-trace N]
 //
 // Commands: help, ls, tree, cat, write, append, mkdir, mkdir -d, rm, rmdir,
-// mv, stat, cd, pwd, core, servers, addserver, rmserver, exit.
+// mv, stat, cd, pwd, core, servers, top, stats, addserver, rmserver, exit.
 //
 // With -maxservers headroom the fleet is elastic: addserver grows it online
 // (directory shards migrate to the new member) and rmserver drains one; the
 // servers command prints the live placement epoch, per-server shard counts,
 // load, and migration traffic.
+//
+// Tracing is on by default (every op; -trace N samples 1-in-N, -trace 0
+// turns it off): top shows live per-server queue depth, shard counts and
+// service/queueing percentiles, and stats shows per-op latency percentiles
+// as seen by this shell's operations.
 package main
 
 import (
@@ -27,6 +33,8 @@ import (
 	"repro/internal/fsapi"
 	"repro/internal/place"
 	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -36,6 +44,7 @@ func main() {
 		maxServers = flag.Int("maxservers", 0, "server-count ceiling for online growth (default: no headroom)")
 		ring       = flag.Bool("ring", false, "place directory shards by consistent hashing instead of modulo")
 		split      = flag.Bool("split", false, "dedicate cores to the file servers instead of timesharing")
+		traceN     = flag.Int("trace", 1, "trace 1-in-N operations for top/stats (0 = tracing off)")
 	)
 	flag.Parse()
 
@@ -51,6 +60,7 @@ func main() {
 		Techniques:  core.AllTechniques(),
 		Placement:   sched.PolicyRoundRobin,
 		PlacePolicy: policy,
+		Trace:       trace.Config{Sample: *traceN},
 	}
 	sys, err := core.New(cfg)
 	if err != nil {
@@ -105,8 +115,12 @@ func (s *shell) exec(line string) error {
 	case "help":
 		fmt.Println("commands: ls [path] | tree [path] | cat file | write file text... | append file text... |")
 		fmt.Println("          mkdir [-d] dir | rm file | rmdir dir | mv old new | stat path | cd dir | pwd |")
-		fmt.Println("          core N | servers | addserver | rmserver N | exit")
+		fmt.Println("          core N | servers | top | stats | addserver | rmserver N | exit")
 		return nil
+	case "top":
+		return s.top()
+	case "stats":
+		return s.latStats()
 	case "pwd":
 		fmt.Println(s.cli.Getcwd())
 		return nil
@@ -263,6 +277,63 @@ func (s *shell) cat(path string) error {
 		os.Stdout.Write(buf[:n])
 	}
 	fmt.Println()
+	return nil
+}
+
+// top is the live per-server view: queue depth, shard count, ops served,
+// and — when tracing is on — service and queueing percentiles.
+func (s *shell) top() error {
+	fmt.Printf("epoch %d, %d servers, clock %d cycles\n",
+		s.sys.Epoch(), s.sys.NumServers(), s.sys.MaxServerClock())
+	tr := s.sys.Tracer()
+	var svc, queue map[int]stats.Quantiles
+	if tr != nil {
+		svc, queue = tr.ServerQuantiles()
+	}
+	depths := s.sys.QueueDepths()
+	for i, st := range s.sys.ServerStats() {
+		var total uint64
+		for _, n := range st.Ops {
+			total += n
+		}
+		depth := 0
+		if i < len(depths) {
+			depth = depths[i]
+		}
+		fmt.Printf("server %2d: queue %3d, %6d ops, %4d entries", i, depth, total, st.Entries)
+		if q, ok := svc[i]; ok && q.N > 0 {
+			fmt.Printf(", service p50/p99 %d/%d cyc", q.P50, q.P99)
+		}
+		if q, ok := queue[i]; ok && q.N > 0 {
+			fmt.Printf(", queued p50/p99 %d/%d cyc", q.P50, q.P99)
+		}
+		fmt.Println()
+	}
+	if tr == nil {
+		fmt.Println("(tracing off: rerun without -trace 0 for latency percentiles)")
+	}
+	return nil
+}
+
+// latStats prints per-op latency percentiles from the tracer's histograms.
+func (s *shell) latStats() error {
+	tr := s.sys.Tracer()
+	if tr == nil {
+		return fmt.Errorf("tracing is off (rerun without -trace 0)")
+	}
+	lat := tr.OpQuantiles()
+	if len(lat) == 0 {
+		fmt.Println("no traced operations yet")
+		return nil
+	}
+	fmt.Printf("%-10s %8s %10s %10s %10s %10s\n", "op", "n", "p50", "p95", "p99", "max")
+	for _, op := range tr.OpNames() {
+		q := lat[op]
+		fmt.Printf("%-10s %8d %10d %10d %10d %10d\n", op, q.N, q.P50, q.P95, q.P99, q.Max)
+	}
+	if d := tr.Dropped(); d > 0 {
+		fmt.Printf("(span ring dropped %d spans; histograms kept counting)\n", d)
+	}
 	return nil
 }
 

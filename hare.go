@@ -17,6 +17,8 @@
 package hare
 
 import (
+	"io"
+
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/fsapi"
@@ -24,6 +26,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -74,6 +77,17 @@ type (
 	// (messages, bytes, batched sub-ops, queueing delay, migrated shard
 	// entries); returned by System.MessageEconomy. See DESIGN.md §7, §9.
 	Economy = stats.Economy
+
+	// TraceConfig configures request tracing and latency histograms
+	// (Config.Trace); the zero value disables tracing. See DESIGN.md §11.
+	TraceConfig = trace.Config
+	// Tracer collects spans and latency histograms; returned by
+	// System.Tracer (nil when tracing is disabled).
+	Tracer = trace.Tracer
+	// Span is one traced interval of a request's life.
+	Span = trace.Span
+	// LatencyQuantiles summarizes one latency histogram (p50/p95/p99/p999).
+	LatencyQuantiles = stats.Quantiles
 
 	// PlacePolicy selects how directory-entry shards are placed on file
 	// servers (DESIGN.md §9): PlaceModulo reproduces the paper's static
@@ -166,3 +180,7 @@ func Start(cfg Config) (*System, error) {
 
 // IsErrno reports whether err is the given POSIX error number.
 func IsErrno(err error, want Errno) bool { return fsapi.IsErrno(err, want) }
+
+// WriteChromeTrace exports spans (from Tracer.Spans) as Chrome trace_event
+// JSON, loadable in Perfetto (ui.perfetto.dev) or chrome://tracing.
+func WriteChromeTrace(w io.Writer, spans []Span) error { return trace.WriteChrome(w, spans) }

@@ -16,6 +16,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/wal"
 	"repro/internal/workload"
 )
@@ -47,6 +48,9 @@ type Backend struct {
 	// Elastic exposes online server add/drain on backends configured with
 	// growth headroom (Hare with MaxServers > Servers); nil otherwise.
 	Elastic workload.ElasticController
+	// Tracer is the deployment's request tracer (DESIGN.md §11); nil when
+	// tracing is disabled or the backend has no trace support.
+	Tracer *trace.Tracer
 }
 
 // sysFaults adapts core.System to the workload fault-injection interface.
@@ -78,6 +82,10 @@ type HareOptions struct {
 	// how directory-entry shards are placed (DESIGN.md §9).
 	MaxServers  int
 	PlacePolicy place.Policy
+
+	// Trace configures request tracing; the zero value keeps it off and
+	// the deployment's virtual timeline untouched (DESIGN.md §11).
+	Trace trace.Config
 }
 
 // DefaultHare returns the standard Hare deployment used throughout the
@@ -101,6 +109,7 @@ func HareFactory(opts HareOptions) Factory {
 			Durability:      opts.Durability,
 			MaxServers:      opts.MaxServers,
 			PlacePolicy:     opts.PlacePolicy,
+			Trace:           opts.Trace,
 		}
 		if cfg.Servers == 0 {
 			cfg.Servers = cfg.Cores
@@ -125,6 +134,7 @@ func HareFactory(opts HareOptions) Factory {
 			Close:   sys.Stop,
 			Econ:    sys.MessageEconomy,
 			Loads:   sys.ServerLoads,
+			Tracer:  sys.Tracer(),
 		}
 		if cfg.MaxServers > cfg.Servers {
 			b.Name += "+elastic"

@@ -1,0 +1,168 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// The observability sweep (DESIGN.md §11): the reference workloads run with
+// tracing off, sampled 1-in-64, and on every operation, and the table
+// reports the virtual-time overhead of each mode alongside the tail-latency
+// percentiles the traced modes unlock. The sampled mode is the always-on
+// production setting, so its overhead column is the one that matters.
+
+// ObsSampleInterval is the sampled mode's 1-in-N interval.
+const ObsSampleInterval = 64
+
+// ObsMode is one benchmark measured in one tracing mode.
+type ObsMode struct {
+	Mode    string // "off", "1/64", "full"
+	Sample  int
+	Seconds float64
+	// Overhead is the virtual-time cost relative to the untraced run
+	// (0.01 = 1% slower); 0 for the off mode itself.
+	Overhead float64
+	// Spans retained in the ring at the end of the timed region, plus how
+	// many older ones the ring dropped.
+	Spans   int
+	Dropped uint64
+	// Lat holds per-op latency quantiles in virtual cycles.
+	Lat map[string]stats.Quantiles `json:",omitempty"`
+}
+
+// ObsPoint is one benchmark across the three tracing modes.
+type ObsPoint struct {
+	Benchmark string
+	Ops       int
+	Modes     []ObsMode
+}
+
+// SampledOverhead returns the 1-in-64 mode's overhead fraction.
+func (p ObsPoint) SampledOverhead() float64 {
+	for _, m := range p.Modes {
+		if m.Mode == "1/64" {
+			return m.Overhead
+		}
+	}
+	return 0
+}
+
+// ObsData holds the full sweep.
+type ObsData struct {
+	Cores  int
+	Scale  float64
+	Points []ObsPoint
+}
+
+// ObsFigure runs the tracing-overhead sweep. The default workload set is the
+// paper's two reference microbenchmarks, smallfile and bigfile.
+func ObsFigure(scale float64, cores int, ws []workload.Workload) (*ObsData, *Table, error) {
+	if cores == 0 {
+		cores = 8
+	}
+	if ws == nil {
+		ws = []workload.Workload{workload.SmallFile{}, workload.BigFile{}}
+	}
+	data := &ObsData{Cores: cores, Scale: scale}
+	t := &Table{
+		Title: fmt.Sprintf("Tracing overhead: off vs 1-in-%d sampled vs full (%d cores)", ObsSampleInterval, cores),
+		Columns: []string{"benchmark", "mode", "time (ms)", "overhead", "spans", "hot op",
+			"p50 (cyc)", "p99 (cyc)"},
+		Note: "overhead = virtual-time cost vs the untraced run; spans = ring occupancy (+dropped); percentiles are root-span latencies of the most frequent op.",
+	}
+	for _, w := range ws {
+		p, err := obsPoint(scale, cores, w)
+		if err != nil {
+			return nil, nil, err
+		}
+		data.Points = append(data.Points, p)
+		for _, m := range p.Modes {
+			op, q := hottestOp(m.Lat)
+			spans := "-"
+			lat50, lat99 := "-", "-"
+			if m.Sample > 0 {
+				spans = fmt.Sprintf("%d", m.Spans)
+				if m.Dropped > 0 {
+					spans += fmt.Sprintf("(+%d)", m.Dropped)
+				}
+			}
+			if op != "" {
+				lat50 = fmt.Sprintf("%d", q.P50)
+				lat99 = fmt.Sprintf("%d", q.P99)
+			} else {
+				op = "-"
+			}
+			t.AddRow(p.Benchmark, m.Mode, f2(m.Seconds*1000), pct(m.Overhead), spans, op, lat50, lat99)
+		}
+	}
+	return data, t, nil
+}
+
+// obsPoint measures one benchmark in the three tracing modes.
+func obsPoint(scale float64, cores int, w workload.Workload) (ObsPoint, error) {
+	modes := []struct {
+		label  string
+		sample int
+	}{
+		{"off", 0},
+		{"1/64", ObsSampleInterval},
+		{"full", 1},
+	}
+	p := ObsPoint{Benchmark: w.Name()}
+	var offSeconds float64
+	for _, mode := range modes {
+		opts := DefaultHare(cores)
+		opts.Trace = trace.Config{Sample: mode.sample}
+		r, err := RunWorkload(HareFactory(opts), w, scale)
+		if err != nil {
+			return ObsPoint{}, err
+		}
+		m := ObsMode{Mode: mode.label, Sample: mode.sample, Seconds: r.Seconds, Lat: r.Lat, Spans: len(r.Spans)}
+		if mode.sample == 0 {
+			offSeconds = r.Seconds
+			p.Ops = r.Ops
+		} else if offSeconds > 0 {
+			m.Overhead = r.Seconds/offSeconds - 1
+		}
+		p.Modes = append(p.Modes, m)
+	}
+	return p, nil
+}
+
+// hottestOp picks the op with the most recorded samples.
+func hottestOp(lat map[string]stats.Quantiles) (string, stats.Quantiles) {
+	var best string
+	var bestQ stats.Quantiles
+	for op, q := range lat {
+		if q.N > bestQ.N || (q.N == bestQ.N && (best == "" || op < best)) {
+			best, bestQ = op, q
+		}
+	}
+	return best, bestQ
+}
+
+// WriteBaseline serializes the sweep to path as indented JSON (committed as
+// BENCH_obs.json so tracing-overhead regressions are visible in review).
+func (d *ObsData) WriteBaseline(path string) error {
+	b := struct {
+		Note   string     `json:"note"`
+		Scale  float64    `json:"scale"`
+		Cores  int        `json:"cores"`
+		Points []ObsPoint `json:"points"`
+	}{
+		Note:   "hare-bench -obs baseline; regenerate with: hare-bench -obs -scale <scale> -cores <cores> -baseline <path>",
+		Scale:  d.Scale,
+		Cores:  d.Cores,
+		Points: d.Points,
+	}
+	buf, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

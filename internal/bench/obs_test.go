@@ -1,0 +1,96 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestObsFigureModes smoke-tests the tracing-overhead sweep at a tiny scale:
+// every benchmark reports the three modes, the traced modes carry latency
+// quantiles and spans, and the untraced mode carries neither.
+func TestObsFigureModes(t *testing.T) {
+	ws := []workload.Workload{workload.Creates{PerWorker: 4}}
+	data, table, err := ObsFigure(0.05, 2, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Points) != 1 {
+		t.Fatalf("expected 1 point, got %d", len(data.Points))
+	}
+	p := data.Points[0]
+	if p.Ops == 0 {
+		t.Fatal("untraced mode did not record op count")
+	}
+	want := []string{"off", "1/64", "full"}
+	if len(p.Modes) != len(want) {
+		t.Fatalf("expected %d modes, got %d", len(want), len(p.Modes))
+	}
+	for i, m := range p.Modes {
+		if m.Mode != want[i] {
+			t.Fatalf("mode %d: got %q, want %q", i, m.Mode, want[i])
+		}
+		if m.Seconds <= 0 {
+			t.Fatalf("mode %q: no virtual time recorded", m.Mode)
+		}
+		if m.Sample == 0 {
+			if m.Spans != 0 || len(m.Lat) != 0 {
+				t.Fatalf("off mode carried spans=%d lat=%d", m.Spans, len(m.Lat))
+			}
+			continue
+		}
+		if m.Spans == 0 {
+			t.Fatalf("mode %q retained no spans", m.Mode)
+		}
+		if len(m.Lat) == 0 {
+			t.Fatalf("mode %q has no latency quantiles", m.Mode)
+		}
+		for op, q := range m.Lat {
+			if q.N == 0 {
+				t.Fatalf("mode %q op %q: empty quantiles", m.Mode, op)
+			}
+		}
+	}
+	rendered := table.Render()
+	for _, col := range []string{"benchmark", "overhead", "p99 (cyc)"} {
+		if !strings.Contains(rendered, col) {
+			t.Fatalf("rendered table missing column %q:\n%s", col, rendered)
+		}
+	}
+}
+
+// TestTracerHooksZeroAlloc pins the zero-overhead-when-off contract at the
+// allocation level: the hot-path hooks on a nil (disabled) Tracer must not
+// allocate, and neither must steady-state Record on an enabled one (the ring
+// and histograms are reused, not grown).
+func TestTracerHooksZeroAlloc(t *testing.T) {
+	var nilTracer *trace.Tracer
+	span := trace.Span{Kind: trace.KindRoot, Name: "open", Start: 10, End: 90}
+
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if nilTracer.Sample() != 0 {
+				b.Fatal("nil tracer reported sampling")
+			}
+			nilTracer.Record(span)
+		}
+	})
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Fatalf("disabled tracer hooks allocate %d per op", a)
+	}
+
+	tr := trace.New(trace.Config{Sample: 1, Ring: 64})
+	tr.Record(span) // warm the op histogram and ring
+	res = testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr.Record(span)
+		}
+	})
+	if a := res.AllocsPerOp(); a != 0 {
+		t.Fatalf("steady-state Record allocates %d per op", a)
+	}
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -30,6 +31,14 @@ type Result struct {
 	// the timed region (1.0 = perfectly balanced; 0 on backends without
 	// per-server load counters).
 	Imbalance float64
+	// Lat holds per-op-kind latency quantiles (virtual cycles) for the
+	// timed region, keyed by the root span name ("open", "read", ...);
+	// nil unless the backend was built with tracing on.
+	Lat map[string]stats.Quantiles
+	// Spans are the traced spans recorded during the timed region (ring
+	// contents, oldest first); nil unless tracing was on. The CLI's
+	// -trace flag exports them as Chrome trace_event JSON.
+	Spans []trace.Span
 }
 
 // RunWorkload builds a fresh backend from the factory, runs the workload's
@@ -48,6 +57,8 @@ func RunWorkload(f Factory, w workload.Workload, scale float64) (Result, error) 
 	}
 	start := b.Now()
 	counter.Reset()
+	// Restrict the latency histograms and span ring to the timed region.
+	b.Tracer.Reset()
 	var econBase stats.Economy
 	if b.Econ != nil {
 		econBase = b.Econ()
@@ -95,6 +106,10 @@ func RunWorkload(f Factory, w workload.Workload, scale float64) (Result, error) 
 			delta[i] = l
 		}
 		r.Imbalance = stats.Imbalance(delta)
+	}
+	if b.Tracer != nil {
+		r.Lat = b.Tracer.OpQuantiles()
+		r.Spans = b.Tracer.Spans()
 	}
 	return r, nil
 }

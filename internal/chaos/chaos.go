@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/place"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Config shapes one chaos run. The zero value is not runnable; use
@@ -66,6 +67,13 @@ type Config struct {
 	// GroupCommit, when non-zero, batches WAL flushes (DESIGN.md §6),
 	// putting the reply-holdback path on the chaos schedule too.
 	GroupCommit sim.Cycles
+
+	// Trace, when enabled, records every sampled request's span tree
+	// (DESIGN.md §11); the run's Report then carries the ring so the
+	// matrix runner can dump it next to the repro tuple. The tuple does
+	// not encode it — rerun a tuple with the same Trace setting to get
+	// the identical canonical span tree.
+	Trace trace.Config
 }
 
 // DefaultConfig returns the smoke-test-sized configuration used by CI: a

@@ -1,0 +1,39 @@
+package chaos
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+// DumpTrace writes a run's span ring to dir in both export formats: Chrome
+// trace_event JSON (open in Perfetto) and the canonical structural encoding
+// (byte-identical across reruns of the same tuple, so two dumps diff with
+// cmp). The file stem is derived from the repro tuple. Returns the JSON
+// path.
+func DumpTrace(dir, tuple string, spans []trace.Span) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	stem := "trace-" + strings.NewReplacer(",", "_", "/", "_").Replace(tuple)
+	jsonPath := filepath.Join(dir, stem+".json")
+	f, err := os.Create(jsonPath)
+	if err != nil {
+		return "", err
+	}
+	if err := trace.WriteChrome(f, spans); err != nil {
+		f.Close()
+		return "", fmt.Errorf("chaos: trace dump %s: %w", jsonPath, err)
+	}
+	if err := f.Close(); err != nil {
+		return "", err
+	}
+	canonPath := filepath.Join(dir, stem+".canon")
+	if err := os.WriteFile(canonPath, trace.EncodeCanonical(spans), 0o644); err != nil {
+		return "", err
+	}
+	return jsonPath, nil
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/place"
+	"repro/internal/trace"
 )
 
 // MatrixTechniques returns the full 2^5 sweep of the paper's five technique
@@ -73,6 +74,14 @@ func SampleConfigs(base Config, n int) []Config {
 // failure line carries the one-line (seed, config) tuple that reproduces it
 // via `hare-chaos -repro`.
 func RunMatrix(w io.Writer, configs []Config, seeds []uint64) []string {
+	return RunMatrixTraced(w, configs, seeds, "")
+}
+
+// RunMatrixTraced is RunMatrix with trace capture: when traceDir is
+// non-empty every run records a full span trace, and a failing run dumps
+// its ring there (Chrome JSON + canonical encoding, see DumpTrace) with the
+// path printed in the FAIL line. Passing runs leave no files behind.
+func RunMatrixTraced(w io.Writer, configs []Config, seeds []uint64, traceDir string) []string {
 	if w == nil {
 		w = io.Discard
 	}
@@ -81,16 +90,36 @@ func RunMatrix(w io.Writer, configs []Config, seeds []uint64) []string {
 		for _, seed := range seeds {
 			run := cfg
 			run.Seed = seed
-			rep, err := Run(run)
-			tuple := run.Tuple()
-			if err != nil {
-				failures = append(failures, tuple)
-				fmt.Fprintf(w, "FAIL tuple=%s err=%v\n      repro: hare-chaos -repro %s\n", tuple, err, tuple)
-				continue
+			if traceDir != "" && !run.Trace.Enabled() {
+				run.Trace = trace.Config{Sample: 1, Ring: 1 << 18}
 			}
-			fmt.Fprintf(w, "PASS tuple=%s ops=%d events=%d delayed=%d dups=%d epoch=%d servers=%d\n",
-				tuple, rep.Ops, rep.Events, rep.Faults.Delayed, rep.Faults.Duplicated, rep.Epoch, rep.Servers)
+			rep, err := Run(run)
+			if reportRun(w, run, rep, err, traceDir) {
+				failures = append(failures, run.Tuple())
+			}
 		}
 	}
 	return failures
+}
+
+// reportRun writes one matrix result line and, for a failing traced run,
+// dumps its span ring. Returns true when the run failed. The FAIL line
+// carries the repro tuple and — when a dump was written — the trace path.
+func reportRun(w io.Writer, run Config, rep *Report, err error, traceDir string) bool {
+	tuple := run.Tuple()
+	if err != nil {
+		dump := ""
+		if traceDir != "" && rep != nil {
+			if p, derr := DumpTrace(traceDir, tuple, rep.Spans); derr == nil {
+				dump = " trace=" + p
+			} else {
+				dump = fmt.Sprintf(" trace-dump-failed=%v", derr)
+			}
+		}
+		fmt.Fprintf(w, "FAIL tuple=%s err=%v%s\n      repro: hare-chaos -repro %s\n", tuple, err, dump, tuple)
+		return true
+	}
+	fmt.Fprintf(w, "PASS tuple=%s ops=%d events=%d delayed=%d dups=%d epoch=%d servers=%d\n",
+		tuple, rep.Ops, rep.Events, rep.Faults.Delayed, rep.Faults.Duplicated, rep.Epoch, rep.Servers)
+	return false
 }

@@ -11,6 +11,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/shadow"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Report summarizes one chaos run.
@@ -21,6 +22,9 @@ type Report struct {
 	Epoch   uint64         // final placement epoch
 	Servers int            // final server count
 	Cycles  sim.Cycles     // virtual time at the end of the run
+	// Spans is the traced span ring (oldest first); nil unless the run's
+	// Config.Trace was enabled.
+	Spans []trace.Span
 }
 
 // idempotentOps are the protocol requests the network may deliver twice: the
@@ -62,6 +66,7 @@ func coreConfig(cfg Config) core.Config {
 		BufferCacheBytes: 8 << 20,
 		BlockSize:        4096,
 		Durability:       core.Durability{Enabled: true, GroupCommitInterval: cfg.GroupCommit},
+		Trace:            cfg.Trace,
 	}
 }
 
@@ -123,6 +128,9 @@ func RunPlan(plan *Plan) (*Report, error) {
 	rep.Epoch = sys.Epoch()
 	rep.Servers = sys.NumServers()
 	rep.Cycles = h.EndTime()
+	if tr := sys.Tracer(); tr != nil {
+		rep.Spans = tr.Spans()
+	}
 	if runErr != nil {
 		return rep, fmt.Errorf("chaos tuple=%s: %w", cfg.Tuple(), runErr)
 	}

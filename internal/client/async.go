@@ -33,6 +33,7 @@ func (c *Client) sendAsync(srv int, req *proto.Request) (*msg.Future, error) {
 		return nil, fsapi.EIO
 	}
 	req.ClientID = c.cfg.ID
+	c.traceRequest(req)
 	payload := req.Marshal()
 	c.charge(c.cfg.Machine.Cost.MsgSend)
 	fut, err := c.cfg.Network.SendAsync(c.ep, rt.Servers[srv], proto.KindRequest, payload, c.clock.Now())

@@ -21,6 +21,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Options toggles the individual techniques evaluated in §5.4, plus the
@@ -74,6 +75,11 @@ type Config struct {
 	// on a different core than its parent).
 	IDs          *IDAllocator
 	CacheForCore func(core int) *ncc.PrivateCache
+
+	// Tracer, when non-nil, samples FS operations into root spans whose
+	// trace context rides on every RPC the operation issues (DESIGN.md
+	// §11). Nil keeps the hot path allocation- and cycle-free.
+	Tracer *trace.Tracer
 }
 
 // Stats counts client-side activity.
@@ -112,6 +118,16 @@ type Client struct {
 	vcache map[proto.InodeID]uint64
 
 	localServer int // designated nearby server for creation affinity
+
+	// Tracing state (confined to the owning goroutine). cur is the
+	// in-flight sampled root span; nested FS calls (CloseAll → Close,
+	// EEPOCH retries) see cur non-nil and chain into the same root
+	// instead of opening their own. opSeq counts root candidates for
+	// 1-in-N sampling.
+	tr    *trace.Tracer
+	tem   *trace.Emitter
+	cur   *trace.Span
+	opSeq uint64
 
 	stats struct {
 		rpcs       atomic.Uint64
@@ -186,6 +202,8 @@ func New(cfg Config) *Client {
 		cwd:    "/",
 		dcache: make(map[dcacheKey]dcacheEnt),
 		vcache: make(map[proto.InodeID]uint64),
+		tr:     cfg.Tracer,
+		tem:    trace.ClientEmitter(cfg.ID),
 	}
 	if cfg.Provider != nil {
 		c.routing = cfg.Provider.Routing()
@@ -304,6 +322,75 @@ func (c *Client) syscall() {
 	c.charge(c.cfg.Machine.Cost.ClientSyscall)
 }
 
+// beginOp opens a root span for one FS operation when the tracer samples
+// it. It returns nil — and does no work at all — when tracing is off, the
+// op lost the 1-in-N sampling draw, or a root is already open (nested FS
+// calls and EEPOCH retries chain into the enclosing root). Call sites keep
+// the defer behind the nil check so an untraced op allocates nothing.
+func (c *Client) beginOp(name string) *trace.Span {
+	if c.tr == nil || c.cur != nil {
+		return nil
+	}
+	c.opSeq++
+	if n := uint64(c.tr.Sample()); n > 1 && (c.opSeq-1)%n != 0 {
+		return nil
+	}
+	id := c.tem.Next()
+	s := &trace.Span{
+		Trace: id, ID: id, Kind: trace.KindRoot, Name: name,
+		Where: c.cfg.ID, Start: c.clock.Now(),
+	}
+	c.cur = s
+	c.charge(c.cfg.Machine.Cost.TraceSpan)
+	return s
+}
+
+// endOp closes and records the root span opened by beginOp.
+func (c *Client) endOp(s *trace.Span, err error) {
+	s.End = c.clock.Now()
+	s.Err = errnoOf(err)
+	c.cur = nil
+	c.tr.Record(*s)
+}
+
+// errnoOf maps an operation error to the errno recorded on its span.
+func errnoOf(err error) int32 {
+	if err == nil {
+		return 0
+	}
+	if e, ok := err.(fsapi.Errno); ok {
+		return int32(e)
+	}
+	return -1
+}
+
+// noteEpochRefresh records one EEPOCH refresh-and-retry round under the
+// current root span, so retry storms show up inside the op that suffered
+// them rather than as detached noise. No-op when the op is untraced.
+func (c *Client) noteEpochRefresh(op proto.Op, tries int) {
+	if c.cur == nil {
+		return
+	}
+	start := c.clock.Now()
+	c.charge(c.cfg.Machine.Cost.TraceSpan)
+	c.tr.Record(trace.Span{
+		Trace: c.cur.Trace, ID: c.tem.Next(), Parent: c.cur.ID,
+		Kind: trace.KindEpochRefresh, Name: op.String(), Where: c.cfg.ID,
+		Start: start, End: c.clock.Now(), Idx: int32(tries),
+	})
+}
+
+// traceRequest stamps req with the current root's trace context and
+// returns the span ID the server's child spans will parent to. Async sends
+// and broadcasts parent server spans directly under the root; synchronous
+// rpc allocates a dedicated RPC span in between.
+func (c *Client) traceRequest(req *proto.Request) {
+	if c.cur != nil {
+		req.Trace = c.cur.Trace
+		req.Span = c.cur.ID
+	}
+}
+
 // rpc performs one synchronous RPC to the given server index and returns the
 // decoded response. Virtual time: marshal+send cost before, propagation
 // handled by the network, receive cost after.
@@ -319,8 +406,15 @@ func (c *Client) rpc(srv int, req *proto.Request) (*proto.Response, error) {
 		return nil, fsapi.EIO
 	}
 	req.ClientID = c.cfg.ID
+	var rpcID uint64
+	if c.cur != nil {
+		rpcID = c.tem.Next()
+		req.Trace, req.Span = c.cur.Trace, rpcID
+		c.charge(c.cfg.Machine.Cost.TraceSpan)
+	}
 	payload := req.Marshal()
 	cost := c.cfg.Machine.Cost
+	sentAt := c.clock.Now()
 	c.charge(cost.MsgSend)
 	env, err := c.cfg.Network.RPC(c.ep, rt.Servers[srv], proto.KindRequest, payload, c.clock.Now())
 	if err != nil {
@@ -333,6 +427,13 @@ func (c *Client) rpc(srv int, req *proto.Request) (*proto.Response, error) {
 	if derr != nil {
 		return nil, fsapi.EIO
 	}
+	if rpcID != 0 {
+		c.tr.Record(trace.Span{
+			Trace: c.cur.Trace, ID: rpcID, Parent: c.cur.ID,
+			Kind: trace.KindRPC, Name: req.Op.String(), Where: c.cfg.ID,
+			Start: sentAt, End: c.clock.Now(), Err: int32(resp.Err),
+		})
+	}
 	runtime.Gosched()
 	return resp, nil
 }
@@ -342,6 +443,7 @@ func (c *Client) rpc(srv int, req *proto.Request) (*proto.Response, error) {
 // accounting as file-server RPCs.
 func (c *Client) RPCTo(dst msg.EndpointID, req *proto.Request) (*proto.Response, error) {
 	req.ClientID = c.cfg.ID
+	c.traceRequest(req)
 	payload := req.Marshal()
 	cost := c.cfg.Machine.Cost
 	c.charge(cost.MsgSend)
@@ -378,6 +480,7 @@ func (c *Client) rpcOK(srv int, req *proto.Request) (*proto.Response, error) {
 // broadcast optimization the RPCs overlap; otherwise they run one at a time.
 func (c *Client) broadcast(servers []int, req *proto.Request) ([]*proto.Response, error) {
 	req.ClientID = c.cfg.ID
+	c.traceRequest(req)
 	payload := req.Marshal()
 	cost := c.cfg.Machine.Cost
 	rt := c.routing
@@ -459,8 +562,11 @@ func (c *Client) getFD(fd fsapi.FD) (*openFile, error) {
 func (c *Client) Getcwd() string { return c.cwd }
 
 // Chdir changes the working directory after verifying it is a directory.
-func (c *Client) Chdir(path string) error {
+func (c *Client) Chdir(path string) (err error) {
 	c.syscall()
+	if s := c.beginOp("chdir"); s != nil {
+		defer func() { c.endOp(s, err) }()
+	}
 	abs := c.absPath(path)
 	_, ftype, _, err := c.resolvePath(abs)
 	if err != nil {
@@ -502,6 +608,9 @@ func (c *Client) OpenFDs() []fsapi.FD {
 // per descriptor. Close errors are discarded either way: the process is
 // exiting and has nobody to report them to.
 func (c *Client) CloseAll() {
+	if s := c.beginOp("closeall"); s != nil {
+		defer func() { c.endOp(s, nil) }()
+	}
 	if !c.cfg.Options.Pipelining {
 		for fd := range c.fds {
 			_ = c.Close(fd)
@@ -537,8 +646,11 @@ func (c *Client) CloseAll() {
 // written back to the shared DRAM and the size updates for all touched
 // servers travel as one overlapping scatter (batched per server). It is the
 // multi-file counterpart of Fsync.
-func (c *Client) Sync() error {
+func (c *Client) Sync() (err error) {
 	c.syscall()
+	if s := c.beginOp("sync"); s != nil {
+		defer func() { c.endOp(s, err) }()
+	}
 	perSrv := make(map[int][]*proto.Request)
 	perSrvFiles := make(map[int][]*openFile)
 	flushed := make(map[*openFile]bool)

@@ -9,8 +9,11 @@ import (
 
 // Mkdir creates a directory. The MkdirOpt.Distributed flag selects whether
 // the new directory's entries are sharded across all file servers (§3.3).
-func (c *Client) Mkdir(path string, opt fsapi.MkdirOpt) error {
+func (c *Client) Mkdir(path string, opt fsapi.MkdirOpt) (err error) {
 	c.syscall()
+	if s := c.beginOp("mkdir"); s != nil {
+		defer func() { c.endOp(s, err) }()
+	}
 	abs := c.absPath(path)
 	parent, parentDist, name, err := c.resolveParent(abs)
 	if err != nil {
@@ -82,8 +85,11 @@ func (c *Client) Mkdir(path string, opt fsapi.MkdirOpt) error {
 // common case — coalesced creation put it there), both operations travel as
 // one guarded batch message. A stale cache fails the guard (ESTALE) and the
 // operation falls back to the authoritative two-RPC path.
-func (c *Client) Unlink(path string) error {
+func (c *Client) Unlink(path string) (err error) {
 	c.syscall()
+	if s := c.beginOp("unlink"); s != nil {
+		defer func() { c.endOp(s, err) }()
+	}
 	abs := c.absPath(path)
 	parent, parentDist, name, err := c.resolveParent(abs)
 	if err != nil {
@@ -150,8 +156,11 @@ func (c *Client) unlinkBatched(parent proto.InodeID, name string, entrySrv int, 
 // Rename atomically renames oldPath to newPath: it first creates (or
 // replaces) the entry under the new name, then removes the old name
 // (§3.3). A replaced target loses one link.
-func (c *Client) Rename(oldPath, newPath string) error {
+func (c *Client) Rename(oldPath, newPath string) (err error) {
 	c.syscall()
+	if s := c.beginOp("rename"); s != nil {
+		defer func() { c.endOp(s, err) }()
+	}
 	oldAbs := c.absPath(oldPath)
 	newAbs := c.absPath(newPath)
 	if oldAbs == newAbs {
@@ -207,8 +216,11 @@ func (c *Client) Rename(oldPath, newPath string) error {
 // ReadDir lists a directory. Distributed directories require contacting all
 // servers; with the directory broadcast optimization those RPCs overlap
 // (§3.6.2). Entries are merged and sorted by name.
-func (c *Client) ReadDir(path string) ([]fsapi.Dirent, error) {
+func (c *Client) ReadDir(path string) (_ []fsapi.Dirent, err error) {
 	c.syscall()
+	if s := c.beginOp("readdir"); s != nil {
+		defer func() { c.endOp(s, err) }()
+	}
 	abs := c.absPath(path)
 	ino, ftype, dist, err := c.resolvePath(abs)
 	if err != nil {
@@ -241,8 +253,11 @@ func (c *Client) ReadDir(path string) ([]fsapi.Dirent, error) {
 // serialize at the home server, prepare on every server holding a shard of
 // the directory, then commit (or abort), and finally remove the parent's
 // entry and the directory inode.
-func (c *Client) Rmdir(path string) error {
+func (c *Client) Rmdir(path string) (err error) {
 	c.syscall()
+	if s := c.beginOp("rmdir"); s != nil {
+		defer func() { c.endOp(s, err) }()
+	}
 	abs := c.absPath(path)
 	parent, parentDist, name, err := c.resolveParent(abs)
 	if err != nil {

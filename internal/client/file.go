@@ -5,11 +5,15 @@ import (
 	"repro/internal/ncc"
 	"repro/internal/proto"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // Open opens (and optionally creates) a file and returns a descriptor.
-func (c *Client) Open(path string, flags int, mode fsapi.Mode) (fsapi.FD, error) {
+func (c *Client) Open(path string, flags int, mode fsapi.Mode) (_ fsapi.FD, err error) {
 	c.syscall()
+	if s := c.beginOp("open"); s != nil {
+		defer func() { c.endOp(s, err) }()
+	}
 	abs := c.absPath(path)
 
 	if flags&fsapi.OCreate != 0 {
@@ -180,8 +184,11 @@ func refreshBlocks(of *openFile, exts []proto.Extent) {
 // Close closes a descriptor, writing back dirty blocks and releasing the
 // server-side reference when this is the last descriptor for the
 // description.
-func (c *Client) Close(fd fsapi.FD) error {
+func (c *Client) Close(fd fsapi.FD) (err error) {
 	c.syscall()
+	if s := c.beginOp("close"); s != nil {
+		defer func() { c.endOp(s, err) }()
+	}
 	of, err := c.getFD(fd)
 	if err != nil {
 		return err
@@ -244,17 +251,32 @@ func (c *Client) writebackFile(of *openFile) {
 		return
 	}
 	exts := ncc.NormalizeExtents(of.dirty)
+	start := c.clock.Now()
 	flushed, lines := c.cfg.Cache.WritebackExtents(exts, c.cfg.Options.DataPath)
 	c.stats.wbBlocks.Add(uint64(flushed))
 	c.charge(sim.LineCost(c.cfg.Machine.Cost.DRAMPerLine, lines*ncc.LineSize))
+	if c.cur != nil {
+		// Surface the line movement under the op that paid for it; Idx
+		// carries the 64-byte line count so a slow close is attributable
+		// to the data it flushed.
+		c.charge(c.cfg.Machine.Cost.TraceSpan)
+		c.tr.Record(trace.Span{
+			Trace: c.cur.Trace, ID: c.tem.Next(), Parent: c.cur.ID,
+			Kind: trace.KindWriteback, Name: "writeback", Where: c.cfg.ID,
+			Start: start, End: c.clock.Now(), Idx: int32(lines),
+		})
+	}
 	of.dirty = of.dirty[:0]
 	of.dirtyNorm = 0
 }
 
 // Fsync forces dirty data for the descriptor back to the shared DRAM and
 // updates the server's view of the file size.
-func (c *Client) Fsync(fd fsapi.FD) error {
+func (c *Client) Fsync(fd fsapi.FD) (err error) {
 	c.syscall()
+	if s := c.beginOp("fsync"); s != nil {
+		defer func() { c.endOp(s, err) }()
+	}
 	of, err := c.getFD(fd)
 	if err != nil {
 		return err
@@ -278,8 +300,11 @@ func (c *Client) Fsync(fd fsapi.FD) error {
 }
 
 // Read reads from the descriptor at its current offset.
-func (c *Client) Read(fd fsapi.FD, p []byte) (int, error) {
+func (c *Client) Read(fd fsapi.FD, p []byte) (_ int, err error) {
 	c.syscall()
+	if s := c.beginOp("read"); s != nil {
+		defer func() { c.endOp(s, err) }()
+	}
 	of, err := c.getFD(fd)
 	if err != nil {
 		return 0, err
@@ -300,8 +325,11 @@ func (c *Client) Read(fd fsapi.FD, p []byte) (int, error) {
 }
 
 // Pread reads at an explicit offset without moving the descriptor offset.
-func (c *Client) Pread(fd fsapi.FD, p []byte, off int64) (int, error) {
+func (c *Client) Pread(fd fsapi.FD, p []byte, off int64) (_ int, err error) {
 	c.syscall()
+	if s := c.beginOp("pread"); s != nil {
+		defer func() { c.endOp(s, err) }()
+	}
 	of, err := c.getFD(fd)
 	if err != nil {
 		return 0, err
@@ -324,8 +352,11 @@ func (c *Client) Pread(fd fsapi.FD, p []byte, off int64) (int, error) {
 }
 
 // Write writes at the descriptor's current offset.
-func (c *Client) Write(fd fsapi.FD, p []byte) (int, error) {
+func (c *Client) Write(fd fsapi.FD, p []byte) (_ int, err error) {
 	c.syscall()
+	if s := c.beginOp("write"); s != nil {
+		defer func() { c.endOp(s, err) }()
+	}
 	of, err := c.getFD(fd)
 	if err != nil {
 		return 0, err
@@ -350,8 +381,11 @@ func (c *Client) Write(fd fsapi.FD, p []byte) (int, error) {
 }
 
 // Pwrite writes at an explicit offset without moving the descriptor offset.
-func (c *Client) Pwrite(fd fsapi.FD, p []byte, off int64) (int, error) {
+func (c *Client) Pwrite(fd fsapi.FD, p []byte, off int64) (_ int, err error) {
 	c.syscall()
+	if s := c.beginOp("pwrite"); s != nil {
+		defer func() { c.endOp(s, err) }()
+	}
 	of, err := c.getFD(fd)
 	if err != nil {
 		return 0, err
@@ -632,8 +666,11 @@ func (of *openFile) addDirty(b ncc.BlockID) {
 }
 
 // Seek repositions a descriptor offset.
-func (c *Client) Seek(fd fsapi.FD, off int64, whence int) (int64, error) {
+func (c *Client) Seek(fd fsapi.FD, off int64, whence int) (_ int64, err error) {
 	c.syscall()
+	if s := c.beginOp("seek"); s != nil {
+		defer func() { c.endOp(s, err) }()
+	}
 	of, err := c.getFD(fd)
 	if err != nil {
 		return 0, err
@@ -670,8 +707,11 @@ func (c *Client) Seek(fd fsapi.FD, off int64, whence int) (int64, error) {
 }
 
 // Ftruncate truncates the open file to the given size.
-func (c *Client) Ftruncate(fd fsapi.FD, size int64) error {
+func (c *Client) Ftruncate(fd fsapi.FD, size int64) (err error) {
 	c.syscall()
+	if s := c.beginOp("ftruncate"); s != nil {
+		defer func() { c.endOp(s, err) }()
+	}
 	of, err := c.getFD(fd)
 	if err != nil {
 		return err
@@ -711,8 +751,11 @@ func (c *Client) Ftruncate(fd fsapi.FD, size int64) error {
 }
 
 // Stat returns metadata for a path.
-func (c *Client) Stat(path string) (fsapi.Stat, error) {
+func (c *Client) Stat(path string) (_ fsapi.Stat, err error) {
 	c.syscall()
+	if s := c.beginOp("stat"); s != nil {
+		defer func() { c.endOp(s, err) }()
+	}
 	abs := c.absPath(path)
 	ino, _, _, err := c.resolvePath(abs)
 	if err != nil {
@@ -726,8 +769,11 @@ func (c *Client) Stat(path string) (fsapi.Stat, error) {
 }
 
 // Fstat returns metadata for an open descriptor.
-func (c *Client) Fstat(fd fsapi.FD) (fsapi.Stat, error) {
+func (c *Client) Fstat(fd fsapi.FD) (_ fsapi.Stat, err error) {
 	c.syscall()
+	if s := c.beginOp("fstat"); s != nil {
+		defer func() { c.endOp(s, err) }()
+	}
 	of, err := c.getFD(fd)
 	if err != nil {
 		return fsapi.Stat{}, err

@@ -10,8 +10,11 @@ import (
 // descriptors. Both ends perform RPCs to the pipe's server, so a pipe shared
 // between processes on different cores behaves like the paper's shared pipe
 // (used, for example, by make's jobserver).
-func (c *Client) Pipe() (fsapi.FD, fsapi.FD, error) {
+func (c *Client) Pipe() (_, _ fsapi.FD, err error) {
 	c.syscall()
+	if s := c.beginOp("pipe"); s != nil {
+		defer func() { c.endOp(s, err) }()
+	}
 	srv := c.localServer
 	if !c.cfg.Options.CreationAffinity {
 		srv = int(c.cfg.Root.Server)

@@ -110,6 +110,7 @@ func (c *Client) routedEntryRPC(dir proto.InodeID, dirDist bool, name string, re
 				return nil, fsapi.EIO
 			}
 			c.refreshRouting()
+			c.noteEpochRefresh(req.Op, tries)
 			runtime.Gosched()
 			continue
 		}
@@ -148,6 +149,7 @@ func (c *Client) coalescedCreate(parent proto.InodeID, parentDist bool, name str
 				return nil, true, fsapi.EIO
 			}
 			c.refreshRouting()
+			c.noteEpochRefresh(req.Op, tries)
 			runtime.Gosched()
 			entrySrv, epoch = c.routeEntry(parent, parentDist, name)
 			continue
@@ -189,6 +191,7 @@ func (c *Client) routedBroadcast(home int32, dist bool, req *proto.Request) ([]*
 				return nil, fsapi.EIO
 			}
 			c.refreshRouting()
+			c.noteEpochRefresh(req.Op, tries)
 			runtime.Gosched()
 			continue
 		}

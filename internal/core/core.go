@@ -22,6 +22,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -93,6 +94,12 @@ type Config struct {
 
 	// Durability configures the per-server write-ahead log (DESIGN.md §6).
 	Durability Durability
+
+	// Trace configures request tracing and latency histograms (DESIGN.md
+	// §11). The zero value disables tracing entirely: no tracer is built,
+	// requests carry no trace context, and the virtual timeline is
+	// bit-identical to an untraced deployment.
+	Trace trace.Config
 }
 
 // Durability configures the write-ahead-log subsystem. The zero value
@@ -206,6 +213,10 @@ type System struct {
 	procSys  *sched.HareSystem
 	appCores []int
 
+	// tracer is nil when Config.Trace is disabled; every layer treats a
+	// nil tracer as "tracing off".
+	tracer *trace.Tracer
+
 	started bool
 }
 
@@ -243,6 +254,7 @@ func New(cfg Config) (*System, error) {
 		registry: registry,
 		parts:    parts,
 		ids:      client.NewIDAllocator(1),
+		tracer:   trace.New(cfg.Trace),
 	}
 	for i := range sys.caches {
 		sys.caches[i] = ncc.NewPrivateCache(dram)
@@ -284,6 +296,7 @@ func New(cfg Config) (*System, error) {
 			RootDistributed: rootDist,
 			Log:             log,
 			Placement:       bootMap,
+			Tracer:          sys.tracer,
 		})
 		sys.servers = append(sys.servers, srv)
 		sys.serverEPs = append(sys.serverEPs, srv.EndpointID())
@@ -387,6 +400,7 @@ func (s *System) NewClient(core int) *client.Client {
 		Options:      s.clientOptions(),
 		IDs:          s.ids,
 		CacheForCore: s.cacheForCore,
+		Tracer:       s.tracer,
 	})
 }
 
@@ -461,6 +475,23 @@ func (s *System) MaxServerClock() sim.Cycles {
 
 // Seconds converts cycles to seconds under the deployment's cost model.
 func (s *System) Seconds(c sim.Cycles) float64 { return s.machine.Cost.Seconds(c) }
+
+// Tracer returns the deployment's tracer, or nil when Config.Trace is
+// disabled. The harnesses read latency histograms and export span trees
+// through it.
+func (s *System) Tracer() *trace.Tracer { return s.tracer }
+
+// QueueDepths snapshots each server's inbox depth (requests delivered but
+// not yet serviced). It is a live introspection surface for the shell's
+// `top` command; depths race with the servers' request loops and are only
+// advisory.
+func (s *System) QueueDepths() []int {
+	out := make([]int, len(s.servers))
+	for i, srv := range s.servers {
+		out[i] = srv.QueueDepth()
+	}
+	return out
+}
 
 // newServerLog builds one server's write-ahead log, or returns nil when
 // durability is disabled.

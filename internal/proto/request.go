@@ -75,6 +75,15 @@ type Request struct {
 	PID     int64
 	Sig     int32
 	Policy  int32 // placement policy state (round-robin counter)
+
+	// Tracing context (internal/trace). Trace is the root-span trace ID
+	// and Span the client-side parent span; servers attach child spans
+	// under Span. Zero Trace means the request is untraced, and untraced
+	// requests marshal byte-identically to the pre-tracing wire format
+	// (the fields ride as an optional trailer), so tracing-off changes
+	// neither message bytes nor any Economy counter.
+	Trace uint64
+	Span  uint64
 }
 
 // Marshal encodes the request into a fresh byte slice.
@@ -118,6 +127,10 @@ func (r *Request) Marshal() []byte {
 	e.i32(r.Sig)
 	e.i32(r.Policy)
 	e.u64(r.Epoch)
+	if r.Trace != 0 {
+		e.u64(r.Trace)
+		e.u64(r.Span)
+	}
 	return e.bytes()
 }
 
@@ -168,6 +181,10 @@ func UnmarshalRequest(b []byte) (*Request, error) {
 	r.Sig = d.i32()
 	r.Policy = d.i32()
 	r.Epoch = d.u64()
+	if d.remaining() >= 16 {
+		r.Trace = d.u64()
+		r.Span = d.u64()
+	}
 	if err := d.finish("request"); err != nil {
 		return nil, err
 	}

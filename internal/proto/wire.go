@@ -183,6 +183,16 @@ func (d *decoder) inode() InodeID {
 	return InodeID{Server: s, Local: l}
 }
 
+// remaining reports how many undecoded bytes are left; used for optional
+// trailing fields (a zero trace context is simply not encoded, keeping
+// untraced messages byte-identical to the pre-tracing format).
+func (d *decoder) remaining() int {
+	if d.err != nil {
+		return 0
+	}
+	return len(d.buf) - d.off
+}
+
 func (d *decoder) finish(what string) error {
 	if d.err != nil {
 		return fmt.Errorf("proto: decoding %s: %w", what, d.err)

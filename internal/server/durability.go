@@ -8,6 +8,7 @@ import (
 	"repro/internal/place"
 	"repro/internal/proto"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -306,6 +307,9 @@ func (s *Server) Recover() (wal.RecoveryStats, error) {
 		return st, err
 	}
 	s.incarnation++
+	// A fresh span-ID namespace: requests re-served after recovery must
+	// never collide with span IDs recorded before the crash.
+	s.tem = trace.ServerEmitter(s.cfg.ID, s.incarnation)
 	s.resetState()
 	if ckpt != nil {
 		st.UsedCheckpoint = true

@@ -24,6 +24,7 @@ import (
 	"repro/internal/place"
 	"repro/internal/proto"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/wal"
 )
 
@@ -97,6 +98,11 @@ type Config struct {
 	// §9). Nil disables the epoch gate and shard migration (bare servers
 	// built directly by unit tests).
 	Placement *place.Map
+
+	// Tracer, when non-nil, records server-side child spans (network
+	// delivery, queueing, service, batch sub-ops, WAL commit) for
+	// requests that arrive carrying a trace context.
+	Tracer *trace.Tracer
 }
 
 // Stats counts the work a server has performed.
@@ -172,6 +178,16 @@ type Server struct {
 	migParked    []parkedReq
 	entCount     atomic.Int64
 
+	// Tracing state, confined to the request loop. tem is re-created with
+	// the new incarnation on Recover so post-crash spans never reuse a
+	// pre-crash span ID. curTrace/curParent hold the in-flight request's
+	// trace context so replyAt can attach the WAL group-commit span.
+	tr        *trace.Tracer
+	tem       *trace.Emitter
+	curTrace  uint64
+	curParent uint64
+	curOp     string
+
 	done chan struct{}
 }
 
@@ -189,6 +205,8 @@ func New(cfg Config) *Server {
 		nextFd:    1,
 		tracking:  make(map[direntKey]map[int32]struct{}),
 		wal:       cfg.Log,
+		tr:        cfg.Tracer,
+		tem:       trace.ServerEmitter(cfg.ID, 0),
 		done:      make(chan struct{}),
 	}
 	s.stats.Ops = make(map[proto.Op]uint64)
@@ -310,6 +328,15 @@ func (s *Server) handle(env msg.Envelope) {
 	if s.cfg.CoLocated {
 		overhead += cost.ContextSwitch + cost.CachePollution
 	}
+	// A traced request pays modeled tracing overhead for the spans this
+	// server will record: net + queue + service, plus one per batch
+	// sub-op. Untraced requests (or tracer off) charge nothing, keeping
+	// the tracing-off virtual timeline bit-identical.
+	traced := s.tr != nil && req.Trace != 0
+	if traced {
+		nspans := 3 + len(subs)
+		overhead += sim.Cycles(nspans) * cost.TraceSpan
+	}
 	total := overhead + service
 	start := env.ArriveAt
 	if now := s.clock.Now(); now > start {
@@ -338,7 +365,12 @@ func (s *Server) handle(env msg.Envelope) {
 		s.statsMu.Unlock()
 		return
 	}
+	if traced {
+		s.recordSpans(req, subs, env, start, end, total-service, resp)
+		s.curTrace, s.curParent, s.curOp = req.Trace, req.Span, req.Op.String()
+	}
 	s.replyAt(env, resp, end)
+	s.curTrace, s.curParent, s.curOp = 0, 0, ""
 
 	// Fold accumulated log records into a checkpoint between requests. A
 	// failed checkpoint means the log can no longer be truncated (and the
@@ -350,6 +382,67 @@ func (s *Server) handle(env msg.Envelope) {
 		}
 	}
 }
+
+// recordSpans attaches this server's child spans for one traced request:
+// network delivery (send → arrive, including fault-injected delay), queue
+// wait (arrive → service start, when the server was busy), service
+// (overhead + op work), and one sub-span per batch sub-operation. All spans
+// parent to the client-side RPC span carried in req.Span; batch sub-spans
+// nest under the service span with their sub index as disambiguator.
+func (s *Server) recordSpans(req *proto.Request, subs []*proto.Request, env msg.Envelope, start, end, overhead sim.Cycles, resp *proto.Response) {
+	where := ^int32(s.cfg.ID)
+	name := req.Op.String()
+	s.tr.Record(trace.Span{
+		Trace: req.Trace, ID: s.tem.Next(), Parent: req.Span,
+		Kind: trace.KindNetReq, Name: name, Where: where,
+		Start: env.SentAt, End: env.ArriveAt,
+	})
+	if start > env.ArriveAt {
+		s.tr.Record(trace.Span{
+			Trace: req.Trace, ID: s.tem.Next(), Parent: req.Span,
+			Kind: trace.KindQueue, Name: name, Where: where,
+			Start: env.ArriveAt, End: start,
+		})
+	}
+	svcID := s.tem.Next()
+	svc := trace.Span{
+		Trace: req.Trace, ID: svcID, Parent: req.Span,
+		Kind: trace.KindService, Name: name, Where: where,
+		Start: start, End: end,
+	}
+	if resp != nil {
+		svc.Err = int32(resp.Err)
+	}
+	s.tr.Record(svc)
+	if len(subs) == 0 {
+		return
+	}
+	// Batch sub-ops ran back-to-back after the per-message overhead; each
+	// sub-span covers its own service window. Per-sub errors come from the
+	// batch response payload when available.
+	var serrs []*proto.Response
+	if resp != nil && resp.Err == fsapi.OK {
+		serrs, _ = proto.UnmarshalBatchResponses(resp.Data)
+	}
+	at := start + overhead
+	for i, sub := range subs {
+		d := s.serviceCost(sub)
+		ss := trace.Span{
+			Trace: req.Trace, ID: s.tem.Next(), Parent: svcID,
+			Kind: trace.KindSub, Name: sub.Op.String(), Where: where,
+			Start: at, End: at + d, Idx: int32(i),
+		}
+		if i < len(serrs) && serrs[i] != nil {
+			ss.Err = int32(serrs[i].Err)
+		}
+		s.tr.Record(ss)
+		at += d
+	}
+}
+
+// QueueDepth returns the number of requests waiting in the server's inbox
+// (a live load signal for the shell's top view).
+func (s *Server) QueueDepth() int { return s.ep.Inbox.Len() }
 
 // requestCost computes the total service cost of a request. For a batch it
 // decodes the sub-requests (returned so dispatch does not decode them twice)
@@ -384,7 +477,17 @@ func (s *Server) replyAt(env msg.Envelope, resp *proto.Response, at sim.Cycles) 
 	if resp == nil {
 		resp = proto.ErrResponse(fsapi.EIO)
 	}
+	staged := at
 	at = s.commitPending(at)
+	if s.curTrace != 0 && at > staged {
+		// The reply was held back to the group-commit point: surface the
+		// durability wait as a WAL span under the request's RPC span.
+		s.tr.Record(trace.Span{
+			Trace: s.curTrace, ID: s.tem.Next(), Parent: s.curParent,
+			Kind: trace.KindWAL, Name: s.curOp, Where: ^int32(s.cfg.ID),
+			Start: staged, End: at,
+		})
+	}
 	cost := s.cfg.Machine.Cost
 	end := s.cfg.Machine.Execute(s.cfg.Core, at, cost.MsgSend)
 	s.clock.AdvanceTo(end)

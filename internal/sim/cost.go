@@ -47,6 +47,12 @@ type CostModel struct {
 	// Client-side library work per operation (path parsing, fd table, ...).
 	ClientSyscall Cycles
 
+	// Tracing overhead per recorded span (internal/trace). Charged only
+	// for sampled operations, so tracing-off runs are cycle-identical to
+	// builds without the tracer at all — and the sampled-tracing overhead
+	// reported by hare-bench is a modeled cost, not a free lunch.
+	TraceSpan Cycles
+
 	// Data movement, in cycles per 64-byte line.
 	DRAMPerLine  Cycles // shared DRAM access (buffer cache miss in private cache)
 	CachePerLine Cycles // private cache hit
@@ -100,6 +106,8 @@ func DefaultCostModel() CostModel {
 		ServeExec:    6000,
 
 		ClientSyscall: 450,
+
+		TraceSpan: 40,
 
 		DRAMPerLine:  28,
 		CachePerLine: 4,

@@ -1,0 +1,120 @@
+package stats
+
+import "math/bits"
+
+// HistBuckets is the number of buckets in a Hist: one per possible bit
+// length of a uint64 value, plus bucket 0 for the value 0.
+const HistBuckets = 65
+
+// Hist is a fixed-size power-of-two latency histogram in the spirit of HDR
+// histograms: value v lands in bucket bits.Len64(v), so bucket b (b ≥ 1)
+// covers [2^(b-1), 2^b). With 65 buckets it can absorb any uint64 cycle
+// count in O(1) with no allocation, and a percentile estimate is never off
+// by more than one bucket width (a factor of two in value). That resolution
+// is deliberate: virtual-time latencies in this simulator span six orders of
+// magnitude across techniques, and the harness cares about tail *shape*
+// (p50 vs p99 vs p999), not single-cycle precision.
+type Hist struct {
+	Counts [HistBuckets]uint64
+	N      uint64 // total samples
+	Sum    uint64 // sum of raw values (for means)
+	MaxV   uint64 // largest recorded value (exact)
+}
+
+// Record adds one sample.
+func (h *Hist) Record(v uint64) {
+	h.Counts[bits.Len64(v)]++
+	h.N++
+	h.Sum += v
+	if v > h.MaxV {
+		h.MaxV = v
+	}
+}
+
+// Merge folds o into h.
+func (h *Hist) Merge(o *Hist) {
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.N += o.N
+	h.Sum += o.Sum
+	if o.MaxV > h.MaxV {
+		h.MaxV = o.MaxV
+	}
+}
+
+// Mean returns the arithmetic mean of recorded values (0 when empty).
+func (h *Hist) Mean() float64 {
+	if h.N == 0 {
+		return 0
+	}
+	return float64(h.Sum) / float64(h.N)
+}
+
+// Percentile returns an upper-bound estimate of the p-th percentile
+// (0 ≤ p ≤ 100): the inclusive upper edge of the bucket holding the
+// nearest-rank sample, clamped to the exact maximum. Empty reports 0.
+func (h *Hist) Percentile(p float64) uint64 {
+	if h.N == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	// Nearest-rank: the k-th smallest sample with k = ceil(p/100 * N),
+	// at least 1.
+	rank := uint64(p / 100 * float64(h.N))
+	if float64(rank) < p/100*float64(h.N) {
+		rank++
+	}
+	if rank == 0 {
+		rank = 1
+	}
+	var seen uint64
+	for b, c := range h.Counts {
+		seen += c
+		if seen >= rank {
+			hi := bucketUpper(b)
+			if hi > h.MaxV {
+				hi = h.MaxV
+			}
+			return hi
+		}
+	}
+	return h.MaxV
+}
+
+// bucketUpper returns the largest value that lands in bucket b.
+func bucketUpper(b int) uint64 {
+	if b == 0 {
+		return 0
+	}
+	if b >= 64 {
+		return ^uint64(0)
+	}
+	return 1<<uint(b) - 1
+}
+
+// Quantiles bundles the tail summary the harnesses report.
+type Quantiles struct {
+	N                   uint64
+	Mean                float64
+	P50, P95, P99, P999 uint64
+	Max                 uint64
+}
+
+// Quantiles returns the standard p50/p95/p99/p999 summary of h.
+func (h *Hist) Quantiles() Quantiles {
+	return Quantiles{
+		N:    h.N,
+		Mean: h.Mean(),
+		P50:  h.Percentile(50),
+		P95:  h.Percentile(95),
+		P99:  h.Percentile(99),
+		P999: h.Percentile(99.9),
+		Max:  h.MaxV,
+	}
+}

@@ -1,0 +1,128 @@
+package stats
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestHistEmpty(t *testing.T) {
+	var h Hist
+	if h.Percentile(50) != 0 || h.Mean() != 0 {
+		t.Fatal("empty hist should report zeros")
+	}
+	q := h.Quantiles()
+	if q.N != 0 || q.P99 != 0 {
+		t.Fatalf("empty quantiles: %+v", q)
+	}
+}
+
+func TestHistSingleValue(t *testing.T) {
+	var h Hist
+	h.Record(1000)
+	for _, p := range []float64{0, 50, 99, 100} {
+		if got := h.Percentile(p); got != 1000 {
+			t.Fatalf("p%.0f = %d, want 1000 (clamped to max)", p, got)
+		}
+	}
+	if h.Mean() != 1000 {
+		t.Fatalf("mean = %f", h.Mean())
+	}
+}
+
+func TestHistMerge(t *testing.T) {
+	var a, b, all Hist
+	for i := uint64(1); i <= 100; i++ {
+		all.Record(i * 7)
+		if i%2 == 0 {
+			a.Record(i * 7)
+		} else {
+			b.Record(i * 7)
+		}
+	}
+	a.Merge(&b)
+	if a != all {
+		t.Fatalf("merge mismatch:\n a=%+v\nall=%+v", a, all)
+	}
+}
+
+// TestHistPercentileVsExact property-tests the histogram estimate against
+// the exact percentile on random data: the estimate must land within one
+// bucket (a factor of two) of the exact value, and never below it by more
+// than one bucket either.
+func TestHistPercentileVsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(5000)
+		xs := make([]uint64, n)
+		var h Hist
+		// Mix of scales so buckets across the range are exercised.
+		for i := range xs {
+			v := uint64(rng.Int63n(1 << uint(1+rng.Intn(40))))
+			xs[i] = v
+			h.Record(v)
+		}
+		sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] })
+		for _, p := range []float64{1, 25, 50, 90, 95, 99, 99.9, 100} {
+			// Exact nearest-rank percentile.
+			rank := int(p / 100 * float64(n))
+			if float64(rank) < p/100*float64(n) {
+				rank++
+			}
+			if rank == 0 {
+				rank = 1
+			}
+			exact := xs[rank-1]
+			est := h.Percentile(p)
+			// The estimate is the upper edge of the bucket holding the
+			// exact sample (clamped to max): est >= exact always, and
+			// est < 2*exact + 1 (one bucket width).
+			if est < exact {
+				t.Fatalf("trial %d p%v: estimate %d below exact %d", trial, p, est, exact)
+			}
+			if exact > 0 && est > 2*exact {
+				t.Fatalf("trial %d p%v: estimate %d more than one bucket above exact %d", trial, p, est, exact)
+			}
+			if exact == 0 && est > h.MaxV {
+				t.Fatalf("trial %d p%v: estimate %d above max", trial, p, est)
+			}
+		}
+	}
+}
+
+func TestPercentileExact(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	if got := Percentile(nil, 50); got != 0 {
+		t.Fatalf("empty: %f", got)
+	}
+	if got := Percentile(xs, 0); got != 10 {
+		t.Fatalf("p0: %f", got)
+	}
+	if got := Percentile(xs, 100); got != 40 {
+		t.Fatalf("p100: %f", got)
+	}
+	if got := Percentile(xs, 50); got != 25 {
+		t.Fatalf("p50: %f", got)
+	}
+	// Unsorted input must not be mutated.
+	ys := []float64{3, 1, 2}
+	_ = Percentile(ys, 50)
+	if ys[0] != 3 || ys[1] != 1 || ys[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestSummarizeOnePass(t *testing.T) {
+	xs := []float64{5, 1, 4, 2, 3}
+	s := Summarize(xs)
+	if s.Min != 1 || s.Max != 5 || s.Avg != 3 || s.Median != 3 {
+		t.Fatalf("summary: %+v", s)
+	}
+	even := Summarize([]float64{1, 2, 3, 4})
+	if even.Median != 2.5 {
+		t.Fatalf("even median: %+v", even)
+	}
+	if z := Summarize(nil); z != (Summary{}) {
+		t.Fatalf("empty summary: %+v", z)
+	}
+}

@@ -172,7 +172,51 @@ type Summary struct {
 	Max    float64
 }
 
-// Summarize computes the Figure 9 style summary of xs.
+// Summarize computes the Figure 9 style summary of xs in a single pass
+// (plus one sort for the median).
 func Summarize(xs []float64) Summary {
-	return Summary{Min: Min(xs), Avg: Mean(xs), Median: Median(xs), Max: Max(xs)}
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	var sum float64
+	for _, x := range cp {
+		sum += x
+	}
+	n := len(cp)
+	med := cp[n/2]
+	if n%2 == 0 {
+		med = (cp[n/2-1] + cp[n/2]) / 2
+	}
+	return Summary{
+		Min:    cp[0],
+		Avg:    sum / float64(n),
+		Median: med,
+		Max:    cp[n-1],
+	}
+}
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) of xs using
+// nearest-rank interpolation on a sorted copy. Empty input reports 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if p <= 0 {
+		return cp[0]
+	}
+	if p >= 100 {
+		return cp[len(cp)-1]
+	}
+	// Linear interpolation between closest ranks.
+	rank := p / 100 * float64(len(cp)-1)
+	lo := int(rank)
+	frac := rank - float64(lo)
+	if lo+1 >= len(cp) {
+		return cp[len(cp)-1]
+	}
+	return cp[lo] + frac*(cp[lo+1]-cp[lo])
 }

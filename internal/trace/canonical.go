@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Canonical structural encoding.
+//
+// Virtual timing is deterministic for a single client, but a multi-process
+// run races real goroutine scheduling into queue-delay cycles (servers pop
+// whichever request arrived earliest among those *currently* queued), so
+// cycle counts can differ run-to-run while the request structure — which
+// ops ran, which servers they visited, how each decomposed into
+// net/queue/service/sub/WAL segments, which retried on EEPOCH — cannot.
+// EncodeCanonical therefore strips times and IDs and emits the pure span
+// tree in a canonical order: every span is encoded as
+//
+//	(kind, name, idx, err, where, children...)
+//
+// with children sorted by their own complete encoding (content, not ID or
+// arrival order). Under a fixed chaos tuple the result is byte-identical
+// across runs, which makes traces themselves chaos-checkable artifacts.
+
+type canonNode struct {
+	span     Span
+	children []*canonNode
+	enc      []byte
+}
+
+// buildForest groups spans into trees by parent links. Spans whose parent
+// is missing (evicted from the ring, or a true root) become forest roots.
+func buildForest(spans []Span) []*canonNode {
+	nodes := make(map[uint64]*canonNode, len(spans))
+	for i := range spans {
+		nodes[spans[i].ID] = &canonNode{span: spans[i]}
+	}
+	var roots []*canonNode
+	for i := range spans {
+		n := nodes[spans[i].ID]
+		if p, ok := nodes[spans[i].Parent]; ok && spans[i].Parent != spans[i].ID {
+			p.children = append(p.children, n)
+		} else {
+			roots = append(roots, n)
+		}
+	}
+	return roots
+}
+
+func (n *canonNode) encode() []byte {
+	if n.enc != nil {
+		return n.enc
+	}
+	var b []byte
+	b = binary.AppendUvarint(b, uint64(n.span.Kind))
+	b = binary.AppendUvarint(b, uint64(len(n.span.Name)))
+	b = append(b, n.span.Name...)
+	b = binary.AppendVarint(b, int64(n.span.Idx))
+	b = binary.AppendVarint(b, int64(n.span.Err))
+	b = binary.AppendVarint(b, int64(n.span.Where))
+	kids := make([][]byte, len(n.children))
+	for i, c := range n.children {
+		kids[i] = c.encode()
+	}
+	sort.Slice(kids, func(i, j int) bool { return string(kids[i]) < string(kids[j]) })
+	b = binary.AppendUvarint(b, uint64(len(kids)))
+	for _, k := range kids {
+		b = binary.AppendUvarint(b, uint64(len(k)))
+		b = append(b, k...)
+	}
+	n.enc = b
+	return b
+}
+
+var canonMagic = []byte("hare-trace-v1\n")
+
+// EncodeCanonical renders spans as the canonical structural span forest:
+// deterministic bytes for a deterministic execution structure, regardless
+// of goroutine scheduling, ring insertion order, or span IDs.
+func EncodeCanonical(spans []Span) []byte {
+	roots := buildForest(spans)
+	encs := make([][]byte, len(roots))
+	for i, r := range roots {
+		encs[i] = r.encode()
+	}
+	sort.Slice(encs, func(i, j int) bool { return string(encs[i]) < string(encs[j]) })
+	out := append([]byte(nil), canonMagic...)
+	out = binary.AppendUvarint(out, uint64(len(encs)))
+	for _, e := range encs {
+		out = binary.AppendUvarint(out, uint64(len(e)))
+		out = append(out, e...)
+	}
+	return out
+}
+
+// CanonNode is one decoded node of a canonical span forest.
+type CanonNode struct {
+	Kind     Kind
+	Name     string
+	Idx      int32
+	Err      int32
+	Where    int32
+	Children []*CanonNode
+}
+
+// DecodeCanonical parses bytes produced by EncodeCanonical.
+func DecodeCanonical(b []byte) ([]*CanonNode, error) {
+	if len(b) < len(canonMagic) || string(b[:len(canonMagic)]) != string(canonMagic) {
+		return nil, errors.New("trace: bad canonical magic")
+	}
+	b = b[len(canonMagic):]
+	n, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, errors.New("trace: truncated forest count")
+	}
+	b = b[sz:]
+	roots := make([]*CanonNode, 0, n)
+	for i := uint64(0); i < n; i++ {
+		ln, sz := binary.Uvarint(b)
+		if sz <= 0 || uint64(len(b)-sz) < ln {
+			return nil, fmt.Errorf("trace: truncated root %d", i)
+		}
+		node, rest, err := decodeNode(b[sz : sz+int(ln)])
+		if err != nil {
+			return nil, err
+		}
+		if len(rest) != 0 {
+			return nil, fmt.Errorf("trace: %d trailing bytes in root %d", len(rest), i)
+		}
+		roots = append(roots, node)
+		b = b[sz+int(ln):]
+	}
+	return roots, nil
+}
+
+func decodeNode(b []byte) (*CanonNode, []byte, error) {
+	fail := errors.New("trace: truncated node")
+	k, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, nil, fail
+	}
+	b = b[sz:]
+	nameLen, sz := binary.Uvarint(b)
+	if sz <= 0 || uint64(len(b)-sz) < nameLen {
+		return nil, nil, fail
+	}
+	name := string(b[sz : sz+int(nameLen)])
+	b = b[sz+int(nameLen):]
+	var ints [3]int64
+	for i := range ints {
+		v, sz := binary.Varint(b)
+		if sz <= 0 {
+			return nil, nil, fail
+		}
+		ints[i] = v
+		b = b[sz:]
+	}
+	nkids, sz := binary.Uvarint(b)
+	if sz <= 0 {
+		return nil, nil, fail
+	}
+	b = b[sz:]
+	node := &CanonNode{
+		Kind:  Kind(k),
+		Name:  name,
+		Idx:   int32(ints[0]),
+		Err:   int32(ints[1]),
+		Where: int32(ints[2]),
+	}
+	for i := uint64(0); i < nkids; i++ {
+		ln, sz := binary.Uvarint(b)
+		if sz <= 0 || uint64(len(b)-sz) < ln {
+			return nil, nil, fail
+		}
+		kid, rest, err := decodeNode(b[sz : sz+int(ln)])
+		if err != nil {
+			return nil, nil, err
+		}
+		if len(rest) != 0 {
+			return nil, nil, errors.New("trace: trailing bytes in child")
+		}
+		node.Children = append(node.Children, kid)
+		b = b[sz+int(ln):]
+	}
+	return node, b, nil
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WriteChrome renders spans as Chrome trace_event JSON ("X" complete
+// events), loadable in Perfetto or chrome://tracing. Virtual cycles map to
+// microseconds 1:1 for display. Each entity (client or server) becomes a
+// pid/tid row; span IDs and parent links travel in args so the exact tree
+// survives the export. Events are emitted in a deterministic order, so a
+// deterministic run exports byte-identical JSON.
+func WriteChrome(w io.Writer, spans []Span) error {
+	sorted := append([]Span(nil), spans...)
+	sort.Slice(sorted, func(i, j int) bool {
+		a, b := sorted[i], sorted[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.End != b.End {
+			return a.End > b.End // parents before children at equal start
+		}
+		if a.Where != b.Where {
+			return a.Where < b.Where
+		}
+		if a.Trace != b.Trace {
+			return a.Trace < b.Trace
+		}
+		return a.ID < b.ID
+	})
+	var sb strings.Builder
+	sb.WriteString("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n")
+	for i, s := range sorted {
+		if i > 0 {
+			sb.WriteString(",\n")
+		}
+		pid, tid := entityPidTid(s.Where)
+		dur := uint64(s.End - s.Start)
+		fmt.Fprintf(&sb,
+			`{"name":%q,"cat":%q,"ph":"X","ts":%d,"dur":%d,"pid":%d,"tid":%d,`+
+				`"args":{"trace":"%#x","span":"%#x","parent":"%#x","err":%d,"idx":%d}}`,
+			s.Name, s.Kind.String(), uint64(s.Start), dur, pid, tid,
+			s.Trace, s.ID, s.Parent, s.Err, s.Idx)
+	}
+	sb.WriteString("\n],\"otherData\":{\"clock\":\"virtual-cycles-as-us\"}}\n")
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// entityPidTid maps a span's recording entity to a Chrome pid/tid pair:
+// clients are pid 1 with one tid per client, servers pid 2 with one tid
+// per server, so Perfetto renders a row per simulated entity.
+func entityPidTid(where int32) (pid, tid int) {
+	if where >= 0 {
+		return 1, int(where) + 1
+	}
+	return 2, int(^where) + 1
+}
