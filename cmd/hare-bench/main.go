@@ -4,8 +4,8 @@
 // Usage:
 //
 //	hare-bench [-fig N] [-scale F] [-cores N] [-bench name] [-durability]
-//	           [-pipeline] [-datapath] [-elastic] [-obs] [-baseline path]
-//	           [-trace out.json]
+//	           [-pipeline] [-datapath] [-elastic] [-failover] [-obs]
+//	           [-baseline path] [-trace out.json]
 //
 // With no -fig flag every experiment is run in order. The -scale flag
 // shrinks the workload iteration counts (1.0 reproduces the default sizes;
@@ -42,6 +42,7 @@ func main() {
 		pipeline   = flag.Bool("pipeline", false, "run the async-RPC pipelining sweep (on/off × server counts) instead of the paper's figures")
 		datapath   = flag.Bool("datapath", false, "run the zero-waste data-path sweep (dirty-line writeback + version-skip invalidation, on/off × server counts) instead of the paper's figures")
 		elastic    = flag.Bool("elastic", false, "run the elastic sweep (scale-out under load, ring vs modulo placement) instead of the paper's figures")
+		failover   = flag.Bool("failover", false, "run the failover sweep (replication off/sync/async: shipping overhead, replay vs promotion stall) instead of the paper's figures")
 		obs        = flag.Bool("obs", false, "run the tracing-overhead sweep (off vs 1-in-64 sampled vs full tracing) instead of the paper's figures")
 		traceOut   = flag.String("trace", "", "run one benchmark (-bench, default smallfile) with full tracing and export the span tree as Chrome trace_event JSON to this path (open in Perfetto)")
 		baseline   = flag.String("baseline", "", "with -pipeline, -datapath, -elastic or -obs: also write the sweep as a JSON baseline to this path (e.g. BENCH_seed.json, BENCH_obs.json)")
@@ -100,6 +101,24 @@ func main() {
 			ws = []workload.Workload{w}
 		}
 		data, t, err := bench.ObsFigure(*scale, *cores, ws)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t.Render())
+		if *baseline != "" {
+			if err := data.WriteBaseline(*baseline); err != nil {
+				fail(err)
+			}
+			fmt.Printf("baseline written to %s\n", *baseline)
+		}
+		return
+	}
+
+	if *failover {
+		if *durability || *pipeline || *datapath || *elastic || *obs || *fig != 0 || *benchName != "" {
+			fail(fmt.Errorf("-failover runs its own figure set and cannot be combined with -durability, -pipeline, -datapath, -elastic, -obs, -bench or -fig"))
+		}
+		data, t, err := bench.FailoverFigure(*scale, *cores)
 		if err != nil {
 			fail(err)
 		}

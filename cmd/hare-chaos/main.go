@@ -7,12 +7,14 @@
 //	hare-chaos [-seeds N] [-seed-start S] [-configs N] [-duration D] [-v]
 //	           [-procs N] [-rounds N] [-ops N] [-cores N] [-servers N]
 //	           [-max-servers N] [-delay-pct P] [-dup-pct P] [-max-delay C]
-//	           [-group-commit C] [-trace-dir D]
-//	hare-chaos -repro seed,techbits,policy [-dump-plan] [-trace-dir D]
+//	           [-group-commit C] [-repl sync|async] [-trace-dir D]
+//	hare-chaos -repro seed,techbits,policy[,replmode] [-dump-plan] [-trace-dir D]
 //
 // The default invocation sweeps -seeds seeds across -configs sampled
 // technique/policy configurations and reports every failure as a
-// `seed,techbits,policy` tuple. With -duration the sweep repeats with fresh
+// `seed,techbits,policy` tuple. With -repl the deployment runs shard
+// replication in the named mode and the schedule gains failover events (the
+// tuple grows a fourth token). With -duration the sweep repeats with fresh
 // seeds until the wall-clock budget is spent (a soak). With -repro the named
 // tuple is rebuilt bit-for-bit and run once — the same plan the failing run
 // executed, byte-identical.
@@ -26,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/repl"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -49,6 +52,7 @@ func main() {
 		dupPct      = flag.Int("dup-pct", -1, "percent of idempotent requests duplicated (-1 = default)")
 		maxDelay    = flag.Int64("max-delay", -1, "jitter bound in cycles (-1 = default)")
 		groupCommit = flag.Int64("group-commit", 0, "WAL group-commit interval in cycles")
+		replMode    = flag.String("repl", "", "run with shard replication (sync or async): failover events join the schedule")
 		traceDir    = flag.String("trace-dir", "", "record a full request trace per run and dump failing runs' span trees here (Chrome JSON + canonical encoding)")
 	)
 	flag.Parse()
@@ -84,14 +88,22 @@ func main() {
 	if *groupCommit > 0 {
 		base.GroupCommit = sim.Cycles(*groupCommit)
 	}
+	if *replMode != "" {
+		m, ok := repl.ParseMode(*replMode)
+		if !ok || m == repl.Off {
+			fmt.Fprintf(os.Stderr, "hare-chaos: -repl %q must be sync or async\n", *replMode)
+			os.Exit(2)
+		}
+		base.Replication = m
+	}
 
 	if *repro != "" {
-		seed, tech, pol, err := chaos.ParseTuple(*repro)
+		seed, tech, pol, rmode, err := chaos.ParseTuple(*repro)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "hare-chaos:", err)
 			os.Exit(2)
 		}
-		cfg := chaos.WithTuple(base, seed, tech, pol)
+		cfg := chaos.WithTuple(base, seed, tech, pol, rmode)
 		if *traceDir != "" {
 			cfg.Trace = trace.Config{Sample: 1, Ring: 1 << 18}
 		}

@@ -5,15 +5,21 @@
 // Usage:
 //
 //	hare-shell [-cores N] [-servers N] [-maxservers N] [-ring] [-split]
-//	           [-trace N]
+//	           [-repl mode] [-trace N]
 //
 // Commands: help, ls, tree, cat, write, append, mkdir, mkdir -d, rm, rmdir,
-// mv, stat, cd, pwd, core, servers, top, stats, addserver, rmserver, exit.
+// mv, stat, cd, pwd, core, servers, top, stats, addserver, rmserver,
+// replicas, failover, exit.
 //
 // With -maxservers headroom the fleet is elastic: addserver grows it online
 // (directory shards migrate to the new member) and rmserver drains one; the
 // servers command prints the live placement epoch, per-server shard counts,
 // load, and migration traffic.
+//
+// With -repl sync (or async) the deployment runs durability plus WAL-shipped
+// follower replicas (DESIGN.md §12): replicas shows each primary's follower
+// and shipping horizons, and `failover N` crashes server N (if it is still
+// up) and promotes its replica, printing the stall and the published epoch.
 //
 // Tracing is on by default (every op; -trace N samples 1-in-N, -trace 0
 // turns it off): top shows live per-server queue depth, shard counts and
@@ -32,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fsapi"
 	"repro/internal/place"
+	"repro/internal/repl"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -44,6 +51,7 @@ func main() {
 		maxServers = flag.Int("maxservers", 0, "server-count ceiling for online growth (default: no headroom)")
 		ring       = flag.Bool("ring", false, "place directory shards by consistent hashing instead of modulo")
 		split      = flag.Bool("split", false, "dedicate cores to the file servers instead of timesharing")
+		replMode   = flag.String("repl", "", "run with durability and shard replication (sync or async): enables replicas/failover")
 		traceN     = flag.Int("trace", 1, "trace 1-in-N operations for top/stats (0 = tracing off)")
 	)
 	flag.Parse()
@@ -61,6 +69,15 @@ func main() {
 		Placement:   sched.PolicyRoundRobin,
 		PlacePolicy: policy,
 		Trace:       trace.Config{Sample: *traceN},
+	}
+	if *replMode != "" {
+		m, ok := repl.ParseMode(*replMode)
+		if !ok || m == repl.Off {
+			fmt.Fprintf(os.Stderr, "hare-shell: -repl %q must be sync or async\n", *replMode)
+			os.Exit(1)
+		}
+		cfg.Durability = core.Durability{Enabled: true}
+		cfg.Replication = repl.Config{Mode: m}
 	}
 	sys, err := core.New(cfg)
 	if err != nil {
@@ -115,7 +132,8 @@ func (s *shell) exec(line string) error {
 	case "help":
 		fmt.Println("commands: ls [path] | tree [path] | cat file | write file text... | append file text... |")
 		fmt.Println("          mkdir [-d] dir | rm file | rmdir dir | mv old new | stat path | cd dir | pwd |")
-		fmt.Println("          core N | servers | top | stats | addserver | rmserver N | exit")
+		fmt.Println("          core N | servers | top | stats | addserver | rmserver N |")
+		fmt.Println("          replicas | failover N | exit")
 		return nil
 	case "top":
 		return s.top()
@@ -218,6 +236,17 @@ func (s *shell) exec(line string) error {
 		}
 		fmt.Printf("server %d joined; epoch now %d\n", id, s.sys.Epoch())
 		return nil
+	case "replicas":
+		return s.replicas()
+	case "failover":
+		if len(args) < 1 {
+			return fmt.Errorf("usage: failover N")
+		}
+		n, err := strconv.Atoi(args[0])
+		if err != nil {
+			return fmt.Errorf("failover: bad server id %q", args[0])
+		}
+		return s.failover(n)
 	case "rmserver":
 		if len(args) < 1 {
 			return fmt.Errorf("usage: rmserver N")
@@ -334,6 +363,58 @@ func (s *shell) latStats() error {
 	if d := tr.Dropped(); d > 0 {
 		fmt.Printf("(span ring dropped %d spans; histograms kept counting)\n", d)
 	}
+	return nil
+}
+
+// replicas prints each primary's follower and its shipping horizons: the
+// last record the primary committed, the horizon the follower has acked,
+// the lag between them, and the ship/resync message counts.
+func (s *shell) replicas() error {
+	rc := s.sys.Replication()
+	if !rc.Enabled() {
+		return fmt.Errorf("replication is off (rerun with -repl sync or -repl async)")
+	}
+	fmt.Printf("replication %s, window %d, epoch %d\n", rc.Mode, rc.Window, s.sys.Epoch())
+	for _, rs := range s.sys.ReplicaStats() {
+		state := "up"
+		if s.sys.Crashed(rs.Server) {
+			state = "down"
+		}
+		fmt.Printf("server %2d (%s): follower %2d, lsn %6d, durable %6d, lag %4d, %6d ships, %d resyncs",
+			rs.Server, state, rs.Follower, rs.LastLSN, rs.Durable, rs.Lag(), rs.Ships, rs.Resyncs)
+		if at, ok := s.sys.ReplLastHeard(rs.Server); ok {
+			fmt.Printf(", heard @%d", at)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+// failover crashes server n (if it is still up) and promotes its replica,
+// reporting the promotion stall, the published epoch, and any acked records
+// the promotion lost (always zero under sync).
+func (s *shell) failover(n int) error {
+	if !s.sys.Replication().Enabled() {
+		return fmt.Errorf("replication is off (rerun with -repl sync or -repl async)")
+	}
+	if !s.sys.Crashed(n) {
+		if err := s.sys.Crash(n); err != nil {
+			return err
+		}
+		fmt.Printf("server %d crashed\n", n)
+	}
+	rep, err := s.sys.Failover(n)
+	if err != nil {
+		return err
+	}
+	how := fmt.Sprintf("promoted replica from follower %d", rep.Follower)
+	if rep.Fallback {
+		how = "replica unusable; rebuilt by WAL replay"
+	}
+	fmt.Printf("server %d back up: %s\n", rep.Server, how)
+	fmt.Printf("  stall %.3f ms (%d cycles), epoch now %d, lsn %d/%d durable, %d acked records lost\n",
+		s.sys.Seconds(rep.StallCycles)*1000, rep.StallCycles, rep.Epoch,
+		rep.DurableLSN, rep.LastLSN, rep.LostRecords)
 	return nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fsapi"
 	"repro/internal/place"
+	"repro/internal/repl"
 	"repro/internal/sched"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -72,6 +73,22 @@ type (
 	RecoveryStats = wal.RecoveryStats
 	// WalStats counts one server's write-ahead-log activity.
 	WalStats = wal.Stats
+
+	// Replication configures WAL-shipped shard replication (Config.
+	// Replication; requires Durability): each server ships its log batches
+	// to a ring follower so a crashed server can be failed over by
+	// promoting the warm replica (System.Failover) instead of replaying
+	// its log. The zero value disables it. See DESIGN.md §12.
+	Replication = repl.Config
+	// ReplMode selects the replication discipline (ReplOff / ReplSync /
+	// ReplAsync).
+	ReplMode = repl.Mode
+	// FailoverReport describes one promotion: the follower consumed, the
+	// stall, the published epoch, and any acked records lost (zero under
+	// sync replication).
+	FailoverReport = core.FailoverReport
+	// ReplStats reports one primary's shipping horizons (System.ReplicaStats).
+	ReplStats = core.ReplStats
 
 	// Economy aggregates a deployment's message-economy counters
 	// (messages, bytes, batched sub-ops, queueing delay, migrated shard
@@ -150,6 +167,15 @@ const (
 const (
 	PlaceModulo = place.PolicyModulo
 	PlaceRing   = place.PolicyRing
+)
+
+// Replication modes (Config.Replication.Mode). ReplSync holds each client
+// reply for the follower's ack, so promotion never loses an acknowledged
+// write; ReplAsync ships without waiting and bounds the loss at one window.
+const (
+	ReplOff   = repl.Off
+	ReplSync  = repl.Sync
+	ReplAsync = repl.Async
 )
 
 // Mode constants.

@@ -1,0 +1,231 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/repl"
+	"repro/internal/sched"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// The failover sweep (DESIGN.md §12): write-heavy workloads run under
+// replication off / sync / async, measuring what WAL shipping costs in
+// throughput and extra messages — and what it buys when a server dies. For
+// each replicated mode, two identical deployments run the identical
+// workload; one recovers a crashed server by replaying its log (the
+// pre-replication path), the other promotes the server's warm replica. The
+// promotion's stall must beat the replay: that gap is the entire point of
+// keeping followers.
+
+// FailoverPoint is one replication mode's measurement.
+type FailoverPoint struct {
+	Mode string
+	Ops  int
+	// Seconds is the virtual time of the timed workload region; VsOff is
+	// this mode's throughput relative to replication off.
+	Seconds    float64
+	Throughput float64
+	VsOff      float64
+	// ReplMsgs/ReplBytes are the replication plane's message economy during
+	// the run; MaxLag is the widest acked-horizon gap any follower showed
+	// after the run (0 under sync).
+	ReplMsgs  uint64
+	ReplBytes uint64
+	MaxLag    uint64
+	// ReplayMs is the virtual time a crashed server took to recover by WAL
+	// replay (the control); ReplayRecords is its replay tail. PromoteMs is
+	// the promotion stall on the identical twin deployment (0 for mode off,
+	// which has no replica to promote), and LostRecords the acked records
+	// the promotion lost (0 under sync, bounded by the window under async).
+	ReplayMs      float64
+	ReplayRecords int
+	PromoteMs     float64
+	LostRecords   uint64
+}
+
+// Speedup is the failover win: replay stall over promotion stall.
+func (p FailoverPoint) Speedup() float64 {
+	if p.PromoteMs == 0 {
+		return 0
+	}
+	return p.ReplayMs / p.PromoteMs
+}
+
+// FailoverData holds the full sweep.
+type FailoverData struct {
+	Cores  int
+	Scale  float64
+	Points []FailoverPoint
+}
+
+// replHare builds a started Hare deployment with durability on and the given
+// replication mode.
+func replHare(cores int, mode repl.Mode, scale float64) (*core.System, *workload.Env, error) {
+	cfg := core.Config{
+		Cores:      cores,
+		Servers:    cores,
+		Timeshare:  true,
+		Techniques: core.AllTechniques(),
+		Placement:  sched.PolicyRoundRobin,
+		Durability: core.Durability{Enabled: true},
+	}
+	if mode != repl.Off {
+		cfg.Replication = repl.Config{Mode: mode}
+	}
+	sys, err := core.New(cfg)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bench: building replicated hare: %w", err)
+	}
+	sys.Start()
+	env := &workload.Env{
+		Procs:  sys.Procs(),
+		Cores:  sys.AppCores(),
+		Scale:  scale,
+		Faults: sysFaults{sys},
+	}
+	return sys, env, nil
+}
+
+// FailoverFigure runs the sweep at the given scale on a machine with the
+// given core count.
+func FailoverFigure(scale float64, cores int) (*FailoverData, *Table, error) {
+	if cores == 0 {
+		cores = 8
+	}
+	data := &FailoverData{Cores: cores, Scale: scale}
+	t := &Table{
+		Title: fmt.Sprintf("Failover sweep: WAL-shipped replicas on %d cores", cores),
+		Columns: []string{"mode", "ops/s", "vs off", "repl msgs", "repl KB", "lag",
+			"replay (ms)", "promote (ms)", "speedup", "lost"},
+		Note: "Write-heavy workloads (creates + writes), no checkpoints, so the crashed server's whole history sits in its log. replay = recovery by log replay; promote = sealing and installing the follower's replica on an identical twin deployment. lost = acked records the promotion dropped (must be 0 under sync; async may lose up to one window).",
+	}
+	var offThr float64
+	for _, mode := range []repl.Mode{repl.Off, repl.Sync, repl.Async} {
+		p, err := failoverPoint(scale, cores, mode)
+		if err != nil {
+			return nil, nil, err
+		}
+		if mode == repl.Off {
+			offThr = p.Throughput
+		}
+		if offThr > 0 {
+			p.VsOff = p.Throughput / offThr
+		}
+		data.Points = append(data.Points, p)
+		promote, speedup := "-", "-"
+		if mode != repl.Off {
+			promote = fmt.Sprintf("%.3f", p.PromoteMs)
+			speedup = f2(p.Speedup()) + "x"
+		}
+		t.AddRow(p.Mode, f1(p.Throughput), f2(p.VsOff),
+			fmt.Sprintf("%d", p.ReplMsgs), f1(float64(p.ReplBytes)/1024), fmt.Sprintf("%d", p.MaxLag),
+			fmt.Sprintf("%.3f", p.ReplayMs), promote, speedup, fmt.Sprintf("%d", p.LostRecords))
+	}
+	return data, t, nil
+}
+
+// failoverPoint measures one replication mode: the workload run and replay
+// control on one deployment, the promotion stall on an identical twin.
+func failoverPoint(scale float64, cores int, mode repl.Mode) (FailoverPoint, error) {
+	ws := []workload.Workload{workload.Creates{}, workload.Writes{}}
+	run := func() (*core.System, int, sim.Cycles, error) {
+		sys, env, err := replHare(cores, mode, scale)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		var ops int
+		var elapsed sim.Cycles
+		for _, w := range ws {
+			o, e, err := runOn(sys, env, w)
+			if err != nil {
+				sys.Stop()
+				return nil, 0, 0, err
+			}
+			ops += o
+			elapsed += e
+		}
+		return sys, ops, elapsed, nil
+	}
+
+	sys, ops, elapsed, err := run()
+	if err != nil {
+		return FailoverPoint{}, err
+	}
+	secs := sys.Seconds(elapsed)
+	p := FailoverPoint{Mode: mode.String(), Ops: ops, Seconds: secs}
+	if secs > 0 {
+		p.Throughput = float64(ops) / secs
+	}
+	econ := sys.MessageEconomy()
+	p.ReplMsgs = econ.ReplMsgs
+	p.ReplBytes = econ.ReplBytes
+	for _, rs := range sys.ReplicaStats() {
+		if rs.Lag() > p.MaxLag {
+			p.MaxLag = rs.Lag()
+		}
+	}
+
+	// Replay control: crash a server and recover it from its log alone.
+	const victim = 0
+	if err := sys.Crash(victim); err != nil {
+		sys.Stop()
+		return p, err
+	}
+	st, err := sys.Recover(victim)
+	sys.Stop()
+	if err != nil {
+		return p, err
+	}
+	p.ReplayMs = sys.Seconds(st.Cycles) * 1000
+	p.ReplayRecords = st.Records
+	if mode == repl.Off {
+		return p, nil
+	}
+
+	// Promotion on the identical twin: same seed, same workload, same
+	// victim — the only difference is how the server comes back.
+	twin, _, _, err := run()
+	if err != nil {
+		return p, err
+	}
+	defer twin.Stop()
+	if err := twin.Crash(victim); err != nil {
+		return p, err
+	}
+	rep, err := twin.Failover(victim)
+	if err != nil {
+		return p, err
+	}
+	if rep.Fallback {
+		return p, fmt.Errorf("bench: failover of server %d fell back to replay; the replica never caught up", victim)
+	}
+	p.PromoteMs = twin.Seconds(rep.StallCycles) * 1000
+	p.LostRecords = rep.LostRecords
+	return p, nil
+}
+
+// WriteBaseline serializes the sweep to path as indented JSON (committed as
+// BENCH_failover.json so the failover stall has a trajectory to compare
+// against).
+func (d *FailoverData) WriteBaseline(path string) error {
+	b := struct {
+		Note   string          `json:"note"`
+		Scale  float64         `json:"scale"`
+		Cores  int             `json:"cores"`
+		Points []FailoverPoint `json:"points"`
+	}{
+		Note:   "hare-bench -failover baseline; regenerate with: hare-bench -failover -scale <scale> -cores <cores> -baseline <path>",
+		Scale:  d.Scale,
+		Cores:  d.Cores,
+		Points: d.Points,
+	}
+	buf, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

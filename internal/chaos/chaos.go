@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/place"
+	"repro/internal/repl"
 	"repro/internal/sim"
 	"repro/internal/trace"
 )
@@ -67,6 +68,14 @@ type Config struct {
 	// GroupCommit, when non-zero, batches WAL flushes (DESIGN.md §6),
 	// putting the reply-holdback path on the chaos schedule too.
 	GroupCommit sim.Cycles
+
+	// Replication, when not Off, runs the deployment with WAL-shipped
+	// followers (DESIGN.md §12) and adds failover events to the schedule:
+	// crash + promote-the-replica, with double-failure and
+	// crash-during-promotion variants. The tuple grows a fourth token
+	// ("sync"/"async") so repro lines stay one-liners; three-token tuples
+	// parse as replication off.
+	Replication repl.Mode
 
 	// Trace, when enabled, records every sampled request's span tree
 	// (DESIGN.md §11); the run's Report then carries the ring so the
@@ -183,28 +192,35 @@ func policyName(p place.Policy) string {
 	return "mod"
 }
 
-// Tuple renders the run's one-line repro tuple: "seed,techbits,policy".
-// A failing matrix run prints it, and ParseTuple (or `hare-chaos -repro`)
-// turns it back into the identical run.
+// Tuple renders the run's one-line repro tuple: "seed,techbits,policy" with
+// a fourth "sync"/"async" token when replication is on. A failing matrix run
+// prints it, and ParseTuple (or `hare-chaos -repro`) turns it back into the
+// identical run.
 func (c Config) Tuple() string {
-	return fmt.Sprintf("%d,%s,%s", c.Seed, TechBits(c.Techniques), policyName(c.Policy))
+	t := fmt.Sprintf("%d,%s,%s", c.Seed, TechBits(c.Techniques), policyName(c.Policy))
+	if c.Replication != repl.Off {
+		t += "," + c.Replication.String()
+	}
+	return t
 }
 
-// ParseTuple decodes a Tuple back into the seed, technique set and policy it
-// names. The remaining Config fields come from the caller (the matrix runner
-// and the repro flag both apply them to the same base config).
-func ParseTuple(s string) (seed uint64, tech core.Techniques, pol place.Policy, err error) {
+// ParseTuple decodes a Tuple back into the seed, technique set, policy and
+// replication mode it names. A three-token tuple (every tuple printed before
+// replication existed) parses as replication off. The remaining Config
+// fields come from the caller (the matrix runner and the repro flag both
+// apply them to the same base config).
+func ParseTuple(s string) (seed uint64, tech core.Techniques, pol place.Policy, rmode repl.Mode, err error) {
 	parts := strings.Split(strings.TrimSpace(s), ",")
-	if len(parts) != 3 {
-		return 0, tech, pol, fmt.Errorf("chaos: tuple %q must be seed,techbits,policy", s)
+	if len(parts) != 3 && len(parts) != 4 {
+		return 0, tech, pol, rmode, fmt.Errorf("chaos: tuple %q must be seed,techbits,policy[,replmode]", s)
 	}
 	seed, err = strconv.ParseUint(parts[0], 10, 64)
 	if err != nil {
-		return 0, tech, pol, fmt.Errorf("chaos: tuple seed %q: %w", parts[0], err)
+		return 0, tech, pol, rmode, fmt.Errorf("chaos: tuple seed %q: %w", parts[0], err)
 	}
 	tech, err = ParseTechBits(parts[1])
 	if err != nil {
-		return 0, tech, pol, err
+		return 0, tech, pol, rmode, err
 	}
 	switch parts[2] {
 	case "mod":
@@ -212,16 +228,24 @@ func ParseTuple(s string) (seed uint64, tech core.Techniques, pol place.Policy, 
 	case "ring":
 		pol = place.PolicyRing
 	default:
-		return 0, tech, pol, fmt.Errorf("chaos: tuple policy %q must be mod or ring", parts[2])
+		return 0, tech, pol, rmode, fmt.Errorf("chaos: tuple policy %q must be mod or ring", parts[2])
 	}
-	return seed, tech, pol, nil
+	if len(parts) == 4 {
+		m, ok := repl.ParseMode(parts[3])
+		if !ok || m == repl.Off {
+			return 0, tech, pol, rmode, fmt.Errorf("chaos: tuple replication %q must be sync or async", parts[3])
+		}
+		rmode = m
+	}
+	return seed, tech, pol, rmode, nil
 }
 
-// WithTuple returns a copy of base with the tuple's seed, techniques and
-// policy applied.
-func WithTuple(base Config, seed uint64, tech core.Techniques, pol place.Policy) Config {
+// WithTuple returns a copy of base with the tuple's seed, techniques, policy
+// and replication mode applied.
+func WithTuple(base Config, seed uint64, tech core.Techniques, pol place.Policy, rmode repl.Mode) Config {
 	base.Seed = seed
 	base.Techniques = tech
 	base.Policy = pol
+	base.Replication = rmode
 	return base
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/place"
+	"repro/internal/repl"
 )
 
 // TestChaosConformanceSmoke is the CI chaos gate: 8 sampled technique/policy
@@ -54,11 +55,11 @@ func TestPlanDeterminism(t *testing.T) {
 		}
 
 		// Round-trip through the printed tuple, the way -repro rebuilds it.
-		s, tech, pol, err := ParseTuple(cfg.Tuple())
+		s, tech, pol, rmode, err := ParseTuple(cfg.Tuple())
 		if err != nil {
 			t.Fatal(err)
 		}
-		c := NewPlan(WithTuple(DefaultConfig(0), s, tech, pol)).Encode()
+		c := NewPlan(WithTuple(DefaultConfig(0), s, tech, pol, rmode)).Encode()
 		if !bytes.Equal(a, c) {
 			t.Fatalf("seed %d: plan rebuilt from tuple %q differs from the original", seed, cfg.Tuple())
 		}
@@ -87,15 +88,23 @@ func TestTupleParsing(t *testing.T) {
 	cfg.Techniques.DirectAccess = false
 	cfg.Techniques.DataPath = false
 	cfg.Policy = place.PolicyRing
-	seed, tech, pol, err := ParseTuple(cfg.Tuple())
+	seed, tech, pol, rmode, err := ParseTuple(cfg.Tuple())
 	if err != nil {
 		t.Fatal(err)
 	}
-	if seed != 99 || tech != cfg.Techniques || pol != place.PolicyRing {
-		t.Fatalf("tuple %q parsed to seed=%d tech=%+v pol=%v", cfg.Tuple(), seed, tech, pol)
+	if seed != 99 || tech != cfg.Techniques || pol != place.PolicyRing || rmode != repl.Off {
+		t.Fatalf("tuple %q parsed to seed=%d tech=%+v pol=%v repl=%v", cfg.Tuple(), seed, tech, pol, rmode)
 	}
-	for _, bad := range []string{"", "1,2", "x,1111111,mod", "1,11111,mod", "1,1111112,mod", "1,1111111,hash"} {
-		if _, _, _, err := ParseTuple(bad); err == nil {
+
+	// The replicated tuple round-trips its fourth token.
+	cfg.Replication = repl.Sync
+	if _, _, _, rmode, err = ParseTuple(cfg.Tuple()); err != nil || rmode != repl.Sync {
+		t.Fatalf("tuple %q parsed to repl=%v err=%v", cfg.Tuple(), rmode, err)
+	}
+
+	for _, bad := range []string{"", "1,2", "x,1111111,mod", "1,11111,mod", "1,1111112,mod", "1,1111111,hash",
+		"1,1111111,mod,off", "1,1111111,mod,quorum", "1,1111111,mod,sync,extra"} {
+		if _, _, _, _, err := ParseTuple(bad); err == nil {
 			t.Errorf("ParseTuple(%q) accepted garbage", bad)
 		}
 	}

@@ -3,6 +3,8 @@ package chaos
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/repl"
 )
 
 // OpKind enumerates the POSIX operations the generator emits.
@@ -63,11 +65,12 @@ const (
 	EvAddServer
 	EvRemoveServer
 	EvMigrateCrash // crash a victim mid-migration, then recover + auto-resume
+	EvFailover     // crash a server, then promote its replica (replication runs only)
 )
 
 var eventKindNames = [...]string{
 	"checkpoint", "checkpoint-all", "crash", "crash-lose-mem",
-	"add-server", "remove-server", "migrate-crash",
+	"add-server", "remove-server", "migrate-crash", "failover",
 }
 
 // String names the event kind.
@@ -85,11 +88,13 @@ func (k EventKind) String() string {
 type Event struct {
 	Round  int
 	Kind   EventKind
-	Server int    // victim (crash kinds, checkpoint) or drain target (remove-server); -1 n/a
+	Server int    // victim (crash kinds, checkpoint, failover) or drain target (remove-server); -1 n/a
 	Mid    bool   // fire concurrently with the round's traffic
-	Stage  string // migrate-crash: protocol stage to kill at (freeze|pull|commit)
+	Stage  string // migrate-crash: protocol stage to kill at (freeze|pull|commit); failover: promotion stage at which the follower dies too (seal|publish)
 	Victim int    // migrate-crash: the server killed mid-protocol
 	Add    bool   // migrate-crash: interrupted migration is an add (else a drain)
+	Lose   bool   // failover: the victim's crash wipes its DRAM partition
+	Double bool   // failover: the follower is down too — promotion must fall back to log replay
 }
 
 // Plan is the fully-derived schedule of one chaos run: the op trace for
@@ -256,6 +261,7 @@ func (p *Plan) genEvents() {
 		}
 	}
 
+	serversAt := make([]int, cfg.Rounds)
 	for round := 0; round < cfg.Rounds; round++ {
 		// Mid-round membership change: migration runs against live traffic.
 		if r.pct(35) {
@@ -319,6 +325,37 @@ func (p *Plan) genEvents() {
 				p.Events = append(p.Events, Event{Round: round, Kind: EvCheckpoint, Server: r.intn(numServers)})
 			}
 		}
+		serversAt[round] = numServers
+	}
+
+	// Failover events ride on their own rng stream, drawn only when
+	// replication is on: a replication-off plan consumes exactly the draws
+	// it always did, so every pre-replication three-token tuple still
+	// derives a byte-identical schedule.
+	if cfg.Replication == repl.Off {
+		return
+	}
+	rf := newRng(cfg.Seed, 0xFA11)
+	for round := 0; round < cfg.Rounds; round++ {
+		if !rf.pct(55) {
+			continue
+		}
+		ev := Event{Round: round, Kind: EvFailover, Server: rf.intn(serversAt[round])}
+		ev.Lose = rf.pct(35)
+		switch rf.intn(6) {
+		case 0:
+			// The follower is already down: promotion must fall back.
+			ev.Double = true
+		case 1:
+			// The follower dies exactly at the seal: fallback again.
+			ev.Stage = "seal"
+		case 2:
+			// The follower dies after the seal, mid-promotion: the epoch
+			// adoption parks as a pending migration and must converge once
+			// the follower recovers.
+			ev.Stage = "publish"
+		}
+		p.Events = append(p.Events, ev)
 	}
 }
 
@@ -361,6 +398,12 @@ func (p *Plan) Encode() []byte {
 		}
 		if ev.Kind == EvMigrateCrash {
 			fmt.Fprintf(&sb, " stage=%s victim=%d add=%v", ev.Stage, ev.Victim, ev.Add)
+		}
+		if ev.Kind == EvFailover {
+			fmt.Fprintf(&sb, " lose=%v double=%v", ev.Lose, ev.Double)
+			if ev.Stage != "" {
+				fmt.Fprintf(&sb, " stage=%s", ev.Stage)
+			}
 		}
 		sb.WriteByte('\n')
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/fsapi"
 	"repro/internal/msg"
 	"repro/internal/proto"
+	"repro/internal/repl"
 	"repro/internal/sched"
 	"repro/internal/shadow"
 	"repro/internal/sim"
@@ -52,7 +53,7 @@ func dupOK(kind uint16, payload []byte) bool {
 
 // coreConfig maps a chaos config onto a Hare deployment: timeshare (so
 // AddServer works), durability enabled (so the crash events work), headroom
-// up to MaxServers.
+// up to MaxServers, replication when the tuple asks for it.
 func coreConfig(cfg Config) core.Config {
 	return core.Config{
 		Cores:            cfg.Cores,
@@ -66,6 +67,7 @@ func coreConfig(cfg Config) core.Config {
 		BufferCacheBytes: 8 << 20,
 		BlockSize:        4096,
 		Durability:       core.Durability{Enabled: true, GroupCommitInterval: cfg.GroupCommit},
+		Replication:      repl.Config{Mode: cfg.Replication},
 		Trace:            cfg.Trace,
 	}
 }
@@ -203,7 +205,7 @@ func runRound(sys *core.System, plan *Plan, model *shadow.Model, p *sched.Proc, 
 		if ev.Round != round || ev.Mid {
 			continue
 		}
-		if ev.Kind == EvCrashLoseMem {
+		if ev.Kind == EvCrashLoseMem || (ev.Kind == EvFailover && ev.Lose) {
 			lossy = true
 		}
 		if err := fireEvent(sys, model, ev, rep); err != nil {
@@ -265,8 +267,94 @@ func fireEvent(sys *core.System, model *shadow.Model, ev Event, rep *Report) err
 		}
 	case EvMigrateCrash:
 		return fireMigrateCrash(sys, ev)
+	case EvFailover:
+		return fireFailover(sys, model, ev)
 	default:
 		return fmt.Errorf("unknown event kind %d", ev.Kind)
+	}
+	return nil
+}
+
+// fireFailover crashes a victim server and promotes its replica instead of
+// replaying its log, with the event's chosen complications: the crash may
+// wipe the victim's DRAM (Lose), the follower may already be down (Double —
+// promotion must fall back to log replay), or the follower may die at a
+// chosen stage of the promotion itself (Stage "seal" → fallback again;
+// Stage "publish" → the epoch adoption parks as a pending migration that
+// the follower's recovery must converge). In every variant the acked-write
+// loss bound is checked against the replication mode: zero under sync and
+// under every fallback, at most one window under async.
+func fireFailover(sys *core.System, model *shadow.Model, ev Event) error {
+	victim := ev.Server
+	fid := sys.FollowerOf(victim)
+	if fid < 0 {
+		return fmt.Errorf("failover: replication is not running")
+	}
+	if ev.Lose {
+		if err := sys.CrashLosingMemory(victim); err != nil {
+			return err
+		}
+		model.CrashLostMemory(victim)
+	} else if err := sys.Crash(victim); err != nil {
+		return err
+	}
+
+	expectFallback := false
+	followerDown := false
+	if ev.Double {
+		if err := sys.Crash(fid); err != nil {
+			return fmt.Errorf("failover: crash follower %d: %w", fid, err)
+		}
+		followerDown = true
+		expectFallback = true
+	}
+	staged := false
+	if ev.Stage != "" && !ev.Double {
+		sys.SetFailoverObserver(func(stage string, srv int) {
+			if !staged && stage == ev.Stage {
+				staged = true
+				_ = sys.Crash(fid)
+			}
+		})
+	}
+
+	rep, err := sys.Failover(victim)
+	sys.SetFailoverObserver(nil)
+	if staged {
+		followerDown = true
+		if ev.Stage == "seal" {
+			expectFallback = true
+		}
+	}
+	if err != nil {
+		// The only survivable failure is the follower dying mid-promotion
+		// after the seal: the epoch adoption must be parked as a pending
+		// migration, and recovering the follower re-drives it.
+		if !staged || !sys.MigrationPending() {
+			return fmt.Errorf("failover server %d: %w", victim, err)
+		}
+		if _, rerr := sys.Recover(fid); rerr != nil {
+			return fmt.Errorf("failover: recover follower %d: %w", fid, rerr)
+		}
+		if sys.MigrationPending() {
+			return fmt.Errorf("failover: epoch adoption still pending after follower %d recovered", fid)
+		}
+		return nil
+	}
+	if expectFallback && !rep.Fallback {
+		return fmt.Errorf("failover server %d: expected a fallback replay (follower down), got a promotion", victim)
+	}
+	allowed := uint64(0)
+	if !rep.Fallback && sys.Replication().Mode == repl.Async {
+		allowed = uint64(sys.Replication().Window)
+	}
+	if rep.LostRecords > allowed {
+		return fmt.Errorf("failover server %d lost %d acked records (allowed %d)", victim, rep.LostRecords, allowed)
+	}
+	if followerDown {
+		if _, err := sys.Recover(fid); err != nil {
+			return fmt.Errorf("failover: recover follower %d: %w", fid, err)
+		}
 	}
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/ncc"
 	"repro/internal/place"
 	"repro/internal/proto"
+	"repro/internal/repl"
 	"repro/internal/sched"
 	"repro/internal/server"
 	"repro/internal/sim"
@@ -94,6 +95,13 @@ type Config struct {
 
 	// Durability configures the per-server write-ahead log (DESIGN.md §6).
 	Durability Durability
+
+	// Replication configures primary → follower WAL shipping and fast
+	// failover (DESIGN.md §12). The zero value disables it. Requires
+	// Durability (the shipped batches are the log's committed records)
+	// and at least two servers (the follower ring needs somewhere to
+	// point).
+	Replication repl.Config
 
 	// Trace configures request tracing and latency histograms (DESIGN.md
 	// §11). The zero value disables tracing entirely: no tracer is built,
@@ -179,6 +187,15 @@ func (c *Config) normalize() error {
 	if c.Timeshare && c.MaxServers > c.Cores {
 		return fmt.Errorf("core: timeshare configuration cannot grow to more servers (%d) than cores (%d)", c.MaxServers, c.Cores)
 	}
+	if c.Replication.Enabled() {
+		if !c.Durability.Enabled {
+			return fmt.Errorf("core: replication ships write-ahead-log records; enable Config.Durability")
+		}
+		if c.Servers < 2 {
+			return fmt.Errorf("core: replication needs at least two servers, got %d", c.Servers)
+		}
+		c.Replication = c.Replication.Normalized()
+	}
 	return nil
 }
 
@@ -208,6 +225,13 @@ type System struct {
 	elMu        sync.Mutex
 	pendingMig  *migration
 	migObserver func(stage string, srv int)
+
+	// mon is the heartbeat failure detector (nil when replication is
+	// disabled); failObserver hooks the failover stages for fault
+	// injection, and failEm allocates failover-span ids.
+	mon          *repl.Monitor
+	failObserver func(stage string, srv int)
+	failEm       *trace.Emitter
 
 	ids      *client.IDAllocator
 	procSys  *sched.HareSystem
@@ -297,12 +321,18 @@ func New(cfg Config) (*System, error) {
 			Log:             log,
 			Placement:       bootMap,
 			Tracer:          sys.tracer,
+			Repl:            sys.replOptions(),
 		})
 		sys.servers = append(sys.servers, srv)
 		sys.serverEPs = append(sys.serverEPs, srv.EndpointID())
 	}
 	sys.ctl = network.NewEndpoint(0)
 	sys.publishRouting(bootMap)
+	if cfg.Replication.Enabled() {
+		sys.mon = repl.NewMonitor(network, network.NewEndpoint(0), cfg.Replication)
+		sys.failEm = trace.ClientEmitter(-1)
+		sys.wireReplication()
+	}
 
 	sys.procSys = sched.NewHareSystem(sched.HareConfig{
 		Machine:   machine,
@@ -429,6 +459,8 @@ func (s *System) MessageEconomy() stats.Economy {
 		e.BatchedOps += st.BatchedOps
 		e.QueueCycles += uint64(st.QueueDelay)
 		e.MigEntries += st.MigOutEntries
+		e.ReplMsgs += st.ReplShips + st.ReplAcks
+		e.ReplBytes += st.ReplBytes
 	}
 	for _, cache := range s.caches {
 		st := cache.Stats()

@@ -148,11 +148,15 @@ func (s *System) AddServer() (int, error) {
 		RootDistributed: false,
 		Log:             log,
 		Placement:       cur,
+		Repl:            s.replOptions(),
 	})
 	s.servers = append(s.servers, srv)
 	s.serverEPs = append(s.serverEPs, srv.EndpointID())
 	s.serverCores = append(s.serverCores, core)
 	srv.Start()
+	// Close the follower ring through the new tail: the old tail now ships
+	// to the newcomer and the newcomer ships to server 0.
+	s.wireReplication()
 	// Re-publish at the current epoch first so every client that refreshes
 	// can already reach the new endpoint.
 	s.publishRouting(cur)

@@ -1,0 +1,400 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/fsapi"
+	"repro/internal/msg"
+	"repro/internal/repl"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// replSystem builds and starts a deployment with durability + replication.
+// Techniques are all-off so every write travels through the servers and
+// lands in the log (the strictest setting for loss accounting).
+func replSystem(t *testing.T, servers int, r repl.Config) *System {
+	t.Helper()
+	cfg := Config{
+		Cores:            8,
+		Servers:          servers,
+		MaxServers:       servers + 2,
+		Timeshare:        true,
+		Techniques:       Techniques{DirectoryDistribution: true},
+		Placement:        sched.PolicyRoundRobin,
+		BufferCacheBytes: 8 << 20,
+		BlockSize:        4096,
+		Durability:       Durability{Enabled: true},
+		Replication:      r,
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	t.Cleanup(sys.Stop)
+	return sys
+}
+
+// TestFailoverPromotionKeepsNamespace is the headline sync-mode guarantee:
+// crash a server with its whole memory domain, promote its replica, and
+// nothing acknowledged is lost — the namespace and file contents read back
+// bit-identically, with zero lost records reported.
+func TestFailoverPromotionKeepsNamespace(t *testing.T) {
+	sys := replSystem(t, 3, repl.Config{Mode: repl.Sync})
+	_, names := seedFiles(t, sys, 40)
+	before := namespaceDump(t, sys.NewClient(2), "/")
+
+	const victim = 1
+	if err := sys.CrashLosingMemory(victim); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Failover(victim)
+	if err != nil {
+		t.Fatalf("Failover: %v", err)
+	}
+	if rep.Fallback {
+		t.Fatal("sync failover with a healthy follower fell back to log replay")
+	}
+	if rep.LostRecords != 0 {
+		t.Fatalf("sync failover lost %d records (durable %d, last %d)", rep.LostRecords, rep.DurableLSN, rep.LastLSN)
+	}
+	if rep.Follower != 2 {
+		t.Fatalf("follower = %d, want 2", rep.Follower)
+	}
+	if rep.Epoch <= 1 {
+		t.Fatalf("promotion did not advance the epoch: %d", rep.Epoch)
+	}
+	if got := sys.Epoch(); got != rep.Epoch {
+		t.Fatalf("published epoch %d != promoted epoch %d", got, rep.Epoch)
+	}
+	if rep.StallCycles <= 0 {
+		t.Fatal("promotion reported no stall work")
+	}
+
+	after := namespaceDump(t, sys.NewClient(3), "/")
+	if before != after {
+		t.Fatalf("namespace diverged across failover:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+	verifyFiles(t, sys, names)
+}
+
+// TestFailoverDoubleFailureFallsBack kills both the primary and its
+// follower: promotion is impossible, so Failover must rebuild the primary
+// from its own log — slower, but still zero-loss.
+func TestFailoverDoubleFailureFallsBack(t *testing.T) {
+	sys := replSystem(t, 3, repl.Config{Mode: repl.Sync})
+	_, names := seedFiles(t, sys, 24)
+	before := namespaceDump(t, sys.NewClient(2), "/")
+
+	const victim, follower = 0, 1
+	if err := sys.Crash(victim); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Crash(follower); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Failover(victim)
+	if err != nil {
+		t.Fatalf("Failover: %v", err)
+	}
+	if !rep.Fallback {
+		t.Fatal("failover with a dead follower did not fall back to log replay")
+	}
+	if rep.LostRecords != 0 {
+		t.Fatalf("fallback replay lost %d records", rep.LostRecords)
+	}
+	if _, err := sys.Recover(follower); err != nil {
+		t.Fatal(err)
+	}
+	after := namespaceDump(t, sys.NewClient(3), "/")
+	if before != after {
+		t.Fatalf("namespace diverged across fallback failover:\nbefore:\n%s\nafter:\n%s", before, after)
+	}
+	verifyFiles(t, sys, names)
+}
+
+// TestFailoverAsyncBoundedLoss pins async mode's contract: promotion may
+// lose acknowledged records, but never more than the configured window,
+// and the promoted deployment keeps serving.
+func TestFailoverAsyncBoundedLoss(t *testing.T) {
+	const window = 4
+	sys := replSystem(t, 3, repl.Config{Mode: repl.Async, Window: window})
+	seedFiles(t, sys, 32)
+
+	const victim = 2
+	if err := sys.Crash(victim); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Failover(victim)
+	if err != nil {
+		t.Fatalf("Failover: %v", err)
+	}
+	if rep.Fallback {
+		t.Skip("follower had no usable replica; bounded-loss bound not exercised")
+	}
+	if rep.LostRecords > window {
+		t.Fatalf("async failover lost %d records, window bound is %d", rep.LostRecords, window)
+	}
+
+	// The promoted fleet must still serve: create and read back a file.
+	cli := sys.NewClient(4)
+	fd, err := cli.Open("/post-failover", fsapi.OCreate|fsapi.ORdWr, fsapi.Mode644)
+	if err != nil {
+		t.Fatalf("create after async failover: %v", err)
+	}
+	if _, err := cli.Write(fd, []byte("alive")); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Close(fd); err != nil {
+		t.Fatal(err)
+	}
+	st, err := cli.Stat("/post-failover")
+	if err != nil || st.Size != 5 {
+		t.Fatalf("stat after async failover: %+v, %v", st, err)
+	}
+}
+
+// TestFailoverDuringFrozenMigration crashes a server while it sits frozen
+// inside a shard migration, then fails it over: the promotion must bump the
+// epoch past the pending migration's, re-stamp the migration, and re-drive
+// it to convergence — the namespace ends up fully migrated with no manual
+// ResumeMigration call.
+func TestFailoverDuringFrozenMigration(t *testing.T) {
+	sys := replSystem(t, 3, repl.Config{Mode: repl.Sync})
+	_, names := seedFiles(t, sys, 60)
+
+	const victim = 1
+	sys.SetMigrationObserver(func(stage string, srv int) {
+		// Every server is frozen by the time the first pull begins; kill
+		// the victim at that boundary.
+		if stage == "pull" && srv == victim && !sys.Crashed(victim) {
+			if err := sys.Crash(victim); err != nil {
+				t.Errorf("crash at %s/%d: %v", stage, srv, err)
+			}
+		}
+	})
+	if _, err := sys.AddServer(); err == nil {
+		t.Fatal("AddServer succeeded despite the mid-migration crash")
+	}
+	sys.SetMigrationObserver(nil)
+	if !sys.MigrationPending() {
+		t.Fatal("no pending migration after the crash")
+	}
+
+	rep, err := sys.Failover(victim)
+	if err != nil {
+		t.Fatalf("Failover: %v", err)
+	}
+	if rep.Fallback {
+		t.Fatal("expected promotion, got fallback")
+	}
+	if sys.MigrationPending() {
+		t.Fatal("failover did not re-drive the pending migration")
+	}
+	if got := sys.Epoch(); got <= rep.Epoch {
+		t.Fatalf("re-driven migration should publish past the promotion epoch: mig %d, promo %d", got, rep.Epoch)
+	}
+	verifyFiles(t, sys, names)
+}
+
+// TestFailoverPromotionCoversCheckpointContents pins the interaction of
+// direct access (§8), checkpoints (§6), and promotion (§12): direct-access
+// writes land only in DRAM — no WAL record carries their bytes — and the
+// durability contract makes them safe at the next checkpoint. The replica
+// must honor that boundary too: the primary ships each checkpoint to its
+// follower, so a promotion after a memory-domain loss restores the
+// checkpointed contents instead of rolling them back to zero (a regression
+// here was found by the chaos harness on tuple 42,1111111,mod,sync).
+func TestFailoverPromotionCoversCheckpointContents(t *testing.T) {
+	cfg := Config{
+		Cores:       8,
+		Servers:     3,
+		Timeshare:   true,
+		Techniques:  Techniques{DirectoryDistribution: true, DirectAccess: true},
+		Placement:   sched.PolicyRoundRobin,
+		Durability:  Durability{Enabled: true},
+		Replication: repl.Config{Mode: repl.Sync},
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Start()
+	t.Cleanup(sys.Stop)
+
+	_, names := seedFiles(t, sys, 24)
+	if err := sys.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+
+	const victim = 1
+	if err := sys.CrashLosingMemory(victim); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sys.Failover(victim)
+	if err != nil {
+		t.Fatalf("Failover: %v", err)
+	}
+	if rep.Fallback {
+		t.Fatal("sync failover with a healthy follower fell back to log replay")
+	}
+	verifyFiles(t, sys, names)
+}
+
+// waitLastHeard blocks (wall clock) until the monitor has heard a pong from
+// server id stamped at or after min, failing the test on timeout.
+func waitLastHeard(t *testing.T, sys *System, id int, min sim.Cycles) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if at, ok := sys.ReplLastHeard(id); ok && at >= min {
+			return
+		}
+		if time.Now().After(deadline) {
+			at, ok := sys.ReplLastHeard(id)
+			t.Fatalf("no pong from server %d at/after %d (last %d, heard %v)", id, min, at, ok)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestHeartbeatSuspectsOnlyCrashedServer drives the failure detector across
+// a crash: the dead server crosses the silence threshold, the live ones
+// keep answering and are never suspected.
+func TestHeartbeatSuspectsOnlyCrashedServer(t *testing.T) {
+	r := repl.Config{Mode: repl.Sync}.Normalized()
+	sys := replSystem(t, 3, r)
+
+	if sus := sys.HeartbeatAt(0); len(sus) != 0 {
+		t.Fatalf("suspects on first beat: %v", sus)
+	}
+	for id := 0; id < 3; id++ {
+		waitLastHeard(t, sys, id, 0)
+	}
+
+	const victim = 0
+	if err := sys.Crash(victim); err != nil {
+		t.Fatal(err)
+	}
+	beats := int(r.SuspectAfter/r.HeartbeatEvery) + 3
+	var now sim.Cycles
+	for k := 1; k <= beats; k++ {
+		now = sim.Cycles(k) * r.HeartbeatEvery
+		sys.HeartbeatAt(now)
+		for id := 1; id < 3; id++ {
+			waitLastHeard(t, sys, id, now-r.HeartbeatEvery)
+		}
+	}
+	sus := sys.HeartbeatAt(now)
+	if len(sus) != 1 || sus[0] != victim {
+		t.Fatalf("suspected %v, want [%d]", sus, victim)
+	}
+}
+
+// TestHeartbeatNoFalsePositivesUnderJitter delays every message by the
+// fault plan's maximum and asserts no live server is ever suspected across
+// many beats: the structural bound SuspectAfter > HeartbeatEvery +
+// 2×MaxDelay + service holds with room to spare.
+func TestHeartbeatNoFalsePositivesUnderJitter(t *testing.T) {
+	r := repl.Config{Mode: repl.Sync}.Normalized()
+	sys := replSystem(t, 3, r)
+
+	const maxDelay = 100_000
+	if r.HeartbeatEvery+2*maxDelay >= r.SuspectAfter {
+		t.Fatalf("bound violated by construction: interval %d + 2×%d >= threshold %d", r.HeartbeatEvery, maxDelay, r.SuspectAfter)
+	}
+	sys.Network().SetFaultPlan(&msg.FaultPlan{Seed: 7, MaxDelay: maxDelay, DelayPercent: 100})
+	defer sys.Network().SetFaultPlan(nil)
+
+	for k := 0; k <= 12; k++ {
+		now := sim.Cycles(k) * r.HeartbeatEvery
+		if sus := sys.HeartbeatAt(now); len(sus) != 0 {
+			t.Fatalf("false positive at beat %d (now %d): %v", k, now, sus)
+		}
+		var min sim.Cycles
+		if now > r.HeartbeatEvery {
+			min = now - r.HeartbeatEvery
+		}
+		for id := 0; id < 3; id++ {
+			waitLastHeard(t, sys, id, min)
+		}
+	}
+}
+
+// TestReplicationDisabledIsFree pins the off switch: no monitor, no
+// follower ring, no replication messages — the subsystem vanishes.
+func TestReplicationDisabledIsFree(t *testing.T) {
+	sys := newDurableSystem(t, 4, 2, Durability{}, AllTechniques())
+	seedFiles(t, sys, 16)
+
+	if sus := sys.Heartbeat(); sus != nil {
+		t.Fatalf("disabled heartbeat returned %v", sus)
+	}
+	if f := sys.FollowerOf(0); f != -1 {
+		t.Fatalf("FollowerOf = %d with replication off", f)
+	}
+	if st := sys.ReplicaStats(); st != nil {
+		t.Fatalf("ReplicaStats = %v with replication off", st)
+	}
+	e := sys.MessageEconomy()
+	if e.ReplMsgs != 0 || e.ReplBytes != 0 {
+		t.Fatalf("replication traffic with replication off: %d msgs, %d bytes", e.ReplMsgs, e.ReplBytes)
+	}
+	for i, st := range sys.ServerStats() {
+		if st.ReplShips != 0 || st.ReplAcks != 0 {
+			t.Fatalf("server %d shipped/acked with replication off: %+v", i, st)
+		}
+	}
+}
+
+// TestReplicaStatsSurface checks the lag introspection the shell's
+// `replicas` command renders: after a quiesced sync workload every
+// follower's durable horizon has caught the primary's last LSN.
+func TestReplicaStatsSurface(t *testing.T) {
+	sys := replSystem(t, 3, repl.Config{Mode: repl.Sync})
+	seedFiles(t, sys, 20)
+
+	stats := sys.ReplicaStats()
+	if len(stats) != 3 {
+		t.Fatalf("ReplicaStats: %d entries, want 3", len(stats))
+	}
+	shipped := false
+	for _, st := range stats {
+		if st.Follower != (st.Server+1)%3 {
+			t.Fatalf("server %d follower = %d, want %d", st.Server, st.Follower, (st.Server+1)%3)
+		}
+		if st.Ships > 0 {
+			shipped = true
+		}
+		if st.Lag() != 0 {
+			t.Fatalf("sync replication left server %d lagging: %+v (lag %d)", st.Server, st, st.Lag())
+		}
+	}
+	if !shipped {
+		t.Fatal("no server shipped anything")
+	}
+}
+
+// TestFailoverRequiresCrashAndReplication pins the guard rails.
+func TestFailoverRequiresCrashAndReplication(t *testing.T) {
+	sys := replSystem(t, 3, repl.Config{Mode: repl.Sync})
+	if _, err := sys.Failover(0); err == nil {
+		t.Fatal("Failover of a running server succeeded")
+	}
+	if _, err := sys.Failover(9); err == nil {
+		t.Fatal("Failover of a nonexistent server succeeded")
+	}
+
+	plain := newDurableSystem(t, 4, 2, Durability{}, AllTechniques())
+	if err := plain.Crash(0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Failover(0); err == nil {
+		t.Fatal("Failover succeeded with replication disabled")
+	}
+	if _, err := plain.Recover(0); err != nil {
+		t.Fatal(err)
+	}
+}

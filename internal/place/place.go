@@ -183,6 +183,14 @@ func (m *Map) Add(id int32) *Map {
 	return New(m.policy, append(m.Members(), id), m.epoch+1)
 }
 
+// WithEpoch returns a copy of the map at the given epoch with unchanged
+// membership. Failover promotions use it to advance the epoch — forcing
+// every client through an EEPOCH refresh onto the promoted server — without
+// a membership change (DESIGN.md §12).
+func (m *Map) WithEpoch(e uint64) *Map {
+	return New(m.policy, m.Members(), e)
+}
+
 // Remove returns the next epoch's map with server id drained out.
 func (m *Map) Remove(id int32) *Map {
 	members := make([]int32, 0, len(m.members))

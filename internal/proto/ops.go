@@ -81,6 +81,13 @@ const (
 	OpExec   // run a program on the scheduling server's core
 	OpSignal // forward a signal to a process
 	OpPing   // liveness / latency measurement (used at boot for affinity)
+
+	// Shard replication (primary -> follower WAL shipping, DESIGN.md §12).
+	// These travel on each server's replication-plane endpoint, never its
+	// request inbox, so a follower can ack while its request loop is busy.
+	OpReplAppend // ship a flushed record batch (or a rebase snapshot)
+	OpReplAck    // follower's durable horizon (async mode's one-way ack)
+	OpReplSeal   // control plane: stop ingesting, return the replica snapshot
 )
 
 var opNames = map[Op]string{
@@ -131,6 +138,9 @@ var opNames = map[Op]string{
 	OpExec:            "EXEC",
 	OpSignal:          "SIGNAL",
 	OpPing:            "PING",
+	OpReplAppend:      "REPL_APPEND",
+	OpReplAck:         "REPL_ACK",
+	OpReplSeal:        "REPL_SEAL",
 }
 
 // String returns the wire name of the operation.

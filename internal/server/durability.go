@@ -7,6 +7,7 @@ import (
 	"repro/internal/ncc"
 	"repro/internal/place"
 	"repro/internal/proto"
+	"repro/internal/repl"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/wal"
@@ -116,6 +117,10 @@ func (s *Server) commitPending(at sim.Cycles) sim.Cycles {
 	if ack > end {
 		end = ack
 	}
+	// Replication piggybacks on the group commit: the freshly flushed
+	// batch — LSNs just assigned by Append — ships to the follower, and in
+	// sync mode the reply release waits for the follower's ack.
+	end = s.ship(recs, end)
 	return end
 }
 
@@ -147,6 +152,10 @@ func (s *Server) writeCheckpoint() error {
 	s.statsMu.Lock()
 	s.stats.Checkpoints++
 	s.statsMu.Unlock()
+	// The checkpoint holds direct-access block contents the log never saw;
+	// the replica must cover them too before promotion can be trusted with
+	// a memory-domain loss (DESIGN.md §12).
+	s.shipCheckpoint(c, s.clock.Now())
 	return nil
 }
 
@@ -225,7 +234,14 @@ func (s *Server) Crash(loseMemory bool) {
 	s.crashed.Store(true)
 	s.ep.Inbox.Close()
 	<-s.done
-	// The loop has exited; its state is now safe to touch from here.
+	if s.replEP != nil {
+		// The replication plane dies with the process: the replicas this
+		// server held for its primaries are volatile RAM and are gone
+		// (resetState drops them), so recovered primaries rebase.
+		s.replEP.Inbox.Close()
+		<-s.replDone
+	}
+	// The loops have exited; their state is now safe to touch from here.
 	if loseMemory {
 		s.wipePartition()
 	}
@@ -272,6 +288,9 @@ func (s *Server) resetState() {
 	s.pendingEpoch = 0
 	s.migParked = nil
 	s.entCount.Store(0)
+	if s.replEP != nil {
+		s.replicas = make(map[int]*repl.Follower)
+	}
 	if int32(s.cfg.ID) == proto.RootInode.Server {
 		root := &inode{
 			local:       proto.RootInode.Local,
@@ -333,13 +352,7 @@ func (s *Server) Recover() (wal.RecoveryStats, error) {
 	// Rebuild the partition's free list around the blocks recovered files
 	// own; everything else (including blocks of inodes whose unlink
 	// replayed) becomes allocatable again.
-	inUse := make(map[ncc.BlockID]bool)
-	for _, ino := range s.inodes {
-		for _, b := range ino.blocks {
-			inUse[b] = true
-		}
-	}
-	s.cfg.Partition.Reclaim(inUse)
+	s.reclaimBlocks()
 
 	// Charge the recovery work in virtual time.
 	st.Cycles = s.wal.ReplayCost(st.Records, st.Bytes, st.CheckpointBytes)
@@ -356,8 +369,15 @@ func (s *Server) Recover() (wal.RecoveryStats, error) {
 	s.lostMemory = false
 	s.done = make(chan struct{})
 	s.ep.Inbox.Reopen()
+	if s.replEP != nil {
+		s.replDone = make(chan struct{})
+		s.replEP.Inbox.Reopen()
+	}
 	s.crashed.Store(false)
 	go s.run()
+	if s.replEP != nil {
+		go s.runRepl()
+	}
 	return st, nil
 }
 

@@ -23,6 +23,7 @@ import (
 	"repro/internal/ncc"
 	"repro/internal/place"
 	"repro/internal/proto"
+	"repro/internal/repl"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/wal"
@@ -99,6 +100,12 @@ type Config struct {
 	// built directly by unit tests).
 	Placement *place.Map
 
+	// Repl enables shard replication (DESIGN.md §12): the server runs a
+	// replication-plane endpoint, ships its WAL batches to the follower
+	// installed via SetReplTarget, and ingests batches for the primaries
+	// it follows. The zero value disables all of it.
+	Repl ReplOptions
+
 	// Tracer, when non-nil, records server-side child spans (network
 	// delivery, queueing, service, batch sub-ops, WAL commit) for
 	// requests that arrive carrying a trace context.
@@ -127,6 +134,17 @@ type Stats struct {
 	// received and handed off through shard migrations (DESIGN.md §9).
 	MigInEntries  uint64
 	MigOutEntries uint64
+	// Replication counters (DESIGN.md §12). ReplShips/ReplBytes count
+	// primary-side shipped batches; ReplAcks counts follower-side acks;
+	// ReplResyncs counts rebase snapshots shipped. ReplLastLSN and
+	// ReplDurable are the primary's shipping horizon and the follower-
+	// acked horizon — their difference is the replication lag.
+	ReplShips   uint64
+	ReplBytes   uint64
+	ReplAcks    uint64
+	ReplResyncs uint64
+	ReplLastLSN uint64
+	ReplDurable uint64
 }
 
 // Server is one Hare file server. Its Run loop processes one request at a
@@ -188,6 +206,25 @@ type Server struct {
 	curParent uint64
 	curOp     string
 
+	// Replication state (DESIGN.md §12; nil/zero when disabled). replicas
+	// and replClock are confined to the replication-plane goroutine; the
+	// horizon and counter fields are atomics because the request loop
+	// (shipping), the replication plane (acks), and the stats surface all
+	// touch them.
+	replEP       *msg.Endpoint
+	replDone     chan struct{}
+	replClock    sim.Clock
+	replicas     map[int]*repl.Follower
+	replTarget   atomic.Pointer[ReplTarget]
+	replDurable  atomic.Uint64
+	replLastLSN  atomic.Uint64
+	replNeedSync atomic.Bool
+	replShips    atomic.Uint64
+	replBytes    atomic.Uint64
+	replAcks     atomic.Uint64
+	replAckBytes atomic.Uint64
+	replResyncs  atomic.Uint64
+
 	done chan struct{}
 }
 
@@ -213,6 +250,14 @@ func New(cfg Config) *Server {
 	s.pmap = cfg.Placement
 	if s.pmap != nil {
 		s.epoch.Store(s.pmap.Epoch())
+	}
+	if cfg.Repl.Mode != repl.Off {
+		if s.cfg.Repl.Window <= 0 {
+			s.cfg.Repl.Window = repl.DefaultWindow
+		}
+		s.replEP = cfg.Network.NewEndpoint(cfg.Core)
+		s.replDone = make(chan struct{})
+		s.replicas = make(map[int]*repl.Follower)
 	}
 	if int32(cfg.ID) == proto.RootInode.Server {
 		root := &inode{
@@ -265,6 +310,12 @@ func (s *Server) Stats() Stats {
 		Entries:       s.entCount.Load(),
 		MigInEntries:  s.stats.MigInEntries,
 		MigOutEntries: s.stats.MigOutEntries,
+		ReplShips:     s.replShips.Load(),
+		ReplBytes:     s.replBytes.Load() + s.replAckBytes.Load(),
+		ReplAcks:      s.replAcks.Load(),
+		ReplResyncs:   s.replResyncs.Load(),
+		ReplLastLSN:   s.replLastLSN.Load(),
+		ReplDurable:   s.replDurable.Load(),
 	}
 	for k, v := range s.stats.Ops {
 		out.Ops[k] = v
@@ -272,9 +323,13 @@ func (s *Server) Stats() Stats {
 	return out
 }
 
-// Start launches the server's request loop.
+// Start launches the server's request loop (and its replication plane,
+// when replication is enabled).
 func (s *Server) Start() {
 	go s.run()
+	if s.replEP != nil {
+		go s.runRepl()
+	}
 }
 
 // Stop shuts the server down. In-flight parked requests (blocked pipe reads,
@@ -283,6 +338,10 @@ func (s *Server) Start() {
 func (s *Server) Stop() {
 	s.ep.Inbox.Close()
 	<-s.done
+	if s.replEP != nil {
+		s.replEP.Inbox.Close()
+		<-s.replDone
+	}
 }
 
 func (s *Server) run() {

@@ -96,6 +96,8 @@ type Economy struct {
 	InvLines    uint64 // resident lines dropped by open-time invalidation
 	SkipLines   uint64 // resident lines preserved by version-matched opens
 	MigEntries  uint64 // directory entries handed off by shard migrations (DESIGN.md §9)
+	ReplMsgs    uint64 // replication messages: shipped batches + follower acks (DESIGN.md §12)
+	ReplBytes   uint64 // replication payload bytes (ships + acks)
 }
 
 // Sub returns the counters accumulated since the base snapshot.
@@ -110,6 +112,8 @@ func (e Economy) Sub(base Economy) Economy {
 		InvLines:    e.InvLines - base.InvLines,
 		SkipLines:   e.SkipLines - base.SkipLines,
 		MigEntries:  e.MigEntries - base.MigEntries,
+		ReplMsgs:    e.ReplMsgs - base.ReplMsgs,
+		ReplBytes:   e.ReplBytes - base.ReplBytes,
 	}
 }
 
@@ -125,6 +129,8 @@ func (e Economy) Add(o Economy) Economy {
 		InvLines:    e.InvLines + o.InvLines,
 		SkipLines:   e.SkipLines + o.SkipLines,
 		MigEntries:  e.MigEntries + o.MigEntries,
+		ReplMsgs:    e.ReplMsgs + o.ReplMsgs,
+		ReplBytes:   e.ReplBytes + o.ReplBytes,
 	}
 }
 

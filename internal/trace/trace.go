@@ -43,6 +43,11 @@ const (
 	KindWriteback
 	// KindEpochRefresh is one EEPOCH refresh-and-retry round trip.
 	KindEpochRefresh
+	// KindRepl is one replication ship (and, in sync mode, its ack wait)
+	// piggybacked on a request's group commit (DESIGN.md §12).
+	KindRepl
+	// KindFailover is a control-plane promotion: seal → publish → install.
+	KindFailover
 )
 
 var kindNames = [...]string{
@@ -55,6 +60,8 @@ var kindNames = [...]string{
 	KindWAL:          "wal",
 	KindWriteback:    "writeback",
 	KindEpochRefresh: "eepoch",
+	KindRepl:         "repl",
+	KindFailover:     "failover",
 }
 
 // String returns the span-kind label used in exports.

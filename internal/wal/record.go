@@ -183,6 +183,40 @@ func decodeRecord(b []byte) (Record, error) {
 	return r, nil
 }
 
+// EncodeRecords serializes a batch of records in the log's frame format
+// (length + CRC per record). It is the wire encoding the replication shipper
+// uses for REPL_APPEND payloads: a follower ingests exactly the frames the
+// primary's log flushed, so the two cannot disagree about record contents.
+func EncodeRecords(recs []Record) []byte {
+	var out []byte
+	for i := range recs {
+		out = append(out, frame(recs[i].encode())...)
+	}
+	return out
+}
+
+// DecodeRecords parses a batch encoded by EncodeRecords. Unlike log-tail
+// replay — where a torn final frame is the expected crash signature and
+// marks the end of the durable prefix — a shipped batch travels in one
+// message and must be complete: any framing or CRC error rejects the whole
+// batch so a follower never applies a partial ship.
+func DecodeRecords(b []byte) ([]Record, error) {
+	var recs []Record
+	for len(b) > 0 {
+		body, rest, err := unframe(b)
+		if err != nil {
+			return nil, fmt.Errorf("wal: shipped batch record %d: %w", len(recs), err)
+		}
+		r, err := decodeRecord(body)
+		if err != nil {
+			return nil, fmt.Errorf("wal: shipped batch record %d: %w", len(recs), err)
+		}
+		recs = append(recs, r)
+		b = rest
+	}
+	return recs, nil
+}
+
 // frame wraps an encoded record body with the length+CRC header.
 func frame(body []byte) []byte {
 	out := make([]byte, frameHeader+len(body))

@@ -1,0 +1,65 @@
+package wal
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/fsapi"
+	"repro/internal/proto"
+)
+
+// shipBatch builds a representative mixed batch with assigned LSNs.
+func shipBatch() []Record {
+	return []Record{
+		{LSN: 5, Type: RecInode, Ino: 2, Ftype: fsapi.TypeRegular, Mode: fsapi.Mode644, Nlink: 1},
+		{LSN: 6, Type: RecAddMap, Dir: proto.InodeID{Server: 0, Local: 1}, Name: "a",
+			Target: proto.InodeID{Server: 1, Local: 2}, Ftype: fsapi.TypeRegular},
+		{LSN: 7, Type: RecBlocks, Ino: 2, Blocks: []uint64{40, 41}, Size: 8192},
+		{LSN: 8, Type: RecWrite, Ino: 2, Off: 100, Data: []byte("shipped bytes")},
+	}
+}
+
+func TestEncodeDecodeRecordsRoundTrip(t *testing.T) {
+	in := shipBatch()
+	b := EncodeRecords(in)
+	out, err := DecodeRecords(b)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d records, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if out[i].LSN != in[i].LSN || out[i].Type != in[i].Type || out[i].Ino != in[i].Ino ||
+			out[i].Name != in[i].Name || !bytes.Equal(out[i].Data, in[i].Data) {
+			t.Fatalf("record %d mismatch: %+v vs %+v", i, out[i], in[i])
+		}
+	}
+	if got, err := DecodeRecords(nil); err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: %v records, err %v", got, err)
+	}
+}
+
+// TestDecodeRecordsRejectsTruncation pins the all-or-nothing contract: a
+// shipped batch travels in one message, so a cut-off tail must fail the
+// whole decode rather than return a prefix the follower would ack.
+func TestDecodeRecordsRejectsTruncation(t *testing.T) {
+	b := EncodeRecords(shipBatch())
+	for _, cut := range []int{1, frameHeader - 1, frameHeader + 3, len(b) - 1} {
+		if _, err := DecodeRecords(b[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d bytes decoded without error", cut, len(b))
+		}
+	}
+}
+
+// TestDecodeRecordsRejectsCorruption flips one byte in the middle of the
+// batch: the frame CRC must fail the whole decode, not just the touched
+// record.
+func TestDecodeRecordsRejectsCorruption(t *testing.T) {
+	b := EncodeRecords(shipBatch())
+	mut := append([]byte(nil), b...)
+	mut[len(mut)/2] ^= 0xff
+	if _, err := DecodeRecords(mut); err == nil {
+		t.Fatal("corrupted batch decoded without error")
+	}
+}
