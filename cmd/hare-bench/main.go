@@ -24,6 +24,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 
 	"repro/internal/bench"
@@ -45,13 +47,78 @@ func main() {
 		failover   = flag.Bool("failover", false, "run the failover sweep (replication off/sync/async: shipping overhead, replay vs promotion stall) instead of the paper's figures")
 		obs        = flag.Bool("obs", false, "run the tracing-overhead sweep (off vs 1-in-64 sampled vs full tracing) instead of the paper's figures")
 		traceOut   = flag.String("trace", "", "run one benchmark (-bench, default smallfile) with full tracing and export the span tree as Chrome trace_event JSON to this path (open in Perfetto)")
-		baseline   = flag.String("baseline", "", "with -pipeline, -datapath, -elastic or -obs: also write the sweep as a JSON baseline to this path (e.g. BENCH_seed.json, BENCH_obs.json)")
+		baseline   = flag.String("baseline", "", "with -pipeline, -datapath, -elastic, -obs or -scalesweep: also write the sweep as a JSON baseline to this path (e.g. BENCH_seed.json, BENCH_scale.json)")
+		scaleSweep = flag.String("scalesweep", "", "run the harness-scaling sweep at these rungs (\"64\" or \"8:125000,64:1000000\"; \"default\" = the committed BENCH_scale.json rungs) instead of the paper's figures")
+		parallel   = flag.Bool("parallel", false, "with -scalesweep: run under the parallel virtual-time engine instead of the serialized default")
+		cpuProfile = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this path (see PROFILING.md)")
+		memProfile = flag.String("memprofile", "", "write a pprof allocation profile at exit to this path (see PROFILING.md)")
 	)
 	flag.Parse()
 
+	stopProfiles := func() {}
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hare-bench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hare-bench:", err)
+			os.Exit(1)
+		}
+		stopProfiles = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	if *memProfile != "" {
+		cpuStop := stopProfiles
+		stopProfiles = func() {
+			cpuStop()
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hare-bench:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "hare-bench:", err)
+			}
+			f.Close()
+		}
+	}
+	defer stopProfiles()
+
 	fail := func(err error) {
+		stopProfiles()
 		fmt.Fprintln(os.Stderr, "hare-bench:", err)
 		os.Exit(1)
+	}
+
+	if *scaleSweep != "" {
+		if *fig != 0 || *durability || *pipeline || *datapath || *elastic || *failover || *obs || *traceOut != "" || *benchName != "" {
+			fail(fmt.Errorf("-scalesweep runs its own figure set and cannot be combined with other figure-set flags"))
+		}
+		var rungs []bench.ScaleRung
+		if *scaleSweep != "default" {
+			var err error
+			rungs, err = bench.ParseScaleRungs(*scaleSweep)
+			if err != nil {
+				fail(err)
+			}
+		}
+		data, t, err := bench.ScaleSweepFigure(rungs, *parallel)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t.Render())
+		if *baseline != "" {
+			if err := data.WriteBaseline(*baseline); err != nil {
+				fail(err)
+			}
+			fmt.Printf("baseline written to %s\n", *baseline)
+		}
+		return
 	}
 
 	if *traceOut != "" {

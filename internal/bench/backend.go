@@ -86,6 +86,12 @@ type HareOptions struct {
 	// Trace configures request tracing; the zero value keeps it off and
 	// the deployment's virtual timeline untouched (DESIGN.md §11).
 	Trace trace.Config
+
+	// Parallel installs the parallel virtual-time engine (DESIGN.md §13)
+	// before any workload runs: servers advance concurrently, gated by the
+	// conservative lane frontiers, instead of serializing on one global
+	// virtual-time chain. Incompatible with Replication.
+	Parallel bool
 }
 
 // DefaultHare returns the standard Hare deployment used throughout the
@@ -124,6 +130,13 @@ func HareFactory(opts HareOptions) Factory {
 			name += ",timeshare)"
 		} else {
 			name += ",split)"
+		}
+		if opts.Parallel {
+			if err := sys.SetParallel(true); err != nil {
+				sys.Stop()
+				return nil, fmt.Errorf("bench: enabling parallel engine: %w", err)
+			}
+			name += "+par"
 		}
 		b := &Backend{
 			Name:    name,

@@ -1,0 +1,252 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// The harness-scaling sweep (`hare-bench -scalesweep`): the `scale` workload
+// — disjoint per-worker subtrees of creates and stats — runs at server counts
+// far beyond the paper's machine (64–1024) with namespaces into the millions
+// of files. Unlike every other figure, the quantity under test here is the
+// simulator itself: real wall-clock time, allocations per simulated
+// operation, and peak memory, not virtual-time throughput.
+
+// ScaleRung is one (server count, namespace size) sweep point.
+type ScaleRung struct {
+	// Servers is the fleet size; the deployment timeshares, so it is also
+	// the core count and the worker count.
+	Servers int
+	// Files is the total number of files created across all workers.
+	Files int
+}
+
+// DefaultScaleRungs is the committed sweep: the paper-scale 8-server rung as
+// the wall-time yardstick, the acceptance rung (64 servers, one million
+// files), and wider fleets at namespace sizes that keep the sweep minutes,
+// not hours.
+var DefaultScaleRungs = []ScaleRung{
+	{Servers: 8, Files: 125_000},
+	{Servers: 64, Files: 1_000_000},
+	{Servers: 256, Files: 512_000},
+	{Servers: 1024, Files: 262_144},
+}
+
+// ScalePoint is one measured rung.
+type ScalePoint struct {
+	Servers int  `json:"servers"`
+	Workers int  `json:"workers"`
+	Files   int  `json:"files"`
+	Ops     int  `json:"ops"`
+	Par     bool `json:"parallel"`
+
+	// WallSeconds is real time for the timed region (setup excluded);
+	// VirtSeconds is the same region in simulated time.
+	WallSeconds float64 `json:"wall_seconds"`
+	VirtSeconds float64 `json:"virt_seconds"`
+
+	// AllocsPerOp is heap allocations per simulated operation during the
+	// timed region (runtime.MemStats.Mallocs delta / Ops).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// HeapBytes is the live heap after the run (post-GC).
+	HeapBytes uint64 `json:"heap_bytes"`
+	// PeakRSSBytes is the process's high-water resident set (VmHWM); it is
+	// monotone across rungs of one process, so only the largest rung's value
+	// is a true per-rung peak.
+	PeakRSSBytes uint64 `json:"peak_rss_bytes"`
+}
+
+// KOpsPerWallSec is the simulator's real-time throughput: simulated
+// operations per wall-clock second, in thousands.
+func (p ScalePoint) KOpsPerWallSec() float64 {
+	if p.WallSeconds == 0 {
+		return 0
+	}
+	return float64(p.Ops) / p.WallSeconds / 1000
+}
+
+// ScaleData holds the full sweep.
+type ScaleData struct {
+	Parallel bool         `json:"parallel"`
+	Points   []ScalePoint `json:"points"`
+}
+
+// ScaleSweepFigure runs the sweep. Each rung builds a fresh timesharing
+// deployment with one worker per server, splits the file total evenly among
+// the workers, and measures the run phase under wall-clock, allocation, and
+// RSS instrumentation.
+func ScaleSweepFigure(rungs []ScaleRung, parallel bool) (*ScaleData, *Table, error) {
+	if len(rungs) == 0 {
+		rungs = DefaultScaleRungs
+	}
+	data := &ScaleData{Parallel: parallel}
+	mode := "serialized"
+	if parallel {
+		mode = "parallel"
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Harness scaling sweep (%s engine): wall-clock cost of big fleets and namespaces", mode),
+		Columns: []string{"servers", "workers", "files", "ops", "wall (s)", "virt (s)",
+			"kops/wall-s", "allocs/op", "heap (MiB)", "peak rss (MiB)"},
+		Note: "measures the simulator, not Hare: wall = real time for the timed region; allocs/op = heap allocations per simulated op; peak rss is process-lifetime high water.",
+	}
+	for _, r := range rungs {
+		p, err := scalePoint(r, parallel)
+		if err != nil {
+			return nil, nil, err
+		}
+		data.Points = append(data.Points, p)
+		t.AddRow(fmt.Sprintf("%d", p.Servers), fmt.Sprintf("%d", p.Workers),
+			fmt.Sprintf("%d", p.Files), fmt.Sprintf("%d", p.Ops),
+			f2(p.WallSeconds), f2(p.VirtSeconds), f2(p.KOpsPerWallSec()),
+			f2(p.AllocsPerOp), f2(float64(p.HeapBytes)/(1<<20)),
+			f2(float64(p.PeakRSSBytes)/(1<<20)))
+	}
+	return data, t, nil
+}
+
+// scalePoint measures one rung.
+func scalePoint(r ScaleRung, parallel bool) (ScalePoint, error) {
+	opts := DefaultHare(r.Servers)
+	opts.Parallel = parallel
+	w := workload.ScaleSweep{}
+
+	b, err := HareFactory(opts)(w.Placement())
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	defer b.Close()
+
+	workers := len(b.Cores)
+	w.FilesPerWorker = r.Files / workers
+	if w.FilesPerWorker < 1 {
+		w.FilesPerWorker = 1
+	}
+	env := &workload.Env{Procs: b.Procs, Cores: b.Cores, Scale: 1.0}
+	if err := w.Setup(env); err != nil {
+		return ScalePoint{}, fmt.Errorf("bench: scale setup at %d servers: %w", r.Servers, err)
+	}
+
+	virtStart := b.Now()
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	wallStart := time.Now()
+
+	ops, err := w.Run(env)
+	if err != nil {
+		return ScalePoint{}, fmt.Errorf("bench: scale run at %d servers: %w", r.Servers, err)
+	}
+
+	wall := time.Since(wallStart)
+	runtime.ReadMemStats(&after)
+	virt := b.Now() - virtStart
+
+	p := ScalePoint{
+		Servers:      r.Servers,
+		Workers:      workers,
+		Files:        w.FilesPerWorker * workers,
+		Ops:          ops,
+		Par:          parallel,
+		WallSeconds:  wall.Seconds(),
+		VirtSeconds:  b.Seconds(virt),
+		AllocsPerOp:  float64(after.Mallocs-before.Mallocs) / float64(ops),
+		HeapBytes:    after.HeapInuse,
+		PeakRSSBytes: peakRSSBytes(),
+	}
+	return p, nil
+}
+
+// peakRSSBytes reads the process's resident-set high water from
+// /proc/self/status (VmHWM); zero on platforms without it.
+func peakRSSBytes() uint64 {
+	f, err := os.Open("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseUint(fields[1], 10, 64)
+		if err != nil {
+			return 0
+		}
+		return kb << 10
+	}
+	return 0
+}
+
+// ParseScaleRungs parses a sweep spec like "8:125000,64:1000000" (or bare
+// server counts "8,64", which take the default rung's file total scaled to
+// the fleet) into rungs.
+func ParseScaleRungs(spec string) ([]ScaleRung, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var out []ScaleRung
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		srv, files := part, ""
+		if i := strings.IndexByte(part, ':'); i >= 0 {
+			srv, files = part[:i], part[i+1:]
+		}
+		r := ScaleRung{}
+		n, err := strconv.Atoi(srv)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bench: bad server count %q in -scalesweep spec", srv)
+		}
+		r.Servers = n
+		if files != "" {
+			fn, err := strconv.Atoi(files)
+			if err != nil || fn <= 0 {
+				return nil, fmt.Errorf("bench: bad file count %q in -scalesweep spec", files)
+			}
+			r.Files = fn
+		} else {
+			// One thousand files per worker keeps unspecified rungs quick.
+			r.Files = 1000 * n
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ScaleBaseline is the JSON snapshot committed as BENCH_scale.json.
+type ScaleBaseline struct {
+	Note     string       `json:"note"`
+	Parallel bool         `json:"parallel"`
+	Points   []ScalePoint `json:"points"`
+}
+
+// WriteBaseline serializes the sweep to path as indented JSON.
+func (d *ScaleData) WriteBaseline(path string) error {
+	b := ScaleBaseline{
+		Note:     "hare-bench -scalesweep baseline; wall-clock figures are machine-dependent — compare shapes and allocs/op, not absolute seconds. Regenerate with: hare-bench -scalesweep '8:125000,64:1000000,256:512000,1024:262144' -baseline BENCH_scale.json",
+		Parallel: d.Parallel,
+		Points:   d.Points,
+	}
+	buf, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

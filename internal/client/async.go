@@ -34,7 +34,7 @@ func (c *Client) sendAsync(srv int, req *proto.Request) (*msg.Future, error) {
 	}
 	req.ClientID = c.cfg.ID
 	c.traceRequest(req)
-	payload := req.Marshal()
+	payload := c.marshalReq(req)
 	c.charge(c.cfg.Machine.Cost.MsgSend)
 	fut, err := c.cfg.Network.SendAsync(c.ep, rt.Servers[srv], proto.KindRequest, payload, c.clock.Now())
 	if err != nil {
@@ -64,7 +64,9 @@ func (c *Client) awaitAll(futs []*msg.Future) ([]*proto.Response, error) {
 	c.charge(c.cfg.Machine.Cost.MsgRecv * sim.Cycles(len(futs)))
 	out := make([]*proto.Response, len(envs))
 	for i := range envs {
-		resp, err := proto.UnmarshalResponse(envs[i].Payload)
+		resp := new(proto.Response)
+		err := proto.UnmarshalResponseInto(resp, envs[i].Payload)
+		c.ep.PutBuf(envs[i].Payload)
 		if err != nil {
 			return nil, fsapi.EIO
 		}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/server"
 	"repro/internal/sim"
+	"repro/internal/table"
 	"repro/internal/trace"
 )
 
@@ -104,18 +105,27 @@ type Client struct {
 	nextFD fsapi.FD
 	cwd    string
 
-	dcache map[dcacheKey]dcacheEnt
+	dcache *table.Map[dcacheKey, dcacheEnt]
 
 	// routing is the cached routing snapshot (placement map + server
 	// endpoints); refreshed from cfg.Provider on EEPOCH replies.
 	routing *Routing
+
+	// memberSrvs caches routing.Map's member list as server indices, keyed
+	// by the routing snapshot it was derived from (see memberServers).
+	memberSrvs   []int
+	memberSrvsOf *Routing
 
 	// vcache records, per inode, the server-side data version as of the last
 	// moment this client's private cache was known consistent with DRAM for
 	// that file (after an open-time invalidation or a close/fsync
 	// writeback). A re-open whose OPEN reply carries the same version skips
 	// invalidation entirely (DESIGN.md §8).
-	vcache map[proto.InodeID]uint64
+	vcache *table.Map[proto.InodeID, uint64]
+
+	// respFree recycles decoded response structs on the synchronous RPC
+	// path (see getResp/putResp in tables.go).
+	respFree []*proto.Response
 
 	localServer int // designated nearby server for creation affinity
 
@@ -200,8 +210,8 @@ func New(cfg Config) *Client {
 		fds:    make(map[fsapi.FD]*openFile),
 		nextFD: 3, // 0-2 reserved for stdio by convention
 		cwd:    "/",
-		dcache: make(map[dcacheKey]dcacheEnt),
-		vcache: make(map[proto.InodeID]uint64),
+		dcache: newDcacheTable(),
+		vcache: newVcacheTable(),
 		tr:     cfg.Tracer,
 		tem:    trace.ClientEmitter(cfg.ID),
 	}
@@ -217,6 +227,24 @@ func New(cfg Config) *Client {
 
 // ID returns the client library id.
 func (c *Client) ID() int32 { return c.cfg.ID }
+
+// EndpointID returns the client's network endpoint (its lane id under the
+// parallel virtual-time engine).
+func (c *Client) EndpointID() msg.EndpointID { return c.ep.ID }
+
+// GateActive reports whether the parallel virtual-time engine is installed.
+func (c *Client) GateActive() bool { return c.cfg.Network.Gate() != nil }
+
+// GatePark marks this client's lane quiescent while it waits on something
+// whose timing other lanes control (a root process waiting on its children).
+// No-op in serialized mode.
+func (c *Client) GatePark() { c.cfg.Network.GateIdle(c.ep.ID) }
+
+// GateResume re-joins this client's lane at its current clock after a
+// GatePark. The caller must first advance the clock past every event that
+// completed while parked (e.g. the latest child end time), so the lane does
+// not promise sends in the system's past. No-op in serialized mode.
+func (c *Client) GateResume() { c.cfg.Network.GateJoin(c.ep.ID, c.clock.Now()) }
 
 // Core returns the core this client is pinned to.
 func (c *Client) Core() int { return c.cfg.Core }
@@ -255,7 +283,7 @@ func (c *Client) noteVersion(ino proto.InodeID, v uint64) {
 	if !c.cfg.Options.DataPath {
 		return
 	}
-	c.vcache[ino] = v
+	c.vcache.Put(ino, v)
 }
 
 // expectVersion folds a version carried by one of this descriptor's own
@@ -277,7 +305,7 @@ func (of *openFile) expectVersion(v uint64, bumped bool) {
 // open invalidates.
 func (c *Client) settleVersion(of *openFile) {
 	if of.verLost {
-		delete(c.vcache, of.ino)
+		c.vcache.Delete(of.ino)
 		return
 	}
 	c.noteVersion(of.ino, of.verKnown)
@@ -292,7 +320,7 @@ func (c *Client) Options() Options { return c.cfg.Options }
 // drained servers must not receive new inodes.
 func (c *Client) pickLocalServer() int {
 	rt := c.routing
-	members := rt.Map.Members()
+	members := rt.Map.MembersRef()
 	if len(members) == 0 {
 		return 0
 	}
@@ -412,7 +440,7 @@ func (c *Client) rpc(srv int, req *proto.Request) (*proto.Response, error) {
 		req.Trace, req.Span = c.cur.Trace, rpcID
 		c.charge(c.cfg.Machine.Cost.TraceSpan)
 	}
-	payload := req.Marshal()
+	payload := c.marshalReq(req)
 	cost := c.cfg.Machine.Cost
 	sentAt := c.clock.Now()
 	c.charge(cost.MsgSend)
@@ -423,7 +451,9 @@ func (c *Client) rpc(srv int, req *proto.Request) (*proto.Response, error) {
 	c.stats.rpcs.Add(1)
 	c.clock.AdvanceTo(env.ArriveAt)
 	c.charge(cost.MsgRecv)
-	resp, derr := proto.UnmarshalResponse(env.Payload)
+	resp := c.getResp()
+	derr := proto.UnmarshalResponseInto(resp, env.Payload)
+	c.ep.PutBuf(env.Payload) // decoded fields never alias the wire bytes
 	if derr != nil {
 		return nil, fsapi.EIO
 	}
@@ -441,20 +471,33 @@ func (c *Client) rpc(srv int, req *proto.Request) (*proto.Response, error) {
 // RPCTo performs a synchronous RPC to an arbitrary endpoint (used for
 // scheduling-server requests such as exec), with the same virtual-time
 // accounting as file-server RPCs.
+//
+// The await is a gate handoff (AwaitHandoff): the only caller is the exec
+// proxy, whose reply arrives after the scheduling server has handed this
+// lane's work to a child client lane. Bumping the proxy's lane frontier past
+// the send time here would let gated servers run ahead of the child before
+// it joins; the proxy lane instead stays floored at the send until the
+// scheduler idles it (DESIGN.md §13).
 func (c *Client) RPCTo(dst msg.EndpointID, req *proto.Request) (*proto.Response, error) {
 	req.ClientID = c.cfg.ID
 	c.traceRequest(req)
-	payload := req.Marshal()
+	payload := c.marshalReq(req)
 	cost := c.cfg.Machine.Cost
 	c.charge(cost.MsgSend)
-	env, err := c.cfg.Network.RPC(c.ep, dst, proto.KindRequest, payload, c.clock.Now())
+	fut, err := c.cfg.Network.SendAsync(c.ep, dst, proto.KindRequest, payload, c.clock.Now())
+	if err != nil {
+		return nil, fsapi.EIO
+	}
+	env, err := fut.AwaitHandoff()
 	if err != nil {
 		return nil, fsapi.EIO
 	}
 	c.stats.rpcs.Add(1)
 	c.clock.AdvanceTo(env.ArriveAt)
 	c.charge(cost.MsgRecv)
-	resp, derr := proto.UnmarshalResponse(env.Payload)
+	resp := new(proto.Response)
+	derr := proto.UnmarshalResponseInto(resp, env.Payload)
+	c.ep.PutBuf(env.Payload)
 	if derr != nil {
 		return nil, fsapi.EIO
 	}
@@ -481,7 +524,7 @@ func (c *Client) rpcOK(srv int, req *proto.Request) (*proto.Response, error) {
 func (c *Client) broadcast(servers []int, req *proto.Request) ([]*proto.Response, error) {
 	req.ClientID = c.cfg.ID
 	c.traceRequest(req)
-	payload := req.Marshal()
+	payload := c.marshalReq(req)
 	cost := c.cfg.Machine.Cost
 	rt := c.routing
 	dsts := make([]msg.EndpointID, len(servers))
@@ -506,7 +549,11 @@ func (c *Client) broadcast(servers []int, req *proto.Request) ([]*proto.Response
 		if r.Env.ArriveAt > latest {
 			latest = r.Env.ArriveAt
 		}
-		resp, derr := proto.UnmarshalResponse(r.Env.Payload)
+		// All replies are alive at once, so each gets a fresh struct rather
+		// than the shared free list.
+		resp := new(proto.Response)
+		derr := proto.UnmarshalResponseInto(resp, r.Env.Payload)
+		c.ep.PutBuf(r.Env.Payload)
 		if derr != nil {
 			return nil, fsapi.EIO
 		}

@@ -98,7 +98,7 @@ func (c *Client) Unlink(path string) (err error) {
 	if c.cfg.Options.Pipelining && c.cfg.Options.DirCache {
 		c.drainInvalidations()
 		entrySrv, epoch := c.routeEntry(parent, parentDist, name)
-		if ent, ok := c.dcache[dcacheKey{parent, name}]; ok &&
+		if ent, ok := c.dcache.Get(dcacheKey{parent, name}); ok &&
 			ent.ftype != fsapi.TypeDir && !ent.ino.IsNil() && int(ent.ino.Server) == entrySrv {
 			done, uerr := c.unlinkBatched(parent, name, entrySrv, epoch, ent)
 			if done {

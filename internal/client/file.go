@@ -143,7 +143,7 @@ func (c *Client) openExisting(ino proto.InodeID, ftype fsapi.FileType, dist bool
 	// copies are byte-identical and the invalidation is skipped outright
 	// (DESIGN.md §8).
 	if c.cfg.Options.DirectAccess && of.blocks.Len() > 0 {
-		if v, ok := c.vcache[of.ino]; c.cfg.Options.DataPath && ok && v == resp.Version {
+		if v, ok := c.vcache.Get(of.ino); c.cfg.Options.DataPath && ok && v == resp.Version {
 			c.cfg.Cache.NoteVersionSkip(of.blocks.Runs())
 			c.stats.verSkips.Add(1)
 		} else {

@@ -50,10 +50,10 @@ func (c *Client) drainInvalidations() {
 		if iv.Name == "" {
 			// Wildcard from a recovered server: its invalidation-tracking
 			// sets died with it, so every cached entry is suspect.
-			c.dcache = make(map[dcacheKey]dcacheEnt)
+			c.dcache.Clear()
 			continue
 		}
-		delete(c.dcache, dcacheKey{iv.Dir, iv.Name})
+		c.dcache.Delete(dcacheKey{iv.Dir, iv.Name})
 	}
 }
 
@@ -63,7 +63,7 @@ func (c *Client) drainInvalidations() {
 func (c *Client) lookupEntry(dir proto.InodeID, dirDist bool, name string) (dcacheEnt, error) {
 	if c.cfg.Options.DirCache {
 		c.drainInvalidations()
-		if ent, ok := c.dcache[dcacheKey{dir, name}]; ok {
+		if ent, ok := c.dcache.Get(dcacheKey{dir, name}); ok {
 			c.stats.dcHits.Add(1)
 			return ent, nil
 		}
@@ -74,8 +74,9 @@ func (c *Client) lookupEntry(dir proto.InodeID, dirDist bool, name string) (dcac
 		return dcacheEnt{}, err
 	}
 	ent := dcacheEnt{ino: resp.Ino, ftype: resp.Ftype, dist: resp.Dist}
+	c.putResp(resp) // sole owner: nothing above retains the response
 	if c.cfg.Options.DirCache {
-		c.dcache[dcacheKey{dir, name}] = ent
+		c.dcache.Put(dcacheKey{dir, name}, ent)
 	}
 	return ent, nil
 }
@@ -86,21 +87,28 @@ func (c *Client) cacheEntry(dir proto.InodeID, name string, ent dcacheEnt) {
 	if !c.cfg.Options.DirCache {
 		return
 	}
-	c.dcache[dcacheKey{dir, name}] = ent
+	c.dcache.Put(dcacheKey{dir, name}, ent)
 }
 
 // uncacheEntry drops a cached lookup (after unlink/rename/rmdir by this
 // client).
 func (c *Client) uncacheEntry(dir proto.InodeID, name string) {
-	delete(c.dcache, dcacheKey{dir, name})
+	c.dcache.Delete(dcacheKey{dir, name})
 }
 
 // uncacheDir drops every cached entry that belongs to the given directory.
+// Deleting during Range would disturb the walk (backward-shift compaction
+// moves entries), so the keys are collected first.
 func (c *Client) uncacheDir(dir proto.InodeID) {
-	for k := range c.dcache {
+	var doomed []dcacheKey
+	c.dcache.Range(func(k dcacheKey, _ dcacheEnt) bool {
 		if k.dir == dir {
-			delete(c.dcache, k)
+			doomed = append(doomed, k)
 		}
+		return true
+	})
+	for _, k := range doomed {
+		c.dcache.Delete(k)
 	}
 }
 

@@ -72,17 +72,6 @@ func (c *Client) routeEntry(dir proto.InodeID, dirDist bool, name string) (int, 
 	return int(dir.Server), 0
 }
 
-// memberServers returns the current placement members as server indices (the
-// fan-out set for distributed-directory broadcasts).
-func (c *Client) memberServers() []int {
-	members := c.routing.Map.Members()
-	out := make([]int, len(members))
-	for i, id := range members {
-		out[i] = int(id)
-	}
-	return out
-}
-
 // maxEpochRetries bounds every EEPOCH refresh-retry loop. A healthy
 // migration publishes its new routing before committing, so a client
 // refreshes at most a couple of times per membership change; a snapshot

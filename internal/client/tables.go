@@ -1,0 +1,85 @@
+package client
+
+import (
+	"repro/internal/proto"
+	"repro/internal/table"
+)
+
+// Hot-path data structures (DESIGN.md §13).
+//
+// The directory-lookup cache and the per-inode version cache use the
+// open-addressing tables from internal/table: flat storage for the
+// million-entry namespaces the scale sweeps resolve through, and
+// deterministic iteration for the one full scan the client performs
+// (uncacheDir).
+
+func hashClientIno(id proto.InodeID) uint64 {
+	return table.HashU64(id.Local ^ uint64(uint32(id.Server))<<40)
+}
+
+func hashDcacheKey(k dcacheKey) uint64 {
+	return table.HashU64(hashClientIno(k.dir) ^ table.HashString(k.name))
+}
+
+func newDcacheTable() *table.Map[dcacheKey, dcacheEnt] {
+	return table.New[dcacheKey, dcacheEnt](hashDcacheKey, 256)
+}
+
+func newVcacheTable() *table.Map[proto.InodeID, uint64] {
+	return table.New[proto.InodeID, uint64](hashClientIno, 64)
+}
+
+// respFreeCap bounds the response free list. The synchronous RPC path keeps
+// at most one response alive per call, so a handful covers nesting (retry
+// loops, scatter harvests that recycle eagerly).
+const respFreeCap = 8
+
+// getResp returns a response struct from the client's free list. Decoding
+// into it resets every field.
+func (c *Client) getResp() *proto.Response {
+	if n := len(c.respFree); n > 0 {
+		r := c.respFree[n-1]
+		c.respFree[n-1] = nil
+		c.respFree = c.respFree[:n-1]
+		return r
+	}
+	return new(proto.Response)
+}
+
+// putResp recycles a response the caller has fully consumed. Only the single
+// owner of a response may release it — a double put would hand the same
+// struct to two callers. Slices are dropped so a recycled response does not
+// pin a read payload; callers that retained resp.Data keep it (the decoder
+// allocated it fresh and never reuses it).
+func (c *Client) putResp(r *proto.Response) {
+	if r == nil || len(c.respFree) >= respFreeCap {
+		return
+	}
+	r.Data, r.Extents, r.Ents = nil, nil, nil
+	c.respFree = append(c.respFree, r)
+}
+
+// marshalReq encodes a request into a buffer drawn from the endpoint's
+// free-list cache. Ownership of the buffer passes to the receiver with the
+// send (msg/pool.go).
+func (c *Client) marshalReq(req *proto.Request) []byte {
+	return req.AppendTo(c.ep.GetBuf(req.SizeHint()))
+}
+
+// memberServers returns the current placement members as server indices (the
+// fan-out set for distributed-directory broadcasts). The conversion is
+// cached per routing snapshot, so steady-state broadcasts do not re-walk or
+// re-allocate the member list.
+func (c *Client) memberServers() []int {
+	rt := c.routing
+	if c.memberSrvsOf == rt {
+		return c.memberSrvs
+	}
+	members := rt.Map.MembersRef()
+	out := make([]int, len(members))
+	for i, id := range members {
+		out[i] = int(id)
+	}
+	c.memberSrvs, c.memberSrvsOf = out, rt
+	return out
+}

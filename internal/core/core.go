@@ -377,6 +377,33 @@ func (s *System) Stop() {
 	s.started = false
 }
 
+// SetParallel installs (on) or removes (off) the parallel virtual-time
+// engine (DESIGN.md §13): with the gate installed, file servers serve their
+// inboxes in deterministic (arrival, sender, sequence) order as soon as the
+// conservative lane frontiers allow, so endpoints on different OS threads
+// advance concurrently instead of one global virtual-time ping-pong chain.
+//
+// Switch modes only while the deployment is quiescent — no application
+// processes running, no requests in flight — so every lane joins cleanly.
+// Parallel mode's scope excludes replication (follower lanes are not
+// frontier-tracked), crash/recovery, and control-plane operations
+// (checkpoints, shard migrations); serialized mode, the default, supports
+// everything and stays bit-identical to deployments that never call this.
+func (s *System) SetParallel(on bool) error {
+	if !on {
+		s.network.SetGate(nil)
+		return nil
+	}
+	if s.cfg.Replication.Enabled() {
+		return fmt.Errorf("core: parallel mode does not support replication")
+	}
+	s.network.SetGate(sim.NewGate())
+	return nil
+}
+
+// Parallel reports whether the parallel virtual-time engine is installed.
+func (s *System) Parallel() bool { return s.network.Gate() != nil }
+
 // Config returns the deployment's configuration (after normalization).
 func (s *System) Config() Config { return s.cfg }
 

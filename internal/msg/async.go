@@ -18,32 +18,88 @@ import (
 type Future struct {
 	q   *Queue
 	dst EndpointID
+	src *Endpoint
 	// SentAt is the virtual time the request was stamped with.
 	SentAt sim.Cycles
+	// arrive is the request's arrival time at the destination: a lower bound
+	// on the reply's send time, published as the lane frontier while the
+	// caller blocks in Await.
+	arrive sim.Cycles
 }
 
 // SendAsync sends a request and returns a Future for its reply without
 // waiting. The request is in the destination's inbox when SendAsync returns
-// (atomic delivery, like Send).
+// (atomic delivery, like Send). The future and its reply queue come from the
+// sending endpoint's free-list cache; Await recycles them.
 func (n *Network) SendAsync(src *Endpoint, dst EndpointID, kind uint16, payload []byte, sentAt sim.Cycles) (*Future, error) {
-	reply := NewQueue()
-	if _, err := n.Send(src, dst, kind, payload, sentAt, reply); err != nil {
+	f := src.cache.getFuture()
+	arrive, err := n.Send(src, dst, kind, payload, sentAt, f.q)
+	if err != nil {
+		src.cache.putFuture(f)
 		return nil, err
 	}
-	return &Future{q: reply, dst: dst, SentAt: sentAt}, nil
+	f.dst = dst
+	f.src = src
+	f.SentAt = sentAt
+	f.arrive = arrive
+	return f, nil
 }
 
 // Await blocks until the reply arrives and returns its envelope. It fails
 // only if the reply queue was closed without a reply (the responder died).
+// A future must be awaited at most once; after a successful Await it is
+// recycled and must not be touched again.
 func (f *Future) Await() (Envelope, error) {
+	src := f.src
+	if src != nil {
+		if g := src.net.gate.Load(); g != nil {
+			// While blocked here the lane cannot send; the reply cannot be
+			// sent before the request arrives, so the request's arrival time
+			// is a sound frontier.
+			g.Bump(int(src.ID), f.arrive)
+		}
+	}
 	env, ok := f.q.PopWait()
 	if !ok {
 		return Envelope{}, fmt.Errorf("msg: async rpc to endpoint %d: reply queue closed", f.dst)
 	}
+	// Recycle the future unless a fault plan is installed: a duplicated
+	// request makes the responder reply twice, and the surplus reply may be
+	// pushed arbitrarily late — the queue must not be reused then.
+	if src != nil && src.net.faults.Load() == nil && f.q.Len() == 0 {
+		src.cache.putFuture(f)
+	}
 	return env, nil
 }
 
-// TryAwait returns the reply if it has already been pushed, without blocking.
+// AwaitHandoff blocks like Await but never publishes a frontier for the
+// lane: the receiver of the request takes responsibility for it (idling the
+// lane once the spawned work's own lanes are tracked, and resuming it with
+// the reply). It exists for requests served by *ungated* endpoints — remote
+// exec on a scheduling server — where the ordinary Await bump could race
+// with the receiver's idle and re-pin the lane at the request's arrival
+// forever. The lane's floor stays at the request's send time until the
+// receiver idles it.
+func (f *Future) AwaitHandoff() (Envelope, error) {
+	env, ok := f.q.PopWait()
+	if !ok {
+		return Envelope{}, fmt.Errorf("msg: async rpc to endpoint %d: reply queue closed", f.dst)
+	}
+	if src := f.src; src != nil && src.net.faults.Load() == nil && f.q.Len() == 0 {
+		src.cache.putFuture(f)
+	}
+	return env, nil
+}
+
+// TryAwait returns the reply if it has already been pushed, without
+// blocking. A harvested future is recycled exactly as in Await.
 func (f *Future) TryAwait() (Envelope, bool) {
-	return f.q.TryPop()
+	env, ok := f.q.TryPop()
+	if !ok {
+		return Envelope{}, false
+	}
+	if src := f.src; src != nil && src.net.faults.Load() == nil && f.q.Len() == 0 {
+		src.cache.putFuture(f)
+	}
+	return env, true
 }

@@ -18,6 +18,10 @@ type Envelope struct {
 	Dst     EndpointID
 	Kind    uint16
 	Payload []byte
+	// Seq is the sender's per-endpoint send sequence number. Together with
+	// Src it gives the parallel engine a tie-break for equal arrival times
+	// that depends only on program order, not on real-time push order.
+	Seq uint64
 	// SentAt is the sender's virtual time when the message was sent;
 	// ArriveAt is when it becomes visible at the receiver (SentAt plus
 	// propagation latency).
@@ -26,17 +30,27 @@ type Envelope struct {
 	// Reply, when non-nil, is where the receiver should push its response.
 	// It models a reply capability carried in the request.
 	Reply *Queue
+	// noResume marks a fault-injected duplicate: its surplus reply is
+	// abandoned by the requester, so it must never resume the requester's
+	// lane under the parallel engine (the original's reply is the wakeup;
+	// a late surplus Resume would resurrect an idle lane at a stale
+	// frontier and wedge every gated server behind it).
+	noResume bool
 }
 
 // Endpoint is one attachment point on the network. Each endpoint has a
 // request inbox and a callback queue (used by Hare for directory-cache
-// invalidations, which must not be interleaved with RPC replies).
+// invalidations, which must not be interleaved with RPC replies), plus a
+// free-list cache for payload buffers and futures (pool.go).
 type Endpoint struct {
 	ID        EndpointID
 	Core      int
 	Inbox     *Queue
 	Callbacks *Queue
 	net       *Network
+
+	sendSeq atomic.Uint64
+	cache   epCache
 }
 
 // Network routes envelopes between endpoints, applying topology-dependent
@@ -44,8 +58,11 @@ type Endpoint struct {
 type Network struct {
 	machine Machine
 
+	// endpoints is an append-only array indexed by EndpointID, swapped
+	// atomically on growth. Lookups on the send path are lock-free; the
+	// mutex only serializes registration.
 	mu        sync.Mutex
-	endpoints map[EndpointID]*Endpoint
+	endpoints atomic.Pointer[[]*Endpoint]
 	nextID    EndpointID
 
 	stats Stats
@@ -53,6 +70,10 @@ type Network struct {
 	// faults, when non-nil, is the installed fault-injection plan
 	// (deterministic delay jitter and duplicate delivery; see FaultPlan).
 	faults atomic.Pointer[faultState]
+
+	// gate, when non-nil, is the parallel virtual-time engine's
+	// synchronization core. Serialized mode leaves it nil.
+	gate atomic.Pointer[sim.Gate]
 }
 
 // Machine is the subset of sim.Machine the network needs; it is satisfied by
@@ -83,10 +104,10 @@ type Stats struct {
 
 // NewNetwork creates an empty network over the given machine model.
 func NewNetwork(m Machine) *Network {
-	return &Network{
-		machine:   m,
-		endpoints: make(map[EndpointID]*Endpoint),
-	}
+	n := &Network{machine: m}
+	eps := make([]*Endpoint, 0)
+	n.endpoints.Store(&eps)
+	return n
 }
 
 // NewEndpoint registers a new endpoint pinned to the given core.
@@ -102,16 +123,62 @@ func (n *Network) NewEndpoint(core int) *Endpoint {
 		Callbacks: NewQueue(),
 		net:       n,
 	}
-	n.endpoints[id] = ep
+	old := *n.endpoints.Load()
+	grown := make([]*Endpoint, len(old)+1)
+	copy(grown, old)
+	grown[len(old)] = ep
+	n.endpoints.Store(&grown)
 	return ep
+}
+
+// lookup returns the endpoint with the given id without locking.
+func (n *Network) lookup(id EndpointID) *Endpoint {
+	eps := *n.endpoints.Load()
+	if id < 0 || int(id) >= len(eps) {
+		return nil
+	}
+	return eps[id]
 }
 
 // Endpoint returns a registered endpoint by id.
 func (n *Network) Endpoint(id EndpointID) (*Endpoint, bool) {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	ep, ok := n.endpoints[id]
-	return ep, ok
+	ep := n.lookup(id)
+	return ep, ep != nil
+}
+
+// SetGate installs (or, with nil, removes) the parallel engine's gate.
+// Install it only while the system is quiescent — no requests in flight —
+// so every lane's first send after the switch joins cleanly.
+func (n *Network) SetGate(g *sim.Gate) {
+	if g == nil {
+		n.gate.Store(nil)
+		return
+	}
+	n.gate.Store(g)
+}
+
+// Gate returns the installed gate, or nil in serialized mode.
+func (n *Network) Gate() *sim.Gate { return n.gate.Load() }
+
+// GateIdle marks the endpoint's lane quiescent (it no longer constrains the
+// parallel engine's safe time). No-op in serialized mode. Callers mark a
+// lane idle when its next send time is controlled by another lane: a proxy
+// blocked on a remote exec, a root process waiting on children, an exited
+// process.
+func (n *Network) GateIdle(id EndpointID) {
+	if g := n.gate.Load(); g != nil {
+		g.Idle(int(id))
+	}
+}
+
+// GateJoin raises (or first joins) the endpoint's lane frontier to t: the
+// lane promises not to send before t. No-op in serialized mode. Callers must
+// hold the safe-time floor below t while joining — either the system is
+// quiescent, or the caller's own (active) lane frontier is <= t.
+func (n *Network) GateJoin(id EndpointID, t sim.Cycles) {
+	if g := n.gate.Load(); g != nil {
+		g.Bump(int(id), t)
+	}
 }
 
 // MessageCount returns the total number of messages sent so far.
@@ -139,12 +206,16 @@ func (n *Network) route(srcCore, dstCore int, sentAt sim.Cycles, payload int) si
 // Send delivers an envelope to dst's request inbox. When Send returns the
 // envelope is already in the destination queue (atomic delivery). It returns
 // the arrival time at the destination.
+//
+// The receiver owns the payload once Send returns (see pool.go); the caller
+// must not reuse or release it.
 func (n *Network) Send(src *Endpoint, dst EndpointID, kind uint16, payload []byte, sentAt sim.Cycles, reply *Queue) (sim.Cycles, error) {
-	n.mu.Lock()
-	dep, ok := n.endpoints[dst]
-	n.mu.Unlock()
-	if !ok {
+	dep := n.lookup(dst)
+	if dep == nil {
 		return 0, fmt.Errorf("msg: send to unknown endpoint %d", dst)
+	}
+	if g := n.gate.Load(); g != nil {
+		g.Bump(int(src.ID), sentAt)
 	}
 	arrive := n.route(src.Core, dep.Core, sentAt, len(payload))
 	fs := n.faults.Load()
@@ -156,6 +227,7 @@ func (n *Network) Send(src *Endpoint, dst EndpointID, kind uint16, payload []byt
 		Dst:      dst,
 		Kind:     kind,
 		Payload:  payload,
+		Seq:      src.sendSeq.Add(1),
 		SentAt:   sentAt,
 		ArriveAt: arrive,
 		Reply:    reply,
@@ -168,9 +240,13 @@ func (n *Network) Send(src *Endpoint, dst EndpointID, kind uint16, payload []byt
 		if extra, dup := fs.dupDelay(src.ID, dst, kind, payload, sentAt); dup {
 			// Deliver the same request a second time, strictly after the
 			// original. The receiver answers both; the surplus reply is
-			// abandoned with its queue.
+			// abandoned with its queue. The duplicate gets its own payload
+			// copy because each delivered envelope owns its payload.
 			dupEnv := env
+			dupEnv.Payload = append(src.cache.GetBuf(len(payload)), payload...)
+			dupEnv.Seq = src.sendSeq.Add(1)
 			dupEnv.ArriveAt = arrive + extra
+			dupEnv.noResume = true
 			dep.Inbox.Push(dupEnv)
 			n.stats.Messages.Add(1)
 			n.stats.Requests.Add(1)
@@ -181,12 +257,12 @@ func (n *Network) Send(src *Endpoint, dst EndpointID, kind uint16, payload []byt
 }
 
 // SendCallback delivers an envelope to dst's callback queue (used for
-// directory-cache invalidations). Like Send, delivery is atomic.
+// directory-cache invalidations). Like Send, delivery is atomic. Callback
+// payloads are shared across a fan-out and are not cache-managed; receivers
+// must not release them.
 func (n *Network) SendCallback(src *Endpoint, dst EndpointID, kind uint16, payload []byte, sentAt sim.Cycles) (sim.Cycles, error) {
-	n.mu.Lock()
-	dep, ok := n.endpoints[dst]
-	n.mu.Unlock()
-	if !ok {
+	dep := n.lookup(dst)
+	if dep == nil {
 		return 0, fmt.Errorf("msg: callback to unknown endpoint %d", dst)
 	}
 	arrive := n.route(src.Core, dep.Core, sentAt, len(payload))
@@ -195,6 +271,7 @@ func (n *Network) SendCallback(src *Endpoint, dst EndpointID, kind uint16, paylo
 		Dst:      dst,
 		Kind:     kind,
 		Payload:  payload,
+		Seq:      src.sendSeq.Add(1),
 		SentAt:   sentAt,
 		ArriveAt: arrive,
 	}
@@ -206,28 +283,36 @@ func (n *Network) SendCallback(src *Endpoint, dst EndpointID, kind uint16, paylo
 }
 
 // Reply pushes a response envelope onto the reply queue carried by a request.
-// The caller supplies its own endpoint (for core/latency accounting).
+// The caller supplies its own endpoint (for core/latency accounting). The
+// awaiting requester owns the payload once Reply returns.
 func (n *Network) Reply(from *Endpoint, req Envelope, kind uint16, payload []byte, sentAt sim.Cycles) sim.Cycles {
 	if req.Reply == nil {
 		return sentAt
 	}
 	// The requester's core is needed for latency; look it up.
-	n.mu.Lock()
-	sep, ok := n.endpoints[req.Src]
-	n.mu.Unlock()
 	dstCore := from.Core
-	if ok {
+	if sep := n.lookup(req.Src); sep != nil {
 		dstCore = sep.Core
 	}
 	arrive := n.route(from.Core, dstCore, sentAt, len(payload))
 	if fs := n.faults.Load(); fs != nil {
 		arrive += fs.delay(from.ID, req.Src, kind, payload, sentAt)
 	}
+	if g := n.gate.Load(); g != nil && !req.noResume {
+		// If the requester's lane was idled (its request parked, or handed
+		// off to a spawned process), this reply is what wakes it: resume the
+		// lane at the reply's arrival — the earliest the requester can send
+		// again. Our own service of the waking request held the floor below
+		// arrive until now. Surplus replies to fault-injected duplicates are
+		// excluded (noResume): their requester abandons them.
+		g.Resume(int(req.Src), arrive)
+	}
 	req.Reply.Push(Envelope{
 		Src:      from.ID,
 		Dst:      req.Src,
 		Kind:     kind,
 		Payload:  payload,
+		Seq:      from.sendSeq.Add(1),
 		SentAt:   sentAt,
 		ArriveAt: arrive,
 	})

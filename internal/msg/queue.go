@@ -12,7 +12,11 @@
 // distributed deadlock between servers and clients.
 package msg
 
-import "sync"
+import (
+	"sync"
+
+	"repro/internal/sim"
+)
 
 // qitem is one queued envelope plus its push sequence number (the FIFO key,
 // and the tie-break for equal arrival times).
@@ -20,6 +24,17 @@ type qitem struct {
 	env Envelope
 	seq uint64
 }
+
+// Queue drain disciplines. FIFO orders by push sequence; arrival orders by
+// (ArriveAt, push sequence); arrivalDet orders by (ArriveAt, Src, Seq),
+// which depends only on virtual time and per-sender program order — the
+// deterministic tie-break the parallel engine requires (push order is
+// real-time order and varies run to run).
+const (
+	modeFIFO = iota
+	modeArrival
+	modeArrivalDet
+)
 
 // Queue is an unbounded multi-producer queue of Envelopes. TryPop/PopWait
 // drain it FIFO; PopWaitEarliest drains it in virtual-arrival-time order.
@@ -35,12 +50,12 @@ type qitem struct {
 // references (the old `items = items[1:]` reslice kept every popped payload
 // alive until the backing array was abandoned).
 type Queue struct {
-	mu        sync.Mutex
-	cond      *sync.Cond
-	items     []qitem
-	nextSeq   uint64
-	byArrival bool
-	closed    bool
+	mu      sync.Mutex
+	cond    *sync.Cond
+	items   []qitem
+	nextSeq uint64
+	mode    uint8
+	closed  bool
 }
 
 // NewQueue returns an empty queue.
@@ -52,16 +67,27 @@ func NewQueue() *Queue {
 
 // less orders the heap: by push sequence in FIFO mode, by virtual arrival
 // time (ties broken by push order, matching the old scan's stability) in
-// arrival mode.
+// arrival mode, and by (ArriveAt, Src, Seq) in deterministic-arrival mode.
 func (q *Queue) less(i, j int) bool {
-	if q.byArrival {
+	switch q.mode {
+	case modeArrival:
 		a, b := &q.items[i], &q.items[j]
 		if a.env.ArriveAt != b.env.ArriveAt {
 			return a.env.ArriveAt < b.env.ArriveAt
 		}
 		return a.seq < b.seq
+	case modeArrivalDet:
+		a, b := &q.items[i], &q.items[j]
+		if a.env.ArriveAt != b.env.ArriveAt {
+			return a.env.ArriveAt < b.env.ArriveAt
+		}
+		if a.env.Src != b.env.Src {
+			return a.env.Src < b.env.Src
+		}
+		return a.env.Seq < b.env.Seq
+	default:
+		return q.items[i].seq < q.items[j].seq
 	}
-	return q.items[i].seq < q.items[j].seq
 }
 
 func (q *Queue) siftUp(i int) {
@@ -96,15 +122,21 @@ func (q *Queue) siftDown(i int) {
 // setMode switches the heap ordering, re-heapifying when it changes. A queue
 // is in practice drained by one discipline (server inboxes by arrival time,
 // reply and callback queues FIFO), so the switch happens at most once.
-func (q *Queue) setMode(byArrival bool) {
-	if q.byArrival == byArrival {
+func (q *Queue) setMode(mode uint8) {
+	if q.mode == mode {
 		return
 	}
-	q.byArrival = byArrival
+	q.mode = mode
 	for i := len(q.items)/2 - 1; i >= 0; i-- {
 		q.siftDown(i)
 	}
 }
+
+// shrinkCap is the backing-array capacity above which a drained queue
+// releases its array to the GC: one burst (a broadcast fan-in, a recovery
+// backlog) must not pin a large array — and through its envelope slots,
+// their payload buffers — for the rest of the run.
+const shrinkCap = 1024
 
 // popRoot removes and returns the heap minimum. The vacated tail slot is
 // zeroed so the backing array drops its reference to the popped payload.
@@ -116,7 +148,27 @@ func (q *Queue) popRoot() Envelope {
 	q.items[n] = qitem{}
 	q.items = q.items[:n]
 	q.siftDown(0)
+	if n == 0 && cap(q.items) > shrinkCap {
+		q.items = nil
+	}
 	return e
+}
+
+// recycle prepares a queue for reuse from a pool: any leftover envelopes are
+// dropped, the closed state is cleared, and an oversized backing array is
+// released.
+func (q *Queue) recycle() {
+	q.mu.Lock()
+	for i := range q.items {
+		q.items[i] = qitem{}
+	}
+	q.items = q.items[:0]
+	if cap(q.items) > shrinkCap {
+		q.items = nil
+	}
+	q.closed = false
+	q.mode = modeFIFO
+	q.mu.Unlock()
 }
 
 // Push appends an envelope to the queue. Push never blocks; by the time it
@@ -137,7 +189,7 @@ func (q *Queue) TryPop() (Envelope, bool) {
 	if len(q.items) == 0 {
 		return Envelope{}, false
 	}
-	q.setMode(false)
+	q.setMode(modeFIFO)
 	return q.popRoot(), true
 }
 
@@ -153,7 +205,7 @@ func (q *Queue) PopWait() (Envelope, bool) {
 	if len(q.items) == 0 {
 		return Envelope{}, false
 	}
-	q.setMode(false)
+	q.setMode(modeFIFO)
 	return q.popRoot(), true
 }
 
@@ -172,8 +224,40 @@ func (q *Queue) PopWaitEarliest() (Envelope, bool) {
 	if len(q.items) == 0 {
 		return Envelope{}, false
 	}
-	q.setMode(true)
+	q.setMode(modeArrival)
 	return q.popRoot(), true
+}
+
+// PopWaitEarliestGated is PopWaitEarliest under the parallel engine: it
+// returns the earliest queued arrival only once the gate confirms no
+// earlier arrival can still appear (every lane's frontier has passed it).
+// Ties are broken by (Src, Seq) — deterministic across runs — instead of
+// push order. A nil gate falls back to PopWaitEarliest.
+func (q *Queue) PopWaitEarliestGated(g *sim.Gate) (Envelope, bool) {
+	if g == nil {
+		return q.PopWaitEarliest()
+	}
+	spin := 0
+	for {
+		q.mu.Lock()
+		for len(q.items) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.items) == 0 {
+			q.mu.Unlock()
+			return Envelope{}, false
+		}
+		q.setMode(modeArrivalDet)
+		if g.SafeAt(q.items[0].env.ArriveAt) {
+			e := q.popRoot()
+			q.mu.Unlock()
+			return e, true
+		}
+		q.mu.Unlock()
+		// Not yet safe: back off, then re-peek (a smaller arrival may have
+		// been pushed meanwhile).
+		g.Pause(&spin)
+	}
 }
 
 // Len returns the number of queued envelopes.

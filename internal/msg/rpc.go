@@ -37,23 +37,39 @@ type BroadcastResult struct {
 // request being sent only after the previous reply arrived at sentAt' =
 // previous reply arrival. The per-destination results are returned in the
 // order of dsts.
+//
+// Each delivered envelope owns its payload, so every destination after the
+// first receives a copy drawn from the sender's buffer cache.
 func (n *Network) Broadcast(src *Endpoint, dsts []EndpointID, kind uint16, payload []byte, sentAt sim.Cycles, parallel bool) []BroadcastResult {
 	results := make([]BroadcastResult, len(dsts))
-	if parallel {
-		queues := make([]*Queue, len(dsts))
-		for i, d := range dsts {
-			queues[i] = NewQueue()
-			if _, err := n.Send(src, d, kind, payload, sentAt, queues[i]); err != nil {
-				results[i] = BroadcastResult{Dst: d, Err: err}
-				queues[i] = nil
-			}
+	// Cut every copy before the first send: the moment destination 0 holds
+	// the original it may decode, release, and reuse the buffer for its own
+	// reply, so copying lazily from `payload` at iteration i would read
+	// whatever the receiver wrote over it.
+	payloads := make([][]byte, len(dsts))
+	for i := range dsts {
+		if i == 0 {
+			payloads[i] = payload
+			continue
 		}
-		for i, q := range queues {
-			if q == nil {
+		payloads[i] = append(src.cache.GetBuf(len(payload)), payload...)
+	}
+	if parallel {
+		futs := make([]*Future, len(dsts))
+		for i, d := range dsts {
+			fut, err := n.SendAsync(src, d, kind, payloads[i], sentAt)
+			if err != nil {
+				results[i] = BroadcastResult{Dst: d, Err: err}
 				continue
 			}
-			env, ok := q.PopWait()
-			if !ok {
+			futs[i] = fut
+		}
+		for i, fut := range futs {
+			if fut == nil {
+				continue
+			}
+			env, err := fut.Await()
+			if err != nil {
 				results[i] = BroadcastResult{Dst: dsts[i], Err: fmt.Errorf("msg: broadcast reply queue closed")}
 				continue
 			}
@@ -63,7 +79,7 @@ func (n *Network) Broadcast(src *Endpoint, dsts []EndpointID, kind uint16, paylo
 	}
 	now := sentAt
 	for i, d := range dsts {
-		env, err := n.RPC(src, d, kind, payload, now)
+		env, err := n.RPC(src, d, kind, payloads[i], now)
 		if err != nil {
 			results[i] = BroadcastResult{Dst: d, Err: err}
 			continue

@@ -73,6 +73,12 @@ type Map struct {
 	vnodes  int
 	members []int32 // sorted ascending
 	ring    []ringPoint
+	// lut buckets the ring by the top bits of the key: lut[b] is the index
+	// of the first virtual node whose hash >= b<<lutShift. Route starts at
+	// that index and scans forward, turning the per-key binary search into a
+	// constant-time lookup plus a walk of ~1 ring point on average.
+	lut      []int32
+	lutShift uint
 }
 
 // New builds a map at the given epoch. Members are copied, sorted, and
@@ -104,7 +110,7 @@ func Initial(policy Policy, n int) *Map {
 // buildRing materializes the virtual-node ring for PolicyRing.
 func (m *Map) buildRing() {
 	if m.policy != PolicyRing {
-		m.ring = nil
+		m.ring, m.lut = nil, nil
 		return
 	}
 	m.ring = make([]ringPoint, 0, len(m.members)*m.vnodes)
@@ -120,6 +126,35 @@ func (m *Map) buildRing() {
 		}
 		return m.ring[i].server < m.ring[j].server
 	})
+	m.buildLUT()
+}
+
+// buildLUT precomputes the bucket table over the sorted ring. With ~2 buckets
+// per virtual node (capped at 1<<20 buckets) each bucket covers at most a few
+// ring points, so Route's forward scan is O(1) expected.
+func (m *Map) buildLUT() {
+	if len(m.ring) == 0 {
+		m.lut = nil
+		return
+	}
+	n := 1
+	for n < 2*len(m.ring) && n < 1<<20 {
+		n *= 2
+	}
+	shift := uint(64)
+	for 1<<(64-shift) < n {
+		shift--
+	}
+	m.lutShift = shift
+	m.lut = make([]int32, n)
+	i := 0
+	for b := 0; b < n; b++ {
+		lo := uint64(b) << shift
+		for i < len(m.ring) && m.ring[i].hash < lo {
+			i++
+		}
+		m.lut[b] = int32(i)
+	}
 }
 
 // mix64 is SplitMix64's finalizer: a cheap, well-distributed 64-bit mixer
@@ -144,6 +179,11 @@ func (m *Map) Members() []int32 {
 	return out
 }
 
+// MembersRef returns the map's own member slice (sorted ascending) without
+// copying. The caller must treat it as read-only; it is shared with every
+// other caller and with the map's routing state.
+func (m *Map) MembersRef() []int32 { return m.members }
+
 // NumMembers returns the number of member servers.
 func (m *Map) NumMembers() int { return len(m.members) }
 
@@ -166,8 +206,13 @@ func (m *Map) Route(key uint64) int32 {
 		// *position* — does not; unmixed, sequential names cluster on one
 		// arc and defeat both balance and bounded movement.
 		key = mix64(key)
-		// First virtual node clockwise from the key, wrapping at the top.
-		i := sort.Search(len(m.ring), func(i int) bool { return m.ring[i].hash >= key })
+		// First virtual node clockwise from the key, wrapping at the top:
+		// the bucket table lands within a few points of the answer and the
+		// scan finishes the job without a binary search.
+		i := int(m.lut[key>>m.lutShift])
+		for i < len(m.ring) && m.ring[i].hash < key {
+			i++
+		}
 		if i == len(m.ring) {
 			i = 0
 		}

@@ -86,9 +86,20 @@ type Request struct {
 	Span  uint64
 }
 
+// SizeHint returns a capacity estimate for the request's wire form.
+func (r *Request) SizeHint() int {
+	return 64 + len(r.Name) + len(r.Data) + 16*len(r.Fds)
+}
+
 // Marshal encodes the request into a fresh byte slice.
 func (r *Request) Marshal() []byte {
-	e := newEncoder(64 + len(r.Name) + len(r.Data) + 16*len(r.Fds))
+	return r.AppendTo(make([]byte, 0, r.SizeHint()))
+}
+
+// AppendTo encodes the request onto buf and returns the extended slice. Hot
+// paths pass a recycled buffer so that marshaling allocates nothing.
+func (r *Request) AppendTo(buf []byte) []byte {
+	e := encoder{buf: buf}
 	e.u16(uint16(r.Op))
 	e.i32(r.ClientID)
 	e.inode(r.Dir)
@@ -136,8 +147,20 @@ func (r *Request) Marshal() []byte {
 
 // UnmarshalRequest decodes a request from a wire payload.
 func UnmarshalRequest(b []byte) (*Request, error) {
-	d := newDecoder(b)
 	r := &Request{}
+	if err := UnmarshalRequestInto(r, b); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// UnmarshalRequestInto decodes a request from a wire payload into r, which
+// is reset first; hot paths pass a recycled struct. The decoder copies every
+// variable-length field, so r never aliases b and the caller may release b
+// immediately.
+func UnmarshalRequestInto(r *Request, b []byte) error {
+	d := newDecoder(b)
+	*r = Request{}
 	r.Op = Op(d.u16())
 	r.ClientID = d.i32()
 	r.Dir = d.inode()
@@ -185,8 +208,5 @@ func UnmarshalRequest(b []byte) (*Request, error) {
 		r.Trace = d.u64()
 		r.Span = d.u64()
 	}
-	if err := d.finish("request"); err != nil {
-		return nil, err
-	}
-	return r, nil
+	return d.finish("request")
 }

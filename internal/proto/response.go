@@ -40,9 +40,20 @@ type Response struct {
 	PID        int64 // exec: pid assigned to the remote process
 }
 
+// SizeHint returns a capacity estimate for the response's wire form.
+func (r *Response) SizeHint() int {
+	return 64 + len(r.Data) + 24*len(r.Ents) + 16*len(r.Extents)
+}
+
 // Marshal encodes the response into a fresh byte slice.
 func (r *Response) Marshal() []byte {
-	e := newEncoder(64 + len(r.Data) + 24*len(r.Ents) + 16*len(r.Extents))
+	return r.AppendTo(make([]byte, 0, r.SizeHint()))
+}
+
+// AppendTo encodes the response onto buf and returns the extended slice.
+// Hot paths pass a recycled buffer so that marshaling allocates nothing.
+func (r *Response) AppendTo(buf []byte) []byte {
+	e := encoder{buf: buf}
 	e.i32(int32(r.Err))
 	e.inode(r.Ino)
 	e.i32(r.Server)
@@ -79,8 +90,20 @@ func (r *Response) Marshal() []byte {
 
 // UnmarshalResponse decodes a response from a wire payload.
 func UnmarshalResponse(b []byte) (*Response, error) {
-	d := newDecoder(b)
 	r := &Response{}
+	if err := UnmarshalResponseInto(r, b); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// UnmarshalResponseInto decodes a response from a wire payload into r, which
+// is reset first; hot paths pass a recycled struct. The decoder copies every
+// variable-length field, so r never aliases b and the caller may release b
+// immediately.
+func UnmarshalResponseInto(r *Response, b []byte) error {
+	d := newDecoder(b)
+	*r = Response{}
 	r.Err = fsapi.Errno(d.i32())
 	r.Ino = d.inode()
 	r.Server = d.i32()
@@ -121,10 +144,7 @@ func UnmarshalResponse(b []byte) (*Response, error) {
 	r.ExitStatus = d.i32()
 	r.PID = d.i64()
 	r.Epoch = d.u64()
-	if err := d.finish("response"); err != nil {
-		return nil, err
-	}
-	return r, nil
+	return d.finish("response")
 }
 
 // ErrResponse builds a response carrying only an error.

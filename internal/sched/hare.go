@@ -104,6 +104,10 @@ func (sys *HareSystem) MaxEndTime() sim.Cycles { return sys.ends.maxEnd() }
 func (sys *HareSystem) StartRoot(core int, args []string, fn ProcFunc) *Handle {
 	cli := sys.cfg.NewClient(core)
 	cli.AdvanceClock(sys.ends.maxEnd())
+	// Join the root's lane before it runs: under the parallel engine a lane
+	// must be tracked before any other lane's frontier can pass its start
+	// time (the caller starts roots while the system is quiescent).
+	sys.cfg.Network.GateJoin(cli.EndpointID(), cli.Clock())
 	proc := &Proc{PID: sys.pids.alloc(), Args: args, FS: cli, core: core, sys: sys}
 	handle := newHandle(proc.PID)
 	sys.trackProc(proc)
@@ -113,6 +117,7 @@ func (sys *HareSystem) StartRoot(core int, args []string, fn ProcFunc) *Handle {
 		end := cli.Clock()
 		sys.ends.record(end)
 		sys.untrackProc(proc)
+		sys.cfg.Network.GateIdle(cli.EndpointID())
 		handle.finish(status, end)
 	}()
 	return handle
@@ -132,6 +137,10 @@ func (sys *HareSystem) Spawn(parent *Proc, args []string, fn ProcFunc, remote bo
 	childCli := forked.(*client.Client)
 	pid := sys.pids.alloc()
 	handle := newHandle(pid)
+	// Join the child's lane from the parent's context: the parent's own
+	// active frontier (<= the fork time) holds the safe-time floor, so the
+	// join can never land behind the system.
+	sys.cfg.Network.GateJoin(childCli.EndpointID(), childCli.Clock())
 
 	if !remote {
 		proc := &Proc{PID: pid, Args: args, FS: childCli, core: parent.core, sys: sys}
@@ -142,6 +151,7 @@ func (sys *HareSystem) Spawn(parent *Proc, args []string, fn ProcFunc, remote bo
 			end := childCli.Clock()
 			sys.ends.record(end)
 			sys.untrackProc(proc)
+			sys.cfg.Network.GateIdle(childCli.EndpointID())
 			handle.finish(status, end)
 		}()
 		return handle, nil
@@ -165,6 +175,7 @@ func (sys *HareSystem) Spawn(parent *Proc, args []string, fn ProcFunc, remote bo
 		if err != nil {
 			childCli.CloseAll()
 			sys.ends.record(childCli.Clock())
+			sys.cfg.Network.GateIdle(childCli.EndpointID())
 			handle.finish(127, childCli.Clock())
 			return
 		}
@@ -185,6 +196,7 @@ func (sys *HareSystem) Spawn(parent *Proc, args []string, fn ProcFunc, remote bo
 		childCli.CloseAll()
 		end := childCli.Clock()
 		sys.ends.record(end)
+		sys.cfg.Network.GateIdle(childCli.EndpointID())
 		handle.finish(status, end)
 	}()
 	return handle, nil
@@ -290,6 +302,18 @@ func (s *schedServer) handleExec(req *proto.Request, env msg.Envelope, at sim.Cy
 		return
 	}
 	cli := s.sys.cfg.NewClient(s.core)
+	net := s.sys.cfg.Network
+	if net.Gate() != nil {
+		// Parallel engine: the proxy's frontier (<= its exec send time <= at)
+		// still holds the safe-time floor, so join the child's lane at `at`
+		// first, then park the proxy until the exit reply resumes it. The
+		// clock moves before ImportFds so the child never sends behind its
+		// own lane; serialized mode keeps the legacy order (import at the
+		// fork-time clock) bit-identical.
+		cli.AdvanceClock(at)
+		net.GateJoin(cli.EndpointID(), at)
+		net.GateIdle(env.Src)
+	}
 	cli.ImportFds(req.Fds)
 	cli.SetCwd(req.Dirname)
 	cli.AdvanceClock(at)
@@ -302,7 +326,11 @@ func (s *schedServer) handleExec(req *proto.Request, env msg.Envelope, at sim.Cy
 		end := cli.Clock()
 		s.sys.ends.record(end)
 		s.sys.untrackProc(proc)
+		// Reply before idling the child's lane: the reply's Resume hands the
+		// safe-time floor to the proxy, and the child's own frontier (<= end)
+		// must hold it until then.
 		s.reply(env, &proto.Response{ExitStatus: int32(status), PID: proc.PID}, end)
+		net.GateIdle(cli.EndpointID())
 	}()
 }
 

@@ -27,6 +27,19 @@ type Clocked interface {
 	Compute(d sim.Cycles)
 }
 
+// GateParker is the part of a client that participates in the parallel
+// virtual-time engine (DESIGN.md §13). A process that blocks on something
+// outside the message layer — waiting on child processes — must park its
+// lane so the rest of the system can advance, and resume it (after advancing
+// its clock past everything that completed meanwhile) before issuing more
+// operations. The Hare client library implements it; the baselines, which
+// never run under the gate, do not.
+type GateParker interface {
+	GateActive() bool
+	GatePark()
+	GateResume()
+}
+
 // Proc is one simulated process: a file system client pinned to a core plus
 // process metadata.
 type Proc struct {

@@ -67,8 +67,8 @@ func (s *Server) dispatchBatch(subs []*proto.Request, stopOnErr bool, batchReq *
 			continue // answered per-sub below, never dispatched
 		}
 		if dirOp(sub.Op) {
-			if sh, ok := s.dirs[sub.Dir]; ok && sh.marked {
-				sh.park(batchReq, raw)
+			if sh, ok := s.dirs.Get(sub.Dir); ok && sh.marked {
+				s.park(sh, batchReq, raw)
 				return nil, true
 			}
 		}
@@ -82,6 +82,7 @@ func (s *Server) dispatchBatch(subs []*proto.Request, stopOnErr bool, batchReq *
 			if !(sub.Epoch == cur && entryReadOnly(sub.Op)) &&
 				(sub.Epoch == cur || sub.Epoch == s.pendingEpoch) {
 				s.migParked = append(s.migParked, parkedReq{req: batchReq, env: raw})
+				s.cfg.Network.GateIdle(raw.Src)
 				return nil, true
 			}
 		}
@@ -106,6 +107,12 @@ func (s *Server) dispatchBatch(subs []*proto.Request, stopOnErr bool, batchReq *
 			if resp == nil {
 				resp = proto.ErrResponse(fsapi.EIO)
 			}
+			if resp == &s.scratch {
+				// Hot-path handlers return the shared scratch response;
+				// batches retain several responses at once, so snapshot it.
+				c := *resp
+				resp = &c
+			}
 			resps[i] = resp
 		}
 		if resps[i].Err != fsapi.OK {
@@ -120,5 +127,5 @@ func (s *Server) dispatchBatch(subs []*proto.Request, stopOnErr bool, batchReq *
 	}
 	s.statsMu.Unlock()
 
-	return &proto.Response{Data: proto.MarshalBatchResponses(resps)}, false
+	return s.resp(proto.Response{Data: proto.MarshalBatchResponses(resps)}), false
 }

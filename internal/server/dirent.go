@@ -4,6 +4,7 @@ import (
 	"repro/internal/fsapi"
 	"repro/internal/msg"
 	"repro/internal/proto"
+	"repro/internal/table"
 )
 
 // dirEnt is one directory entry stored on this server. Each entry records
@@ -20,7 +21,7 @@ type dirEnt struct {
 // distributed directory every server holds a shard; for a centralized
 // directory only the home server does.
 type dirShard struct {
-	ents map[string]dirEnt
+	ents *table.Map[string, dirEnt]
 	// marked is set between the PREPARE and COMMIT/ABORT phases of the
 	// rmdir protocol; while set, operations on this directory are parked.
 	marked bool
@@ -42,10 +43,10 @@ type direntKey struct {
 
 // shard returns this server's shard for dir, creating it if needed.
 func (s *Server) shard(dir proto.InodeID) *dirShard {
-	sh, ok := s.dirs[dir]
+	sh, ok := s.dirs.Get(dir)
 	if !ok {
-		sh = &dirShard{ents: make(map[string]dirEnt)}
-		s.dirs[dir] = sh
+		sh = &dirShard{ents: table.New[string, dirEnt](table.HashString, 0)}
+		s.dirs.Put(dir, sh)
 	}
 	return sh
 }
@@ -56,28 +57,30 @@ func (s *Server) track(dir proto.InodeID, name string, client int32) {
 		return
 	}
 	key := direntKey{dir, name}
-	set, ok := s.tracking[key]
-	if !ok {
-		set = make(map[int32]struct{})
-		s.tracking[key] = set
+	set, _ := s.tracking.Get(key)
+	for _, c := range set {
+		if c == client {
+			return
+		}
 	}
-	set[client] = struct{}{}
+	s.tracking.Put(key, append(set, client))
 }
 
 // invalidate sends directory-cache invalidation callbacks to every client
 // tracked for (dir, name) except the requester, then clears the tracking
 // set. Thanks to atomic message delivery the server does not wait for
-// acknowledgements (§3.6.1).
+// acknowledgements (§3.6.1). The set is insertion-ordered, so the fan-out
+// order is deterministic across runs.
 func (s *Server) invalidate(dir proto.InodeID, name string, except int32) {
 	key := direntKey{dir, name}
-	set, ok := s.tracking[key]
+	set, ok := s.tracking.Get(key)
 	if !ok {
 		return
 	}
-	delete(s.tracking, key)
+	s.tracking.Delete(key)
 	payload := (&proto.Invalidation{Dir: dir, Name: name}).Marshal()
 	cost := s.cfg.Machine.Cost
-	for client := range set {
+	for _, client := range set {
 		if client == except {
 			continue
 		}
@@ -99,9 +102,13 @@ func (s *Server) invalidate(dir proto.InodeID, name string, except int32) {
 	}
 }
 
-// park defers a request on a shard until its rmdir mark is resolved.
-func (sh *dirShard) park(req *proto.Request, env msg.Envelope) {
+// park defers a request on a shard until its rmdir mark is resolved, and
+// idles the requester's lane: its reply time is controlled by whichever
+// client resolves the mark, and the unpark reply resumes the lane
+// (DESIGN.md §13).
+func (s *Server) park(sh *dirShard, req *proto.Request, env msg.Envelope) {
 	sh.parked = append(sh.parked, parkedReq{req: req, env: env})
+	s.cfg.Network.GateIdle(env.Src)
 }
 
 // unparkShard re-dispatches every request parked on the shard.
@@ -114,69 +121,71 @@ func (s *Server) unparkShard(sh *dirShard) {
 			continue
 		}
 		s.reply(p.env, resp)
+		s.putReq(p.req)
 	}
 }
 
 // --- directory entry handlers ---
 
 func (s *Server) handleLookup(req *proto.Request, env msg.Envelope) (*proto.Response, bool) {
-	if s.deadDirs[req.Dir] {
-		return proto.ErrResponse(fsapi.ENOENT), false
+	if s.deadDir(req.Dir) {
+		return s.errResp(fsapi.ENOENT), false
 	}
-	sh, ok := s.dirs[req.Dir]
+	sh, ok := s.dirs.Get(req.Dir)
 	if !ok {
-		return proto.ErrResponse(fsapi.ENOENT), false
+		return s.errResp(fsapi.ENOENT), false
 	}
 	if sh.marked {
-		sh.park(req, env)
+		s.park(sh, req, env)
 		return nil, true
 	}
-	ent, ok := sh.ents[req.Name]
+	ent, ok := sh.ents.Get(req.Name)
 	if !ok {
-		return proto.ErrResponse(fsapi.ENOENT), false
+		return s.errResp(fsapi.ENOENT), false
 	}
 	s.track(req.Dir, req.Name, req.ClientID)
-	return &proto.Response{
+	return s.resp(proto.Response{
 		Ino:    ent.target,
 		Server: ent.target.Server,
 		Ftype:  ent.ftype,
 		Dist:   ent.dist,
-	}, false
+	}), false
 }
 
 func (s *Server) handleAddMap(req *proto.Request, env msg.Envelope) (*proto.Response, bool) {
 	if !fsapi.ValidName(req.Name) {
-		return proto.ErrResponse(fsapi.EINVAL), false
+		return s.errResp(fsapi.EINVAL), false
 	}
-	if s.deadDirs[req.Dir] {
-		return proto.ErrResponse(fsapi.ENOENT), false
+	if s.deadDir(req.Dir) {
+		return s.errResp(fsapi.ENOENT), false
 	}
 	sh := s.shard(req.Dir)
 	if sh.marked {
-		sh.park(req, env)
+		s.park(sh, req, env)
 		return nil, true
 	}
-	old, exists := sh.ents[req.Name]
+	old, exists := sh.ents.Get(req.Name)
 	if exists && !req.Replace {
-		return &proto.Response{
+		return s.resp(proto.Response{
 			Err:    fsapi.EEXIST,
 			Ino:    old.target,
 			Server: old.target.Server,
 			Ftype:  old.ftype,
 			Dist:   old.dist,
-		}, false
+		}), false
 	}
-	sh.ents[req.Name] = dirEnt{target: req.Target, ftype: req.Ftype, dist: req.Distributed}
+	ent := dirEnt{target: req.Target, ftype: req.Ftype, dist: req.Distributed}
+	sh.ents.Put(req.Name, ent)
 	if !exists {
 		s.entCount.Add(1)
 	}
-	s.stageAddMap(req.Dir, req.Name, sh.ents[req.Name])
+	s.stageAddMap(req.Dir, req.Name, ent)
 	if exists {
 		s.invalidate(req.Dir, req.Name, req.ClientID)
 	} else {
 		s.track(req.Dir, req.Name, req.ClientID)
 	}
-	resp := &proto.Response{}
+	resp := s.resp(proto.Response{})
 	if exists {
 		resp.Ino = old.target
 		resp.Server = old.target.Server
@@ -189,29 +198,29 @@ func (s *Server) handleAddMap(req *proto.Request, env msg.Envelope) (*proto.Resp
 }
 
 func (s *Server) handleRmMap(req *proto.Request, env msg.Envelope) (*proto.Response, bool) {
-	if s.deadDirs[req.Dir] {
-		return proto.ErrResponse(fsapi.ENOENT), false
+	if s.deadDir(req.Dir) {
+		return s.errResp(fsapi.ENOENT), false
 	}
-	sh, ok := s.dirs[req.Dir]
+	sh, ok := s.dirs.Get(req.Dir)
 	if !ok {
-		return proto.ErrResponse(fsapi.ENOENT), false
+		return s.errResp(fsapi.ENOENT), false
 	}
 	if sh.marked {
-		sh.park(req, env)
+		s.park(sh, req, env)
 		return nil, true
 	}
-	ent, ok := sh.ents[req.Name]
+	ent, ok := sh.ents.Get(req.Name)
 	if !ok {
-		return proto.ErrResponse(fsapi.ENOENT), false
+		return s.errResp(fsapi.ENOENT), false
 	}
 	// Unlink must not remove directories and rmdir must not remove files;
 	// the client states which type it expects (zero means "any", used by
 	// rename).
 	if req.Ftype == fsapi.TypeRegular && ent.ftype == fsapi.TypeDir {
-		return proto.ErrResponse(fsapi.EISDIR), false
+		return s.errResp(fsapi.EISDIR), false
 	}
 	if req.Ftype == fsapi.TypeDir && ent.ftype != fsapi.TypeDir {
-		return proto.ErrResponse(fsapi.ENOTDIR), false
+		return s.errResp(fsapi.ENOTDIR), false
 	}
 	// Compare-and-remove guard: a client that batches RM_MAP with dependent
 	// sub-operations (pipelined unlink) passes the inode it expects the
@@ -220,39 +229,40 @@ func (s *Server) handleRmMap(req *proto.Request, env msg.Envelope) (*proto.Respo
 	// wrong inode. Local inode numbers start at 1, so Local==0 means the
 	// guard is unset.
 	if req.Target.Local != 0 && ent.target != req.Target {
-		return proto.ErrResponse(fsapi.ESTALE), false
+		return s.errResp(fsapi.ESTALE), false
 	}
-	delete(sh.ents, req.Name)
+	sh.ents.Delete(req.Name)
 	s.entCount.Add(-1)
 	s.stageRmMap(req.Dir, req.Name)
 	s.invalidate(req.Dir, req.Name, -1)
-	return &proto.Response{
+	return s.resp(proto.Response{
 		Ino:    ent.target,
 		Server: ent.target.Server,
 		Ftype:  ent.ftype,
 		Dist:   ent.dist,
-	}, false
+	}), false
 }
 
 func (s *Server) handleReadDirShard(req *proto.Request, env msg.Envelope) (*proto.Response, bool) {
-	if s.deadDirs[req.Dir] {
-		return proto.ErrResponse(fsapi.ENOENT), false
+	if s.deadDir(req.Dir) {
+		return s.errResp(fsapi.ENOENT), false
 	}
-	sh, ok := s.dirs[req.Dir]
+	sh, ok := s.dirs.Get(req.Dir)
 	if !ok {
 		// No entries ever created on this server for the directory;
 		// an empty listing, not an error.
-		return &proto.Response{}, false
+		return s.resp(proto.Response{}), false
 	}
 	if sh.marked {
-		sh.park(req, env)
+		s.park(sh, req, env)
 		return nil, true
 	}
-	ents := make([]proto.DirEntWire, 0, len(sh.ents))
-	for name, ent := range sh.ents {
+	ents := make([]proto.DirEntWire, 0, sh.ents.Len())
+	sh.ents.Range(func(name string, ent dirEnt) bool {
 		ents = append(ents, proto.DirEntWire{Name: name, Ino: ent.target, Ftype: ent.ftype})
-	}
-	return &proto.Response{Ents: ents, N: int64(len(ents))}, false
+		return true
+	})
+	return s.resp(proto.Response{Ents: ents, N: int64(len(ents))}), false
 }
 
 // handleCreateCoalesced creates the inode, adds the directory entry, and
@@ -261,41 +271,42 @@ func (s *Server) handleReadDirShard(req *proto.Request, env msg.Envelope) (*prot
 // directory entry (§3.6.3, §3.6.4).
 func (s *Server) handleCreateCoalesced(req *proto.Request, env msg.Envelope) (*proto.Response, bool) {
 	if !fsapi.ValidName(req.Name) {
-		return proto.ErrResponse(fsapi.EINVAL), false
+		return s.errResp(fsapi.EINVAL), false
 	}
-	if s.deadDirs[req.Dir] {
-		return proto.ErrResponse(fsapi.ENOENT), false
+	if s.deadDir(req.Dir) {
+		return s.errResp(fsapi.ENOENT), false
 	}
 	sh := s.shard(req.Dir)
 	if sh.marked {
-		sh.park(req, env)
+		s.park(sh, req, env)
 		return nil, true
 	}
-	if old, exists := sh.ents[req.Name]; exists {
+	if old, exists := sh.ents.Get(req.Name); exists {
 		// The client falls back to the plain open path (or reports
 		// EEXIST for O_EXCL); return the existing entry's location.
-		return &proto.Response{
+		return s.resp(proto.Response{
 			Err:    fsapi.EEXIST,
 			Ino:    old.target,
 			Server: old.target.Server,
 			Ftype:  old.ftype,
 			Dist:   old.dist,
-		}, false
+		}), false
 	}
 	ftype := req.Ftype
 	if ftype == 0 {
 		ftype = fsapi.TypeRegular
 	}
 	ino := s.allocInode(ftype, req.Mode, req.Distributed)
-	sh.ents[req.Name] = dirEnt{target: s.id(ino), ftype: ftype, dist: req.Distributed}
+	ent := dirEnt{target: s.id(ino), ftype: ftype, dist: req.Distributed}
+	sh.ents.Put(req.Name, ent)
 	s.entCount.Add(1)
 	s.stageInode(ino)
-	s.stageAddMap(req.Dir, req.Name, sh.ents[req.Name])
+	s.stageAddMap(req.Dir, req.Name, ent)
 	if req.WantOpen {
 		ino.fdRefs++
 	}
 	s.track(req.Dir, req.Name, req.ClientID)
-	return &proto.Response{
+	return s.resp(proto.Response{
 		Ino:     s.id(ino),
 		Server:  int32(s.cfg.ID),
 		Ftype:   ftype,
@@ -303,5 +314,5 @@ func (s *Server) handleCreateCoalesced(req *proto.Request, env msg.Envelope) (*p
 		Version: ino.version,
 		Dist:    req.Distributed,
 		Stat:    s.statOf(ino),
-	}, false
+	}), false
 }

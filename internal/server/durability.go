@@ -128,12 +128,12 @@ func (s *Server) commitPending(at sim.Cycles) sim.Cycles {
 // layer's Checkpoint API, and usable by operators through it).
 func (s *Server) handleCheckpoint(req *proto.Request) *proto.Response {
 	if s.wal == nil {
-		return proto.ErrResponse(fsapi.EINVAL)
+		return s.errResp(fsapi.EINVAL)
 	}
 	if err := s.writeCheckpoint(); err != nil {
-		return proto.ErrResponse(fsapi.EIO)
+		return s.errResp(fsapi.EIO)
 	}
-	return &proto.Response{}
+	return s.resp(proto.Response{})
 }
 
 // writeCheckpoint snapshots the server's durable state, saves it, and
@@ -169,11 +169,11 @@ func (s *Server) buildCheckpoint() *wal.Checkpoint {
 		c.PlaceMap = s.pmap.Encode()
 	}
 	bs := s.cfg.DRAM.BlockSize()
-	for _, ino := range s.inodes {
+	s.inodes.Range(func(_ uint64, ino *inode) bool {
 		if ino.ftype == fsapi.TypePipe || ino.nlink <= 0 {
 			// Pipes are volatile; unlinked-but-open inodes do not survive
 			// the crash that severs the descriptors keeping them alive.
-			continue
+			return true
 		}
 		snap := wal.InodeSnap{
 			Local:  ino.local,
@@ -190,22 +190,26 @@ func (s *Server) buildCheckpoint() *wal.Checkpoint {
 			snap.Data = append(snap.Data, buf)
 		}
 		c.Inodes = append(c.Inodes, snap)
-	}
-	for dir, sh := range s.dirs {
+		return true
+	})
+	s.dirs.Range(func(dir proto.InodeID, sh *dirShard) bool {
 		ds := wal.DirSnap{Dir: dir}
-		for name, ent := range sh.ents {
+		sh.ents.Range(func(name string, ent dirEnt) bool {
 			ds.Ents = append(ds.Ents, wal.DirEntSnap{
 				Name:   name,
 				Target: ent.target,
 				Ftype:  ent.ftype,
 				Dist:   ent.dist,
 			})
-		}
+			return true
+		})
 		c.Dirs = append(c.Dirs, ds)
-	}
-	for dir := range s.deadDirs {
+		return true
+	})
+	s.deadDirs.Range(func(dir proto.InodeID, _ struct{}) bool {
 		c.DeadDirs = append(c.DeadDirs, dir)
-	}
+		return true
+	})
 	return c
 }
 
@@ -265,14 +269,14 @@ func (s *Server) Crashed() bool { return s.crashed.Load() }
 // stale FdID held by a client that outlived a crash can never alias a
 // descriptor issued after recovery — it just fails with EBADF.
 func (s *Server) resetState() {
-	s.inodes = make(map[uint64]*inode)
+	s.inodes = newInodeTable()
 	s.nextIno = 2
 	s.verBase = uint64(s.incarnation) << 32
-	s.dirs = make(map[proto.InodeID]*dirShard)
-	s.deadDirs = make(map[proto.InodeID]bool)
-	s.sharedFds = make(map[proto.FdID]*sharedFd)
+	s.dirs = newDirTable()
+	s.deadDirs = newDeadDirTable()
+	s.sharedFds = newFdTable()
 	s.nextFd = proto.FdID(uint64(s.incarnation)<<32) + 1
-	s.tracking = make(map[direntKey]map[int32]struct{})
+	s.tracking = newTrackTable()
 	s.pending = nil
 	// Placement falls back to the boot-time map; a later epoch adopted
 	// through migration is restored by the checkpoint or an epoch record.
@@ -299,7 +303,7 @@ func (s *Server) resetState() {
 			nlink:       1,
 			distributed: s.cfg.RootDistributed,
 		}
-		s.inodes[root.local] = root
+		s.inodes.Put(root.local, root)
 	}
 }
 
@@ -344,9 +348,10 @@ func (s *Server) Recover() (wal.RecoveryStats, error) {
 
 	// Rebuild the entry counter from the recovered shard table.
 	var ents int64
-	for _, sh := range s.dirs {
-		ents += int64(len(sh.ents))
-	}
+	s.dirs.Range(func(_ proto.InodeID, sh *dirShard) bool {
+		ents += int64(sh.ents.Len())
+		return true
+	})
 	s.entCount.Store(ents)
 
 	// Rebuild the partition's free list around the blocks recovered files
@@ -438,7 +443,7 @@ func (s *Server) loadCheckpoint(c *wal.Checkpoint) {
 				}
 			}
 		}
-		s.inodes[ino.local] = ino
+		s.inodes.Put(ino.local, ino)
 		if ino.local >= s.nextIno {
 			s.nextIno = ino.local + 1
 		}
@@ -447,11 +452,11 @@ func (s *Server) loadCheckpoint(c *wal.Checkpoint) {
 		ds := &c.Dirs[i]
 		sh := s.shard(ds.Dir)
 		for _, ent := range ds.Ents {
-			sh.ents[ent.Name] = dirEnt{target: ent.Target, ftype: ent.Ftype, dist: ent.Dist}
+			sh.ents.Put(ent.Name, dirEnt{target: ent.Target, ftype: ent.Ftype, dist: ent.Dist})
 		}
 	}
 	for _, dir := range c.DeadDirs {
-		s.deadDirs[dir] = true
+		s.deadDirs.Put(dir, struct{}{})
 	}
 }
 
@@ -469,16 +474,16 @@ func (s *Server) applyRecord(r wal.Record) {
 			// number so it is not reissued to a new file.
 			return
 		}
-		s.inodes[r.Ino] = &inode{
+		s.inodes.Put(r.Ino, &inode{
 			local:       r.Ino,
 			ftype:       r.Ftype,
 			mode:        r.Mode,
 			nlink:       int(r.Nlink),
 			distributed: r.Dist,
 			version:     s.verBase,
-		}
+		})
 	case wal.RecNlink:
-		ino, ok := s.inodes[r.Ino]
+		ino, ok := s.inodes.Get(r.Ino)
 		if !ok {
 			return
 		}
@@ -486,14 +491,14 @@ func (s *Server) applyRecord(r wal.Record) {
 		if ino.nlink <= 0 {
 			// No descriptors survive a crash, so the inode reaps
 			// immediately; Reclaim frees its blocks afterwards.
-			delete(s.inodes, r.Ino)
+			s.inodes.Delete(r.Ino)
 		}
 	case wal.RecSize:
-		if ino, ok := s.inodes[r.Ino]; ok && r.Size > ino.size {
+		if ino, ok := s.inodes.Get(r.Ino); ok && r.Size > ino.size {
 			ino.size = r.Size
 		}
 	case wal.RecBlocks:
-		ino, ok := s.inodes[r.Ino]
+		ino, ok := s.inodes.Get(r.Ino)
 		if !ok {
 			return
 		}
@@ -524,7 +529,7 @@ func (s *Server) applyRecord(r wal.Record) {
 		}
 		ino.size = r.Size
 	case wal.RecWrite:
-		ino, ok := s.inodes[r.Ino]
+		ino, ok := s.inodes.Get(r.Ino)
 		if !ok {
 			return
 		}
@@ -540,14 +545,14 @@ func (s *Server) applyRecord(r wal.Record) {
 		}
 	case wal.RecAddMap:
 		sh := s.shard(r.Dir)
-		sh.ents[r.Name] = dirEnt{target: r.Target, ftype: r.Ftype, dist: r.Dist}
+		sh.ents.Put(r.Name, dirEnt{target: r.Target, ftype: r.Ftype, dist: r.Dist})
 	case wal.RecRmMap:
-		if sh, ok := s.dirs[r.Dir]; ok {
-			delete(sh.ents, r.Name)
+		if sh, ok := s.dirs.Get(r.Dir); ok {
+			sh.ents.Delete(r.Name)
 		}
 	case wal.RecDirKill:
-		delete(s.dirs, r.Dir)
-		s.deadDirs[r.Dir] = true
+		s.dirs.Delete(r.Dir)
+		s.deadDirs.Put(r.Dir, struct{}{})
 	case wal.RecEpoch:
 		m, err := place.Decode(r.Data)
 		if err != nil {

@@ -17,7 +17,7 @@ type sharedFd struct {
 }
 
 func (s *Server) getSharedFd(id proto.FdID) (*sharedFd, fsapi.Errno) {
-	fd, ok := s.sharedFds[id]
+	fd, ok := s.sharedFds.Get(id)
 	if !ok {
 		return nil, fsapi.EBADF
 	}
@@ -32,7 +32,7 @@ func (s *Server) getSharedFd(id proto.FdID) (*sharedFd, fsapi.Errno) {
 func (s *Server) handleFdShare(req *proto.Request) *proto.Response {
 	ino, errno := s.getInode(req.Target)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
 	// Sharing a descriptor the client had written through flushes its dirty
 	// data to DRAM first; the share request coalesces the resulting size
@@ -47,38 +47,38 @@ func (s *Server) handleFdShare(req *proto.Request) *proto.Response {
 	}
 	id := s.nextFd
 	s.nextFd++
-	s.sharedFds[id] = &sharedFd{ino: ino.local, offset: req.Offset, refs: 1, flags: req.Flags}
-	return &proto.Response{Fd: id, Refs: 1, Version: ino.version}
+	s.sharedFds.Put(id, &sharedFd{ino: ino.local, offset: req.Offset, refs: 1, flags: req.Flags})
+	return s.resp(proto.Response{Fd: id, Refs: 1, Version: ino.version})
 }
 
 func (s *Server) handleFdIncRef(req *proto.Request) *proto.Response {
 	fd, errno := s.getSharedFd(req.Fd)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
 	fd.refs++
-	if ino, ok := s.inodes[fd.ino]; ok {
+	if ino, ok := s.inodes.Get(fd.ino); ok {
 		ino.fdRefs++
 	}
-	return &proto.Response{Fd: req.Fd, Refs: int32(fd.refs)}
+	return s.resp(proto.Response{Fd: req.Fd, Refs: int32(fd.refs)})
 }
 
 func (s *Server) handleFdDecRef(req *proto.Request) *proto.Response {
 	fd, errno := s.getSharedFd(req.Fd)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
 	fd.refs--
-	if ino, ok := s.inodes[fd.ino]; ok {
+	if ino, ok := s.inodes.Get(fd.ino); ok {
 		if ino.fdRefs > 0 {
 			ino.fdRefs--
 		}
 		s.maybeReap(ino)
 	}
 	if fd.refs <= 0 {
-		delete(s.sharedFds, req.Fd)
+		s.sharedFds.Delete(req.Fd)
 	}
-	return &proto.Response{Refs: int32(fd.refs), Offset: fd.offset}
+	return s.resp(proto.Response{Refs: int32(fd.refs), Offset: fd.offset})
 }
 
 // handleFdUnshare lets the last remaining holder of a shared descriptor pull
@@ -88,27 +88,27 @@ func (s *Server) handleFdDecRef(req *proto.Request) *proto.Response {
 func (s *Server) handleFdUnshare(req *proto.Request) *proto.Response {
 	fd, errno := s.getSharedFd(req.Fd)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
 	if fd.refs != 1 {
-		return proto.ErrResponse(fsapi.EBUSY)
+		return s.errResp(fsapi.EBUSY)
 	}
-	delete(s.sharedFds, req.Fd)
-	return &proto.Response{Offset: fd.offset}
+	s.sharedFds.Delete(req.Fd)
+	return s.resp(proto.Response{Offset: fd.offset})
 }
 
 func (s *Server) handleFdRead(req *proto.Request) *proto.Response {
 	fd, errno := s.getSharedFd(req.Fd)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
-	ino, ok := s.inodes[fd.ino]
+	ino, ok := s.inodes.Get(fd.ino)
 	if !ok {
-		return proto.ErrResponse(fsapi.ESTALE)
+		return s.errResp(fsapi.ESTALE)
 	}
 	n := int64(req.Count)
 	if fd.offset >= ino.size {
-		return &proto.Response{N: 0, Offset: fd.offset, Refs: int32(fd.refs)}
+		return s.resp(proto.Response{N: 0, Offset: fd.offset, Refs: int32(fd.refs)})
 	}
 	if fd.offset+n > ino.size {
 		n = ino.size - fd.offset
@@ -116,17 +116,17 @@ func (s *Server) handleFdRead(req *proto.Request) *proto.Response {
 	data := make([]byte, n)
 	s.readData(ino, fd.offset, data)
 	fd.offset += n
-	return &proto.Response{Data: data, N: n, Offset: fd.offset, Refs: int32(fd.refs)}
+	return s.resp(proto.Response{Data: data, N: n, Offset: fd.offset, Refs: int32(fd.refs)})
 }
 
 func (s *Server) handleFdWrite(req *proto.Request) *proto.Response {
 	fd, errno := s.getSharedFd(req.Fd)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
-	ino, ok := s.inodes[fd.ino]
+	ino, ok := s.inodes.Get(fd.ino)
 	if !ok {
-		return proto.ErrResponse(fsapi.ESTALE)
+		return s.errResp(fsapi.ESTALE)
 	}
 	off := fd.offset
 	if fd.flags&fsapi.OAppend != 0 {
@@ -135,7 +135,7 @@ func (s *Server) handleFdWrite(req *proto.Request) *proto.Response {
 	end := off + int64(len(req.Data))
 	before := len(ino.blocks)
 	if errno := s.ensureCapacity(ino, end); errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
 	s.writeData(ino, off, req.Data)
 	if end > ino.size {
@@ -149,17 +149,17 @@ func (s *Server) handleFdWrite(req *proto.Request) *proto.Response {
 	s.stageWrite(ino, off, req.Data)
 	s.bumpVersion(ino)
 	fd.offset = end
-	return &proto.Response{N: int64(len(req.Data)), Offset: fd.offset, Size: ino.size, Refs: int32(fd.refs)}
+	return s.resp(proto.Response{N: int64(len(req.Data)), Offset: fd.offset, Size: ino.size, Refs: int32(fd.refs)})
 }
 
 func (s *Server) handleFdSeek(req *proto.Request) *proto.Response {
 	fd, errno := s.getSharedFd(req.Fd)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
-	ino, ok := s.inodes[fd.ino]
+	ino, ok := s.inodes.Get(fd.ino)
 	if !ok {
-		return proto.ErrResponse(fsapi.ESTALE)
+		return s.errResp(fsapi.ESTALE)
 	}
 	var base int64
 	switch req.Whence {
@@ -170,20 +170,20 @@ func (s *Server) handleFdSeek(req *proto.Request) *proto.Response {
 	case fsapi.SeekEnd:
 		base = ino.size
 	default:
-		return proto.ErrResponse(fsapi.EINVAL)
+		return s.errResp(fsapi.EINVAL)
 	}
 	pos := base + req.Offset
 	if pos < 0 {
-		return proto.ErrResponse(fsapi.EINVAL)
+		return s.errResp(fsapi.EINVAL)
 	}
 	fd.offset = pos
-	return &proto.Response{Offset: fd.offset, Refs: int32(fd.refs)}
+	return s.resp(proto.Response{Offset: fd.offset, Refs: int32(fd.refs)})
 }
 
 func (s *Server) handleFdGetInfo(req *proto.Request) *proto.Response {
 	fd, errno := s.getSharedFd(req.Fd)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
-	return &proto.Response{Offset: fd.offset, Refs: int32(fd.refs)}
+	return s.resp(proto.Response{Offset: fd.offset, Refs: int32(fd.refs)})
 }

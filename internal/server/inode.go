@@ -52,7 +52,7 @@ func (s *Server) getInode(target proto.InodeID) (*inode, fsapi.Errno) {
 	if target.Server != int32(s.cfg.ID) {
 		return nil, fsapi.ESTALE
 	}
-	ino, ok := s.inodes[target.Local]
+	ino, ok := s.inodes.Get(target.Local)
 	if !ok {
 		return nil, fsapi.ENOENT
 	}
@@ -70,7 +70,7 @@ func (s *Server) allocInode(ftype fsapi.FileType, mode fsapi.Mode, distributed b
 		version:     s.verBase,
 	}
 	s.nextIno++
-	s.inodes[ino.local] = ino
+	s.inodes.Put(ino.local, ino)
 	return ino
 }
 
@@ -144,7 +144,7 @@ func (s *Server) maybeReap(ino *inode) {
 	}
 	if ino.nlink <= 0 {
 		s.releaseData(ino)
-		delete(s.inodes, ino.local)
+		s.inodes.Delete(ino.local)
 	}
 }
 
@@ -182,42 +182,42 @@ func (s *Server) handleMknod(req *proto.Request) *proto.Response {
 	}
 	ino := s.allocInode(ftype, req.Mode, req.Distributed)
 	s.stageInode(ino)
-	return &proto.Response{Ino: s.id(ino), Ftype: ino.ftype, Dist: ino.distributed}
+	return s.resp(proto.Response{Ino: s.id(ino), Ftype: ino.ftype, Dist: ino.distributed})
 }
 
 func (s *Server) handleLinkInode(req *proto.Request) *proto.Response {
 	ino, errno := s.getInode(req.Target)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
 	ino.nlink++
 	s.stageNlink(ino)
-	return &proto.Response{N: int64(ino.nlink)}
+	return s.resp(proto.Response{N: int64(ino.nlink)})
 }
 
 func (s *Server) handleUnlinkInode(req *proto.Request) *proto.Response {
 	ino, errno := s.getInode(req.Target)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
 	if ino.nlink > 0 {
 		ino.nlink--
 	}
 	s.stageNlink(ino)
 	s.maybeReap(ino)
-	return &proto.Response{N: int64(ino.nlink)}
+	return s.resp(proto.Response{N: int64(ino.nlink)})
 }
 
 func (s *Server) handleOpenInode(req *proto.Request) *proto.Response {
 	ino, errno := s.getInode(req.Target)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
 	if ino.ftype == fsapi.TypeDir && (req.Flags&fsapi.OAccMode) != fsapi.ORdOnly {
-		return proto.ErrResponse(fsapi.EISDIR)
+		return s.errResp(fsapi.EISDIR)
 	}
 	if errno := checkPerm(ino, req.Flags); errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
 	if req.Flags&fsapi.OTrunc != 0 && ino.ftype == fsapi.TypeRegular {
 		if s.truncateTo(ino, 0) {
@@ -226,7 +226,7 @@ func (s *Server) handleOpenInode(req *proto.Request) *proto.Response {
 		s.stageBlocks(ino)
 	}
 	ino.fdRefs++
-	return &proto.Response{
+	return s.resp(proto.Response{
 		Ino:     s.id(ino),
 		Ftype:   ino.ftype,
 		Size:    ino.size,
@@ -234,13 +234,13 @@ func (s *Server) handleOpenInode(req *proto.Request) *proto.Response {
 		Version: ino.version,
 		Stat:    s.statOf(ino),
 		Dist:    ino.distributed,
-	}
+	})
 }
 
 func (s *Server) handleCloseInode(req *proto.Request) *proto.Response {
 	ino, errno := s.getInode(req.Target)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
 	// A close may carry the client's final view of the size (coalesced
 	// SET_SIZE + CLOSE, §3.6.3). Sizes only grow here; truncation uses
@@ -261,37 +261,37 @@ func (s *Server) handleCloseInode(req *proto.Request) *proto.Response {
 		ino.fdRefs--
 	}
 	s.maybeReap(ino)
-	return &proto.Response{Size: ino.size, Version: ino.version}
+	return s.resp(proto.Response{Size: ino.size, Version: ino.version})
 }
 
 func (s *Server) handleGetBlocks(req *proto.Request) *proto.Response {
 	ino, errno := s.getInode(req.Target)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
-	return &proto.Response{Size: ino.size, Extents: extentList(ino), Version: ino.version}
+	return s.resp(proto.Response{Size: ino.size, Extents: extentList(ino), Version: ino.version})
 }
 
 func (s *Server) handleExtend(req *proto.Request) *proto.Response {
 	ino, errno := s.getInode(req.Target)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
 	before := len(ino.blocks)
 	if errno := s.ensureCapacity(ino, req.Size); errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
 	if len(ino.blocks) != before {
 		s.bumpVersion(ino)
 		s.stageBlocks(ino)
 	}
-	return &proto.Response{Size: ino.size, Extents: extentList(ino), Version: ino.version}
+	return s.resp(proto.Response{Size: ino.size, Extents: extentList(ino), Version: ino.version})
 }
 
 func (s *Server) handleSetSize(req *proto.Request) *proto.Response {
 	ino, errno := s.getInode(req.Target)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
 	if req.Size > ino.size {
 		ino.size = req.Size
@@ -300,7 +300,7 @@ func (s *Server) handleSetSize(req *proto.Request) *proto.Response {
 	// SET_SIZE is only sent after direct writes (fsync/sync), so the file's
 	// data changed even when the size did not.
 	s.bumpVersion(ino)
-	return &proto.Response{Size: ino.size, Version: ino.version}
+	return s.resp(proto.Response{Size: ino.size, Version: ino.version})
 }
 
 // truncateTo shrinks the file to size, deferring block reuse while file
@@ -335,10 +335,10 @@ func (s *Server) truncateTo(ino *inode, size int64) bool {
 func (s *Server) handleTruncate(req *proto.Request) *proto.Response {
 	ino, errno := s.getInode(req.Target)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
 	if ino.ftype != fsapi.TypeRegular {
-		return proto.ErrResponse(fsapi.EINVAL)
+		return s.errResp(fsapi.EINVAL)
 	}
 	// truncateTo both trims capacity beyond the new size (deferring reuse
 	// while descriptors remain open) and sets the logical size, growing or
@@ -353,7 +353,7 @@ func (s *Server) handleTruncate(req *proto.Request) *proto.Response {
 	// would report ENOSPC yet stat at the grown size with an unreadable,
 	// unlogged tail. For a shrink this is a no-op.
 	if errno := s.ensureCapacity(ino, req.Size); errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
 	old := ino.size
 	s.truncateTo(ino, req.Size)
@@ -373,15 +373,15 @@ func (s *Server) handleTruncate(req *proto.Request) *proto.Response {
 	}
 	s.bumpVersion(ino)
 	s.stageBlocks(ino)
-	return &proto.Response{Size: ino.size, Extents: extentList(ino), Version: ino.version}
+	return s.resp(proto.Response{Size: ino.size, Extents: extentList(ino), Version: ino.version})
 }
 
 func (s *Server) handleStat(req *proto.Request) *proto.Response {
 	ino, errno := s.getInode(req.Target)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
-	return &proto.Response{Stat: s.statOf(ino), Ftype: ino.ftype, Size: ino.size, Dist: ino.distributed}
+	return s.resp(proto.Response{Stat: s.statOf(ino), Ftype: ino.ftype, Size: ino.size, Dist: ino.distributed})
 }
 
 // handleReadAt serves file reads through the server. It is used when direct
@@ -390,18 +390,18 @@ func (s *Server) handleStat(req *proto.Request) *proto.Response {
 func (s *Server) handleReadAt(req *proto.Request) *proto.Response {
 	ino, errno := s.getInode(req.Target)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
 	n := int64(req.Count)
 	if req.Offset >= ino.size {
-		return &proto.Response{N: 0}
+		return s.resp(proto.Response{N: 0})
 	}
 	if req.Offset+n > ino.size {
 		n = ino.size - req.Offset
 	}
 	data := make([]byte, n)
 	s.readData(ino, req.Offset, data)
-	return &proto.Response{Data: data, N: n}
+	return s.resp(proto.Response{Data: data, N: n})
 }
 
 // handleWriteAt serves file writes through the server (direct access
@@ -409,12 +409,12 @@ func (s *Server) handleReadAt(req *proto.Request) *proto.Response {
 func (s *Server) handleWriteAt(req *proto.Request) *proto.Response {
 	ino, errno := s.getInode(req.Target)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
 	end := req.Offset + int64(len(req.Data))
 	before := len(ino.blocks)
 	if errno := s.ensureCapacity(ino, end); errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
 	s.writeData(ino, req.Offset, req.Data)
 	if end > ino.size {
@@ -425,7 +425,7 @@ func (s *Server) handleWriteAt(req *proto.Request) *proto.Response {
 	}
 	s.stageWrite(ino, req.Offset, req.Data)
 	s.bumpVersion(ino)
-	return &proto.Response{N: int64(len(req.Data)), Size: ino.size, Version: ino.version}
+	return s.resp(proto.Response{N: int64(len(req.Data)), Size: ino.size, Version: ino.version})
 }
 
 // readData copies file contents [off, off+len(dst)) from the shared DRAM.

@@ -41,20 +41,21 @@ func (s *Server) handlePipeCreate(req *proto.Request) *proto.Response {
 	// reissued after recovery while clients may still hold it; replay
 	// uses the record only to advance the allocator.
 	s.stageInode(ino)
-	return &proto.Response{Ino: s.id(ino)}
+	return s.resp(proto.Response{Ino: s.id(ino)})
 }
 
 func (s *Server) handlePipeRead(req *proto.Request, env msg.Envelope) (*proto.Response, bool) {
 	ino, p, errno := s.getPipe(req.Target)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno), false
+		return s.errResp(errno), false
 	}
 	if len(p.buf) == 0 {
 		if p.writers == 0 {
 			// End of file: all write ends closed.
-			return &proto.Response{N: 0}, false
+			return s.resp(proto.Response{N: 0}), false
 		}
 		p.waitReaders = append(p.waitReaders, parkedReq{req: req, env: env})
+		s.cfg.Network.GateIdle(env.Src)
 		return nil, true
 	}
 	n := int(req.Count)
@@ -65,20 +66,21 @@ func (s *Server) handlePipeRead(req *proto.Request, env msg.Envelope) (*proto.Re
 	copy(data, p.buf[:n])
 	p.buf = p.buf[n:]
 	s.wakePipeWriters(ino, p)
-	return &proto.Response{Data: data, N: int64(n)}, false
+	return s.resp(proto.Response{Data: data, N: int64(n)}), false
 }
 
 func (s *Server) handlePipeWrite(req *proto.Request, env msg.Envelope) (*proto.Response, bool) {
 	ino, p, errno := s.getPipe(req.Target)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno), false
+		return s.errResp(errno), false
 	}
 	if p.readers == 0 {
-		return proto.ErrResponse(fsapi.EPIPE), false
+		return s.errResp(fsapi.EPIPE), false
 	}
 	space := pipeBufferMax - len(p.buf)
 	if space <= 0 {
 		p.waitWriters = append(p.waitWriters, parkedReq{req: req, env: env})
+		s.cfg.Network.GateIdle(env.Src)
 		return nil, true
 	}
 	n := len(req.Data)
@@ -87,26 +89,26 @@ func (s *Server) handlePipeWrite(req *proto.Request, env msg.Envelope) (*proto.R
 	}
 	p.buf = append(p.buf, req.Data[:n]...)
 	s.wakePipeReaders(ino, p)
-	return &proto.Response{N: int64(n)}, false
+	return s.resp(proto.Response{N: int64(n)}), false
 }
 
 func (s *Server) handlePipeIncRef(req *proto.Request, writeEnd bool) *proto.Response {
 	_, p, errno := s.getPipe(req.Target)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
 	if writeEnd {
 		p.writers++
 	} else {
 		p.readers++
 	}
-	return &proto.Response{}
+	return s.resp(proto.Response{})
 }
 
 func (s *Server) handlePipeClose(req *proto.Request, writeEnd bool) *proto.Response {
 	ino, p, errno := s.getPipe(req.Target)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
 	if writeEnd {
 		if p.writers > 0 {
@@ -131,7 +133,7 @@ func (s *Server) handlePipeClose(req *proto.Request, writeEnd bool) *proto.Respo
 		ino.pipe = nil
 		s.maybeReap(ino)
 	}
-	return &proto.Response{}
+	return s.resp(proto.Response{})
 }
 
 // wakePipeReaders re-dispatches parked read requests after data arrived or
@@ -145,6 +147,7 @@ func (s *Server) wakePipeReaders(_ *inode, p *pipeState) {
 			continue
 		}
 		s.reply(w.env, resp)
+		s.putReq(w.req)
 	}
 }
 
@@ -159,5 +162,6 @@ func (s *Server) wakePipeWriters(_ *inode, p *pipeState) {
 			continue
 		}
 		s.reply(w.env, resp)
+		s.putReq(w.req)
 	}
 }

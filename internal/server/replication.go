@@ -423,9 +423,10 @@ func (s *Server) Promote(c *wal.Checkpoint, snapBytes int) (sim.Cycles, error) {
 	s.loadCheckpoint(c)
 
 	var ents int64
-	for _, sh := range s.dirs {
-		ents += int64(len(sh.ents))
-	}
+	s.dirs.Range(func(_ proto.InodeID, sh *dirShard) bool {
+		ents += int64(sh.ents.Len())
+		return true
+	})
 	s.entCount.Store(ents)
 	s.reclaimBlocks()
 
@@ -473,10 +474,11 @@ func (s *Server) Promote(c *wal.Checkpoint, snapBytes int) (sim.Cycles, error) {
 // current inode table owns (shared by Recover and Promote).
 func (s *Server) reclaimBlocks() {
 	inUse := make(map[ncc.BlockID]bool)
-	for _, ino := range s.inodes {
+	s.inodes.Range(func(_ uint64, ino *inode) bool {
 		for _, b := range ino.blocks {
 			inUse[b] = true
 		}
-	}
+		return true
+	})
 	s.cfg.Partition.Reclaim(inUse)
 }

@@ -27,44 +27,46 @@ import (
 func (s *Server) handleRmdirLock(req *proto.Request, env msg.Envelope) (*proto.Response, bool) {
 	ino, errno := s.getInode(req.Target)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno), false
+		return s.errResp(errno), false
 	}
 	if ino.ftype != fsapi.TypeDir {
-		return proto.ErrResponse(fsapi.ENOTDIR), false
+		return s.errResp(fsapi.ENOTDIR), false
 	}
 	if ino.rmdirLocked {
 		// Another client is already running the protocol on this
-		// directory; park until it finishes.
+		// directory; park until it finishes. The waiter's lane idles: its
+		// reply time is controlled by the lock holder.
 		ino.rmdirQueue = append(ino.rmdirQueue, parkedReq{req: req, env: env})
+		s.cfg.Network.GateIdle(env.Src)
 		return nil, true
 	}
 	ino.rmdirLocked = true
-	return &proto.Response{Dist: ino.distributed}, false
+	return s.resp(proto.Response{Dist: ino.distributed}), false
 }
 
 func (s *Server) handleRmdirPrepare(req *proto.Request) *proto.Response {
-	if s.deadDirs[req.Dir] {
-		return proto.ErrResponse(fsapi.ENOENT)
+	if s.deadDir(req.Dir) {
+		return s.errResp(fsapi.ENOENT)
 	}
 	sh := s.shard(req.Dir)
-	if len(sh.ents) > 0 {
-		return proto.ErrResponse(fsapi.ENOTEMPTY)
+	if sh.ents.Len() > 0 {
+		return s.errResp(fsapi.ENOTEMPTY)
 	}
 	sh.marked = true
-	return &proto.Response{}
+	return s.resp(proto.Response{})
 }
 
 func (s *Server) handleRmdirCommit(req *proto.Request) *proto.Response {
-	sh, ok := s.dirs[req.Dir]
+	sh, ok := s.dirs.Get(req.Dir)
 	if !ok {
-		s.deadDirs[req.Dir] = true
+		s.deadDirs.Put(req.Dir, struct{}{})
 		s.stageDirKill(req.Dir)
-		return &proto.Response{}
+		return s.resp(proto.Response{})
 	}
 	sh.marked = false
-	s.entCount.Add(-int64(len(sh.ents))) // empty in practice (PREPARE verified)
-	delete(s.dirs, req.Dir)
-	s.deadDirs[req.Dir] = true
+	s.entCount.Add(-int64(sh.ents.Len())) // empty in practice (PREPARE verified)
+	s.dirs.Delete(req.Dir)
+	s.deadDirs.Put(req.Dir, struct{}{})
 	// Parked operations now observe the dead directory and fail with
 	// ENOENT, which is the correct outcome for a create that raced with a
 	// committed rmdir. Their replies go out before this commit's record is
@@ -72,17 +74,17 @@ func (s *Server) handleRmdirCommit(req *proto.Request) *proto.Response {
 	// rmdir's own group-commit latency.
 	s.unparkShard(sh)
 	s.stageDirKill(req.Dir)
-	return &proto.Response{}
+	return s.resp(proto.Response{})
 }
 
 func (s *Server) handleRmdirAbort(req *proto.Request) *proto.Response {
-	sh, ok := s.dirs[req.Dir]
+	sh, ok := s.dirs.Get(req.Dir)
 	if !ok {
-		return &proto.Response{}
+		return s.resp(proto.Response{})
 	}
 	sh.marked = false
 	s.unparkShard(sh)
-	return &proto.Response{}
+	return s.resp(proto.Response{})
 }
 
 // handleRmdirUnlock releases the home-server serialization without removing
@@ -91,10 +93,10 @@ func (s *Server) handleRmdirAbort(req *proto.Request) *proto.Response {
 func (s *Server) handleRmdirUnlock(req *proto.Request) *proto.Response {
 	ino, errno := s.getInode(req.Target)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
 	s.releaseRmdirLock(ino, false)
-	return &proto.Response{}
+	return s.resp(proto.Response{})
 }
 
 // handleRmdirFinish removes the directory inode at its home server and
@@ -103,27 +105,29 @@ func (s *Server) handleRmdirUnlock(req *proto.Request) *proto.Response {
 func (s *Server) handleRmdirFinish(req *proto.Request) *proto.Response {
 	ino, errno := s.getInode(req.Target)
 	if errno != fsapi.OK {
-		return proto.ErrResponse(errno)
+		return s.errResp(errno)
 	}
 	s.releaseRmdirLock(ino, true)
 	ino.nlink = 0
 	s.stageNlink(ino)
 	s.stageDirKill(s.id(ino))
 	s.maybeReap(ino)
-	delete(s.inodes, ino.local)
-	s.deadDirs[s.id(ino)] = true
-	return &proto.Response{}
+	s.inodes.Delete(ino.local)
+	s.deadDirs.Put(s.id(ino), struct{}{})
+	return s.resp(proto.Response{})
 }
 
 // releaseRmdirLock hands the serialization lock to the next queued rmdir, or
-// fails all waiters with ENOENT when the directory has been removed.
+// fails all waiters with ENOENT when the directory has been removed. Consumed
+// requests return to the free list; replies resume the waiters' lanes.
 func (s *Server) releaseRmdirLock(ino *inode, removed bool) {
 	ino.rmdirLocked = false
 	queue := ino.rmdirQueue
 	ino.rmdirQueue = nil
 	if removed {
 		for _, p := range queue {
-			s.reply(p.env, proto.ErrResponse(fsapi.ENOENT))
+			s.reply(p.env, s.errResp(fsapi.ENOENT))
+			s.putReq(p.req)
 		}
 		return
 	}
@@ -134,5 +138,6 @@ func (s *Server) releaseRmdirLock(ino *inode, removed bool) {
 	first := queue[0]
 	ino.rmdirLocked = true
 	ino.rmdirQueue = queue[1:]
-	s.reply(first.env, &proto.Response{Dist: ino.distributed})
+	s.reply(first.env, s.resp(proto.Response{Dist: ino.distributed}))
+	s.putReq(first.req)
 }

@@ -25,6 +25,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/repl"
 	"repro/internal/sim"
+	"repro/internal/table"
 	"repro/internal/trace"
 	"repro/internal/wal"
 )
@@ -154,18 +155,25 @@ type Server struct {
 	ep    *msg.Endpoint
 	clock sim.Clock
 
-	inodes  map[uint64]*inode
+	inodes  *table.Sharded[uint64, *inode]
 	nextIno uint64
 
-	dirs     map[proto.InodeID]*dirShard
-	deadDirs map[proto.InodeID]bool
+	dirs     *table.Map[proto.InodeID, *dirShard]
+	deadDirs *table.Map[proto.InodeID, struct{}]
 
-	sharedFds map[proto.FdID]*sharedFd
+	sharedFds *table.Map[proto.FdID, *sharedFd]
 	nextFd    proto.FdID
 
 	// tracking records, per directory entry stored here, which client
-	// libraries have the lookup cached (for invalidation callbacks).
-	tracking map[direntKey]map[int32]struct{}
+	// libraries have the lookup cached (for invalidation callbacks). The
+	// value is a small insertion-ordered set, so invalidation fan-outs walk
+	// clients in a deterministic order.
+	tracking *table.Map[direntKey, []int32]
+
+	// Hot-path recycling (DESIGN.md §13): a free list of request structs and
+	// a scratch response, both confined to the request loop.
+	reqFree []*proto.Request
+	scratch proto.Response
 
 	statsMu sync.Mutex
 	stats   Stats
@@ -234,13 +242,13 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:       cfg,
 		ep:        cfg.Network.NewEndpoint(cfg.Core),
-		inodes:    make(map[uint64]*inode),
+		inodes:    newInodeTable(),
 		nextIno:   2, // local inode 1 is reserved for the root directory
-		dirs:      make(map[proto.InodeID]*dirShard),
-		deadDirs:  make(map[proto.InodeID]bool),
-		sharedFds: make(map[proto.FdID]*sharedFd),
+		dirs:      newDirTable(),
+		deadDirs:  newDeadDirTable(),
+		sharedFds: newFdTable(),
 		nextFd:    1,
-		tracking:  make(map[direntKey]map[int32]struct{}),
+		tracking:  newTrackTable(),
 		wal:       cfg.Log,
 		tr:        cfg.Tracer,
 		tem:       trace.ServerEmitter(cfg.ID, 0),
@@ -267,7 +275,7 @@ func New(cfg Config) *Server {
 			nlink:       1,
 			distributed: cfg.RootDistributed,
 		}
-		s.inodes[root.local] = root
+		s.inodes.Put(root.local, root)
 	}
 	return s
 }
@@ -347,7 +355,11 @@ func (s *Server) Stop() {
 func (s *Server) run() {
 	defer close(s.done)
 	for {
-		env, ok := s.ep.Inbox.PopWaitEarliest()
+		// Gate() is re-loaded every iteration: parallel mode may be switched
+		// on or off between requests (it is only ever toggled while the
+		// system is quiescent). A nil gate is the serialized path,
+		// bit-identical to PopWaitEarliest.
+		env, ok := s.ep.Inbox.PopWaitEarliestGated(s.cfg.Network.Gate())
 		if !ok {
 			return
 		}
@@ -372,14 +384,22 @@ func (s *Server) run() {
 // per-sub-op service costs in sequence, which is the whole point of batching
 // (DESIGN.md §7).
 func (s *Server) handle(env msg.Envelope) {
-	req, err := proto.UnmarshalRequest(env.Payload)
+	// Decode into a recycled request struct and release the payload buffer
+	// into this endpoint's cache right away: the wire decoder copies every
+	// variable-length field, so the decoded request never aliases it.
+	req := s.getReq()
+	err := proto.UnmarshalRequestInto(req, env.Payload)
+	s.ep.PutBuf(env.Payload)
+	env.Payload = nil
 	if err != nil {
-		s.replyAt(env, proto.ErrResponse(fsapi.EINVAL), env.ArriveAt)
+		s.replyAt(env, s.errResp(fsapi.EINVAL), env.ArriveAt)
+		s.putReq(req)
 		return
 	}
 	service, subs, stop, err := s.requestCost(req)
 	if err != nil {
-		s.replyAt(env, proto.ErrResponse(fsapi.EINVAL), env.ArriveAt)
+		s.replyAt(env, s.errResp(fsapi.EINVAL), env.ArriveAt)
+		s.putReq(req)
 		return
 	}
 	cost := s.cfg.Machine.Cost
@@ -430,6 +450,7 @@ func (s *Server) handle(env msg.Envelope) {
 	}
 	s.replyAt(env, resp, end)
 	s.curTrace, s.curParent, s.curOp = 0, 0, ""
+	s.putReq(req)
 
 	// Fold accumulated log records into a checkpoint between requests. A
 	// failed checkpoint means the log can no longer be truncated (and the
@@ -534,7 +555,7 @@ func (s *Server) reply(env msg.Envelope, resp *proto.Response) {
 // logged (DESIGN.md §6).
 func (s *Server) replyAt(env msg.Envelope, resp *proto.Response, at sim.Cycles) {
 	if resp == nil {
-		resp = proto.ErrResponse(fsapi.EIO)
+		resp = s.errResp(fsapi.EIO)
 	}
 	staged := at
 	at = s.commitPending(at)
@@ -550,7 +571,10 @@ func (s *Server) replyAt(env msg.Envelope, resp *proto.Response, at sim.Cycles) 
 	cost := s.cfg.Machine.Cost
 	end := s.cfg.Machine.Execute(s.cfg.Core, at, cost.MsgSend)
 	s.clock.AdvanceTo(end)
-	s.cfg.Network.Reply(s.ep, env, proto.KindResponse, resp.Marshal(), end)
+	// Marshal into a recycled buffer; the awaiting requester releases it
+	// into its own cache after decoding.
+	payload := resp.AppendTo(s.ep.GetBuf(resp.SizeHint()))
+	s.cfg.Network.Reply(s.ep, env, proto.KindResponse, payload, end)
 }
 
 // dispatch routes the request to the appropriate handler. The bool result is
@@ -665,15 +689,15 @@ func (s *Server) dispatch(req *proto.Request, env msg.Envelope) (*proto.Response
 		// marked shard (handle routes fresh batches directly).
 		subs, stop, err := proto.UnmarshalBatch(req.Data)
 		if err != nil {
-			return proto.ErrResponse(fsapi.EINVAL), false
+			return s.errResp(fsapi.EINVAL), false
 		}
 		return s.dispatchBatch(subs, stop, req, env)
 
 	case proto.OpPing:
-		return &proto.Response{}, false
+		return s.resp(proto.Response{}), false
 
 	default:
-		return proto.ErrResponse(fsapi.ENOSYS), false
+		return s.errResp(fsapi.ENOSYS), false
 	}
 }
 
@@ -693,8 +717,8 @@ func (s *Server) serviceCost(req *proto.Request) sim.Cycles {
 		// Per-entry cost is added after dispatch would be more precise;
 		// approximate with the current shard size.
 		n := 0
-		if shard, ok := s.dirs[req.Dir]; ok {
-			n = len(shard.ents)
+		if shard, ok := s.dirs.Get(req.Dir); ok {
+			n = shard.ents.Len()
 		}
 		return c.ServeReadDir + sim.Cycles(n)*c.ServePerEnt
 	case proto.OpOpenInode:

@@ -70,15 +70,16 @@ func (s *Server) epochGate(req *proto.Request, env msg.Envelope) (*proto.Respons
 		}
 		if req.Epoch == cur || req.Epoch == s.pendingEpoch {
 			s.migParked = append(s.migParked, parkedReq{req: req, env: env})
+			s.cfg.Network.GateIdle(env.Src)
 			return nil, true, true
 		}
-		return &proto.Response{Err: fsapi.EEPOCH, Epoch: cur}, false, true
+		return s.resp(proto.Response{Err: fsapi.EEPOCH, Epoch: cur}), false, true
 	}
 	if req.Epoch != cur {
 		// Behind (the client routed under a retired map) or ahead (this
 		// server crashed mid-migration and has not been re-committed yet).
 		// Either way the client refreshes and retries.
-		return &proto.Response{Err: fsapi.EEPOCH, Epoch: cur}, false, true
+		return s.resp(proto.Response{Err: fsapi.EEPOCH, Epoch: cur}), false, true
 	}
 	return nil, false, false
 }
@@ -90,7 +91,7 @@ func (s *Server) dirDistributed(dir proto.InodeID) bool {
 	if dir.Server != int32(s.cfg.ID) {
 		return true
 	}
-	if ino, ok := s.inodes[dir.Local]; ok {
+	if ino, ok := s.inodes.Get(dir.Local); ok {
 		return ino.distributed
 	}
 	return true
@@ -101,11 +102,11 @@ func (s *Server) dirDistributed(dir proto.InodeID) bool {
 func (s *Server) outgoingEntries(m *place.Map) []proto.MigEntry {
 	self := int32(s.cfg.ID)
 	var out []proto.MigEntry
-	for dir, sh := range s.dirs {
+	s.dirs.Range(func(dir proto.InodeID, sh *dirShard) bool {
 		if !s.dirDistributed(dir) {
-			continue
+			return true
 		}
-		for name, ent := range sh.ents {
+		sh.ents.Range(func(name string, ent dirEnt) bool {
 			if m.Route(proto.Hash(dir, name)) != self {
 				out = append(out, proto.MigEntry{
 					Dir:    dir,
@@ -115,8 +116,10 @@ func (s *Server) outgoingEntries(m *place.Map) []proto.MigEntry {
 					Dist:   ent.dist,
 				})
 			}
-		}
-	}
+			return true
+		})
+		return true
+	})
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Dir != out[j].Dir {
 			if out[i].Dir.Server != out[j].Dir.Server {
@@ -134,15 +137,15 @@ func (s *Server) outgoingEntries(m *place.Map) []proto.MigEntry {
 // the target epoch (a resumed migration re-freezing survivors).
 func (s *Server) handleShardFreeze(req *proto.Request) *proto.Response {
 	if s.pmap == nil {
-		return proto.ErrResponse(fsapi.EINVAL)
+		return s.errResp(fsapi.EINVAL)
 	}
 	cur := s.epoch.Load()
 	if req.Epoch <= cur {
-		return &proto.Response{Epoch: cur}
+		return s.resp(proto.Response{Epoch: cur})
 	}
 	s.frozen = true
 	s.pendingEpoch = req.Epoch
-	return &proto.Response{Epoch: cur}
+	return s.resp(proto.Response{Epoch: cur})
 }
 
 // handleShardPull copies out the entries that leave this server under the
@@ -154,29 +157,31 @@ func (s *Server) handleShardFreeze(req *proto.Request) *proto.Response {
 // exist). Pure read: nothing is deleted until COMMIT.
 func (s *Server) handleShardPull(req *proto.Request) *proto.Response {
 	if s.pmap == nil {
-		return proto.ErrResponse(fsapi.EINVAL)
+		return s.errResp(fsapi.EINVAL)
 	}
 	m, err := proto.UnmarshalShardMsg(req.Data)
 	if err != nil {
-		return proto.ErrResponse(fsapi.EINVAL)
+		return s.errResp(fsapi.EINVAL)
 	}
 	newMap, err := place.Decode(m.MapBlob)
 	if err != nil {
-		return proto.ErrResponse(fsapi.EINVAL)
+		return s.errResp(fsapi.EINVAL)
 	}
 	out := s.outgoingEntries(newMap)
 	reply := &proto.ShardMsg{Entries: out}
-	for dir, sh := range s.dirs {
+	s.dirs.Range(func(dir proto.InodeID, sh *dirShard) bool {
 		if sh.marked && s.dirDistributed(dir) {
 			reply.Marked = append(reply.Marked, dir)
 		}
-	}
-	for dir := range s.deadDirs {
+		return true
+	})
+	s.deadDirs.Range(func(dir proto.InodeID, _ struct{}) bool {
 		reply.DeadDirs = append(reply.DeadDirs, dir)
-	}
+		return true
+	})
 	sortInodeIDs(reply.Marked)
 	sortInodeIDs(reply.DeadDirs)
-	return &proto.Response{Data: reply.Marshal(), N: int64(len(out)), Epoch: s.epoch.Load()}
+	return s.resp(proto.Response{Data: reply.Marshal(), N: int64(len(out)), Epoch: s.epoch.Load()})
 }
 
 // sortInodeIDs orders ids deterministically (stable wire bytes and logs).
@@ -195,19 +200,19 @@ func sortInodeIDs(ids []proto.InodeID) {
 // Re-committing an already-committed server is idempotent.
 func (s *Server) handleShardCommit(req *proto.Request) *proto.Response {
 	if s.pmap == nil {
-		return proto.ErrResponse(fsapi.EINVAL)
+		return s.errResp(fsapi.EINVAL)
 	}
 	m, err := proto.UnmarshalShardMsg(req.Data)
 	if err != nil {
-		return proto.ErrResponse(fsapi.EINVAL)
+		return s.errResp(fsapi.EINVAL)
 	}
 	newMap, err := place.Decode(m.MapBlob)
 	if err != nil {
-		return proto.ErrResponse(fsapi.EINVAL)
+		return s.errResp(fsapi.EINVAL)
 	}
 	cur := s.epoch.Load()
 	if newMap.Epoch() < cur {
-		return &proto.Response{Err: fsapi.EEPOCH, Epoch: cur}
+		return s.resp(proto.Response{Err: fsapi.EEPOCH, Epoch: cur})
 	}
 
 	// Install the entries arriving here, skipping entries already present
@@ -221,14 +226,14 @@ func (s *Server) handleShardCommit(req *proto.Request) *proto.Response {
 		ent := &m.Entries[i]
 		sh := s.shard(ent.Dir)
 		val := dirEnt{target: ent.Target, ftype: ent.Ftype, dist: ent.Dist}
-		old, exists := sh.ents[ent.Name]
+		old, exists := sh.ents.Get(ent.Name)
 		if exists && old == val {
 			continue
 		}
 		if !exists {
 			s.entCount.Add(1)
 		}
-		sh.ents[ent.Name] = val
+		sh.ents.Put(ent.Name, val)
 		s.stageAddMap(ent.Dir, ent.Name, val)
 		installed++
 	}
@@ -236,13 +241,13 @@ func (s *Server) handleShardCommit(req *proto.Request) *proto.Response {
 	// Adopt the rmdir state the old members agreed on: re-mark shards of
 	// in-flight rmdirs and install dead-directory tombstones.
 	for _, dir := range m.Marked {
-		if !s.deadDirs[dir] {
+		if !s.deadDir(dir) {
 			s.shard(dir).marked = true
 		}
 	}
 	for _, dir := range m.DeadDirs {
-		if !s.deadDirs[dir] {
-			s.deadDirs[dir] = true
+		if !s.deadDir(dir) {
+			s.deadDirs.Put(dir, struct{}{})
 			s.stageDirKill(dir)
 		}
 	}
@@ -253,8 +258,8 @@ func (s *Server) handleShardCommit(req *proto.Request) *proto.Response {
 	// will track them on their next lookup.
 	out := s.outgoingEntries(newMap)
 	for _, ent := range out {
-		if sh, ok := s.dirs[ent.Dir]; ok {
-			delete(sh.ents, ent.Name)
+		if sh, ok := s.dirs.Get(ent.Dir); ok {
+			sh.ents.Delete(ent.Name)
 			s.entCount.Add(-1)
 		}
 		s.stageRmMap(ent.Dir, ent.Name)
@@ -278,12 +283,13 @@ func (s *Server) handleShardCommit(req *proto.Request) *proto.Response {
 	// parked on rmdir marks of shards whose entries just moved (their
 	// re-dispatch answers EEPOCH, sending the client to the new owner).
 	s.unparkMigration()
-	for _, sh := range s.dirs {
+	s.dirs.Range(func(_ proto.InodeID, sh *dirShard) bool {
 		if len(sh.parked) > 0 {
 			s.unparkShard(sh)
 		}
-	}
-	return &proto.Response{Epoch: newMap.Epoch(), N: int64(len(out))}
+		return true
+	})
+	return s.resp(proto.Response{Epoch: newMap.Epoch(), N: int64(len(out))})
 }
 
 // unparkMigration re-dispatches every request parked by the freeze.
@@ -296,5 +302,6 @@ func (s *Server) unparkMigration() {
 			continue
 		}
 		s.reply(p.env, resp)
+		s.putReq(p.req)
 	}
 }

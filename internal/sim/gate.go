@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Gate is the synchronization core of the parallel virtual-time engine
+// (DESIGN.md §13). Every request-originating endpoint ("lane") publishes a
+// conservative *frontier*: a lower bound on the virtual send time of any
+// message it will send in the future. A server may serve the earliest queued
+// request with arrival time a once the minimum frontier over all lanes is at
+// least a — because message delivery is atomic (a sent message is already
+// queued), every not-yet-sent message has SentAt >= its sender's frontier >=
+// a, hence ArriveAt > a, so no earlier arrival can still appear.
+//
+// Frontier values per lane:
+//   - absent (never joined): the lane does not constrain the system yet. A
+//     lane joins at its first send; its first send time is always >= the
+//     current minimum frontier (it was caused by an already-tracked lane),
+//     so joining never lowers the effective minimum retroactively.
+//   - finite t: the lane promises not to send before t. Updated monotonically
+//     by sends (to SentAt) and by blocking RPCs (to the outstanding request's
+//     arrival time — the reply cannot be sent before the request arrives, so
+//     the lane cannot wake, let alone send, before then).
+//   - infinity (idle): the lane is quiescent — exited, parked on a reply
+//     whose timing another lane controls (exec proxies, parked pipe ops), or
+//     waiting on child processes. Idle lanes do not constrain the system;
+//     their next send re-joins at its send time.
+//
+// Serialized mode simply never installs a Gate; every call sites gates on a
+// nil *Gate and compiles to the legacy path, which stays bit-identical.
+type Gate struct {
+	mu    sync.Mutex
+	lanes atomic.Pointer[[]*laneFrontier]
+
+	// cachedSafe is a monotone cache of the last computed minimum frontier.
+	// SafeAt answers from it without scanning when possible; it is lowered
+	// only when a lane joins or resumes below it.
+	cachedSafe atomic.Uint64
+}
+
+// laneFrontier is one lane's published frontier, padded to a cache line so
+// concurrent senders do not false-share.
+type laneFrontier struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
+const (
+	laneAbsent = 0              // never joined
+	laneIdle   = math.MaxUint64 // quiescent, does not constrain
+)
+
+// enc biases a cycle count so that 0 remains the "absent" sentinel.
+func enc(t Cycles) uint64 {
+	v := uint64(t) + 1
+	if v == 0 { // t == MaxUint64: clamp into idle
+		return laneIdle
+	}
+	return v
+}
+
+// NewGate returns an empty gate; lanes join lazily at their first Bump.
+func NewGate() *Gate {
+	g := &Gate{}
+	empty := make([]*laneFrontier, 0)
+	g.lanes.Store(&empty)
+	return g
+}
+
+func (g *Gate) lane(id int) *laneFrontier {
+	ls := *g.lanes.Load()
+	if id < len(ls) {
+		return ls[id]
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ls = *g.lanes.Load()
+	if id < len(ls) {
+		return ls[id]
+	}
+	n := len(ls)*2 + 8
+	if n <= id {
+		n = id + 8
+	}
+	grown := make([]*laneFrontier, n)
+	copy(grown, ls)
+	for i := len(ls); i < n; i++ {
+		grown[i] = &laneFrontier{}
+	}
+	g.lanes.Store(&grown)
+	return grown[id]
+}
+
+// casFloor lowers cachedSafe to at most v.
+func (g *Gate) casFloor(v uint64) {
+	for {
+		cur := g.cachedSafe.Load()
+		if cur <= v || g.cachedSafe.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Bump raises lane id's frontier to at least t: the lane promises not to
+// send any message with SentAt < t. A first Bump joins the lane; a Bump on
+// an idle lane resumes it at t.
+func (g *Gate) Bump(id int, t Cycles) {
+	l := g.lane(id)
+	nv := enc(t)
+	for {
+		cur := l.v.Load()
+		if cur != laneAbsent && cur != laneIdle && cur >= nv {
+			return
+		}
+		if l.v.CompareAndSwap(cur, nv) {
+			if cur == laneAbsent || cur == laneIdle {
+				// Joining or resuming may lower the minimum below the cache.
+				g.casFloor(nv)
+			}
+			return
+		}
+	}
+}
+
+// Idle marks lane id quiescent: it no longer constrains the minimum
+// frontier. The lane re-joins automatically at its next Bump.
+func (g *Gate) Idle(id int) {
+	g.lane(id).v.Store(laneIdle)
+}
+
+// Resume lowers an idle lane's frontier to t. It is called by a sender
+// delivering the message that will wake the lane (a reply to a parked
+// request): the woken lane cannot send before the wakeup arrives at t, and
+// the waker's own frontier (<= t) holds the floor until this call, so the
+// handoff never lets the safe time pass t unprotected. Active and absent
+// lanes are unaffected — an active lane manages its own frontier.
+func (g *Gate) Resume(id int, t Cycles) {
+	l := g.lane(id)
+	nv := enc(t)
+	for {
+		cur := l.v.Load()
+		if cur != laneIdle {
+			return
+		}
+		if l.v.CompareAndSwap(cur, nv) {
+			g.casFloor(nv)
+			return
+		}
+	}
+}
+
+// SafeAt reports whether every lane's frontier is at least t, i.e. whether a
+// request arriving at t can be served knowing no earlier arrival will appear.
+func (g *Gate) SafeAt(t Cycles) bool {
+	want := enc(t)
+	if g.cachedSafe.Load() >= want {
+		return true
+	}
+	min := uint64(laneIdle)
+	for _, l := range *g.lanes.Load() {
+		v := l.v.Load()
+		if v == laneAbsent || v == laneIdle {
+			continue
+		}
+		if v < min {
+			min = v
+		}
+	}
+	if min == laneIdle {
+		// No lane constrains the system right now. Do not advance the cache:
+		// a lane joining later must still observe a fresh minimum.
+		return true
+	}
+	// Monotone raise; a concurrent join may have lowered the cache below
+	// min, in which case the join's floor wins.
+	for {
+		cur := g.cachedSafe.Load()
+		if cur >= min || g.cachedSafe.CompareAndSwap(cur, min) {
+			break
+		}
+	}
+	return min >= want
+}
+
+// Pause backs off between SafeAt polls: it spins cooperatively first, then
+// sleeps with escalating duration. progress resets the escalation.
+func (g *Gate) Pause(spin *int) {
+	*spin++
+	switch {
+	case *spin < 64:
+		runtime.Gosched()
+	case *spin < 256:
+		time.Sleep(2 * time.Microsecond)
+	default:
+		time.Sleep(50 * time.Microsecond)
+	}
+}

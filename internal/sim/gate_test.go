@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestGateEmptySafe: with no lanes joined, nothing constrains the system.
+func TestGateEmptySafe(t *testing.T) {
+	g := NewGate()
+	if !g.SafeAt(0) || !g.SafeAt(1<<40) {
+		t.Fatal("empty gate must be safe at any time")
+	}
+}
+
+// TestGateBumpConstrains: a joined lane holds the safe time at its frontier.
+func TestGateBumpConstrains(t *testing.T) {
+	g := NewGate()
+	g.Bump(0, 100)
+	if !g.SafeAt(100) {
+		t.Fatal("safe time must reach the lone lane's frontier")
+	}
+	if g.SafeAt(101) {
+		t.Fatal("safe time must not pass the lone lane's frontier")
+	}
+	g.Bump(0, 250)
+	if !g.SafeAt(250) || g.SafeAt(251) {
+		t.Fatal("raising the frontier must move the safe time with it")
+	}
+}
+
+// TestGateBumpMonotone: Bump never lowers an active lane's frontier.
+func TestGateBumpMonotone(t *testing.T) {
+	g := NewGate()
+	g.Bump(0, 200)
+	g.Bump(0, 50) // ignored: active lanes only move forward
+	if g.SafeAt(51) == false {
+		t.Fatal("stale Bump lowered an active lane's frontier")
+	}
+	if !g.SafeAt(200) {
+		t.Fatal("frontier should still be 200")
+	}
+}
+
+// TestGateMinOverLanes: the safe time is the minimum frontier over all
+// active lanes.
+func TestGateMinOverLanes(t *testing.T) {
+	g := NewGate()
+	g.Bump(0, 100)
+	g.Bump(1, 70)
+	g.Bump(2, 130)
+	if !g.SafeAt(70) || g.SafeAt(71) {
+		t.Fatal("safe time must be the minimum frontier (70)")
+	}
+	g.Bump(1, 400)
+	if !g.SafeAt(100) || g.SafeAt(101) {
+		t.Fatal("after the laggard advances, the next minimum (100) governs")
+	}
+}
+
+// TestGateIdleReleases: idling a lane removes its constraint; resuming
+// restores one at the wakeup time.
+func TestGateIdleReleases(t *testing.T) {
+	g := NewGate()
+	g.Bump(0, 50)
+	g.Bump(1, 500)
+	if g.SafeAt(51) {
+		t.Fatal("lane 0 should constrain at 50")
+	}
+	g.Idle(0)
+	if !g.SafeAt(500) || g.SafeAt(501) {
+		t.Fatal("after idling lane 0, lane 1's frontier (500) governs")
+	}
+	// Resume only affects idle lanes.
+	g.Resume(1, 10) // lane 1 is active: ignored
+	if !g.SafeAt(500) {
+		t.Fatal("Resume must not lower an active lane's frontier")
+	}
+	g.Resume(0, 600)
+	if g.SafeAt(501) {
+		t.Fatal("resumed lane 0 at 600 cannot raise the safe time past lane 1")
+	}
+	g.Idle(1)
+	if !g.SafeAt(600) || g.SafeAt(601) {
+		t.Fatal("lane 0's resumed frontier (600) must now govern")
+	}
+}
+
+// TestGateResumeLowersCache: the monotone safe-time cache must drop when a
+// lane resumes below it (the waker's handoff), or a server could serve an
+// arrival that the resumed lane can still undercut.
+func TestGateResumeLowersCache(t *testing.T) {
+	g := NewGate()
+	g.Bump(0, 1000)
+	g.Idle(1) // lane 1 parks
+	if !g.SafeAt(1000) {
+		t.Fatal("lane 0's frontier should allow 1000 (and prime the cache)")
+	}
+	g.Resume(1, 300)
+	if g.SafeAt(301) {
+		t.Fatal("cache must observe the resumed lane's lower frontier")
+	}
+	if !g.SafeAt(300) {
+		t.Fatal("safe time should still reach the resumed frontier")
+	}
+}
+
+// TestGateJoinLowersCache: a first Bump below the cached safe time must be
+// observed (join-time floor).
+func TestGateJoinLowersCache(t *testing.T) {
+	g := NewGate()
+	g.Bump(0, 1000)
+	if !g.SafeAt(900) {
+		t.Fatal("prime the cache")
+	}
+	g.Bump(7, 400) // new lane joins behind the cache
+	if g.SafeAt(401) {
+		t.Fatal("join below the cached safe time must constrain again")
+	}
+}
+
+// TestGateConcurrent hammers the gate from many goroutines and checks the
+// invariant that SafeAt never returns true for a time beyond a frontier
+// that some active lane is still holding far below it.
+func TestGateConcurrent(t *testing.T) {
+	g := NewGate()
+	const lanes = 8
+	// Lane 0 stays pinned low the whole time.
+	g.Bump(0, 10)
+	var wg sync.WaitGroup
+	for id := 1; id < lanes; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			for t := Cycles(0); t < 5000; t += 7 {
+				g.Bump(id, t)
+				if t%35 == 0 {
+					g.Idle(id)
+					g.Resume(id, t+1)
+				}
+			}
+		}(id)
+	}
+	stop := make(chan struct{})
+	var violated bool
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if g.SafeAt(11) {
+				violated = true
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+	if violated {
+		t.Fatal("SafeAt passed a pinned active lane's frontier")
+	}
+}
+
+// TestGateSafeAtAllocs: the polling path must not allocate.
+func TestGateSafeAtAllocs(t *testing.T) {
+	g := NewGate()
+	g.Bump(0, 100)
+	g.Bump(1, 200)
+	allocs := testing.AllocsPerRun(100, func() {
+		g.SafeAt(50)
+		g.SafeAt(150)
+		g.Bump(0, 100)
+	})
+	if allocs != 0 {
+		t.Fatalf("gate polling allocated %.1f/op, want 0", allocs)
+	}
+}

@@ -51,6 +51,15 @@ func ElasticBenchmarks() []Workload {
 	}
 }
 
+// ScaleBenchmarks returns the harness-scaling workloads. They are kept out
+// of All() because they size the namespace to stress the harness engine
+// (hundreds of servers, millions of files), not to reproduce a paper figure.
+func ScaleBenchmarks() []Workload {
+	return []Workload{
+		ScaleSweep{},
+	}
+}
+
 // ByName returns a fresh instance of the named benchmark.
 func ByName(name string) (Workload, bool) {
 	for _, w := range All() {
@@ -64,6 +73,11 @@ func ByName(name string) (Workload, bool) {
 		}
 	}
 	for _, w := range ElasticBenchmarks() {
+		if w.Name() == name {
+			return w, true
+		}
+	}
+	for _, w := range ScaleBenchmarks() {
 		if w.Name() == name {
 			return w, true
 		}

@@ -1,0 +1,115 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/fsapi"
+	"repro/internal/sched"
+)
+
+// ScaleSweep is the harness-scaling workload behind `hare-bench -scale`: every
+// worker builds and then walks a large private subtree (mkdir + create +
+// stat), with nothing shared between workers except the root directory. The
+// disjoint per-worker namespaces keep it valid under the parallel virtual-time
+// engine (DESIGN.md §13) and let file counts reach millions without the
+// cross-worker contention the paper's microbenchmarks deliberately create —
+// this workload measures the harness, not Hare.
+type ScaleSweep struct {
+	// FilesPerWorker is how many files each worker creates (spread over
+	// DirsPerWorker subdirectories). Zero means env.iters(2000).
+	FilesPerWorker int
+	// DirsPerWorker is how many subdirectories each worker spreads its files
+	// over. Zero means one directory per 512 files (at least 1).
+	DirsPerWorker int
+	// StatEvery makes each worker re-stat every StatEvery'th file after the
+	// create phase. Zero means 8.
+	StatEvery int
+}
+
+// Name implements Workload.
+func (ScaleSweep) Name() string { return "scale" }
+
+// Placement implements Workload.
+func (ScaleSweep) Placement() sched.Policy { return sched.PolicyRoundRobin }
+
+// Setup creates the shared root directory.
+func (ScaleSweep) Setup(env *Env) error {
+	return runRoot(env, "scale-setup", func(p *sched.Proc) int {
+		if err := env.fs(p).Mkdir("/scale", fsapi.MkdirOpt{Distributed: true}); err != nil {
+			return 1
+		}
+		return 0
+	})
+}
+
+// params resolves the workload's tunables against the environment.
+func (w ScaleSweep) params(env *Env) (files, dirs, statEvery int) {
+	files = w.FilesPerWorker
+	if files == 0 {
+		files = env.iters(2000)
+	}
+	dirs = w.DirsPerWorker
+	if dirs == 0 {
+		dirs = (files + 511) / 512
+	}
+	if dirs < 1 {
+		dirs = 1
+	}
+	statEvery = w.StatEvery
+	if statEvery == 0 {
+		statEvery = 8
+	}
+	return files, dirs, statEvery
+}
+
+// Ops returns the operation count Run will report, without running anything
+// (the bench sweep uses it to size throughput columns up front).
+func (w ScaleSweep) Ops(env *Env) int {
+	files, dirs, statEvery := w.params(env)
+	n := env.workers()
+	perWorker := 1 + dirs + files*2 + (files+statEvery-1)/statEvery
+	return perWorker * n
+}
+
+// Run implements Workload. Each worker performs, in its own subtree:
+// one mkdir for the subtree root, DirsPerWorker mkdirs, FilesPerWorker
+// create+close pairs, and FilesPerWorker/StatEvery stats.
+func (w ScaleSweep) Run(env *Env) (int, error) {
+	files, dirs, statEvery := w.params(env)
+	n := env.workers()
+	err := runRoot(env, "scale", func(p *sched.Proc) int {
+		return fanOut(p, n, func(wp *sched.Proc, idx int) int {
+			fs := env.fs(wp)
+			root := fmt.Sprintf("/scale/w%04d", idx)
+			if err := fs.Mkdir(root, fsapi.MkdirOpt{}); err != nil {
+				return 1
+			}
+			for d := 0; d < dirs; d++ {
+				if err := fs.Mkdir(fmt.Sprintf("%s/d%04d", root, d), fsapi.MkdirOpt{}); err != nil {
+					return 1
+				}
+			}
+			for i := 0; i < files; i++ {
+				name := fmt.Sprintf("%s/d%04d/f%07d", root, i%dirs, i)
+				fd, err := fs.Open(name, fsapi.OCreate|fsapi.OWrOnly, fsapi.Mode644)
+				if err != nil {
+					return 1
+				}
+				if err := fs.Close(fd); err != nil {
+					return 1
+				}
+			}
+			for i := 0; i < files; i += statEvery {
+				name := fmt.Sprintf("%s/d%04d/f%07d", root, i%dirs, i)
+				if _, err := fs.Stat(name); err != nil {
+					return 1
+				}
+			}
+			return 0
+		})
+	})
+	if err != nil {
+		return 0, err
+	}
+	return w.Ops(env), nil
+}
