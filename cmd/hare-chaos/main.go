@@ -7,17 +7,20 @@
 //	hare-chaos [-seeds N] [-seed-start S] [-configs N] [-duration D] [-v]
 //	           [-procs N] [-rounds N] [-ops N] [-cores N] [-servers N]
 //	           [-max-servers N] [-delay-pct P] [-dup-pct P] [-max-delay C]
-//	           [-group-commit C] [-repl sync|async] [-trace-dir D]
+//	           [-group-commit C] [-repl sync|async] [-parallel] [-trace-dir D]
 //	hare-chaos -repro seed,techbits,policy[,replmode] [-dump-plan] [-trace-dir D]
 //
 // The default invocation sweeps -seeds seeds across -configs sampled
 // technique/policy configurations and reports every failure as a
 // `seed,techbits,policy` tuple. With -repl the deployment runs shard
 // replication in the named mode and the schedule gains failover events (the
-// tuple grows a fourth token). With -duration the sweep repeats with fresh
-// seeds until the wall-clock budget is spent (a soak). With -repro the named
-// tuple is rebuilt bit-for-bit and run once — the same plan the failing run
-// executed, byte-identical.
+// tuple grows a fourth token). With -parallel every run executes under the
+// parallel virtual-time engine (DESIGN.md §13); the tuple does not encode the
+// engine — rerun the same tuple with and without the flag to compare them.
+// With -duration the sweep repeats with fresh seeds until the wall-clock
+// budget is spent (a soak). With -repro the named tuple is rebuilt
+// bit-for-bit and run once — the same plan the failing run executed,
+// byte-identical.
 package main
 
 import (
@@ -53,6 +56,7 @@ func main() {
 		maxDelay    = flag.Int64("max-delay", -1, "jitter bound in cycles (-1 = default)")
 		groupCommit = flag.Int64("group-commit", 0, "WAL group-commit interval in cycles")
 		replMode    = flag.String("repl", "", "run with shard replication (sync or async): failover events join the schedule")
+		parallel    = flag.Bool("parallel", false, "run every tuple under the parallel virtual-time engine (DESIGN.md §13)")
 		traceDir    = flag.String("trace-dir", "", "record a full request trace per run and dump failing runs' span trees here (Chrome JSON + canonical encoding)")
 	)
 	flag.Parse()
@@ -96,6 +100,7 @@ func main() {
 		}
 		base.Replication = m
 	}
+	base.Parallel = *parallel
 
 	if *repro != "" {
 		seed, tech, pol, rmode, err := chaos.ParseTuple(*repro)

@@ -83,6 +83,17 @@ type Config struct {
 	// not encode it — rerun a tuple with the same Trace setting to get
 	// the identical canonical span tree.
 	Trace trace.Config
+
+	// Parallel runs the deployment under the parallel virtual-time engine
+	// (SetParallel(true), DESIGN.md §13). Like Trace it is not part of the
+	// tuple: rerun the same tuple with Parallel on and off to compare
+	// engines — passing runs must produce byte-identical namespaces.
+	Parallel bool
+
+	// Snapshot, when set, records the final namespace (path -> entry
+	// fingerprint) in the Report after the last round, for cross-engine
+	// equivalence checks.
+	Snapshot bool
 }
 
 // DefaultConfig returns the smoke-test-sized configuration used by CI: a

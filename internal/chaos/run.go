@@ -26,6 +26,10 @@ type Report struct {
 	// Spans is the traced span ring (oldest first); nil unless the run's
 	// Config.Trace was enabled.
 	Spans []trace.Span
+	// Namespace is the final tree under /chaos (path -> entry fingerprint);
+	// nil unless Config.Snapshot was set. Two passing runs of the same tuple
+	// must produce identical maps whichever engine they ran on.
+	Namespace map[string]string
 }
 
 // idempotentOps are the protocol requests the network may deliver twice: the
@@ -90,6 +94,11 @@ func RunPlan(plan *Plan) (*Report, error) {
 	}
 	sys.Start()
 	defer sys.Stop()
+	if cfg.Parallel {
+		if perr := sys.SetParallel(true); perr != nil {
+			return nil, fmt.Errorf("chaos tuple=%s: %w", cfg.Tuple(), perr)
+		}
+	}
 	sys.Network().SetFaultPlan(&msg.FaultPlan{
 		Seed:         cfg.Seed,
 		MaxDelay:     cfg.MaxDelay,
@@ -139,7 +148,64 @@ func RunPlan(plan *Plan) (*Report, error) {
 	if status != 0 {
 		return rep, fmt.Errorf("chaos tuple=%s: root process exited %d", cfg.Tuple(), status)
 	}
+	if cfg.Snapshot {
+		// Final-state fingerprint for cross-engine equivalence. The walk uses
+		// a fresh client against the quiescent deployment; faults off so the
+		// read-back itself is deterministic.
+		sys.Network().SetFaultPlan(nil)
+		ns := make(map[string]string)
+		if err := snapshotNamespace(sys.NewClient(0), "/chaos", ns); err != nil {
+			return rep, fmt.Errorf("chaos tuple=%s: snapshot: %w", cfg.Tuple(), err)
+		}
+		rep.Namespace = ns
+	}
 	return rep, nil
+}
+
+// snapshotNamespace walks the tree under dir and records every entry:
+// directories by name, files by size and content.
+func snapshotNamespace(fs fsapi.Client, dir string, out map[string]string) error {
+	ents, err := fs.ReadDir(dir)
+	if err != nil {
+		return fmt.Errorf("readdir %s: %w", dir, err)
+	}
+	for _, ent := range ents {
+		path := dir + "/" + ent.Name
+		if dir == "/" {
+			path = "/" + ent.Name
+		}
+		if ent.Type == fsapi.TypeDir {
+			out[path] = "dir"
+			if err := snapshotNamespace(fs, path, out); err != nil {
+				return err
+			}
+			continue
+		}
+		st, err := fs.Stat(path)
+		if err != nil {
+			return fmt.Errorf("stat %s: %w", path, err)
+		}
+		fd, err := fs.Open(path, fsapi.ORdOnly, 0)
+		if err != nil {
+			return fmt.Errorf("open %s: %w", path, err)
+		}
+		buf := make([]byte, st.Size)
+		total := 0
+		for total < len(buf) {
+			n, err := fs.Read(fd, buf[total:])
+			if err != nil {
+				fs.Close(fd)
+				return fmt.Errorf("read %s: %w", path, err)
+			}
+			if n == 0 {
+				break
+			}
+			total += n
+		}
+		fs.Close(fd)
+		out[path] = fmt.Sprintf("file[%d]:%x", st.Size, buf[:total])
+	}
+	return nil
 }
 
 // runRound spawns one worker process per planned op list, fires the round's
@@ -168,6 +234,19 @@ func runRound(sys *core.System, plan *Plan, model *shadow.Model, p *sched.Proc, 
 			return fmt.Errorf("round %d: spawn worker %d: %w", round, proc, err)
 		}
 		handles = append(handles, h)
+	}
+
+	// Under the parallel engine the root's lane must park while the workers
+	// run and the round's events fire: the root sends nothing until the
+	// verify pass, and a frontier pinned at the round's start would block
+	// every later arrival (workers' traffic, control-plane RPCs advancing
+	// server clocks past it) from being served — the same protocol as
+	// workload fan-out. The lane resumes at the round boundary, after the
+	// clock pull, so the verify pass joins at its own first send time.
+	gp, isParker := p.FS.(sched.GateParker)
+	parked := isParker && gp.GateActive()
+	if parked {
+		gp.GatePark()
 	}
 
 	// Membership changes against live traffic: shard freezing, EEPOCH
@@ -211,6 +290,10 @@ func runRound(sys *core.System, plan *Plan, model *shadow.Model, p *sched.Proc, 
 		if err := fireEvent(sys, model, ev, rep); err != nil {
 			return fmt.Errorf("round %d event %s srv %d: %w", round, ev.Kind, ev.Server, err)
 		}
+	}
+
+	if parked {
+		gp.GateResume()
 	}
 
 	// The oracle: full namespace + content diff against the shadow model.

@@ -81,6 +81,17 @@ type Config struct {
 	// trace context rides on every RPC the operation issues (DESIGN.md
 	// §11). Nil keeps the hot path allocation- and cycle-free.
 	Tracer *trace.Tracer
+
+	// AutoPark marks a bare client — one driven directly by library
+	// callers rather than by the process scheduler. Under the parallel
+	// engine a bare client parks its lane after every completed
+	// operation: between ops its next send is driven by real time, so a
+	// stale pinned frontier would wedge gated servers behind it (an
+	// out-of-band Checkpoint/Failover/AddServer would deadlock). The
+	// next op's first send re-joins the lane, and a straggler reply
+	// resumes it. Scheduler-managed clients leave this false: the
+	// harness parks and resumes their lanes at round boundaries.
+	AutoPark bool
 }
 
 // Stats counts client-side activity.
@@ -235,6 +246,11 @@ func (c *Client) EndpointID() msg.EndpointID { return c.ep.ID }
 // GateActive reports whether the parallel virtual-time engine is installed.
 func (c *Client) GateActive() bool { return c.cfg.Network.Gate() != nil }
 
+// SetAutoPark marks this client as bare (library-driven): under the
+// parallel engine its lane parks after every completed operation (see
+// Config.AutoPark).
+func (c *Client) SetAutoPark(on bool) { c.cfg.AutoPark = on }
+
 // GatePark marks this client's lane quiescent while it waits on something
 // whose timing other lanes control (a root process waiting on its children).
 // No-op in serialized mode.
@@ -379,6 +395,15 @@ func (c *Client) endOp(s *trace.Span, err error) {
 	s.Err = errnoOf(err)
 	c.cur = nil
 	c.tr.Record(*s)
+}
+
+// opDone parks a bare client's lane once a public operation completes
+// (see Config.AutoPark). No-op in serialized mode and for
+// scheduler-managed clients.
+func (c *Client) opDone() {
+	if c.cfg.AutoPark {
+		c.cfg.Network.GateIdle(c.ep.ID)
+	}
 }
 
 // errnoOf maps an operation error to the errno recorded on its span.
@@ -611,6 +636,7 @@ func (c *Client) Getcwd() string { return c.cwd }
 // Chdir changes the working directory after verifying it is a directory.
 func (c *Client) Chdir(path string) (err error) {
 	c.syscall()
+	defer c.opDone()
 	if s := c.beginOp("chdir"); s != nil {
 		defer func() { c.endOp(s, err) }()
 	}
@@ -630,6 +656,7 @@ func (c *Client) Chdir(path string) (err error) {
 // therefore the same offset).
 func (c *Client) Dup(fd fsapi.FD) (fsapi.FD, error) {
 	c.syscall()
+	defer c.opDone()
 	of, err := c.getFD(fd)
 	if err != nil {
 		return -1, err
@@ -695,6 +722,7 @@ func (c *Client) CloseAll() {
 // multi-file counterpart of Fsync.
 func (c *Client) Sync() (err error) {
 	c.syscall()
+	defer c.opDone()
 	if s := c.beginOp("sync"); s != nil {
 		defer func() { c.endOp(s, err) }()
 	}

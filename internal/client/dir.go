@@ -11,6 +11,7 @@ import (
 // the new directory's entries are sharded across all file servers (§3.3).
 func (c *Client) Mkdir(path string, opt fsapi.MkdirOpt) (err error) {
 	c.syscall()
+	defer c.opDone()
 	if s := c.beginOp("mkdir"); s != nil {
 		defer func() { c.endOp(s, err) }()
 	}
@@ -87,6 +88,7 @@ func (c *Client) Mkdir(path string, opt fsapi.MkdirOpt) (err error) {
 // operation falls back to the authoritative two-RPC path.
 func (c *Client) Unlink(path string) (err error) {
 	c.syscall()
+	defer c.opDone()
 	if s := c.beginOp("unlink"); s != nil {
 		defer func() { c.endOp(s, err) }()
 	}
@@ -158,6 +160,7 @@ func (c *Client) unlinkBatched(parent proto.InodeID, name string, entrySrv int, 
 // (§3.3). A replaced target loses one link.
 func (c *Client) Rename(oldPath, newPath string) (err error) {
 	c.syscall()
+	defer c.opDone()
 	if s := c.beginOp("rename"); s != nil {
 		defer func() { c.endOp(s, err) }()
 	}
@@ -218,6 +221,7 @@ func (c *Client) Rename(oldPath, newPath string) (err error) {
 // (§3.6.2). Entries are merged and sorted by name.
 func (c *Client) ReadDir(path string) (_ []fsapi.Dirent, err error) {
 	c.syscall()
+	defer c.opDone()
 	if s := c.beginOp("readdir"); s != nil {
 		defer func() { c.endOp(s, err) }()
 	}
@@ -255,6 +259,7 @@ func (c *Client) ReadDir(path string) (_ []fsapi.Dirent, err error) {
 // entry and the directory inode.
 func (c *Client) Rmdir(path string) (err error) {
 	c.syscall()
+	defer c.opDone()
 	if s := c.beginOp("rmdir"); s != nil {
 		defer func() { c.endOp(s, err) }()
 	}

@@ -11,6 +11,7 @@ import (
 // Open opens (and optionally creates) a file and returns a descriptor.
 func (c *Client) Open(path string, flags int, mode fsapi.Mode) (_ fsapi.FD, err error) {
 	c.syscall()
+	defer c.opDone()
 	if s := c.beginOp("open"); s != nil {
 		defer func() { c.endOp(s, err) }()
 	}
@@ -186,6 +187,7 @@ func refreshBlocks(of *openFile, exts []proto.Extent) {
 // description.
 func (c *Client) Close(fd fsapi.FD) (err error) {
 	c.syscall()
+	defer c.opDone()
 	if s := c.beginOp("close"); s != nil {
 		defer func() { c.endOp(s, err) }()
 	}
@@ -274,6 +276,7 @@ func (c *Client) writebackFile(of *openFile) {
 // updates the server's view of the file size.
 func (c *Client) Fsync(fd fsapi.FD) (err error) {
 	c.syscall()
+	defer c.opDone()
 	if s := c.beginOp("fsync"); s != nil {
 		defer func() { c.endOp(s, err) }()
 	}
@@ -302,6 +305,7 @@ func (c *Client) Fsync(fd fsapi.FD) (err error) {
 // Read reads from the descriptor at its current offset.
 func (c *Client) Read(fd fsapi.FD, p []byte) (_ int, err error) {
 	c.syscall()
+	defer c.opDone()
 	if s := c.beginOp("read"); s != nil {
 		defer func() { c.endOp(s, err) }()
 	}
@@ -327,6 +331,7 @@ func (c *Client) Read(fd fsapi.FD, p []byte) (_ int, err error) {
 // Pread reads at an explicit offset without moving the descriptor offset.
 func (c *Client) Pread(fd fsapi.FD, p []byte, off int64) (_ int, err error) {
 	c.syscall()
+	defer c.opDone()
 	if s := c.beginOp("pread"); s != nil {
 		defer func() { c.endOp(s, err) }()
 	}
@@ -354,6 +359,7 @@ func (c *Client) Pread(fd fsapi.FD, p []byte, off int64) (_ int, err error) {
 // Write writes at the descriptor's current offset.
 func (c *Client) Write(fd fsapi.FD, p []byte) (_ int, err error) {
 	c.syscall()
+	defer c.opDone()
 	if s := c.beginOp("write"); s != nil {
 		defer func() { c.endOp(s, err) }()
 	}
@@ -383,6 +389,7 @@ func (c *Client) Write(fd fsapi.FD, p []byte) (_ int, err error) {
 // Pwrite writes at an explicit offset without moving the descriptor offset.
 func (c *Client) Pwrite(fd fsapi.FD, p []byte, off int64) (_ int, err error) {
 	c.syscall()
+	defer c.opDone()
 	if s := c.beginOp("pwrite"); s != nil {
 		defer func() { c.endOp(s, err) }()
 	}
@@ -668,6 +675,7 @@ func (of *openFile) addDirty(b ncc.BlockID) {
 // Seek repositions a descriptor offset.
 func (c *Client) Seek(fd fsapi.FD, off int64, whence int) (_ int64, err error) {
 	c.syscall()
+	defer c.opDone()
 	if s := c.beginOp("seek"); s != nil {
 		defer func() { c.endOp(s, err) }()
 	}
@@ -709,6 +717,7 @@ func (c *Client) Seek(fd fsapi.FD, off int64, whence int) (_ int64, err error) {
 // Ftruncate truncates the open file to the given size.
 func (c *Client) Ftruncate(fd fsapi.FD, size int64) (err error) {
 	c.syscall()
+	defer c.opDone()
 	if s := c.beginOp("ftruncate"); s != nil {
 		defer func() { c.endOp(s, err) }()
 	}
@@ -753,6 +762,7 @@ func (c *Client) Ftruncate(fd fsapi.FD, size int64) (err error) {
 // Stat returns metadata for a path.
 func (c *Client) Stat(path string) (_ fsapi.Stat, err error) {
 	c.syscall()
+	defer c.opDone()
 	if s := c.beginOp("stat"); s != nil {
 		defer func() { c.endOp(s, err) }()
 	}
@@ -771,6 +781,7 @@ func (c *Client) Stat(path string) (_ fsapi.Stat, err error) {
 // Fstat returns metadata for an open descriptor.
 func (c *Client) Fstat(fd fsapi.FD) (_ fsapi.Stat, err error) {
 	c.syscall()
+	defer c.opDone()
 	if s := c.beginOp("fstat"); s != nil {
 		defer func() { c.endOp(s, err) }()
 	}

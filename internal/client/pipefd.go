@@ -12,6 +12,7 @@ import (
 // (used, for example, by make's jobserver).
 func (c *Client) Pipe() (_, _ fsapi.FD, err error) {
 	c.syscall()
+	defer c.opDone()
 	if s := c.beginOp("pipe"); s != nil {
 		defer func() { c.endOp(s, err) }()
 	}

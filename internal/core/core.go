@@ -340,7 +340,7 @@ func New(cfg Config) (*System, error) {
 		AppCores:  sys.appCores,
 		Policy:    cfg.Placement,
 		Seed:      cfg.Seed,
-		NewClient: sys.NewClient,
+		NewClient: sys.newProcClient,
 	})
 	return sys, nil
 }
@@ -383,19 +383,34 @@ func (s *System) Stop() {
 // conservative lane frontiers allow, so endpoints on different OS threads
 // advance concurrently instead of one global virtual-time ping-pong chain.
 //
-// Switch modes only while the deployment is quiescent — no application
-// processes running, no requests in flight — so every lane joins cleanly.
-// Parallel mode's scope excludes replication (follower lanes are not
-// frontier-tracked), crash/recovery, and control-plane operations
-// (checkpoints, shard migrations); serialized mode, the default, supports
-// everything and stays bit-identical to deployments that never call this.
+// The full control plane participates in the lane protocol: replication
+// shipping and acks, heartbeats, crash/recovery, failover promotion, and
+// elastic shard migration all hold and release lane frontiers (their lanes
+// pin the gate only for the duration of each blocking exchange and park in
+// between), so parallel runs produce namespaces byte-identical to serialized
+// runs with any of those events on the schedule. Serialized mode, the
+// default, never installs a gate and stays bit-identical to deployments that
+// never call this.
+//
+// Toggling requires a quiescent deployment: no client processes running and
+// no migration (or crash-interrupted adoption) pending. Otherwise running
+// lanes would be handed to a gate that never saw them join — SetParallel
+// refuses with an error instead of racing.
 func (s *System) SetParallel(on bool) error {
+	if on == s.Parallel() {
+		return nil
+	}
+	if s.procSys != nil {
+		if n := s.procSys.Live(); n > 0 {
+			return fmt.Errorf("core: cannot toggle parallel mode with %d client process(es) live; wait for them to exit", n)
+		}
+	}
+	if s.MigrationPending() {
+		return fmt.Errorf("core: cannot toggle parallel mode with a shard migration or adoption pending; ResumeMigration first")
+	}
 	if !on {
 		s.network.SetGate(nil)
 		return nil
-	}
-	if s.cfg.Replication.Enabled() {
-		return fmt.Errorf("core: parallel mode does not support replication")
 	}
 	s.network.SetGate(sim.NewGate())
 	return nil
@@ -437,9 +452,20 @@ func (s *System) clientOptions() client.Options {
 	}
 }
 
-// NewClient creates a client library pinned to the given core. Every
-// simulated process owns exactly one client.
+// NewClient creates a bare client library pinned to the given core, for
+// direct library callers: under the parallel engine it parks its lane
+// between operations (client.Config.AutoPark) so a quiescent client never
+// wedges out-of-band control-plane calls. Scheduler-managed processes get
+// their clients from newProcClient instead.
 func (s *System) NewClient(core int) *client.Client {
+	c := s.newProcClient(core)
+	c.SetAutoPark(true)
+	return c
+}
+
+// newProcClient creates a scheduler-managed client: the process scheduler
+// owns its lane lifecycle (park on exit, handoff on exec, fan-out on fork).
+func (s *System) newProcClient(core int) *client.Client {
 	if core < 0 || core >= s.cfg.Cores {
 		core = 0
 	}
@@ -676,6 +702,8 @@ func (s *System) Checkpoint(id int) error {
 	}
 	req := &proto.Request{Op: proto.OpCheckpoint}
 	env, err := s.network.RPC(s.ctl, s.serverEPs[id], proto.KindRequest, req.Marshal(), srv.Clock())
+	// Park the control lane after the RPC (see shardRPC).
+	s.network.GateIdle(s.ctl.ID)
 	if err != nil {
 		return fmt.Errorf("core: checkpoint rpc to server %d: %w", id, err)
 	}

@@ -309,6 +309,10 @@ func (s *System) sealFollower(id, fid int) (*wal.Checkpoint, int, uint64) {
 	m := repl.Msg{Primary: int32(id)}
 	req := &proto.Request{Op: proto.OpReplSeal, Data: m.Marshal()}
 	env, err := s.network.RPC(s.ctl, fep, proto.KindRequest, req.Marshal(), follower.Clock())
+	// Park the control lane after the seal RPC (see shardRPC): holding its
+	// pin past this point would wedge the gate for the rest of the
+	// promotion, which proceeds by direct installation, not messages.
+	s.network.GateIdle(s.ctl.ID)
 	if err != nil {
 		return nil, 0, 0
 	}

@@ -1,0 +1,106 @@
+package msg
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// TestGatedPopBlocksUntilSafe: a consumer on a gated queue must not surface
+// an arrival the gate still forbids, and the pinning lane's frontier advance
+// must wake it without polling (the waiter-list protocol, DESIGN.md §13).
+func TestGatedPopBlocksUntilSafe(t *testing.T) {
+	g := sim.NewGate()
+	g.Bump(0, 50) // lane 0 pins the safe time below the item's arrival
+	q := NewQueue()
+	q.Push(Envelope{ArriveAt: 100, Seq: 1})
+	got := make(chan Envelope, 1)
+	go func() {
+		e, ok := q.PopWaitEarliestGated(g)
+		if !ok {
+			t.Error("gated pop returned closed")
+		}
+		got <- e
+	}()
+	select {
+	case e := <-got:
+		t.Fatalf("gated pop surfaced arrival %d while the safe time was 50", e.ArriveAt)
+	case <-time.After(20 * time.Millisecond):
+	}
+	g.Bump(0, 100) // frontier reaches the arrival: the waiter must wake
+	select {
+	case e := <-got:
+		if e.ArriveAt != 100 {
+			t.Fatalf("popped arrival %d, want 100", e.ArriveAt)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("gated pop not woken by the frontier advance")
+	}
+}
+
+// TestGatedPopCloseBypass: once the queue is closed, gated pops drain the
+// remaining items regardless of the safe time — a crashed server's run loop
+// must regain control to exit even with a lane pinned in its past.
+func TestGatedPopCloseBypass(t *testing.T) {
+	g := sim.NewGate()
+	g.Bump(0, 50)
+	q := NewQueue()
+	q.Push(Envelope{ArriveAt: 100, Seq: 1})
+	got := make(chan bool, 1)
+	go func() {
+		_, ok := q.PopWaitEarliestGated(g)
+		got <- ok
+	}()
+	select {
+	case <-got:
+		t.Fatal("gated pop surfaced an unsafe arrival before close")
+	case <-time.After(20 * time.Millisecond):
+	}
+	q.Close()
+	select {
+	case ok := <-got:
+		if !ok {
+			t.Fatal("close must first drain the queued item, not report empty")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("gated pop not released by Close")
+	}
+	if _, ok := q.PopWaitEarliestGated(g); ok {
+		t.Fatal("drained closed queue must report closed")
+	}
+}
+
+// TestGatedPopNilGate: a nil gate (serialized mode) degrades to the plain
+// earliest-arrival pop.
+func TestGatedPopNilGate(t *testing.T) {
+	q := NewQueue()
+	q.Push(Envelope{ArriveAt: 200, Seq: 1})
+	q.Push(Envelope{ArriveAt: 100, Seq: 2})
+	e, ok := q.PopWaitEarliestGated(nil)
+	if !ok || e.ArriveAt != 100 {
+		t.Fatalf("nil-gate pop got (%d,%v), want the earliest arrival (100)", e.ArriveAt, ok)
+	}
+}
+
+// TestGatedPopOrdersByArrival: with several safe items queued, the gated pop
+// serves them in deterministic (ArriveAt, Src, Seq) order like the ungated
+// earliest-arrival pop.
+func TestGatedPopOrdersByArrival(t *testing.T) {
+	g := sim.NewGate()
+	g.Bump(0, 1000)
+	q := NewQueue()
+	q.Push(Envelope{ArriveAt: 300, Src: 2, Seq: 1})
+	q.Push(Envelope{ArriveAt: 100, Src: 1, Seq: 2})
+	q.Push(Envelope{ArriveAt: 300, Src: 1, Seq: 3})
+	want := []struct {
+		at  sim.Cycles
+		src EndpointID
+	}{{100, 1}, {300, 1}, {300, 2}}
+	for i, w := range want {
+		e, ok := q.PopWaitEarliestGated(g)
+		if !ok || e.ArriveAt != w.at || e.Src != w.src {
+			t.Fatalf("pop %d got (at=%d src=%d ok=%v), want (at=%d src=%d)", i, e.ArriveAt, e.Src, ok, w.at, w.src)
+		}
+	}
+}

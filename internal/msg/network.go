@@ -232,26 +232,36 @@ func (n *Network) Send(src *Endpoint, dst EndpointID, kind uint16, payload []byt
 		ArriveAt: arrive,
 		Reply:    reply,
 	}
-	dep.Inbox.Push(env)
-	n.stats.Messages.Add(1)
-	n.stats.Requests.Add(1)
-	n.stats.Bytes.Add(uint64(len(payload)))
+	// The duplication decision (and its payload copy) must be taken before
+	// the original is pushed: the receiver owns the payload from the moment
+	// it is queued and may decode it, release the buffer, and reuse it for
+	// its reply while this goroutine is still running — reading the payload
+	// after Push races with that reuse.
+	var dupEnv Envelope
+	haveDup := false
 	if fs != nil {
 		if extra, dup := fs.dupDelay(src.ID, dst, kind, payload, sentAt); dup {
 			// Deliver the same request a second time, strictly after the
 			// original. The receiver answers both; the surplus reply is
 			// abandoned with its queue. The duplicate gets its own payload
 			// copy because each delivered envelope owns its payload.
-			dupEnv := env
+			dupEnv = env
 			dupEnv.Payload = append(src.cache.GetBuf(len(payload)), payload...)
 			dupEnv.Seq = src.sendSeq.Add(1)
 			dupEnv.ArriveAt = arrive + extra
 			dupEnv.noResume = true
-			dep.Inbox.Push(dupEnv)
-			n.stats.Messages.Add(1)
-			n.stats.Requests.Add(1)
-			n.stats.Bytes.Add(uint64(len(payload)))
+			haveDup = true
 		}
+	}
+	dep.Inbox.Push(env)
+	n.stats.Messages.Add(1)
+	n.stats.Requests.Add(1)
+	n.stats.Bytes.Add(uint64(len(payload)))
+	if haveDup {
+		dep.Inbox.Push(dupEnv)
+		n.stats.Messages.Add(1)
+		n.stats.Requests.Add(1)
+		n.stats.Bytes.Add(uint64(len(dupEnv.Payload)))
 	}
 	return arrive, nil
 }

@@ -56,6 +56,11 @@ type Queue struct {
 	nextSeq uint64
 	mode    uint8
 	closed  bool
+
+	// gateSub is the gate this queue's cond is subscribed to (gated consumers
+	// only); subscribing is idempotent but the pointer check keeps the common
+	// path to a field load.
+	gateSub *sim.Gate
 }
 
 // NewQueue returns an empty queue.
@@ -168,6 +173,7 @@ func (q *Queue) recycle() {
 	}
 	q.closed = false
 	q.mode = modeFIFO
+	q.gateSub = nil
 	q.mu.Unlock()
 }
 
@@ -237,26 +243,37 @@ func (q *Queue) PopWaitEarliestGated(g *sim.Gate) (Envelope, bool) {
 	if g == nil {
 		return q.PopWaitEarliest()
 	}
-	spin := 0
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.gateSub != g {
+		g.Subscribe(q.cond)
+		q.gateSub = g
+	}
 	for {
-		q.mu.Lock()
 		for len(q.items) == 0 && !q.closed {
 			q.cond.Wait()
 		}
 		if len(q.items) == 0 {
-			q.mu.Unlock()
 			return Envelope{}, false
 		}
 		q.setMode(modeArrivalDet)
-		if g.SafeAt(q.items[0].env.ArriveAt) {
-			e := q.popRoot()
-			q.mu.Unlock()
-			return e, true
+		// A closed queue bypasses the gate: the consumer has crashed and its
+		// loop must regain control to exit (it parks the popped envelope back
+		// for after recovery), exactly as the ungated path unblocks on Close.
+		if q.closed || g.SafeAt(q.items[0].env.ArriveAt) {
+			return q.popRoot(), true
 		}
-		q.mu.Unlock()
-		// Not yet safe: back off, then re-peek (a smaller arrival may have
-		// been pushed meanwhile).
-		g.Pause(&spin)
+		// Not yet safe. Count ourselves as a gate waiter *before* the final
+		// re-check (see Gate.BeginWait for why this ordering closes the
+		// wakeup race), then sleep until a push, a close, or a frontier
+		// advance signals the cond.
+		g.BeginWait()
+		if g.SafeAt(q.items[0].env.ArriveAt) {
+			g.EndWait()
+			return q.popRoot(), true
+		}
+		q.cond.Wait()
+		g.EndWait()
 	}
 }
 

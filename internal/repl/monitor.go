@@ -77,6 +77,13 @@ func (m *Monitor) Tick(now sim.Cycles) int {
 			sent++
 		}
 	}
+	if sent > 0 {
+		// Park the detector's lane between beats: pings go to ungated
+		// replication inboxes and pongs come back on a reply queue, so the
+		// lane holds no ordering obligation — left pinned at the last ping's
+		// send time it would wedge the parallel engine's gate.
+		m.network.GateIdle(m.ep.ID)
+	}
 	m.drain()
 	return sent
 }

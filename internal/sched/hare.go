@@ -215,6 +215,16 @@ func (sys *HareSystem) Signal(pid int64) bool {
 	return ok
 }
 
+// Live returns the number of client processes currently running (spawned and
+// not yet exited). The deployment consults it before swapping the
+// virtual-time engine: switching with processes live would hand running
+// lanes to a gate that never saw them join.
+func (sys *HareSystem) Live() int {
+	sys.procMu.Lock()
+	defer sys.procMu.Unlock()
+	return len(sys.procs)
+}
+
 func (sys *HareSystem) trackProc(p *Proc) {
 	sys.procMu.Lock()
 	sys.procs[p.PID] = p

@@ -221,6 +221,12 @@ func (s *Server) handleReplAppend(req *proto.Request, env msg.Envelope, now sim.
 	payload := (&proto.Request{Op: proto.OpReplAck, Data: ack.Marshal()}).Marshal()
 	s.replAckBytes.Add(uint64(len(payload)))
 	_, _ = s.cfg.Network.Send(s.replEP, msg.EndpointID(m.AckTo), proto.KindRequest, payload, end, nil)
+	// Park the replication plane's lane again: the Send joined it at the
+	// ack's send time, and nothing else advances it between batches, so a
+	// pinned frontier here would wedge the parallel engine. The ack's
+	// destination is the primary's (ungated) replication inbox, so the lane
+	// need not hold a frontier for it.
+	s.cfg.Network.GateIdle(s.replEP.ID)
 }
 
 // ship sends the just-committed record batch to the follower and returns
@@ -267,6 +273,13 @@ func (s *Server) ship(recs []wal.Record, at sim.Cycles) sim.Cycles {
 	s.clock.AdvanceTo(sendEnd)
 	s.replShips.Add(1)
 	s.replBytes.Add(uint64(len(payload)))
+	// Re-park the server's own lane once the ship is done: sending from
+	// s.ep joins its lane (and a blocking ship pins it at the ack arrival),
+	// but a server's lane must not constrain the gate between ships — the
+	// in-flight client request whose commit triggered the ship already
+	// holds the floor with its own Await pin, and the follower's
+	// replication inbox is ungated.
+	defer s.cfg.Network.GateIdle(s.ep.ID)
 
 	blocking := s.cfg.Repl.Mode == repl.Sync
 	if !blocking {
@@ -353,6 +366,8 @@ func (s *Server) shipCheckpoint(c *wal.Checkpoint, at sim.Cycles) sim.Cycles {
 	s.replShips.Add(1)
 	s.replResyncs.Add(1)
 	s.replBytes.Add(uint64(len(payload)))
+	// As in ship: re-park s.ep's lane once the blocking rebase completes.
+	defer s.cfg.Network.GateIdle(s.ep.ID)
 	env, err := s.cfg.Network.RPC(s.ep, t.EP, proto.KindRequest, payload, sendEnd)
 	if err != nil {
 		s.replNeedSync.Store(true)

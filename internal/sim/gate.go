@@ -2,10 +2,8 @@ package sim
 
 import (
 	"math"
-	"runtime"
 	"sync"
 	"sync/atomic"
-	"time"
 )
 
 // Gate is the synchronization core of the parallel virtual-time engine
@@ -41,6 +39,14 @@ type Gate struct {
 	// SafeAt answers from it without scanning when possible; it is lowered
 	// only when a lane joins or resumes below it.
 	cachedSafe atomic.Uint64
+
+	// subs are the condition variables of gated consumers (one per gated
+	// queue, registered once via Subscribe). waiters counts consumers
+	// currently blocked in WaitProgress; wake broadcasts to every subscriber
+	// only when it is nonzero, so the common no-waiter case costs a single
+	// atomic load on the bump path.
+	subs    atomic.Pointer[[]*sync.Cond]
+	waiters atomic.Int32
 }
 
 // laneFrontier is one lane's published frontier, padded to a cache line so
@@ -69,6 +75,8 @@ func NewGate() *Gate {
 	g := &Gate{}
 	empty := make([]*laneFrontier, 0)
 	g.lanes.Store(&empty)
+	noSubs := make([]*sync.Cond, 0)
+	g.subs.Store(&noSubs)
 	return g
 }
 
@@ -121,6 +129,10 @@ func (g *Gate) Bump(id int, t Cycles) {
 			if cur == laneAbsent || cur == laneIdle {
 				// Joining or resuming may lower the minimum below the cache.
 				g.casFloor(nv)
+			} else {
+				// Raising a finite frontier can raise the minimum and unblock
+				// a gated consumer.
+				g.wake()
 			}
 			return
 		}
@@ -131,6 +143,8 @@ func (g *Gate) Bump(id int, t Cycles) {
 // frontier. The lane re-joins automatically at its next Bump.
 func (g *Gate) Idle(id int) {
 	g.lane(id).v.Store(laneIdle)
+	// Dropping a constraint can raise the minimum and unblock a consumer.
+	g.wake()
 }
 
 // Resume lowers an idle lane's frontier to t. It is called by a sender
@@ -187,16 +201,51 @@ func (g *Gate) SafeAt(t Cycles) bool {
 	return min >= want
 }
 
-// Pause backs off between SafeAt polls: it spins cooperatively first, then
-// sleeps with escalating duration. progress resets the escalation.
-func (g *Gate) Pause(spin *int) {
-	*spin++
-	switch {
-	case *spin < 64:
-		runtime.Gosched()
-	case *spin < 256:
-		time.Sleep(2 * time.Microsecond)
-	default:
-		time.Sleep(50 * time.Microsecond)
+// Subscribe registers a gated consumer's condition variable: wake broadcasts
+// to it whenever the safe time may have advanced. A consumer subscribes once
+// (re-subscribing the same cond is a no-op) and then blocks in WaitProgress
+// with c.L held. Registration is append-only; a gate lives exactly as long as
+// one parallel run, so subscriptions are never removed.
+func (g *Gate) Subscribe(c *sync.Cond) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	cur := *g.subs.Load()
+	for _, s := range cur {
+		if s == c {
+			return
+		}
+	}
+	grown := make([]*sync.Cond, len(cur)+1)
+	copy(grown, cur)
+	grown[len(cur)] = c
+	g.subs.Store(&grown)
+}
+
+// BeginWait counts the caller as a blocked gated consumer. The protocol (see
+// msg.Queue.PopWaitEarliestGated) is: BeginWait, re-check SafeAt, then — only
+// if still unsafe — wait on the subscribed cond, then EndWait. Counting
+// *before* the final re-check closes the race with a concurrent frontier
+// advance: if the advancer loads the waiter count before this increment, its
+// frontier store is already visible to the re-check (sync/atomic operations
+// are sequentially consistent); if it loads the count after, it sees a waiter
+// and broadcasts, and the broadcast cannot be lost because wake acquires the
+// cond's lock, which the caller holds from the re-check until Wait parks it.
+func (g *Gate) BeginWait() { g.waiters.Add(1) }
+
+// EndWait undoes BeginWait once the consumer stops waiting (whether it
+// popped, re-checked successfully, or woke from the cond).
+func (g *Gate) EndWait() { g.waiters.Add(-1) }
+
+// wake broadcasts to every subscribed consumer if any is blocked. Acquiring
+// each subscriber's lock orders the broadcast after the waiter's park (the
+// waiter holds the lock from its safety check until Wait releases it).
+func (g *Gate) wake() {
+	if g.waiters.Load() == 0 {
+		return
+	}
+	for _, c := range *g.subs.Load() {
+		c.L.Lock()
+		c.Broadcast()
+		c.L.Unlock()
 	}
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"sync"
 	"testing"
+	"time"
 )
 
 // TestGateEmptySafe: with no lanes joined, nothing constrains the system.
@@ -175,5 +176,218 @@ func TestGateSafeAtAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("gate polling allocated %.1f/op, want 0", allocs)
+	}
+}
+
+// TestGateWaiterWakesOnBump: a consumer blocked on the waiter list is woken
+// when the pinning lane's frontier advances past its arrival. This is the
+// condition-variable replacement for the old spin/sleep Pause poll.
+func TestGateWaiterWakesOnBump(t *testing.T) {
+	g := NewGate()
+	g.Bump(0, 10) // pins the safe time at 10
+	var mu sync.Mutex
+	c := sync.NewCond(&mu)
+	g.Subscribe(c)
+	woke := make(chan struct{})
+	go func() {
+		mu.Lock()
+		for {
+			g.BeginWait()
+			if g.SafeAt(100) {
+				g.EndWait()
+				break
+			}
+			c.Wait()
+			g.EndWait()
+		}
+		mu.Unlock()
+		close(woke)
+	}()
+	time.Sleep(5 * time.Millisecond) // let the waiter park (works unparked too)
+	g.Bump(0, 100)
+	select {
+	case <-woke:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not woken by a frontier advance")
+	}
+}
+
+// TestGateWaiterWakesOnIdle: parking the pinning lane releases the
+// constraint and must wake blocked consumers too.
+func TestGateWaiterWakesOnIdle(t *testing.T) {
+	g := NewGate()
+	g.Bump(0, 10)
+	var mu sync.Mutex
+	c := sync.NewCond(&mu)
+	g.Subscribe(c)
+	woke := make(chan struct{})
+	go func() {
+		mu.Lock()
+		for {
+			g.BeginWait()
+			if g.SafeAt(100) {
+				g.EndWait()
+				break
+			}
+			c.Wait()
+			g.EndWait()
+		}
+		mu.Unlock()
+		close(woke)
+	}()
+	time.Sleep(5 * time.Millisecond)
+	g.Idle(0)
+	select {
+	case <-woke:
+	case <-time.After(5 * time.Second):
+		t.Fatal("waiter not woken by the pinning lane idling")
+	}
+}
+
+// TestGateSubscribeIdempotent: re-subscribing the same cond must not grow the
+// broadcast list (a consumer subscribes once per gate, defensively retried).
+func TestGateSubscribeIdempotent(t *testing.T) {
+	g := NewGate()
+	var mu sync.Mutex
+	c := sync.NewCond(&mu)
+	g.Subscribe(c)
+	g.Subscribe(c)
+	if n := len(*g.subs.Load()); n != 1 {
+		t.Fatalf("subscriber list has %d entries, want 1", n)
+	}
+}
+
+// TestGateWakePathAllocs: the wake path — frontier raises and lane parks
+// broadcast to a live waiter — must not allocate. Together with
+// TestGateSafeAtAllocs this keeps the whole gate wait path at 0 allocs/op.
+func TestGateWakePathAllocs(t *testing.T) {
+	g := NewGate()
+	g.Bump(0, 10)
+	var mu sync.Mutex
+	c := sync.NewCond(&mu)
+	g.Subscribe(c)
+	stop := false
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		mu.Lock()
+		for !stop {
+			g.BeginWait()
+			c.Wait()
+			g.EndWait()
+		}
+		mu.Unlock()
+	}()
+	time.Sleep(5 * time.Millisecond) // park the waiter so wake() broadcasts
+	var tt Cycles = 100
+	allocs := testing.AllocsPerRun(200, func() {
+		tt++
+		g.Bump(0, tt)   // finite raise: wakes
+		g.Idle(1)       // park: wakes
+		g.Resume(1, tt) // resume: cache floor
+	})
+	mu.Lock()
+	stop = true
+	c.Broadcast()
+	mu.Unlock()
+	<-done
+	if allocs != 0 {
+		t.Fatalf("gate wake path allocated %.1f/op, want 0", allocs)
+	}
+}
+
+// TestGateLifecycleFailoverSealPublish models the control lane's hold/resume
+// across a failover promotion (seal -> freeze -> publish -> commit): the
+// seal RPC's pin holds the safe time at the seal boundary, parking between
+// stages releases it, and a requester resumed by the commit reply re-joins
+// at the commit arrival — so no lane can be served "into the past" of the
+// promotion epoch.
+func TestGateLifecycleFailoverSealPublish(t *testing.T) {
+	g := NewGate()
+	const ctl, parked, survivor = 0, 1, 2
+	g.Bump(survivor, 2000) // a quiesced-but-tracked lane far ahead
+	g.Idle(parked)         // requester parked on the frozen shard
+
+	// Seal: the ctl RPC joins at the seal request's arrival and holds.
+	g.Bump(ctl, 1000)
+	if !g.SafeAt(1000) || g.SafeAt(1001) {
+		t.Fatal("seal pin must hold the safe time exactly at the seal arrival")
+	}
+	// Seal done: the ctl lane parks between stages (publish is direct
+	// installation, not messages) — the constraint must lift.
+	g.Idle(ctl)
+	if !g.SafeAt(2000) || g.SafeAt(2001) {
+		t.Fatal("with ctl parked, only the survivor's frontier constrains")
+	}
+	// Commit: the ctl pin returns at the commit arrival and the parked
+	// requester is resumed at its reply's arrival under that pin.
+	g.Bump(ctl, 1500)
+	g.Resume(parked, 1500)
+	g.Resume(survivor, 1) // active lanes are never lowered by Resume
+	g.Idle(ctl)           // commit RPC completes; ctl parks again
+	if g.SafeAt(1501) {
+		t.Fatal("resumed requester must constrain at the commit arrival")
+	}
+	if !g.SafeAt(1500) {
+		t.Fatal("safe time must reach the commit arrival")
+	}
+}
+
+// TestGateLifecycleCrashWhileParked models a server crash while a requester
+// lane is parked on its frozen shard: the crash parks the server's lane, the
+// gate is unconstrained (both lanes idle), and recovery re-joins below the
+// primed cache — which must constrain again (the recovery frontier).
+func TestGateLifecycleCrashWhileParked(t *testing.T) {
+	g := NewGate()
+	const srv, requester = 0, 1
+	g.Bump(srv, 5000) // server's replication lane pinned by an in-flight ship
+	g.Idle(requester) // requester parked on the frozen shard
+	if g.SafeAt(5001) {
+		t.Fatal("ship pin must constrain")
+	}
+	g.Idle(srv) // crash: the dead server's lanes park
+	if !g.SafeAt(1 << 40) {
+		t.Fatal("a fully parked gate must not constrain")
+	}
+	// Recovery: the server's first post-replay send re-joins below the
+	// cache primed by the check above.
+	g.Bump(srv, 6000)
+	if g.SafeAt(6001) {
+		t.Fatal("recovery re-join must lower the cached safe time")
+	}
+	if !g.SafeAt(6000) {
+		t.Fatal("safe time must reach the recovery frontier")
+	}
+}
+
+// TestGateLifecycleForkFanoutDuringCommit models workload fork fan-out
+// racing a migration commit: the parent parks while children run, children
+// join at spawn time under the parent's (then-active) floor, the commit pin
+// holds, and the parent resumes at the latest child end.
+func TestGateLifecycleForkFanoutDuringCommit(t *testing.T) {
+	g := NewGate()
+	const parent, child1, child2, ctl = 0, 1, 2, 3
+	g.Bump(parent, 100)
+	// Children join at their spawn times (>= the parent's frontier).
+	g.Bump(child1, 100)
+	g.Bump(child2, 110)
+	g.Idle(parent) // parent parks to wait for the children
+	// Migration commit RPC pins the ctl lane while children still run.
+	g.Bump(ctl, 150)
+	if !g.SafeAt(100) || g.SafeAt(101) {
+		t.Fatal("slowest child governs while the parent is parked")
+	}
+	g.Bump(child1, 400)
+	g.Bump(child2, 300)
+	g.Idle(ctl) // commit served and replied; ctl parks
+	if !g.SafeAt(300) || g.SafeAt(301) {
+		t.Fatal("commit pin released: children govern again")
+	}
+	// Children exit; parent resumes at the latest child end.
+	g.Idle(child1)
+	g.Idle(child2)
+	g.Bump(parent, 400)
+	if !g.SafeAt(400) || g.SafeAt(401) {
+		t.Fatal("parent must re-join at the fan-out's latest end time")
 	}
 }

@@ -1,0 +1,51 @@
+package workload
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+)
+
+// TestParallelSingleCoreGateCost pins the Gate.Pause fix: with GOMAXPROCS=1
+// the parallel engine's gated waits must park on the waiter list (condition
+// variable broadcast on safe-time advancement), not spin — so a single-core
+// parallel smallfile run costs within 10% of the serialized engine, plus a
+// small absolute allowance for scheduler noise on short runs. Under the old
+// spin/sleep backoff this ran orders of magnitude slower.
+func TestParallelSingleCoreGateCost(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing regression test")
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	run := func(parallel bool) time.Duration {
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < 5; i++ {
+			sys, env := parallelSystem(t, parallel, trace.Config{})
+			w := SmallFile{PerWorker: 60}
+			if err := w.Setup(env); err != nil {
+				t.Fatalf("setup (parallel=%v): %v", parallel, err)
+			}
+			start := time.Now()
+			if _, err := w.Run(env); err != nil {
+				t.Fatalf("run (parallel=%v): %v", parallel, err)
+			}
+			if d := time.Since(start); d < best {
+				best = d
+			}
+			sys.Stop()
+		}
+		return best
+	}
+
+	ser := run(false)
+	par := run(true)
+	limit := ser + ser/10 + 25*time.Millisecond
+	t.Logf("single-core smallfile: serialized=%v parallel=%v limit=%v", ser, par, limit)
+	if par > limit {
+		t.Fatalf("single-core parallel run took %v, serialized %v: gate wait is burning the core (limit %v)", par, ser, limit)
+	}
+}
